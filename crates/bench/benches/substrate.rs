@@ -1,0 +1,125 @@
+//! Substrate throughput benchmarks: the tensor/NN kernels every
+//! experiment spends its time in.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deepmorph_nn::prelude::*;
+use deepmorph_data::{DataGenerator, SynthDigits};
+use deepmorph_tensor::conv::{im2col, Conv2dGeometry};
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    for &n in &[32usize, 128] {
+        let a = Tensor::from_vec(
+            (0..n * n).map(|i| (i % 13) as f32 - 6.0).collect(),
+            &[n, n],
+        )
+        .unwrap();
+        let b = a.clone();
+        group.bench_function(format!("matmul_{n}x{n}"), |bench| {
+            bench.iter(|| a.matmul(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let geo = Conv2dGeometry::new(8, 16, 16, 16, 3, 3, 1, 1).unwrap();
+    let x = Tensor::from_vec(
+        (0..8 * 8 * 256).map(|i| (i % 7) as f32).collect(),
+        &[8, 8, 16, 16],
+    )
+    .unwrap();
+    c.bench_function("tensor/im2col_8x8x16x16_k3", |b| {
+        b.iter(|| im2col(&x, &geo).unwrap())
+    });
+}
+
+fn bench_conv_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn");
+    let mut rng = stream_rng(1, "bench");
+    let mut layer = Conv2d::new(8, 16, 16, 16, 3, 1, 1, &mut rng).unwrap();
+    let x = Tensor::from_vec(
+        (0..8 * 8 * 256).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect(),
+        &[8, 8, 16, 16],
+    )
+    .unwrap();
+    group.bench_function("conv2d_forward_8x8x16x16", |b| {
+        b.iter(|| layer.forward(&[&x], Mode::Eval).unwrap())
+    });
+    group.bench_function("conv2d_forward_backward_8x8x16x16", |b| {
+        b.iter_batched(
+            || Tensor::ones(&[8, 16, 16, 16]),
+            |grad| {
+                let _ = layer.forward(&[&x], Mode::Train).unwrap();
+                layer.backward(&grad).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_batchnorm(c: &mut Criterion) {
+    let mut bn = BatchNorm2d::new(16);
+    let x = Tensor::from_vec(
+        (0..8 * 16 * 64).map(|i| ((i % 19) as f32 - 9.0) * 0.2).collect(),
+        &[8, 16, 8, 8],
+    )
+    .unwrap();
+    c.bench_function("nn/batchnorm_train_8x16x8x8", |b| {
+        b.iter(|| bn.forward(&[&x], Mode::Train).unwrap())
+    });
+}
+
+fn bench_data_generation(c: &mut Criterion) {
+    let gen = SynthDigits::new();
+    c.bench_function("data/synth_digits_100_images", |b| {
+        b.iter_batched(
+            || stream_rng(7, "bench-data"),
+            |mut rng| gen.generate(10, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let gen = SynthDigits::new();
+    let mut rng = stream_rng(3, "bench-train");
+    let data = gen.generate(10, &mut rng);
+    c.bench_function("nn/lenet_one_epoch_100_samples", |b| {
+        b.iter_batched(
+            || {
+                let spec = deepmorph_models::ModelSpec::new(
+                    deepmorph_models::ModelFamily::LeNet,
+                    deepmorph_models::ModelScale::Tiny,
+                    [1, 16, 16],
+                    10,
+                );
+                let mut mrng = stream_rng(4, "bench-model");
+                deepmorph_models::build_model(&spec, &mut mrng).unwrap()
+            },
+            |mut model| {
+                let mut trainer = Trainer::new(TrainConfig {
+                    epochs: 1,
+                    batch_size: 32,
+                    ..TrainConfig::default()
+                });
+                let mut trng = stream_rng(5, "bench-train-loop");
+                trainer
+                    .fit(&mut model.graph, data.images(), data.labels(), &mut trng)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_im2col, bench_conv_layer, bench_batchnorm,
+              bench_data_generation, bench_training_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Calibration diagnostics: prints the mean footprint-specifics features
+//! per injected defect so the signature weights in
+//! `deepmorph::classify::SignatureWeights` can be grounded in data.
+//!
+//! Not part of the paper's artifacts; used to document how the default
+//! weights were derived (see DESIGN.md).
+
+use deepmorph::classify::PopulationEvidence;
+use deepmorph::instrument::InstrumentedModel;
+use deepmorph::pattern::ClassPatterns;
+use deepmorph::prelude::*;
+use deepmorph::specifics::FootprintSpecifics;
+use deepmorph_bench::table1::{dataset_for, default_defects};
+use deepmorph_tensor::init::stream_rng;
+
+fn main() -> Result<(), DeepMorphError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let families = if args.is_empty() {
+        vec![ModelFamily::LeNet, ModelFamily::ResNet]
+    } else {
+        ModelFamily::all()
+            .into_iter()
+            .filter(|f| args.contains(&f.name().to_lowercase()))
+            .collect()
+    };
+    for family in families {
+        for defect in default_defects() {
+            analyze(family, &defect)?;
+        }
+    }
+    Ok(())
+}
+
+fn analyze(family: ModelFamily, defect: &DefectSpec) -> Result<(), DeepMorphError> {
+    let dataset = dataset_for(family);
+    let scenario = Scenario::builder(family, dataset)
+        .seed(7)
+        .train_per_class(120)
+        .test_per_class(40)
+        .train_config(TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        })
+        .inject(defect.clone())
+        .build()?;
+
+    // Re-run the pipeline manually to get raw specifics.
+    let (clean_train, test) = scenario.generate_data();
+    let mut inject_rng = stream_rng(7, "scenario-inject");
+    let train = defect.apply_to_dataset(&clean_train, &mut inject_rng);
+    let input_shape = [dataset.channels(), dataset.side(), dataset.side()];
+    let spec = defect.apply_to_model_spec(ModelSpec::new(family, ModelScale::Tiny, input_shape, 10));
+    let mut model_rng = stream_rng(7, "scenario-model");
+    let mut model = build_model(&spec, &mut model_rng)?;
+    let mut train_rng = stream_rng(7, "scenario-train");
+    Trainer::new(TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        learning_rate: 0.05,
+        ..TrainConfig::default()
+    })
+    .fit(&mut model.graph, train.images(), train.labels(), &mut train_rng)?;
+    let test_acc = evaluate_accuracy(&mut model.graph, test.images(), test.labels(), 64)?;
+    let mut faulty = FaultyCases::collect(&mut model, &test)?;
+    faulty.truncate(200)?;
+
+    // Mirror the pipeline's fit/holdout split.
+    let mut split_rng = stream_rng(ProbeTrainingConfig::default().seed, "holdout-split");
+    let (fit, holdout) = train.split_stratified(0.85, &mut split_rng);
+    let mut inst = InstrumentedModel::build(
+        model,
+        fit.images(),
+        fit.labels(),
+        10,
+        &Default::default(),
+    )?;
+    let train_fps = inst.footprints(fit.images())?;
+    let holdout_fps = inst.footprints(holdout.images())?;
+    let patterns = ClassPatterns::learn_with_holdout(
+        &train_fps,
+        fit.labels(),
+        &holdout_fps,
+        holdout.labels(),
+        inst.probe_accuracies(),
+    )?;
+    let faulty_fps = inst.footprints(&faulty.images)?;
+    let specifics: Vec<FootprintSpecifics> = faulty_fps
+        .iter()
+        .zip(faulty.true_labels.iter().zip(&faulty.predicted))
+        .map(|(fp, (&t, &p))| {
+            FootprintSpecifics::compute(fp, t, p, &patterns, AlignmentMetric::JensenShannon)
+        })
+        .collect();
+    let pop = PopulationEvidence::compute(&specifics, 10);
+
+    let mean = |f: &dyn Fn(&FootprintSpecifics) -> f32| -> f32 {
+        if specifics.is_empty() {
+            return 0.0;
+        }
+        specifics.iter().map(|s| f(s)).sum::<f32>() / specifics.len() as f32
+    };
+    println!(
+        "{:<8} {:<28} acc={:.2} n={:<3} health={:.2} | nov={:.3} ent={:.3} conf={:.3} \
+         latep={:.3} latet={:.3} earlyt={:.3} marg={:.3} (base {:.3}) flip={:.2} | \
+         pair={:.2} tconc={:.2} pconc={:.2}",
+        family.name(),
+        defect.describe(),
+        test_acc,
+        specifics.len(),
+        patterns.health(),
+        mean(&|s| s.novelty),
+        mean(&|s| s.final_entropy),
+        mean(&|s| s.final_conf_pred),
+        mean(&|s| s.late_align_pred),
+        mean(&|s| s.late_align_true),
+        mean(&|s| s.early_align_true),
+        mean(&|s| s.early_margin),
+        patterns.early_margin_baseline(),
+        mean(&|s| s.flip_fraction),
+        pop.pair_concentration,
+        pop.true_concentration,
+        pop.pred_concentration,
+    );
+    let mean_cont = mean(&|s| patterns.contamination(s.predicted, s.true_label));
+    let mean_starv = mean(&|s| patterns.starvation(s.true_label));
+    println!(
+        "         noise_conc={:.3} disagreement_rate={:.3} mean cont(p,t)={:.3} mean starv(t)={:.3}",
+        patterns.concentrated_label_noise(),
+        patterns.disagreement_rate(),
+        mean_cont,
+        mean_starv,
+    );
+    Ok(())
+}

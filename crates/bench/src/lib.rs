@@ -1,0 +1,17 @@
+//! Experiment harness regenerating the paper's evaluation artifacts.
+//!
+//! * [`table1`] — the defect-ratio matrix of Table I: for each of the four
+//!   models and each injected defect, train the defective model and report
+//!   DeepMorph's `[ITD, UTD, SD]` ratios.
+//! * Binaries: `table1` (regenerates the table; `--scale`, `--seed`) and
+//!   `figure1` (runs one scenario and prints the stage-by-stage pipeline
+//!   trace matching the paper's Figure 1 schematic).
+//! * Criterion benches in `benches/` measure substrate and pipeline
+//!   throughput plus the DESIGN.md ablations.
+
+pub mod table1;
+
+pub use table1::{
+    aggregate_tables, default_defects, render_table, run_cell, run_table, run_table_seeds,
+    CellResult, Table1Config, TableResult,
+};

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use deepmorph_nn::NnError;
+use deepmorph_tensor::TensorError;
+
+/// Errors produced by the DeepMorph pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeepMorphError {
+    /// An underlying network/tensor operation failed.
+    Nn(NnError),
+    /// The model exposes no probe points, or probe metadata disagrees with
+    /// the graph.
+    Instrumentation {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// Diagnosis was requested with no faulty cases.
+    NoFaultyCases,
+    /// A scenario was configured inconsistently (e.g. dataset/model channel
+    /// mismatch, empty training set after injection).
+    InvalidScenario {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DeepMorphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeepMorphError::Nn(e) => write!(f, "network error: {e}"),
+            DeepMorphError::Instrumentation { reason } => {
+                write!(f, "instrumentation error: {reason}")
+            }
+            DeepMorphError::NoFaultyCases => {
+                write!(f, "no faulty cases to diagnose (model classifies the test set perfectly)")
+            }
+            DeepMorphError::InvalidScenario { reason } => {
+                write!(f, "invalid scenario: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DeepMorphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeepMorphError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for DeepMorphError {
+    fn from(e: NnError) -> Self {
+        DeepMorphError::Nn(e)
+    }
+}
+
+impl From<TensorError> for DeepMorphError {
+    fn from(e: TensorError) -> Self {
+        DeepMorphError::Nn(NnError::Tensor(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let te = TensorError::InvalidShape {
+            shape: vec![1],
+            reason: "x",
+        };
+        let err: DeepMorphError = te.into();
+        assert!(err.to_string().contains("network error"));
+        assert!(err.source().is_some());
+        assert!(DeepMorphError::NoFaultyCases.to_string().contains("faulty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeepMorphError>();
+    }
+}

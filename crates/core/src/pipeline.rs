@@ -1,0 +1,308 @@
+//! The end-to-end DeepMorph pipeline.
+
+use deepmorph_tensor::Tensor;
+
+use deepmorph_data::Dataset;
+use deepmorph_models::ModelHandle;
+use deepmorph_nn::train::{gather_batch, predict_all};
+
+use crate::classify::{ClassifierConfig, DefectClassifier};
+use crate::instrument::{InstrumentedModel, ProbeTrainingConfig};
+use crate::pattern::ClassPatterns;
+use crate::report::{CaseDiagnosis, DefectRatios, DefectReport};
+use crate::specifics::FootprintSpecifics;
+use crate::{DeepMorphError, Result};
+
+/// Configuration of a DeepMorph run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeepMorphConfig {
+    /// Auxiliary-probe training hyper-parameters.
+    pub probe: ProbeTrainingConfig,
+    /// Defect-classifier configuration.
+    pub classifier: ClassifierConfig,
+    /// Cap on the number of faulty cases analyzed (0 = no cap). Footprint
+    /// extraction is linear in this; 200 is plenty for stable ratios.
+    pub max_faulty_cases: usize,
+}
+
+/// The misclassified test inputs handed to DeepMorph, with their labels
+/// and the model's predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyCases {
+    /// The misclassified inputs, `[n, c, h, w]`.
+    pub images: Tensor,
+    /// Ground-truth labels.
+    pub true_labels: Vec<usize>,
+    /// The model's (wrong) predictions.
+    pub predicted: Vec<usize>,
+}
+
+impl FaultyCases {
+    /// Runs `model` over `test` and collects every misclassified sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn collect(model: &mut ModelHandle, test: &Dataset) -> Result<Self> {
+        let preds = predict_all(&mut model.graph, test.images(), 64)?;
+        let faulty: Vec<usize> = preds
+            .iter()
+            .zip(test.labels())
+            .enumerate()
+            .filter(|(_, (p, l))| p != l)
+            .map(|(i, _)| i)
+            .collect();
+        let images = gather_batch(test.images(), &faulty)?;
+        Ok(FaultyCases {
+            images,
+            true_labels: faulty.iter().map(|&i| test.labels()[i]).collect(),
+            predicted: faulty.iter().map(|&i| preds[i]).collect(),
+        })
+    }
+
+    /// Number of faulty cases.
+    pub fn len(&self) -> usize {
+        self.true_labels.len()
+    }
+
+    /// `true` if the model made no mistakes on the test set.
+    pub fn is_empty(&self) -> bool {
+        self.true_labels.is_empty()
+    }
+
+    /// Keeps only the first `max` cases (no-op if `max == 0` or already
+    /// smaller).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors.
+    pub fn truncate(&mut self, max: usize) -> Result<()> {
+        if max == 0 || self.len() <= max {
+            return Ok(());
+        }
+        let keep: Vec<usize> = (0..max).collect();
+        self.images = gather_batch(&self.images, &keep)?;
+        self.true_labels.truncate(max);
+        self.predicted.truncate(max);
+        Ok(())
+    }
+}
+
+/// The DeepMorph tool: instruments a model, learns execution patterns, and
+/// attributes faulty cases to defect types.
+#[derive(Debug, Clone, Default)]
+pub struct DeepMorph {
+    config: DeepMorphConfig,
+}
+
+impl DeepMorph {
+    /// Creates the tool with the given configuration.
+    pub fn new(config: DeepMorphConfig) -> Self {
+        DeepMorph { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DeepMorphConfig {
+        &self.config
+    }
+
+    /// Runs the full diagnosis pipeline.
+    ///
+    /// Consumes the model (instrumentation wraps it); returns the report
+    /// and the instrumented model for further queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::NoFaultyCases`] if `faulty` is empty, and
+    /// propagates instrumentation/network errors.
+    pub fn diagnose(
+        &self,
+        model: ModelHandle,
+        train: &Dataset,
+        faulty: &FaultyCases,
+        subject: &str,
+    ) -> Result<(DefectReport, InstrumentedModel)> {
+        if faulty.is_empty() {
+            return Err(DeepMorphError::NoFaultyCases);
+        }
+        let mut faulty = faulty.clone();
+        faulty.truncate(self.config.max_faulty_cases)?;
+
+        // Stratified fit/holdout split: probes are fitted on `fit`, while
+        // the label-noise statistics come from `holdout` so backbone
+        // memorization cannot erase the UTD fingerprint (see
+        // `ClassPatterns::learn_with_holdout`). Tiny training sets skip
+        // the split.
+        let mut split_rng =
+            deepmorph_tensor::init::stream_rng(self.config.probe.seed, "holdout-split");
+        let use_holdout = train.len() >= 10 * train.num_classes();
+        let (fit, holdout) = if use_holdout {
+            train.split_stratified(0.85, &mut split_rng)
+        } else {
+            (train.clone(), train.clone())
+        };
+
+        // 1. Softmax-instrumented model.
+        let mut instrumented = InstrumentedModel::build(
+            model,
+            fit.images(),
+            fit.labels(),
+            train.num_classes(),
+            &self.config.probe,
+        )?;
+
+        // 2. Execution patterns from training footprints, noise statistics
+        //    from the holdout.
+        let train_fps = instrumented.footprints(fit.images())?;
+        let patterns = if use_holdout {
+            let holdout_fps = instrumented.footprints(holdout.images())?;
+            ClassPatterns::learn_with_holdout(
+                &train_fps,
+                fit.labels(),
+                &holdout_fps,
+                holdout.labels(),
+                instrumented.probe_accuracies(),
+            )?
+        } else {
+            ClassPatterns::learn(&train_fps, fit.labels(), instrumented.probe_accuracies())?
+        };
+
+        // 3. Faulty-case footprints → specifics.
+        let faulty_fps = instrumented.footprints(&faulty.images)?;
+        let specifics: Vec<FootprintSpecifics> = faulty_fps
+            .iter()
+            .zip(faulty.true_labels.iter().zip(&faulty.predicted))
+            .map(|(fp, (&t, &p))| {
+                FootprintSpecifics::compute(fp, t, p, &patterns, self.config.classifier.metric)
+            })
+            .collect();
+
+        // 4. Defect reasoning.
+        let classifier = DefectClassifier::new(self.config.classifier);
+        let (scores, ratios) = classifier.classify(&specifics, &patterns);
+
+        let cases = scores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| CaseDiagnosis {
+                case_index: i,
+                true_label: faulty.true_labels[i],
+                predicted: faulty.predicted[i],
+                assigned: s.assigned().abbrev().to_string(),
+                score_distribution: s.distribution(),
+            })
+            .collect();
+
+        let report = DefectReport {
+            ratios: DefectRatios::new(ratios),
+            num_cases: specifics.len(),
+            probe_labels: train_fps.probe_labels().to_vec(),
+            probe_accuracies: instrumented.probe_accuracies(),
+            model_health: patterns.health(),
+            cases,
+            subject: subject.to_string(),
+        };
+        Ok((report, instrumented))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
+    use deepmorph_tensor::init::stream_rng;
+
+    fn toy_dataset(per_class: usize) -> Dataset {
+        // Class-dependent constant images: trivially learnable by probes.
+        let k = 4;
+        let n = per_class * k;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..k {
+            for s in 0..per_class {
+                let level = c as f32 / k as f32 + (s % 3) as f32 * 0.01;
+                data.extend(std::iter::repeat(level).take(256));
+                labels.push(c);
+            }
+        }
+        Dataset::new(
+            Tensor::from_vec(data, &[n, 1, 16, 16]).unwrap(),
+            labels,
+            k,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn collect_finds_misclassifications() {
+        let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 4);
+        let mut rng = stream_rng(1, "pipeline");
+        let mut model = build_model(&spec, &mut rng).unwrap();
+        let test = toy_dataset(5);
+        // Untrained model: most predictions are wrong.
+        let faulty = FaultyCases::collect(&mut model, &test).unwrap();
+        assert!(!faulty.is_empty());
+        assert_eq!(faulty.images.shape()[0], faulty.len());
+        for (t, p) in faulty.true_labels.iter().zip(&faulty.predicted) {
+            assert_ne!(t, p);
+        }
+    }
+
+    #[test]
+    fn truncate_caps_cases() {
+        let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 4);
+        let mut rng = stream_rng(2, "pipeline");
+        let mut model = build_model(&spec, &mut rng).unwrap();
+        let test = toy_dataset(5);
+        let mut faulty = FaultyCases::collect(&mut model, &test).unwrap();
+        faulty.truncate(3).unwrap();
+        assert!(faulty.len() <= 3);
+        assert_eq!(faulty.images.shape()[0], faulty.len());
+    }
+
+    #[test]
+    fn diagnose_produces_wellformed_report() {
+        let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 4);
+        let mut rng = stream_rng(3, "pipeline");
+        let mut model = build_model(&spec, &mut rng).unwrap();
+        let train = toy_dataset(10);
+        let test = toy_dataset(4);
+        let faulty = FaultyCases::collect(&mut model, &test).unwrap();
+        assert!(!faulty.is_empty());
+
+        let tool = DeepMorph::new(DeepMorphConfig {
+            probe: ProbeTrainingConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+            max_faulty_cases: 10,
+            ..Default::default()
+        });
+        let (report, _instrumented) = tool
+            .diagnose(model, &train, &faulty, "LeNet toy")
+            .unwrap();
+        assert!(report.num_cases > 0 && report.num_cases <= 10);
+        let sum: f32 = report.ratios.as_array().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert_eq!(report.cases.len(), report.num_cases);
+        assert_eq!(report.probe_labels.len(), report.probe_accuracies.len());
+    }
+
+    #[test]
+    fn diagnose_rejects_empty_faulty_set() {
+        let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 4);
+        let mut rng = stream_rng(4, "pipeline");
+        let model = build_model(&spec, &mut rng).unwrap();
+        let train = toy_dataset(4);
+        let faulty = FaultyCases {
+            images: Tensor::zeros(&[0, 1, 16, 16]),
+            true_labels: vec![],
+            predicted: vec![],
+        };
+        let tool = DeepMorph::default();
+        assert!(matches!(
+            tool.diagnose(model, &train, &faulty, "x").unwrap_err(),
+            DeepMorphError::NoFaultyCases
+        ));
+    }
+}

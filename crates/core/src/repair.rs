@@ -1,0 +1,200 @@
+//! Repair recommendations.
+//!
+//! The paper's evaluation closes the loop: "based on the defect reported
+//! by DeepMorph, we modify the models accordingly and evaluate whether
+//! DeepMorph is helpful to improving model performance". This module turns
+//! a [`DefectReport`] into the concrete modification a developer would
+//! apply:
+//!
+//! * ITD → collect more data for the starved classes,
+//! * UTD → audit/clean the labels of the contaminated class pair,
+//! * SD → strengthen the network structure.
+//!
+//! [`crate::scenario::Scenario::run_with_repair`] applies the plan inside
+//! the synthetic testbed and measures the accuracy improvement.
+
+use std::collections::HashMap;
+
+use deepmorph_defects::DefectKind;
+
+use crate::report::DefectReport;
+
+/// A concrete, actionable repair derived from a diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairPlan {
+    /// Collect (or generate) more training data for these classes.
+    CollectMoreData {
+        /// The starved classes, most-affected first.
+        classes: Vec<usize>,
+    },
+    /// Audit training labels between `suspect_label` and `executes_as`:
+    /// samples labeled the former that flow like the latter are probably
+    /// mislabeled.
+    CleanLabels {
+        /// The label under suspicion (the faulty cases' prediction).
+        suspect_label: usize,
+        /// The class those samples actually execute as.
+        executes_as: usize,
+    },
+    /// The structure is the bottleneck: restore/add convolutional
+    /// capacity.
+    StrengthenStructure,
+}
+
+impl std::fmt::Display for RepairPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairPlan::CollectMoreData { classes } => {
+                write!(f, "collect more training data for classes {classes:?}")
+            }
+            RepairPlan::CleanLabels {
+                suspect_label,
+                executes_as,
+            } => write!(
+                f,
+                "audit training labels: samples labeled {suspect_label} executing as {executes_as}"
+            ),
+            RepairPlan::StrengthenStructure => {
+                write!(f, "strengthen the network structure (restore conv capacity)")
+            }
+        }
+    }
+}
+
+/// Derives the repair plan from a diagnosis report.
+///
+/// Returns `None` when the report has no dominant defect or no cases to
+/// ground the plan in.
+pub fn recommend(report: &DefectReport) -> Option<RepairPlan> {
+    let dominant = report.dominant()?;
+    match dominant {
+        DefectKind::InsufficientTrainingData => {
+            // Starved classes = the true labels that dominate the
+            // ITD-assigned cases, most frequent first, covering >= 80% of
+            // those cases.
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            let mut total = 0usize;
+            for case in &report.cases {
+                if case.assigned == "ITD" {
+                    *counts.entry(case.true_label).or_insert(0) += 1;
+                    total += 1;
+                }
+            }
+            if total == 0 {
+                return None;
+            }
+            let mut ranked: Vec<(usize, usize)> = counts.into_iter().collect();
+            ranked.sort_by_key(|&(class, n)| (std::cmp::Reverse(n), class));
+            let mut classes = Vec::new();
+            let mut covered = 0usize;
+            for (class, n) in ranked {
+                classes.push(class);
+                covered += n;
+                if covered * 5 >= total * 4 {
+                    break;
+                }
+            }
+            Some(RepairPlan::CollectMoreData { classes })
+        }
+        DefectKind::UnreliableTrainingData => {
+            // The contaminated pair = the modal (true, predicted) pair of
+            // the UTD-assigned cases. Mislabeled training samples carry
+            // the *predicted* label and execute as the *true* class.
+            let mut pairs: HashMap<(usize, usize), usize> = HashMap::new();
+            for case in &report.cases {
+                if case.assigned == "UTD" {
+                    *pairs.entry((case.true_label, case.predicted)).or_insert(0) += 1;
+                }
+            }
+            let ((true_label, predicted), _) =
+                pairs.into_iter().max_by_key(|&(pair, n)| (n, pair))?;
+            Some(RepairPlan::CleanLabels {
+                suspect_label: predicted,
+                executes_as: true_label,
+            })
+        }
+        DefectKind::StructureDefect => Some(RepairPlan::StrengthenStructure),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{CaseDiagnosis, DefectRatios};
+
+    fn report_with(ratios: [f32; 3], cases: Vec<CaseDiagnosis>) -> DefectReport {
+        DefectReport {
+            ratios: DefectRatios::new(ratios),
+            num_cases: cases.len(),
+            probe_labels: vec!["l".into()],
+            probe_accuracies: vec![0.9],
+            model_health: 0.9,
+            cases,
+            subject: "test".into(),
+        }
+    }
+
+    fn case(assigned: &str, t: usize, p: usize) -> CaseDiagnosis {
+        CaseDiagnosis {
+            case_index: 0,
+            true_label: t,
+            predicted: p,
+            assigned: assigned.into(),
+            score_distribution: [1.0 / 3.0; 3],
+        }
+    }
+
+    #[test]
+    fn itd_report_recommends_data_collection() {
+        let cases = vec![
+            case("ITD", 0, 7),
+            case("ITD", 0, 8),
+            case("ITD", 1, 7),
+            case("UTD", 4, 5),
+        ];
+        let plan = recommend(&report_with([0.75, 0.25, 0.0], cases)).unwrap();
+        match plan {
+            RepairPlan::CollectMoreData { classes } => {
+                assert_eq!(classes[0], 0);
+                assert!(classes.contains(&1));
+            }
+            other => panic!("unexpected plan {other}"),
+        }
+    }
+
+    #[test]
+    fn utd_report_names_the_pair() {
+        let cases = vec![case("UTD", 3, 5), case("UTD", 3, 5), case("UTD", 2, 6)];
+        let plan = recommend(&report_with([0.0, 1.0, 0.0], cases)).unwrap();
+        assert_eq!(
+            plan,
+            RepairPlan::CleanLabels {
+                suspect_label: 5,
+                executes_as: 3
+            }
+        );
+    }
+
+    #[test]
+    fn sd_report_recommends_structure() {
+        let plan = recommend(&report_with([0.1, 0.1, 0.8], vec![case("SD", 1, 2)])).unwrap();
+        assert_eq!(plan, RepairPlan::StrengthenStructure);
+    }
+
+    #[test]
+    fn empty_report_has_no_plan() {
+        assert!(recommend(&report_with([0.0, 0.0, 0.0], vec![])).is_none());
+        // Dominant ITD but no ITD-assigned cases.
+        assert!(recommend(&report_with([1.0, 0.0, 0.0], vec![case("UTD", 1, 2)])).is_none());
+    }
+
+    #[test]
+    fn plans_display() {
+        let p = RepairPlan::CleanLabels {
+            suspect_label: 5,
+            executes_as: 3,
+        };
+        assert!(p.to_string().contains("labeled 5"));
+        assert!(RepairPlan::StrengthenStructure.to_string().contains("strengthen"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Diagnosis reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use deepmorph_defects::DefectKind;
+
+/// The three defect ratios in `[ITD, UTD, SD]` order — one row of the
+/// paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefectRatios {
+    ratios: [f32; 3],
+}
+
+impl DefectRatios {
+    /// Wraps raw ratios (expected to sum to ≈ 1).
+    pub fn new(ratios: [f32; 3]) -> Self {
+        DefectRatios { ratios }
+    }
+
+    /// The ratio reported for a defect kind.
+    pub fn get(&self, kind: DefectKind) -> f32 {
+        self.ratios[kind.index()]
+    }
+
+    /// The raw `[ITD, UTD, SD]` array.
+    pub fn as_array(&self) -> [f32; 3] {
+        self.ratios
+    }
+
+    /// The defect with the highest ratio (`None` for an all-zero row).
+    pub fn dominant(&self) -> Option<DefectKind> {
+        let mut best: Option<(DefectKind, f32)> = None;
+        for kind in DefectKind::all() {
+            let v = self.get(kind);
+            if best.map_or(v > 0.0, |(_, bv)| v > bv) {
+                best = Some((kind, v));
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+}
+
+impl fmt::Display for DefectRatios {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ITD={:.3} UTD={:.3} SD={:.3}",
+            self.ratios[0], self.ratios[1], self.ratios[2]
+        )
+    }
+}
+
+/// Per-case diagnosis detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseDiagnosis {
+    /// Index of the case within the faulty set.
+    pub case_index: usize,
+    /// Ground-truth label.
+    pub true_label: usize,
+    /// Model prediction.
+    pub predicted: usize,
+    /// Defect this case was assigned to.
+    pub assigned: String,
+    /// Normalized `[ITD, UTD, SD]` score distribution.
+    pub score_distribution: [f32; 3],
+}
+
+/// The output of one DeepMorph diagnosis run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefectReport {
+    /// Ratio of faulty cases attributed to each defect type.
+    pub ratios: DefectRatios,
+    /// Number of faulty cases analyzed.
+    pub num_cases: usize,
+    /// Probe stage labels, input → output order.
+    pub probe_labels: Vec<String>,
+    /// Per-probe training accuracy (the layer-wise feature-quality curve).
+    pub probe_accuracies: Vec<f32>,
+    /// Model health in `[0, 1]` (see
+    /// [`ClassPatterns::health`](crate::pattern::ClassPatterns::health)).
+    pub model_health: f32,
+    /// Per-case detail.
+    pub cases: Vec<CaseDiagnosis>,
+    /// Free-form description of the diagnosed model (family, dataset, …).
+    pub subject: String,
+}
+
+impl DefectReport {
+    /// The dominant (reported) defect.
+    pub fn dominant(&self) -> Option<DefectKind> {
+        self.ratios.dominant()
+    }
+
+    /// The ratio for one defect kind.
+    pub fn ratio(&self, kind: DefectKind) -> f32 {
+        self.ratios.get(kind)
+    }
+
+    /// Serializes the report as pretty JSON (for the experiment harness).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the report contains no non-serializable values.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+}
+
+impl fmt::Display for DefectReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DeepMorph diagnosis of {}", self.subject)?;
+        writeln!(
+            f,
+            "  faulty cases analyzed : {} (model health {:.2})",
+            self.num_cases, self.model_health
+        )?;
+        writeln!(f, "  probe accuracy curve  :")?;
+        for (label, acc) in self.probe_labels.iter().zip(&self.probe_accuracies) {
+            writeln!(f, "    {label:<12} {acc:.3}")?;
+        }
+        writeln!(f, "  defect ratios         : {}", self.ratios)?;
+        match self.dominant() {
+            Some(kind) => writeln!(f, "  dominant defect       : {} ({})", kind, kind.name()),
+            None => writeln!(f, "  dominant defect       : none"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> DefectReport {
+        DefectReport {
+            ratios: DefectRatios::new([0.7, 0.2, 0.1]),
+            num_cases: 42,
+            probe_labels: vec!["conv1".into(), "fc1".into()],
+            probe_accuracies: vec![0.4, 0.9],
+            model_health: 0.88,
+            cases: vec![CaseDiagnosis {
+                case_index: 0,
+                true_label: 3,
+                predicted: 5,
+                assigned: "ITD".into(),
+                score_distribution: [0.6, 0.3, 0.1],
+            }],
+            subject: "LeNet on synth-digits".into(),
+        }
+    }
+
+    #[test]
+    fn dominant_is_argmax() {
+        let r = report();
+        assert_eq!(r.dominant(), Some(DefectKind::InsufficientTrainingData));
+        assert!((r.ratio(DefectKind::UnreliableTrainingData) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_ratios_have_no_dominant() {
+        let r = DefectRatios::new([0.0; 3]);
+        assert_eq!(r.dominant(), None);
+    }
+
+    #[test]
+    fn display_contains_key_facts() {
+        let text = report().to_string();
+        assert!(text.contains("LeNet"));
+        assert!(text.contains("ITD=0.700"));
+        assert!(text.contains("Insufficient Training Data"));
+        assert!(text.contains("42"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report();
+        let json = r.to_json();
+        let back: DefectReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

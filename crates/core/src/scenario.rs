@@ -1,0 +1,414 @@
+//! End-to-end experiment scenarios.
+//!
+//! A [`Scenario`] packages the paper's Section IV protocol: generate a
+//! dataset, inject a defect, train the (possibly defective) model, collect
+//! the faulty cases from the clean test set, and run DeepMorph. The
+//! examples and the Table I harness are thin wrappers around this type.
+
+use deepmorph_data::{DataGenerator, Dataset, DatasetKind, SynthDigits, SynthObjects};
+use deepmorph_defects::DefectSpec;
+use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
+use deepmorph_nn::prelude::{evaluate_accuracy, TrainConfig, Trainer};
+use deepmorph_tensor::init::stream_rng;
+
+use crate::instrument::InstrumentedModel;
+use crate::pipeline::{DeepMorph, DeepMorphConfig, FaultyCases};
+use crate::repair::{recommend, RepairPlan};
+use crate::report::DefectReport;
+use crate::{DeepMorphError, Result};
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    family: ModelFamily,
+    dataset: DatasetKind,
+    seed: u64,
+    scale: ModelScale,
+    defect: DefectSpec,
+    train_per_class: usize,
+    test_per_class: usize,
+    train_config: TrainConfig,
+    deepmorph: DeepMorphConfig,
+}
+
+impl ScenarioBuilder {
+    fn new(family: ModelFamily, dataset: DatasetKind) -> Self {
+        ScenarioBuilder {
+            family,
+            dataset,
+            seed: 0,
+            scale: ModelScale::Tiny,
+            defect: DefectSpec::Healthy,
+            train_per_class: 100,
+            test_per_class: 30,
+            train_config: TrainConfig {
+                epochs: 4,
+                batch_size: 32,
+                learning_rate: 0.05,
+                ..TrainConfig::default()
+            },
+            deepmorph: DeepMorphConfig {
+                max_faulty_cases: 200,
+                ..DeepMorphConfig::default()
+            },
+        }
+    }
+
+    /// Sets the base seed controlling data, weights, and injection.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the model scale.
+    pub fn scale(mut self, scale: ModelScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the defect to inject.
+    pub fn inject(mut self, defect: DefectSpec) -> Self {
+        self.defect = defect;
+        self
+    }
+
+    /// Sets training samples generated per class (before injection).
+    pub fn train_per_class(mut self, n: usize) -> Self {
+        self.train_per_class = n;
+        self
+    }
+
+    /// Sets test samples generated per class.
+    pub fn test_per_class(mut self, n: usize) -> Self {
+        self.test_per_class = n;
+        self
+    }
+
+    /// Overrides the backbone training configuration.
+    pub fn train_config(mut self, config: TrainConfig) -> Self {
+        self.train_config = config;
+        self
+    }
+
+    /// Overrides the DeepMorph configuration.
+    pub fn deepmorph_config(mut self, config: DeepMorphConfig) -> Self {
+        self.deepmorph = config;
+        self
+    }
+
+    /// Validates and finalizes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::InvalidScenario`] for empty datasets or a
+    /// channel mismatch between dataset kind and model input.
+    pub fn build(self) -> Result<Scenario> {
+        if self.train_per_class == 0 || self.test_per_class == 0 {
+            return Err(DeepMorphError::InvalidScenario {
+                reason: "train_per_class and test_per_class must be positive".into(),
+            });
+        }
+        Ok(Scenario { cfg: self })
+    }
+}
+
+/// A fully-specified experiment: dataset × model × defect × seeds.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    cfg: ScenarioBuilder,
+}
+
+/// Everything a finished scenario produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The DeepMorph diagnosis.
+    pub report: DefectReport,
+    /// Accuracy of the trained (defective) model on the clean test set.
+    pub test_accuracy: f32,
+    /// Accuracy on its own (injected) training set.
+    pub train_accuracy: f32,
+    /// Number of faulty cases found on the test set (before capping).
+    pub faulty_count: usize,
+    /// The injected defect.
+    pub defect: DefectSpec,
+    /// Human-readable subject line ("LeNet on synth-digits, ITD(…)").
+    pub subject: String,
+}
+
+impl Scenario {
+    /// Starts building a scenario for a model family on a dataset kind.
+    pub fn builder(family: ModelFamily, dataset: DatasetKind) -> ScenarioBuilder {
+        ScenarioBuilder::new(family, dataset)
+    }
+
+    /// The configured defect.
+    pub fn defect(&self) -> &DefectSpec {
+        &self.cfg.defect
+    }
+
+    /// Generates the train/test datasets (pre-injection). Exposed so
+    /// benches can reuse the data without rerunning training.
+    pub fn generate_data(&self) -> (Dataset, Dataset) {
+        let cfg = &self.cfg;
+        let mut data_rng = stream_rng(cfg.seed, "scenario-data");
+        match cfg.dataset {
+            DatasetKind::Digits => {
+                let gen = SynthDigits::new();
+                let train = gen.generate(cfg.train_per_class, &mut data_rng);
+                let test = gen.generate(cfg.test_per_class, &mut data_rng);
+                (train, test)
+            }
+            DatasetKind::Objects => {
+                let gen = SynthObjects::new();
+                let train = gen.generate(cfg.train_per_class, &mut data_rng);
+                let test = gen.generate(cfg.test_per_class, &mut data_rng);
+                (train, test)
+            }
+        }
+    }
+
+    /// Builds and trains a fresh model on `train`, optionally overriding
+    /// the structure-defect severity, using seed streams suffixed with
+    /// `stream` so repair retraining is independent of the original run.
+    fn train_fresh(
+        &self,
+        train: &Dataset,
+        removed_convs: usize,
+        stream: &str,
+    ) -> Result<(deepmorph_models::ModelHandle, f32)> {
+        let cfg = &self.cfg;
+        let input_shape = [cfg.dataset.channels(), cfg.dataset.side(), cfg.dataset.side()];
+        let spec = ModelSpec::new(
+            cfg.family,
+            cfg.scale,
+            input_shape,
+            cfg.dataset.num_classes(),
+        )
+        .with_removed_convs(removed_convs);
+        let mut model_rng = stream_rng(cfg.seed, &format!("scenario-model{stream}"));
+        let mut model = build_model(&spec, &mut model_rng)?;
+        let mut train_rng = stream_rng(cfg.seed, &format!("scenario-train{stream}"));
+        let mut trainer = Trainer::new(cfg.train_config.clone());
+        let report = trainer.fit(&mut model.graph, train.images(), train.labels(), &mut train_rng)?;
+        Ok((model, report.final_train_accuracy))
+    }
+
+    /// Runs the full protocol: generate → inject → train → collect faulty
+    /// cases → diagnose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::NoFaultyCases`] if the trained model is
+    /// perfect on the test set (pick a harder defect or fewer epochs), and
+    /// propagates all pipeline errors.
+    pub fn run(&self) -> Result<ScenarioOutcome> {
+        self.execute().map(|e| e.outcome)
+    }
+
+    fn execute(&self) -> Result<Executed> {
+        let cfg = &self.cfg;
+        let (clean_train, test) = self.generate_data();
+
+        // Injection (data side).
+        let mut inject_rng = stream_rng(cfg.seed, "scenario-inject");
+        let train = cfg.defect.apply_to_dataset(&clean_train, &mut inject_rng);
+        if train.is_empty() {
+            return Err(DeepMorphError::InvalidScenario {
+                reason: "injection removed the entire training set".into(),
+            });
+        }
+
+        // Model (structure side) + training.
+        let removed = match &cfg.defect {
+            DefectSpec::Sd { removed_convs } => *removed_convs,
+            _ => 0,
+        };
+        let (mut model, train_accuracy) = self.train_fresh(&train, removed, "")?;
+        let test_accuracy = evaluate_accuracy(&mut model.graph, test.images(), test.labels(), 64)?;
+
+        // Faulty cases from the clean test set.
+        let faulty = FaultyCases::collect(&mut model, &test)?;
+        let faulty_count = faulty.len();
+
+        let subject = format!(
+            "{} on {}, defect {}",
+            cfg.family,
+            cfg.dataset,
+            cfg.defect.describe()
+        );
+        let tool = DeepMorph::new(cfg.deepmorph);
+        let (report, instrumented) = tool.diagnose(model, &train, &faulty, &subject)?;
+
+        Ok(Executed {
+            outcome: ScenarioOutcome {
+                report,
+                test_accuracy,
+                train_accuracy,
+                faulty_count,
+                defect: cfg.defect.clone(),
+                subject,
+            },
+            instrumented,
+            train,
+            test,
+        })
+    }
+
+    /// Runs the protocol, then applies DeepMorph's recommended repair and
+    /// retrains, measuring the accuracy improvement — the paper's
+    /// "modify the models accordingly" evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::run`], plus
+    /// [`DeepMorphError::InvalidScenario`] when no repair can be derived
+    /// from the report.
+    pub fn run_with_repair(&self) -> Result<(ScenarioOutcome, RepairOutcome)> {
+        let cfg = &self.cfg;
+        let mut executed = self.execute()?;
+        let plan = recommend(&executed.outcome.report).ok_or_else(|| {
+            DeepMorphError::InvalidScenario {
+                reason: "no repair plan can be derived from the report".into(),
+            }
+        })?;
+
+        let repaired_train: Dataset = match &plan {
+            RepairPlan::CollectMoreData { classes } => {
+                // Simulate collecting more data: draw fresh samples of the
+                // starved classes from the generator.
+                let mut rng = stream_rng(cfg.seed, "scenario-repair-data");
+                let extra = self.generate_for_classes(classes, cfg.train_per_class, &mut rng);
+                executed.train.concat(&extra)?
+            }
+            RepairPlan::CleanLabels {
+                suspect_label,
+                executes_as,
+            } => {
+                // Relabel training samples that carry the suspect label but
+                // execute as the other class of the pair.
+                let fps = executed.instrumented.footprints(executed.train.images())?;
+                let mut cleaned = executed.train.clone();
+                for (i, fp) in fps.iter().enumerate() {
+                    if cleaned.labels()[i] == *suspect_label {
+                        let probe_class = deepmorph_tensor::stats::argmax(fp.last());
+                        if probe_class == *executes_as {
+                            cleaned.set_label(i, *executes_as);
+                        }
+                    }
+                }
+                cleaned
+            }
+            RepairPlan::StrengthenStructure => executed.train.clone(),
+        };
+
+        let (mut repaired_model, _) = self.train_fresh(&repaired_train, 0, "-repair")?;
+        let accuracy_after = evaluate_accuracy(
+            &mut repaired_model.graph,
+            executed.test.images(),
+            executed.test.labels(),
+            64,
+        )?;
+        let repair = RepairOutcome {
+            plan,
+            accuracy_before: executed.outcome.test_accuracy,
+            accuracy_after,
+            repaired_train_size: repaired_train.len(),
+        };
+        Ok((executed.outcome, repair))
+    }
+
+    /// Generates `per_class` fresh samples for each class in `classes`.
+    fn generate_for_classes(
+        &self,
+        classes: &[usize],
+        per_class: usize,
+        rng: &mut rand_chacha::ChaCha8Rng,
+    ) -> Dataset {
+        let k = self.cfg.dataset.num_classes();
+        let [c, h, w] = [
+            self.cfg.dataset.channels(),
+            self.cfg.dataset.side(),
+            self.cfg.dataset.side(),
+        ];
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for &class in classes {
+            for _ in 0..per_class {
+                let img = match self.cfg.dataset {
+                    DatasetKind::Digits => SynthDigits::new().sample(class, rng),
+                    DatasetKind::Objects => SynthObjects::new().sample(class, rng),
+                };
+                data.extend_from_slice(img.data());
+                labels.push(class);
+            }
+        }
+        let n = labels.len();
+        Dataset::new(
+            deepmorph_tensor::Tensor::from_vec(data, &[n, c, h, w])
+                .expect("generator shape consistent"),
+            labels,
+            k,
+        )
+        .expect("labels consistent")
+    }
+}
+
+/// Internal result of a full pipeline execution.
+struct Executed {
+    outcome: ScenarioOutcome,
+    instrumented: InstrumentedModel,
+    train: Dataset,
+    test: Dataset,
+}
+
+/// The effect of applying DeepMorph's recommended repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The repair that was applied.
+    pub plan: RepairPlan,
+    /// Clean-test accuracy of the defective model.
+    pub accuracy_before: f32,
+    /// Clean-test accuracy after the repair + retraining.
+    pub accuracy_after: f32,
+    /// Training-set size after the repair.
+    pub repaired_train_size: usize,
+}
+
+impl RepairOutcome {
+    /// Absolute accuracy improvement from the repair.
+    pub fn improvement(&self) -> f32 {
+        self.accuracy_after - self.accuracy_before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        assert!(Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+            .train_per_class(0)
+            .build()
+            .is_err());
+        assert!(Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn generate_data_shapes_match_kind() {
+        let s = Scenario::builder(ModelFamily::ResNet, DatasetKind::Objects)
+            .train_per_class(2)
+            .test_per_class(1)
+            .build()
+            .unwrap();
+        let (train, test) = s.generate_data();
+        assert_eq!(train.image_shape(), [3, 16, 16]);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+    }
+
+    // Full end-to-end runs live in tests/ (they train real models and are
+    // too slow for unit tests).
+}

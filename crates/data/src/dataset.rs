@@ -1,0 +1,357 @@
+//! The labeled image dataset container.
+
+use deepmorph_tensor::{Tensor, TensorError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which synthetic dataset family a scenario uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// MNIST stand-in: 16×16×1 procedural digits.
+    Digits,
+    /// CIFAR-10 stand-in: 16×16×3 procedural shape/texture composites.
+    Objects,
+}
+
+impl DatasetKind {
+    /// Image channel count for this dataset family.
+    pub fn channels(self) -> usize {
+        match self {
+            DatasetKind::Digits => 1,
+            DatasetKind::Objects => 3,
+        }
+    }
+
+    /// Image side length (square images).
+    pub fn side(self) -> usize {
+        16
+    }
+
+    /// Number of target classes.
+    pub fn num_classes(self) -> usize {
+        10
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Digits => "synth-digits",
+            DatasetKind::Objects => "synth-objects",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A labeled image dataset: NCHW images plus integer labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Wraps images and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `images` is not rank 4, the label count
+    /// disagrees with the sample count, or a label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, TensorError> {
+        images.expect_rank(4, "dataset images")?;
+        if images.shape()[0] != labels.len() {
+            return Err(TensorError::LengthMismatch {
+                shape: images.shape().to_vec(),
+                len: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(TensorError::InvalidShape {
+                shape: vec![bad],
+                reason: "label out of range for num_classes",
+            });
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The image tensor, `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of target classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image shape `[c, h, w]` (excluding batch).
+    pub fn image_shape(&self) -> [usize; 3] {
+        [
+            self.images.shape()[1],
+            self.images.shape()[2],
+            self.images.shape()[3],
+        ]
+    }
+
+    /// Rewrites the label of sample `idx` (used by the UTD injector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or `label >= num_classes`.
+    pub fn set_label(&mut self, idx: usize, label: usize) {
+        assert!(label < self.num_classes, "label {label} out of range");
+        self.labels[idx] = label;
+    }
+
+    /// Indices of all samples with the given class label.
+    pub fn class_indices(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+
+    /// A new dataset containing only the samples at `indices` (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let [c, h, w] = self.image_shape();
+        let sample_len = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "subset index {i} out of range");
+            data.extend_from_slice(&self.images.data()[i * sample_len..(i + 1) * sample_len]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            images: Tensor::from_vec(data, &[indices.len(), c, h, w])
+                .expect("subset shape consistent"),
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// A new dataset with the samples at `remove` dropped (used by the ITD
+    /// injector). Indices may be unsorted; duplicates are ignored.
+    pub fn without_indices(&self, remove: &[usize]) -> Dataset {
+        let mut keep_mask = vec![true; self.len()];
+        for &i in remove {
+            if i < keep_mask.len() {
+                keep_mask[i] = false;
+            }
+        }
+        let keep: Vec<usize> = (0..self.len()).filter(|&i| keep_mask[i]).collect();
+        self.subset(&keep)
+    }
+
+    /// Randomly permutes the samples in place.
+    pub fn shuffle(&mut self, rng: &mut impl Rng) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let shuffled = self.subset(&order);
+        *self = shuffled;
+    }
+
+    /// Splits into `(first, second)` where `first` receives
+    /// `round(fraction * len)` samples. Sampling is stratified per class so
+    /// both halves keep the class balance.
+    pub fn split_stratified(&self, fraction: f32, rng: &mut impl Rng) -> (Dataset, Dataset) {
+        let mut first_idx = Vec::new();
+        let mut second_idx = Vec::new();
+        for class in 0..self.num_classes {
+            let mut idx = self.class_indices(class);
+            idx.shuffle(rng);
+            let take = ((idx.len() as f32) * fraction).round() as usize;
+            first_idx.extend_from_slice(&idx[..take.min(idx.len())]);
+            second_idx.extend_from_slice(&idx[take.min(idx.len())..]);
+        }
+        first_idx.shuffle(rng);
+        second_idx.shuffle(rng);
+        (self.subset(&first_idx), self.subset(&second_idx))
+    }
+
+    /// Concatenates two datasets (same image shape and class count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if shapes disagree.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, TensorError> {
+        if self.image_shape() != other.image_shape() || self.num_classes != other.num_classes {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.images.shape().to_vec(),
+                rhs: other.images.shape().to_vec(),
+                op: "dataset concat",
+            });
+        }
+        let [c, h, w] = self.image_shape();
+        let mut data = self.images.data().to_vec();
+        data.extend_from_slice(other.images.data());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let n = labels.len();
+        Ok(Dataset {
+            images: Tensor::from_vec(data, &[n, c, h, w])?,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Mean and standard deviation over all pixels (for normalization).
+    pub fn pixel_stats(&self) -> (f32, f32) {
+        let mean = self.images.mean();
+        let var = self
+            .images
+            .data()
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f32>()
+            / self.images.len().max(1) as f32;
+        (mean, var.sqrt())
+    }
+
+    /// Standardizes pixels in place with the given statistics.
+    pub fn normalize(&mut self, mean: f32, std: f32) {
+        let inv = 1.0 / std.max(1e-6);
+        self.images.map_inplace(|v| (v - mean) * inv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_tensor::init::stream_rng;
+
+    fn toy_dataset(n_per_class: usize, classes: usize) -> Dataset {
+        let n = n_per_class * classes;
+        let images = Tensor::from_vec(
+            (0..n * 4).map(|v| v as f32).collect(),
+            &[n, 1, 2, 2],
+        )
+        .unwrap();
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new(images, labels, classes).unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        assert!(Dataset::new(images.clone(), vec![0], 2).is_err()); // count
+        assert!(Dataset::new(images.clone(), vec![0, 5], 2).is_err()); // range
+        assert!(Dataset::new(images, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn class_indices_and_histogram() {
+        let ds = toy_dataset(3, 2);
+        assert_eq!(ds.class_indices(0), vec![0, 2, 4]);
+        assert_eq!(ds.class_histogram(), vec![3, 3]);
+    }
+
+    #[test]
+    fn subset_preserves_images() {
+        let ds = toy_dataset(2, 2);
+        let sub = ds.subset(&[3, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[1, 0]);
+        assert_eq!(&sub.images().data()[..4], &[12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn without_indices_drops() {
+        let ds = toy_dataset(2, 2);
+        let rest = ds.without_indices(&[0, 2, 2, 99]);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest.labels(), &[1, 1]);
+    }
+
+    #[test]
+    fn split_stratified_keeps_balance() {
+        let ds = toy_dataset(10, 2);
+        let mut rng = stream_rng(1, "split");
+        let (a, b) = ds.split_stratified(0.7, &mut rng);
+        assert_eq!(a.len(), 14);
+        assert_eq!(b.len(), 6);
+        assert_eq!(a.class_histogram(), vec![7, 7]);
+        assert_eq!(b.class_histogram(), vec![3, 3]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = toy_dataset(1, 2);
+        let b = toy_dataset(2, 2);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.class_histogram(), vec![3, 3]);
+    }
+
+    #[test]
+    fn normalize_standardizes() {
+        let mut ds = toy_dataset(5, 2);
+        let (mean, std) = ds.pixel_stats();
+        ds.normalize(mean, std);
+        let (m2, s2) = ds.pixel_stats();
+        assert!(m2.abs() < 1e-4);
+        assert!((s2 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut ds = toy_dataset(5, 2);
+        let before = ds.class_histogram();
+        let mut rng = stream_rng(2, "shuffle");
+        ds.shuffle(&mut rng);
+        assert_eq!(ds.class_histogram(), before);
+    }
+
+    #[test]
+    fn set_label_rewrites() {
+        let mut ds = toy_dataset(1, 2);
+        ds.set_label(0, 1);
+        assert_eq!(ds.labels()[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_label_rejects_bad_class() {
+        let mut ds = toy_dataset(1, 2);
+        ds.set_label(0, 9);
+    }
+}

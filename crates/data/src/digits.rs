@@ -1,0 +1,222 @@
+//! MNIST stand-in: procedurally rendered digits.
+//!
+//! Each digit class has a stroke skeleton (a polyline set on the unit
+//! square). Samples are rendered by applying a random affine jitter
+//! (rotation ±, scale ±, shift ±), rasterizing with a random stroke
+//! thickness, then adding brightness jitter and Gaussian pixel noise.
+//! The result is a 16×16 grayscale image in `[0, 1]`.
+
+use deepmorph_tensor::{init, Tensor};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::generator::{render_strokes, AffineJitter, DataGenerator, Segment};
+
+/// Procedural digit generator (MNIST substitute).
+#[derive(Debug, Clone)]
+pub struct SynthDigits {
+    side: usize,
+    max_rotation: f32,
+    max_scale_dev: f32,
+    max_shift: f32,
+    noise_std: f32,
+}
+
+impl SynthDigits {
+    /// Creates a generator with the default 16×16 geometry and moderate
+    /// jitter (the settings used by the Table I experiments).
+    pub fn new() -> Self {
+        SynthDigits {
+            side: 16,
+            max_rotation: 0.30,
+            max_scale_dev: 0.15,
+            max_shift: 0.12,
+            noise_std: 0.10,
+        }
+    }
+
+    /// Overrides the pixel noise level (used by robustness tests).
+    pub fn with_noise(mut self, noise_std: f32) -> Self {
+        self.noise_std = noise_std.max(0.0);
+        self
+    }
+
+    /// Stroke skeleton of a digit class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit >= 10`.
+    pub fn skeleton(digit: usize) -> Vec<Segment> {
+        // Coordinates: x right, y down, in [0.2, 0.8] so jitter keeps the
+        // glyph in frame.
+        const L: f32 = 0.28; // left
+        const R: f32 = 0.72; // right
+        const T: f32 = 0.18; // top
+        const B: f32 = 0.82; // bottom
+        const M: f32 = 0.50; // middle (both axes)
+        match digit {
+            0 => vec![
+                Segment::new(L, T, R, T),
+                Segment::new(R, T, R, B),
+                Segment::new(R, B, L, B),
+                Segment::new(L, B, L, T),
+            ],
+            1 => vec![
+                Segment::new(M, T, M, B),
+                Segment::new(M, T, 0.38, 0.30),
+                Segment::new(0.40, B, 0.60, B),
+            ],
+            2 => vec![
+                Segment::new(L, 0.28, M, T),
+                Segment::new(M, T, R, 0.28),
+                Segment::new(R, 0.28, L, B),
+                Segment::new(L, B, R, B),
+            ],
+            3 => vec![
+                Segment::new(L, T, R, T),
+                Segment::new(R, T, R, B),
+                Segment::new(0.38, M, R, M),
+                Segment::new(R, B, L, B),
+            ],
+            4 => vec![
+                Segment::new(L, T, L, M),
+                Segment::new(L, M, R, M),
+                Segment::new(R, T, R, B),
+            ],
+            5 => vec![
+                Segment::new(R, T, L, T),
+                Segment::new(L, T, L, M),
+                Segment::new(L, M, R, M),
+                Segment::new(R, M, R, B),
+                Segment::new(R, B, L, B),
+            ],
+            6 => vec![
+                Segment::new(R, T, L, 0.30),
+                Segment::new(L, 0.30, L, B),
+                Segment::new(L, B, R, B),
+                Segment::new(R, B, R, M),
+                Segment::new(R, M, L, M),
+            ],
+            7 => vec![
+                Segment::new(L, T, R, T),
+                Segment::new(R, T, 0.42, B),
+            ],
+            8 => vec![
+                Segment::new(L, T, R, T),
+                Segment::new(R, T, R, B),
+                Segment::new(R, B, L, B),
+                Segment::new(L, B, L, T),
+                Segment::new(L, M, R, M),
+            ],
+            9 => vec![
+                Segment::new(R, M, L, M),
+                Segment::new(L, M, L, T),
+                Segment::new(L, T, R, T),
+                Segment::new(R, T, R, B),
+                Segment::new(R, B, 0.40, B),
+            ],
+            _ => panic!("digit {digit} out of range"),
+        }
+    }
+}
+
+impl Default for SynthDigits {
+    fn default() -> Self {
+        SynthDigits::new()
+    }
+}
+
+impl DataGenerator for SynthDigits {
+    fn num_classes(&self) -> usize {
+        10
+    }
+
+    fn image_shape(&self) -> [usize; 3] {
+        [1, self.side, self.side]
+    }
+
+    fn sample(&self, class: usize, rng: &mut ChaCha8Rng) -> Tensor {
+        assert!(class < 10, "digit class {class} out of range");
+        let segments = SynthDigits::skeleton(class);
+        let jitter = AffineJitter::sample(rng, self.max_rotation, self.max_scale_dev, self.max_shift);
+        let thickness = rng.gen_range(0.055..0.085);
+        let mut plane = render_strokes(&segments, self.side, thickness, &jitter);
+        let brightness = rng.gen_range(0.75..1.0);
+        for v in &mut plane {
+            *v = (*v * brightness + init::gaussian(rng) * self.noise_std).clamp(0.0, 1.0);
+        }
+        Tensor::from_vec(plane, &[1, self.side, self.side]).expect("digit shape consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_tensor::init::stream_rng;
+    use deepmorph_tensor::stats;
+
+    #[test]
+    fn all_skeletons_defined() {
+        for d in 0..10 {
+            assert!(!SynthDigits::skeleton(d).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn skeleton_rejects_non_digit() {
+        let _ = SynthDigits::skeleton(10);
+    }
+
+    #[test]
+    fn samples_are_in_unit_range() {
+        let gen = SynthDigits::new();
+        let mut rng = stream_rng(1, "digits");
+        for class in 0..10 {
+            let img = gen.sample(class, &mut rng);
+            assert_eq!(img.shape(), &[1, 16, 16]);
+            assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            // Every digit has some ink.
+            assert!(img.sum() > 2.0, "class {class} too faint");
+        }
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean images of different classes should differ much more than
+        // samples within a class — the learnability precondition.
+        let gen = SynthDigits::new().with_noise(0.0);
+        let mut rng = stream_rng(2, "digits");
+        let mean_image = |class: usize, rng: &mut ChaCha8Rng| -> Vec<f32> {
+            let mut acc = vec![0.0f32; 256];
+            for _ in 0..20 {
+                let img = gen.sample(class, rng);
+                for (a, &v) in acc.iter_mut().zip(img.data()) {
+                    *a += v / 20.0;
+                }
+            }
+            acc
+        };
+        let m1 = mean_image(1, &mut rng);
+        let m8 = mean_image(8, &mut rng);
+        let cross = stats::sq_euclidean(&m1, &m8);
+        let m1b = mean_image(1, &mut rng);
+        let within = stats::sq_euclidean(&m1, &m1b);
+        assert!(
+            cross > within * 5.0,
+            "cross {cross} should dominate within {within}"
+        );
+    }
+
+    #[test]
+    fn generate_is_balanced_and_deterministic() {
+        let gen = SynthDigits::new();
+        let mut rng1 = stream_rng(3, "digits");
+        let ds1 = gen.generate(5, &mut rng1);
+        assert_eq!(ds1.len(), 50);
+        assert_eq!(ds1.class_histogram(), vec![5; 10]);
+        let mut rng2 = stream_rng(3, "digits");
+        let ds2 = gen.generate(5, &mut rng2);
+        assert_eq!(ds1.images().data(), ds2.images().data());
+    }
+}

@@ -1,0 +1,286 @@
+//! Common generator trait and raster helpers shared by the synthetic
+//! dataset families.
+
+use deepmorph_tensor::Tensor;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::Dataset;
+
+/// A procedural image generator with fixed class semantics.
+///
+/// Implementors render one sample of a given class; [`DataGenerator::generate`]
+/// assembles whole balanced datasets from it.
+pub trait DataGenerator {
+    /// Number of classes the generator can render.
+    fn num_classes(&self) -> usize;
+
+    /// Image shape `[c, h, w]`.
+    fn image_shape(&self) -> [usize; 3];
+
+    /// Renders one sample of `class` (pixel values in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `class >= num_classes()`.
+    fn sample(&self, class: usize, rng: &mut ChaCha8Rng) -> Tensor;
+
+    /// Generates a balanced dataset with `per_class` samples of every class.
+    fn generate(&self, per_class: usize, rng: &mut ChaCha8Rng) -> Dataset {
+        let [c, h, w] = self.image_shape();
+        let k = self.num_classes();
+        let n = per_class * k;
+        let mut data = Vec::with_capacity(n * c * h * w);
+        let mut labels = Vec::with_capacity(n);
+        for class in 0..k {
+            for _ in 0..per_class {
+                let img = self.sample(class, rng);
+                debug_assert_eq!(img.shape(), &[c, h, w]);
+                data.extend_from_slice(img.data());
+                labels.push(class);
+            }
+        }
+        let images = Tensor::from_vec(data, &[n, c, h, w]).expect("generator shape consistent");
+        Dataset::new(images, labels, k).expect("generator labels consistent")
+    }
+}
+
+/// A 2-D line segment in unit coordinates (`x` right, `y` down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point `(x, y)`.
+    pub a: (f32, f32),
+    /// End point `(x, y)`.
+    pub b: (f32, f32),
+}
+
+impl Segment {
+    /// Creates a segment between two unit-square points.
+    pub const fn new(ax: f32, ay: f32, bx: f32, by: f32) -> Self {
+        Segment {
+            a: (ax, ay),
+            b: (bx, by),
+        }
+    }
+
+    /// Distance from point `(px, py)` to this segment.
+    pub fn distance(&self, px: f32, py: f32) -> f32 {
+        let (ax, ay) = self.a;
+        let (bx, by) = self.b;
+        let (dx, dy) = (bx - ax, by - ay);
+        let len_sq = dx * dx + dy * dy;
+        let t = if len_sq > 0.0 {
+            (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let (cx, cy) = (ax + t * dx, ay + t * dy);
+        ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+    }
+}
+
+/// Smoothstep falloff: 1 inside `edge0`, 0 outside `edge1`.
+pub fn smoothstep(edge0: f32, edge1: f32, x: f32) -> f32 {
+    if edge1 <= edge0 {
+        return if x < edge0 { 1.0 } else { 0.0 };
+    }
+    let t = ((edge1 - x) / (edge1 - edge0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// A random affine jitter: rotation, isotropic scale, and translation in
+/// unit coordinates, sampled once per image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineJitter {
+    /// Rotation in radians.
+    pub rotation: f32,
+    /// Isotropic scale factor.
+    pub scale: f32,
+    /// Translation `(dx, dy)` in unit coordinates.
+    pub shift: (f32, f32),
+}
+
+impl AffineJitter {
+    /// Samples a jitter with the given maximum rotation (radians), scale
+    /// deviation, and shift.
+    pub fn sample(rng: &mut impl Rng, max_rot: f32, max_scale_dev: f32, max_shift: f32) -> Self {
+        AffineJitter {
+            rotation: rng.gen_range(-max_rot..=max_rot),
+            scale: 1.0 + rng.gen_range(-max_scale_dev..=max_scale_dev),
+            shift: (
+                rng.gen_range(-max_shift..=max_shift),
+                rng.gen_range(-max_shift..=max_shift),
+            ),
+        }
+    }
+
+    /// Identity jitter.
+    pub fn identity() -> Self {
+        AffineJitter {
+            rotation: 0.0,
+            scale: 1.0,
+            shift: (0.0, 0.0),
+        }
+    }
+
+    /// Maps a *pixel-space* unit coordinate back into *template* space
+    /// (inverse transform, so rendering stays a simple per-pixel loop).
+    pub fn inverse_map(&self, x: f32, y: f32) -> (f32, f32) {
+        // Undo shift, then rotation/scale about the image center.
+        let (cx, cy) = (0.5, 0.5);
+        let (mut px, mut py) = (x - self.shift.0 - cx, y - self.shift.1 - cy);
+        let inv_scale = 1.0 / self.scale.max(1e-3);
+        let (sin, cos) = (-self.rotation).sin_cos();
+        let (rx, ry) = (px * cos - py * sin, px * sin + py * cos);
+        px = rx * inv_scale + cx;
+        py = ry * inv_scale + cy;
+        (px, py)
+    }
+}
+
+/// Renders a stroke template (list of segments) into a `side`×`side`
+/// grayscale plane with the given stroke thickness and affine jitter.
+pub fn render_strokes(
+    segments: &[Segment],
+    side: usize,
+    thickness: f32,
+    jitter: &AffineJitter,
+) -> Vec<f32> {
+    let mut plane = vec![0.0f32; side * side];
+    let inv = 1.0 / side as f32;
+    for py in 0..side {
+        for px in 0..side {
+            // Pixel center in unit coordinates.
+            let ux = (px as f32 + 0.5) * inv;
+            let uy = (py as f32 + 0.5) * inv;
+            let (tx, ty) = jitter.inverse_map(ux, uy);
+            let mut dist = f32::INFINITY;
+            for seg in segments {
+                dist = dist.min(seg.distance(tx, ty));
+            }
+            plane[py * side + px] = smoothstep(thickness * 0.6, thickness * 1.4, dist);
+        }
+    }
+    plane
+}
+
+/// Renders a `[c, h, w]` image as ASCII art (c = 1 or 3; RGB is converted
+/// to luminance). Useful for inspecting faulty cases in terminal examples.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 3 with 1 or 3 channels.
+pub fn render_ascii(image: &Tensor) -> String {
+    assert_eq!(image.ndim(), 3, "render_ascii expects [c, h, w]");
+    let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
+    assert!(c == 1 || c == 3, "render_ascii supports 1 or 3 channels");
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity((w + 1) * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = if c == 1 {
+                image.data()[y * w + x]
+            } else {
+                let r = image.data()[y * w + x];
+                let g = image.data()[h * w + y * w + x];
+                let b = image.data()[2 * h * w + y * w + x];
+                0.299 * r + 0.587 * g + 0.114 * b
+            };
+            let idx = ((v.clamp(0.0, 1.0)) * (RAMP.len() - 1) as f32).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_tensor::init::stream_rng;
+
+    #[test]
+    fn render_ascii_maps_intensity_to_density() {
+        let mut img = Tensor::zeros(&[1, 2, 2]);
+        img.set(&[0, 0, 0], 1.0).unwrap();
+        let art = render_ascii(&img);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].as_bytes()[0], b'@');
+        assert_eq!(lines[0].as_bytes()[1], b' ');
+    }
+
+    #[test]
+    fn render_ascii_handles_rgb() {
+        let img = Tensor::ones(&[3, 2, 2]);
+        let art = render_ascii(&img);
+        assert!(art.chars().filter(|&ch| ch == '@').count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 3 channels")]
+    fn render_ascii_rejects_weird_channels() {
+        let img = Tensor::ones(&[2, 2, 2]);
+        let _ = render_ascii(&img);
+    }
+
+    #[test]
+    fn segment_distance_basics() {
+        let s = Segment::new(0.0, 0.0, 1.0, 0.0);
+        assert!((s.distance(0.5, 0.0)).abs() < 1e-6);
+        assert!((s.distance(0.5, 0.3) - 0.3).abs() < 1e-6);
+        assert!((s.distance(2.0, 0.0) - 1.0).abs() < 1e-6);
+        // Degenerate segment is a point.
+        let p = Segment::new(0.5, 0.5, 0.5, 0.5);
+        assert!((p.distance(0.5, 1.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoothstep_monotone() {
+        assert_eq!(smoothstep(0.1, 0.2, 0.05), 1.0);
+        assert_eq!(smoothstep(0.1, 0.2, 0.5), 0.0);
+        let mid = smoothstep(0.1, 0.2, 0.15);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn identity_jitter_maps_to_self() {
+        let j = AffineJitter::identity();
+        let (x, y) = j.inverse_map(0.3, 0.8);
+        assert!((x - 0.3).abs() < 1e-6);
+        assert!((y - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jitter_shift_moves_template() {
+        let j = AffineJitter {
+            rotation: 0.0,
+            scale: 1.0,
+            shift: (0.1, 0.0),
+        };
+        let (x, _) = j.inverse_map(0.5, 0.5);
+        assert!((x - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_strokes_puts_ink_on_segment() {
+        let segs = [Segment::new(0.2, 0.5, 0.8, 0.5)];
+        let plane = render_strokes(&segs, 16, 0.08, &AffineJitter::identity());
+        // Middle row has ink, top row does not.
+        let mid: f32 = plane[8 * 16..9 * 16].iter().sum();
+        let top: f32 = plane[..16].iter().sum();
+        assert!(mid > 3.0, "mid {mid}");
+        assert!(top < 0.3, "top {top}");
+    }
+
+    #[test]
+    fn jitter_sampling_is_bounded() {
+        let mut rng = stream_rng(1, "jitter");
+        for _ in 0..100 {
+            let j = AffineJitter::sample(&mut rng, 0.3, 0.1, 0.12);
+            assert!(j.rotation.abs() <= 0.3);
+            assert!((j.scale - 1.0).abs() <= 0.1 + 1e-6);
+            assert!(j.shift.0.abs() <= 0.12 && j.shift.1.abs() <= 0.12);
+        }
+    }
+}

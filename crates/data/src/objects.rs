@@ -1,0 +1,294 @@
+//! CIFAR-10 stand-in: procedural colored shape/texture composites.
+//!
+//! Each class is a fixed combination of a foreground shape, a texture, and
+//! a color pair. Samples randomize the shape position/size, texture phase,
+//! hue jitter, and pixel noise, giving a 10-class problem that is markedly
+//! harder than [`crate::digits::SynthDigits`] (mirroring the MNIST→CIFAR
+//! difficulty step in the paper).
+
+use deepmorph_tensor::{init, Tensor};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::generator::DataGenerator;
+
+/// Foreground shape of a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Filled disk.
+    Disk,
+    /// Axis-aligned square.
+    Square,
+    /// Diamond (rotated square).
+    Diamond,
+}
+
+/// Texture pattern modulating the foreground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Texture {
+    /// Horizontal stripes.
+    StripesH,
+    /// Vertical stripes.
+    StripesV,
+    /// Checkerboard.
+    Checker,
+    /// Radial rings.
+    Rings,
+    /// Flat fill.
+    Flat,
+}
+
+/// Procedural object generator (CIFAR-10 substitute).
+#[derive(Debug, Clone)]
+pub struct SynthObjects {
+    side: usize,
+    noise_std: f32,
+    hue_jitter: f32,
+}
+
+impl SynthObjects {
+    /// Creates a generator with the default 16×16 geometry and the noise
+    /// level used by the Table I experiments.
+    pub fn new() -> Self {
+        SynthObjects {
+            side: 16,
+            noise_std: 0.09,
+            hue_jitter: 0.06,
+        }
+    }
+
+    /// Overrides the pixel noise level.
+    pub fn with_noise(mut self, noise_std: f32) -> Self {
+        self.noise_std = noise_std.max(0.0);
+        self
+    }
+
+    /// The (shape, texture) signature of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= 10`.
+    pub fn signature(class: usize) -> (Shape, Texture) {
+        assert!(class < 10, "object class {class} out of range");
+        let shape = match class % 3 {
+            0 => Shape::Disk,
+            1 => Shape::Square,
+            _ => Shape::Diamond,
+        };
+        let texture = match class % 5 {
+            0 => Texture::StripesH,
+            1 => Texture::StripesV,
+            2 => Texture::Checker,
+            3 => Texture::Rings,
+            _ => Texture::Flat,
+        };
+        (shape, texture)
+    }
+
+    /// Base RGB color of a class's foreground (its hue is the class
+    /// identity signal alongside shape and texture).
+    pub fn base_color(class: usize) -> [f32; 3] {
+        let hue = class as f32 / 10.0;
+        hsv_to_rgb(hue, 0.85, 0.9)
+    }
+
+    fn shape_mask(shape: Shape, x: f32, y: f32, cx: f32, cy: f32, r: f32) -> f32 {
+        let (dx, dy) = (x - cx, y - cy);
+        let inside = match shape {
+            Shape::Disk => (dx * dx + dy * dy).sqrt() <= r,
+            Shape::Square => dx.abs() <= r && dy.abs() <= r,
+            Shape::Diamond => dx.abs() + dy.abs() <= r * 1.3,
+        };
+        if inside {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn texture_value(texture: Texture, x: f32, y: f32, phase: f32, freq: f32) -> f32 {
+        match texture {
+            Texture::StripesH => {
+                if ((y * freq + phase) % 1.0) < 0.5 {
+                    1.0
+                } else {
+                    0.35
+                }
+            }
+            Texture::StripesV => {
+                if ((x * freq + phase) % 1.0) < 0.5 {
+                    1.0
+                } else {
+                    0.35
+                }
+            }
+            Texture::Checker => {
+                let cell = (((x * freq + phase) as usize) + ((y * freq + phase) as usize)) % 2;
+                if cell == 0 {
+                    1.0
+                } else {
+                    0.35
+                }
+            }
+            Texture::Rings => {
+                let r = ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt();
+                if ((r * freq + phase) % 1.0) < 0.5 {
+                    1.0
+                } else {
+                    0.35
+                }
+            }
+            Texture::Flat => 1.0,
+        }
+    }
+}
+
+impl Default for SynthObjects {
+    fn default() -> Self {
+        SynthObjects::new()
+    }
+}
+
+impl DataGenerator for SynthObjects {
+    fn num_classes(&self) -> usize {
+        10
+    }
+
+    fn image_shape(&self) -> [usize; 3] {
+        [3, self.side, self.side]
+    }
+
+    fn sample(&self, class: usize, rng: &mut ChaCha8Rng) -> Tensor {
+        let (shape, texture) = SynthObjects::signature(class);
+        let base = SynthObjects::base_color(class);
+        // Background: dim complementary color, shared across classes so it
+        // carries little class information.
+        let bg_level = rng.gen_range(0.12..0.25);
+        let cx = 0.5 + rng.gen_range(-0.12f32..0.12);
+        let cy = 0.5 + rng.gen_range(-0.12f32..0.12);
+        let r = rng.gen_range(0.22f32..0.34);
+        let phase = rng.gen_range(0.0f32..1.0);
+        let freq = rng.gen_range(3.0f32..4.5);
+        let hue_shift = rng.gen_range(-self.hue_jitter..=self.hue_jitter);
+        let fg = {
+            let mut c = base;
+            for v in &mut c {
+                *v = (*v + hue_shift).clamp(0.0, 1.0);
+            }
+            c
+        };
+
+        let s = self.side;
+        let mut data = vec![0.0f32; 3 * s * s];
+        let inv = 1.0 / s as f32;
+        for py in 0..s {
+            for px in 0..s {
+                let x = (px as f32 + 0.5) * inv;
+                let y = (py as f32 + 0.5) * inv;
+                let mask = SynthObjects::shape_mask(shape, x, y, cx, cy, r);
+                let tex = SynthObjects::texture_value(texture, x, y, phase, freq);
+                for ch in 0..3 {
+                    let fgv = fg[ch] * tex;
+                    let v = mask * fgv + (1.0 - mask) * bg_level;
+                    let noisy = (v + init::gaussian(rng) * self.noise_std).clamp(0.0, 1.0);
+                    data[ch * s * s + py * s + px] = noisy;
+                }
+            }
+        }
+        Tensor::from_vec(data, &[3, s, s]).expect("object shape consistent")
+    }
+}
+
+/// HSV → RGB conversion (h, s, v in `[0, 1]`).
+pub fn hsv_to_rgb(h: f32, s: f32, v: f32) -> [f32; 3] {
+    let h = (h.fract() + 1.0).fract() * 6.0;
+    let i = h.floor() as i32 % 6;
+    let f = h - h.floor();
+    let p = v * (1.0 - s);
+    let q = v * (1.0 - f * s);
+    let t = v * (1.0 - (1.0 - f) * s);
+    match i {
+        0 => [v, t, p],
+        1 => [q, v, p],
+        2 => [p, v, t],
+        3 => [p, q, v],
+        4 => [t, p, v],
+        _ => [v, p, q],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_tensor::init::stream_rng;
+    use deepmorph_tensor::stats;
+
+    #[test]
+    fn signatures_cover_all_classes() {
+        // All 10 (shape, texture) pairs must be distinct: 3 shapes x 5
+        // textures cycle with coprime periods.
+        let mut seen = Vec::new();
+        for class in 0..10 {
+            let sig = SynthObjects::signature(class);
+            assert!(!seen.contains(&sig), "duplicate signature {sig:?}");
+            seen.push(sig);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn signature_rejects_bad_class() {
+        let _ = SynthObjects::signature(10);
+    }
+
+    #[test]
+    fn hsv_to_rgb_primaries() {
+        let red = hsv_to_rgb(0.0, 1.0, 1.0);
+        assert_eq!(red, [1.0, 0.0, 0.0]);
+        let green = hsv_to_rgb(1.0 / 3.0, 1.0, 1.0);
+        assert!((green[1] - 1.0).abs() < 1e-5 && green[0] < 1e-5);
+    }
+
+    #[test]
+    fn samples_are_rgb_unit_range() {
+        let gen = SynthObjects::new();
+        let mut rng = stream_rng(1, "objects");
+        for class in 0..10 {
+            let img = gen.sample(class, &mut rng);
+            assert_eq!(img.shape(), &[3, 16, 16]);
+            assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn classes_are_distinct_but_noisier_than_digits() {
+        let gen = SynthObjects::new().with_noise(0.0);
+        let mut rng = stream_rng(2, "objects");
+        let mean_image = |class: usize, rng: &mut ChaCha8Rng| -> Vec<f32> {
+            let mut acc = vec![0.0f32; 3 * 256];
+            for _ in 0..20 {
+                let img = gen.sample(class, rng);
+                for (a, &v) in acc.iter_mut().zip(img.data()) {
+                    *a += v / 20.0;
+                }
+            }
+            acc
+        };
+        let m0 = mean_image(0, &mut rng);
+        let m5 = mean_image(5, &mut rng);
+        let cross = stats::sq_euclidean(&m0, &m5);
+        let m0b = mean_image(0, &mut rng);
+        let within = stats::sq_euclidean(&m0, &m0b);
+        assert!(cross > within * 2.0, "cross {cross} within {within}");
+    }
+
+    #[test]
+    fn generate_balanced() {
+        let gen = SynthObjects::new();
+        let mut rng = stream_rng(3, "objects");
+        let ds = gen.generate(4, &mut rng);
+        assert_eq!(ds.len(), 40);
+        assert_eq!(ds.class_histogram(), vec![4; 10]);
+        assert_eq!(ds.image_shape(), [3, 16, 16]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for dataset containers and generators.
+
+use deepmorph_data::prelude::*;
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+use proptest::prelude::*;
+
+fn toy(n_per_class: usize, classes: usize) -> Dataset {
+    let n = n_per_class * classes;
+    let images = Tensor::from_vec((0..n * 4).map(|v| v as f32).collect(), &[n, 1, 2, 2]).unwrap();
+    let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+    Dataset::new(images, labels, classes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn subset_preserves_label_image_pairing(
+        n_per_class in 1usize..6,
+        classes in 1usize..5,
+        picks in proptest::collection::vec(0usize..30, 1..12),
+    ) {
+        let ds = toy(n_per_class, classes);
+        let picks: Vec<usize> = picks.into_iter().filter(|&i| i < ds.len()).collect();
+        prop_assume!(!picks.is_empty());
+        let sub = ds.subset(&picks);
+        prop_assert_eq!(sub.len(), picks.len());
+        for (j, &i) in picks.iter().enumerate() {
+            prop_assert_eq!(sub.labels()[j], ds.labels()[i]);
+            // First pixel of the image moved with the label.
+            prop_assert_eq!(sub.images().data()[j * 4], ds.images().data()[i * 4]);
+        }
+    }
+
+    #[test]
+    fn split_partitions_every_sample(
+        n_per_class in 2usize..8,
+        classes in 2usize..5,
+        fraction in 0.1f32..0.9,
+        seed in 0u64..50,
+    ) {
+        let ds = toy(n_per_class, classes);
+        let mut rng = stream_rng(seed, "prop-split");
+        let (a, b) = ds.split_stratified(fraction, &mut rng);
+        prop_assert_eq!(a.len() + b.len(), ds.len());
+        // Histograms add back up.
+        let ha = a.class_histogram();
+        let hb = b.class_histogram();
+        let h = ds.class_histogram();
+        for c in 0..classes {
+            prop_assert_eq!(ha[c] + hb[c], h[c]);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in 0u64..50) {
+        let mut ds = toy(4, 3);
+        let hist_before = ds.class_histogram();
+        let mut sum_before: f32 = ds.images().sum();
+        let mut rng = stream_rng(seed, "prop-shuffle");
+        ds.shuffle(&mut rng);
+        prop_assert_eq!(ds.class_histogram(), hist_before);
+        sum_before -= ds.images().sum();
+        prop_assert!(sum_before.abs() < 1e-3);
+    }
+
+    #[test]
+    fn digits_generator_always_in_unit_range(class in 0usize..10, seed in 0u64..30) {
+        let gen = SynthDigits::new();
+        let mut rng = stream_rng(seed, "prop-digits");
+        let img = gen.sample(class, &mut rng);
+        prop_assert_eq!(img.shape(), &[1, 16, 16]);
+        prop_assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(img.sum() > 1.0, "class {class} produced a blank image");
+    }
+
+    #[test]
+    fn objects_generator_always_in_unit_range(class in 0usize..10, seed in 0u64..30) {
+        let gen = SynthObjects::new();
+        let mut rng = stream_rng(seed, "prop-objects");
+        let img = gen.sample(class, &mut rng);
+        prop_assert_eq!(img.shape(), &[3, 16, 16]);
+        prop_assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic(per_class in 1usize..4, seed in 0u64..20) {
+        let gen = SynthDigits::new();
+        let a = gen.generate(per_class, &mut stream_rng(seed, "prop-det"));
+        let b = gen.generate(per_class, &mut stream_rng(seed, "prop-det"));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalization_centers_pixels(n_per_class in 2usize..6) {
+        let mut ds = toy(n_per_class, 3);
+        let (mean, std) = ds.pixel_stats();
+        prop_assume!(std > 1e-3);
+        ds.normalize(mean, std);
+        let (m2, s2) = ds.pixel_stats();
+        prop_assert!(m2.abs() < 1e-3);
+        prop_assert!((s2 - 1.0).abs() < 1e-2);
+    }
+}

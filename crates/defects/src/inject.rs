@@ -1,0 +1,239 @@
+//! Defect injectors.
+
+use deepmorph_data::Dataset;
+use deepmorph_models::ModelSpec;
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+
+use crate::kind::DefectKind;
+
+/// A concrete, parameterized defect to inject into a scenario.
+///
+/// Construct with the named constructors; apply with
+/// [`DefectSpec::apply_to_dataset`] (ITD/UTD) and
+/// [`DefectSpec::apply_to_model_spec`] (SD). `Healthy` is the identity on
+/// both.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefectSpec {
+    /// No defect (control condition).
+    Healthy,
+    /// Remove `fraction` of the training data of each class in `classes`.
+    Itd {
+        /// Classes whose training data is starved.
+        classes: Vec<usize>,
+        /// Fraction of each starved class removed, in `[0, 1]`.
+        fraction: f32,
+    },
+    /// Relabel `fraction` of `source_class`'s training samples as
+    /// `target_class`.
+    Utd {
+        /// Class whose samples get corrupted labels.
+        source_class: usize,
+        /// The wrong label they receive.
+        target_class: usize,
+        /// Fraction of the source class corrupted, in `[0, 1]`.
+        fraction: f32,
+    },
+    /// Remove `removed_convs` convolution units from the model.
+    Sd {
+        /// Number of conv units removed (see each family's builder docs).
+        removed_convs: usize,
+    },
+}
+
+impl DefectSpec {
+    /// ITD: starve the given classes by removing `fraction` of their
+    /// training samples.
+    pub fn insufficient_training_data(
+        classes: impl Into<Vec<usize>>,
+        fraction: f32,
+    ) -> Self {
+        DefectSpec::Itd {
+            classes: classes.into(),
+            fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// UTD: mislabel `fraction` of `source_class` as `target_class`.
+    pub fn unreliable_training_data(source_class: usize, target_class: usize, fraction: f32) -> Self {
+        DefectSpec::Utd {
+            source_class,
+            target_class,
+            fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// SD: weaken the network by removing `removed_convs` conv units.
+    pub fn structure_defect(removed_convs: usize) -> Self {
+        DefectSpec::Sd { removed_convs }
+    }
+
+    /// The injected defect kind (`None` for `Healthy`).
+    pub fn kind(&self) -> Option<DefectKind> {
+        match self {
+            DefectSpec::Healthy => None,
+            DefectSpec::Itd { .. } => Some(DefectKind::InsufficientTrainingData),
+            DefectSpec::Utd { .. } => Some(DefectKind::UnreliableTrainingData),
+            DefectSpec::Sd { .. } => Some(DefectKind::StructureDefect),
+        }
+    }
+
+    /// Applies the data-side injection, returning the (possibly) modified
+    /// training set. SD and Healthy return the dataset unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced class is out of range for the dataset.
+    pub fn apply_to_dataset(&self, train: &Dataset, rng: &mut ChaCha8Rng) -> Dataset {
+        match self {
+            DefectSpec::Healthy | DefectSpec::Sd { .. } => train.clone(),
+            DefectSpec::Itd { classes, fraction } => {
+                let mut remove = Vec::new();
+                for &class in classes {
+                    assert!(class < train.num_classes(), "ITD class {class} out of range");
+                    let mut idx = train.class_indices(class);
+                    idx.shuffle(rng);
+                    let take = ((idx.len() as f32) * fraction).round() as usize;
+                    remove.extend_from_slice(&idx[..take.min(idx.len())]);
+                }
+                train.without_indices(&remove)
+            }
+            DefectSpec::Utd {
+                source_class,
+                target_class,
+                fraction,
+            } => {
+                assert!(
+                    *source_class < train.num_classes() && *target_class < train.num_classes(),
+                    "UTD class out of range"
+                );
+                let mut corrupted = train.clone();
+                let mut idx = train.class_indices(*source_class);
+                idx.shuffle(rng);
+                let take = ((idx.len() as f32) * fraction).round() as usize;
+                for &i in idx.iter().take(take) {
+                    corrupted.set_label(i, *target_class);
+                }
+                corrupted
+            }
+        }
+    }
+
+    /// Applies the model-side injection (SD), returning the modified spec.
+    pub fn apply_to_model_spec(&self, spec: ModelSpec) -> ModelSpec {
+        match self {
+            DefectSpec::Sd { removed_convs } => spec.with_removed_convs(*removed_convs),
+            _ => spec,
+        }
+    }
+
+    /// A short config string for reports, e.g. `ITD(classes=[0,1,2], f=0.9)`.
+    pub fn describe(&self) -> String {
+        match self {
+            DefectSpec::Healthy => "Healthy".to_string(),
+            DefectSpec::Itd { classes, fraction } => {
+                format!("ITD(classes={classes:?}, f={fraction})")
+            }
+            DefectSpec::Utd {
+                source_class,
+                target_class,
+                fraction,
+            } => format!("UTD({source_class}->{target_class}, f={fraction})"),
+            DefectSpec::Sd { removed_convs } => format!("SD(removed={removed_convs})"),
+        }
+    }
+}
+
+impl std::fmt::Display for DefectSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_models::{ModelFamily, ModelScale};
+    use deepmorph_tensor::init::stream_rng;
+    use deepmorph_tensor::Tensor;
+
+    fn toy_dataset(per_class: usize, classes: usize) -> Dataset {
+        let n = per_class * classes;
+        let images = Tensor::zeros(&[n, 1, 2, 2]);
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new(images, labels, classes).unwrap()
+    }
+
+    #[test]
+    fn itd_starves_selected_classes() {
+        let ds = toy_dataset(20, 4);
+        let spec = DefectSpec::insufficient_training_data(vec![1, 2], 0.75);
+        let mut rng = stream_rng(1, "defect");
+        let injected = spec.apply_to_dataset(&ds, &mut rng);
+        let hist = injected.class_histogram();
+        assert_eq!(hist[0], 20);
+        assert_eq!(hist[1], 5);
+        assert_eq!(hist[2], 5);
+        assert_eq!(hist[3], 20);
+    }
+
+    #[test]
+    fn utd_relabels_fraction() {
+        let ds = toy_dataset(20, 3);
+        let spec = DefectSpec::unreliable_training_data(0, 2, 0.5);
+        let mut rng = stream_rng(2, "defect");
+        let injected = spec.apply_to_dataset(&ds, &mut rng);
+        let hist = injected.class_histogram();
+        assert_eq!(hist[0], 10);
+        assert_eq!(hist[1], 20);
+        assert_eq!(hist[2], 30);
+        assert_eq!(injected.len(), ds.len()); // no samples removed
+    }
+
+    #[test]
+    fn sd_modifies_model_spec_only() {
+        let ds = toy_dataset(5, 2);
+        let spec = DefectSpec::structure_defect(2);
+        let mut rng = stream_rng(3, "defect");
+        let injected = spec.apply_to_dataset(&ds, &mut rng);
+        assert_eq!(injected, ds);
+        let mspec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+        assert_eq!(spec.apply_to_model_spec(mspec).removed_convs, 2);
+        assert_eq!(DefectSpec::Healthy.apply_to_model_spec(mspec).removed_convs, 0);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let ds = toy_dataset(30, 3);
+        let spec = DefectSpec::insufficient_training_data(vec![0], 0.5);
+        let a = spec.apply_to_dataset(&ds, &mut stream_rng(7, "defect"));
+        let b = spec.apply_to_dataset(&ds, &mut stream_rng(7, "defect"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kind_mapping() {
+        assert_eq!(DefectSpec::Healthy.kind(), None);
+        assert_eq!(
+            DefectSpec::structure_defect(1).kind(),
+            Some(DefectKind::StructureDefect)
+        );
+    }
+
+    #[test]
+    fn fractions_are_clamped() {
+        let spec = DefectSpec::insufficient_training_data(vec![0], 7.0);
+        if let DefectSpec::Itd { fraction, .. } = spec {
+            assert_eq!(fraction, 1.0);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let s = DefectSpec::unreliable_training_data(3, 5, 0.4).describe();
+        assert!(s.contains("3->5"));
+        assert!(s.contains("0.4"));
+    }
+}

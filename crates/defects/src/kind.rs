@@ -1,0 +1,81 @@
+//! The defect taxonomy.
+
+/// The three root-cause defect types DeepMorph distinguishes (paper
+/// Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DefectKind {
+    /// Insufficient Training Data: the training distribution is missing
+    /// regions that occur in production.
+    InsufficientTrainingData,
+    /// Unreliable Training Data: the training set contains falsely labeled
+    /// cases.
+    UnreliableTrainingData,
+    /// Structure Defect: the network structure is too weak to learn the
+    /// task's features.
+    StructureDefect,
+}
+
+impl DefectKind {
+    /// The paper's abbreviation (ITD / UTD / SD).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            DefectKind::InsufficientTrainingData => "ITD",
+            DefectKind::UnreliableTrainingData => "UTD",
+            DefectKind::StructureDefect => "SD",
+        }
+    }
+
+    /// Long human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectKind::InsufficientTrainingData => "Insufficient Training Data",
+            DefectKind::UnreliableTrainingData => "Unreliable Training Data",
+            DefectKind::StructureDefect => "Structure Defect",
+        }
+    }
+
+    /// All kinds in the paper's row order (ITD, UTD, SD).
+    pub fn all() -> [DefectKind; 3] {
+        [
+            DefectKind::InsufficientTrainingData,
+            DefectKind::UnreliableTrainingData,
+            DefectKind::StructureDefect,
+        ]
+    }
+
+    /// Index of this kind within [`DefectKind::all`].
+    pub fn index(self) -> usize {
+        match self {
+            DefectKind::InsufficientTrainingData => 0,
+            DefectKind::UnreliableTrainingData => 1,
+            DefectKind::StructureDefect => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for DefectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_matches_paper_rows() {
+        let all = DefectKind::all();
+        assert_eq!(all[0].abbrev(), "ITD");
+        assert_eq!(all[1].abbrev(), "UTD");
+        assert_eq!(all[2].abbrev(), "SD");
+        for (i, k) in all.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_uses_abbrev() {
+        assert_eq!(DefectKind::StructureDefect.to_string(), "SD");
+    }
+}

@@ -1,0 +1,30 @@
+//! Controlled defect injection for the DeepMorph reproduction.
+//!
+//! Section IV of the paper injects three defect types into healthy
+//! model/dataset pairs:
+//!
+//! * **ITD** (Insufficient Training Data) — "randomly remove a part of data
+//!   of some specific classes" → [`DefectSpec::insufficient_training_data`].
+//! * **UTD** (Unreliable Training Data) — "tag a part of the training data
+//!   of one class to the other" → [`DefectSpec::unreliable_training_data`].
+//! * **SD** (Structure Defect) — "manually removing … Convolution layer[s]
+//!   from the original network structures" →
+//!   [`DefectSpec::structure_defect`], which flows into
+//!   [`deepmorph_models::ModelSpec::removed_convs`].
+//!
+//! A [`DefectSpec`] is applied in two places: to the training
+//! [`Dataset`](deepmorph_data::Dataset) (ITD/UTD) and to the
+//! [`ModelSpec`](deepmorph_models::ModelSpec) (SD); healthy specs leave
+//! both untouched.
+
+mod inject;
+mod kind;
+
+pub use inject::DefectSpec;
+pub use kind::DefectKind;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::inject::DefectSpec;
+    pub use crate::kind::DefectKind;
+}

@@ -1,0 +1,159 @@
+//! AlexNet (Krizhevsky et al., 2012) scaled to small inputs: five
+//! convolution layers in three pooled groups, then three fully-connected
+//! layers with dropout — the paper's 8-layer MNIST classifier.
+
+use deepmorph_nn::prelude::*;
+use deepmorph_nn::NnError;
+use rand_chacha::ChaCha8Rng;
+
+use crate::builder::NetBuilder;
+use crate::spec::{ModelScale, ModelSpec, ProbePoint};
+
+struct AlexDims {
+    w1: usize,
+    w2: usize,
+    w3: usize,
+    fc1: usize,
+    fc2: usize,
+    dropout: f32,
+}
+
+fn dims(scale: ModelScale) -> AlexDims {
+    match scale {
+        ModelScale::Tiny => AlexDims {
+            w1: 8,
+            w2: 16,
+            w3: 24,
+            fc1: 64,
+            fc2: 32,
+            dropout: 0.1,
+        },
+        ModelScale::Small => AlexDims {
+            w1: 16,
+            w2: 32,
+            w3: 48,
+            fc1: 128,
+            fc2: 64,
+            dropout: 0.4,
+        },
+        ModelScale::Paper => AlexDims {
+            w1: 24,
+            w2: 48,
+            w3: 64,
+            fc1: 256,
+            fc2: 128,
+            dropout: 0.5,
+        },
+    }
+}
+
+/// Builds the scaled AlexNet per `spec`.
+///
+/// SD injection: `removed_convs` drops conv5, then conv4, then conv3 (the
+/// final group), then conv2, then conv1 — always keeping the pooling
+/// schedule, so severity 5 leaves a pooled MLP. Values above 5 saturate.
+///
+/// # Errors
+///
+/// Returns an error if the input is too small for the three pooling steps.
+pub fn build(
+    spec: &ModelSpec,
+    rng: &mut ChaCha8Rng,
+) -> Result<(Graph, Vec<ProbePoint>), NnError> {
+    let d = dims(spec.scale);
+    let mut b = NetBuilder::new(spec.input_shape, rng);
+
+    // Group 1: conv1 + pool (conv removed at severity >= 5).
+    if spec.removed_convs < 5 {
+        b.conv(d.w1, 3, 1, 1)?.relu()?;
+    }
+    b.maxpool(2, 2)?;
+    b.probe("stage1");
+
+    // Group 2: conv2 + pool (conv removed at severity >= 4).
+    if spec.removed_convs < 4 {
+        b.conv(d.w2, 3, 1, 1)?.relu()?;
+    }
+    b.maxpool(2, 2)?;
+    b.probe("stage2");
+
+    // Group 3: conv3..conv5, then pool. SD removes from the back.
+    let kept = 3usize.saturating_sub(spec.removed_convs);
+    if kept >= 1 {
+        b.conv(d.w3, 3, 1, 1)?.relu()?;
+        b.probe("conv3");
+    }
+    if kept >= 2 {
+        b.conv(d.w3, 3, 1, 1)?.relu()?;
+        b.probe("conv4");
+    }
+    if kept >= 3 {
+        b.conv(d.w2, 3, 1, 1)?.relu()?;
+        b.probe("conv5");
+    }
+    b.maxpool(2, 2)?;
+
+    b.flatten()?;
+    b.dense(d.fc1)?.relu()?.dropout(d.dropout)?;
+    b.probe("fc1");
+    b.dense(d.fc2)?.relu()?.dropout(d.dropout)?;
+    b.probe("fc2");
+    b.dense(spec.num_classes)?;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::check_forward;
+    use crate::spec::ModelFamily;
+    use deepmorph_tensor::init::stream_rng;
+
+    fn spec(removed: usize) -> ModelSpec {
+        ModelSpec::new(ModelFamily::AlexNet, ModelScale::Tiny, [1, 16, 16], 10)
+            .with_removed_convs(removed)
+    }
+
+    #[test]
+    fn healthy_alexnet_has_seven_probes() {
+        let mut rng = stream_rng(1, "alexnet");
+        let (mut g, probes) = build(&spec(0), &mut rng).unwrap();
+        assert_eq!(probes.len(), 7);
+        check_forward(&mut g, [1, 16, 16], 2, 10).unwrap();
+    }
+
+    #[test]
+    fn sd_removal_drops_back_convs_first() {
+        let mut rng = stream_rng(2, "alexnet");
+        let (_, probes) = build(&spec(1), &mut rng).unwrap();
+        let labels: Vec<&str> = probes.iter().map(|p| p.label.as_str()).collect();
+        assert!(labels.contains(&"conv3"));
+        assert!(labels.contains(&"conv4"));
+        assert!(!labels.contains(&"conv5"));
+    }
+
+    #[test]
+    fn sd_severity_monotonically_shrinks_params() {
+        let params_at = |removed: usize| {
+            let mut rng = stream_rng(3, "alexnet");
+            let (mut g, _) = build(&spec(removed), &mut rng).unwrap();
+            g.param_count()
+        };
+        let counts: Vec<usize> = (0..=5).map(params_at).collect();
+        for pair in counts.windows(2) {
+            assert!(pair[1] < pair[0], "{counts:?} not strictly decreasing");
+        }
+        // Saturates at 5.
+        assert_eq!(params_at(9), counts[5]);
+    }
+
+    #[test]
+    fn sd_removal_saturates_to_pooled_mlp() {
+        let mut rng = stream_rng(3, "alexnet");
+        let (mut g, probes) = build(&spec(9), &mut rng).unwrap();
+        // Only stage1, stage2, fc1, fc2 probes remain.
+        assert_eq!(probes.len(), 4);
+        assert_eq!(probes[0].features, 1); // pooled raw pixels
+        check_forward(&mut g, [1, 16, 16], 2, 10).unwrap();
+    }
+}

@@ -1,0 +1,393 @@
+//! Shape-tracking network builder.
+//!
+//! [`NetBuilder`] wraps `deepmorph-nn`'s [`GraphBuilder`] with a cursor that
+//! tracks the current feature shape, so architecture code reads like a
+//! layer list and shape arithmetic (conv/pool output sizes, flatten
+//! dimensions) is computed — and validated — in one place.
+
+use deepmorph_nn::prelude::*;
+use deepmorph_nn::{activation::Tanh, NnError};
+use deepmorph_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::spec::ProbePoint;
+
+/// The shape of the tensor at the builder cursor (excluding batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatShape {
+    /// Spatial feature map `[c, h, w]`.
+    Spatial([usize; 3]),
+    /// Flat feature vector of the given width.
+    Flat(usize),
+}
+
+impl FeatShape {
+    /// The channel/feature count.
+    pub fn features(self) -> usize {
+        match self {
+            FeatShape::Spatial([c, _, _]) => c,
+            FeatShape::Flat(f) => f,
+        }
+    }
+
+    fn spatial(self, op: &'static str) -> Result<[usize; 3], NnError> {
+        match self {
+            FeatShape::Spatial(s) => Ok(s),
+            FeatShape::Flat(f) => Err(NnError::InvalidTrainConfig {
+                reason: format!("{op} requires a spatial feature map, cursor is flat[{f}]"),
+            }),
+        }
+    }
+}
+
+/// A saved cursor position (for skip connections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    /// Node at the saved position.
+    pub node: NodeId,
+    /// Feature shape at the saved position.
+    pub shape: FeatShape,
+}
+
+/// Incremental network builder with shape tracking and probe registration.
+#[derive(Debug)]
+pub struct NetBuilder<'r> {
+    gb: GraphBuilder,
+    node: NodeId,
+    shape: FeatShape,
+    probes: Vec<ProbePoint>,
+    rng: &'r mut ChaCha8Rng,
+    dropout_seed: u64,
+}
+
+impl<'r> NetBuilder<'r> {
+    /// Starts a builder at the graph input with shape `[c, h, w]`.
+    pub fn new(input_shape: [usize; 3], rng: &'r mut ChaCha8Rng) -> Self {
+        let gb = GraphBuilder::new();
+        let node = gb.input();
+        NetBuilder {
+            gb,
+            node,
+            shape: FeatShape::Spatial(input_shape),
+            probes: Vec::new(),
+            rng,
+            dropout_seed: 0x5eed,
+        }
+    }
+
+    /// Current cursor (node + shape), for wiring skip connections.
+    pub fn here(&self) -> Cursor {
+        Cursor {
+            node: self.node,
+            shape: self.shape,
+        }
+    }
+
+    /// Moves the cursor to a previously saved position.
+    pub fn resume(&mut self, cursor: Cursor) {
+        self.node = cursor.node;
+        self.shape = cursor.shape;
+    }
+
+    /// Current feature shape.
+    pub fn shape(&self) -> FeatShape {
+        self.shape
+    }
+
+    /// Appends a square convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cursor is flat or the geometry is invalid.
+    pub fn conv(
+        &mut self,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<&mut Self, NnError> {
+        let [c, h, w] = self.shape.spatial("conv")?;
+        let layer = Conv2d::new(c, out_c, h, w, kernel, stride, padding, self.rng)?;
+        let [oc, oh, ow] = layer.out_shape();
+        self.node = self.gb.add_layer(layer, &[self.node])?;
+        self.shape = FeatShape::Spatial([oc, oh, ow]);
+        Ok(self)
+    }
+
+    /// Appends a batch-norm over the current channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cursor is flat.
+    pub fn bn(&mut self) -> Result<&mut Self, NnError> {
+        let [c, _, _] = self.shape.spatial("batchnorm")?;
+        self.node = self.gb.add_layer(BatchNorm2d::new(c), &[self.node])?;
+        Ok(self)
+    }
+
+    /// Appends a ReLU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors.
+    pub fn relu(&mut self) -> Result<&mut Self, NnError> {
+        self.node = self.gb.add_layer(ReLU::new(), &[self.node])?;
+        Ok(self)
+    }
+
+    /// Appends a tanh (classic LeNet nonlinearity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors.
+    pub fn tanh(&mut self) -> Result<&mut Self, NnError> {
+        self.node = self.gb.add_layer(Tanh::new(), &[self.node])?;
+        Ok(self)
+    }
+
+    /// Appends a max pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cursor is flat or the window does not fit.
+    pub fn maxpool(&mut self, window: usize, stride: usize) -> Result<&mut Self, NnError> {
+        let [c, h, w] = self.shape.spatial("maxpool")?;
+        let layer = MaxPool2d::new(c, h, w, window, stride)?;
+        let [oc, oh, ow] = layer.out_shape();
+        self.node = self.gb.add_layer(layer, &[self.node])?;
+        self.shape = FeatShape::Spatial([oc, oh, ow]);
+        Ok(self)
+    }
+
+    /// Appends an average pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cursor is flat or the window does not fit.
+    pub fn avgpool(&mut self, window: usize, stride: usize) -> Result<&mut Self, NnError> {
+        let [c, h, w] = self.shape.spatial("avgpool")?;
+        let layer = AvgPool2d::new(c, h, w, window, stride)?;
+        let [oc, oh, ow] = layer.out_shape();
+        self.node = self.gb.add_layer(layer, &[self.node])?;
+        self.shape = FeatShape::Spatial([oc, oh, ow]);
+        Ok(self)
+    }
+
+    /// Appends a global average pool, flattening the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cursor is already flat.
+    pub fn gap(&mut self) -> Result<&mut Self, NnError> {
+        let [c, _, _] = self.shape.spatial("global_avg_pool")?;
+        self.node = self.gb.add_layer(GlobalAvgPool::new(), &[self.node])?;
+        self.shape = FeatShape::Flat(c);
+        Ok(self)
+    }
+
+    /// Appends a flatten, turning `[c, h, w]` into `c*h*w` features.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cursor is already flat.
+    pub fn flatten(&mut self) -> Result<&mut Self, NnError> {
+        let [c, h, w] = self.shape.spatial("flatten")?;
+        self.node = self.gb.add_layer(Flatten::new(), &[self.node])?;
+        self.shape = FeatShape::Flat(c * h * w);
+        Ok(self)
+    }
+
+    /// Appends a dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cursor is spatial (flatten first).
+    pub fn dense(&mut self, out_features: usize) -> Result<&mut Self, NnError> {
+        let in_features = match self.shape {
+            FeatShape::Flat(f) => f,
+            FeatShape::Spatial(s) => {
+                return Err(NnError::InvalidTrainConfig {
+                    reason: format!("dense requires flat features, cursor is spatial{s:?}"),
+                })
+            }
+        };
+        self.node = self
+            .gb
+            .add_layer(Dense::new(in_features, out_features, self.rng), &[self.node])?;
+        self.shape = FeatShape::Flat(out_features);
+        Ok(self)
+    }
+
+    /// Appends dropout with probability `p` (deterministic per-layer seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors.
+    pub fn dropout(&mut self, p: f32) -> Result<&mut Self, NnError> {
+        self.dropout_seed = self.dropout_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        self.node = self
+            .gb
+            .add_layer(Dropout::new(p, self.dropout_seed), &[self.node])?;
+        Ok(self)
+    }
+
+    /// Adds a residual merge: cursor ← cursor + `other` (shapes must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the two branches have different shapes.
+    pub fn add_from(&mut self, other: Cursor) -> Result<&mut Self, NnError> {
+        if other.shape != self.shape {
+            return Err(NnError::InvalidTrainConfig {
+                reason: format!(
+                    "residual add shape mismatch: {:?} vs {:?}",
+                    self.shape, other.shape
+                ),
+            });
+        }
+        self.node = self.gb.add_layer(Add::new(), &[self.node, other.node])?;
+        Ok(self)
+    }
+
+    /// Adds a channel concat: cursor ← concat(cursor, `other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both branches are spatial with equal `h, w`.
+    pub fn concat_from(&mut self, other: Cursor) -> Result<&mut Self, NnError> {
+        let [c1, h1, w1] = self.shape.spatial("concat")?;
+        let [c2, h2, w2] = other.shape.spatial("concat")?;
+        if (h1, w1) != (h2, w2) {
+            return Err(NnError::InvalidTrainConfig {
+                reason: format!("concat spatial mismatch: {h1}x{w1} vs {h2}x{w2}"),
+            });
+        }
+        self.node = self
+            .gb
+            .add_layer(ConcatChannels::new(), &[self.node, other.node])?;
+        self.shape = FeatShape::Spatial([c1 + c2, h1, w1]);
+        Ok(self)
+    }
+
+    /// Registers the current cursor as a DeepMorph probe point.
+    pub fn probe(&mut self, label: &str) -> &mut Self {
+        self.probes.push(ProbePoint {
+            node: self.node,
+            label: label.to_string(),
+            features: self.shape.features(),
+            spatial: matches!(self.shape, FeatShape::Spatial(_)),
+        });
+        self
+    }
+
+    /// Finalizes the graph with the cursor as output, returning the graph
+    /// and registered probe points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty network.
+    pub fn finish(self) -> Result<(Graph, Vec<ProbePoint>), NnError> {
+        let graph = self.gb.build(self.node)?;
+        Ok((graph, self.probes))
+    }
+}
+
+/// Smoke-level forward check used by model unit tests: builds a batch of
+/// zeros with the given input shape and confirms the graph produces
+/// `[n, classes]` logits.
+///
+/// # Errors
+///
+/// Propagates graph errors.
+pub fn check_forward(
+    graph: &mut Graph,
+    input_shape: [usize; 3],
+    n: usize,
+    classes: usize,
+) -> Result<(), NnError> {
+    let [c, h, w] = input_shape;
+    let x = Tensor::zeros(&[n, c, h, w]);
+    let y = graph.forward(&x, Mode::Eval)?;
+    if y.shape() != [n, classes] {
+        return Err(NnError::InvalidTrainConfig {
+            reason: format!("expected [{n}, {classes}] logits, got {:?}", y.shape()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_tensor::init::stream_rng;
+
+    #[test]
+    fn tracks_shapes_through_conv_pool_flatten() {
+        let mut rng = stream_rng(1, "builder");
+        let mut b = NetBuilder::new([3, 16, 16], &mut rng);
+        b.conv(8, 3, 1, 1).unwrap();
+        assert_eq!(b.shape(), FeatShape::Spatial([8, 16, 16]));
+        b.maxpool(2, 2).unwrap();
+        assert_eq!(b.shape(), FeatShape::Spatial([8, 8, 8]));
+        b.flatten().unwrap();
+        assert_eq!(b.shape(), FeatShape::Flat(512));
+        b.dense(10).unwrap();
+        let (mut g, probes) = b.finish().unwrap();
+        assert!(probes.is_empty());
+        check_forward(&mut g, [3, 16, 16], 2, 10).unwrap();
+    }
+
+    #[test]
+    fn dense_on_spatial_cursor_errors() {
+        let mut rng = stream_rng(2, "builder");
+        let mut b = NetBuilder::new([1, 8, 8], &mut rng);
+        assert!(b.dense(10).is_err());
+    }
+
+    #[test]
+    fn conv_on_flat_cursor_errors() {
+        let mut rng = stream_rng(3, "builder");
+        let mut b = NetBuilder::new([1, 8, 8], &mut rng);
+        b.flatten().unwrap();
+        assert!(b.conv(4, 3, 1, 1).is_err());
+    }
+
+    #[test]
+    fn residual_add_requires_matching_shapes() {
+        let mut rng = stream_rng(4, "builder");
+        let mut b = NetBuilder::new([4, 8, 8], &mut rng);
+        let skip = b.here();
+        b.conv(4, 3, 1, 1).unwrap().relu().unwrap();
+        b.add_from(skip).unwrap(); // same shape: ok
+        let skip2 = b.here();
+        b.conv(8, 3, 2, 1).unwrap();
+        assert!(b.add_from(skip2).is_err()); // downsampled: mismatch
+    }
+
+    #[test]
+    fn concat_grows_channels() {
+        let mut rng = stream_rng(5, "builder");
+        let mut b = NetBuilder::new([4, 8, 8], &mut rng);
+        let saved = b.here();
+        b.conv(6, 3, 1, 1).unwrap();
+        b.concat_from(saved).unwrap();
+        assert_eq!(b.shape(), FeatShape::Spatial([10, 8, 8]));
+    }
+
+    #[test]
+    fn probes_record_cursor() {
+        let mut rng = stream_rng(6, "builder");
+        let mut b = NetBuilder::new([1, 8, 8], &mut rng);
+        b.conv(4, 3, 1, 1).unwrap().relu().unwrap();
+        b.probe("stage1");
+        b.flatten().unwrap().dense(10).unwrap();
+        b.probe("logits");
+        let (_, probes) = b.finish().unwrap();
+        assert_eq!(probes.len(), 2);
+        assert_eq!(probes[0].label, "stage1");
+        assert!(probes[0].spatial);
+        assert_eq!(probes[0].features, 4);
+        assert!(!probes[1].spatial);
+        assert_eq!(probes[1].features, 10);
+    }
+}

@@ -1,0 +1,171 @@
+//! DenseNet (Huang et al., 2017) — the paper's second CIFAR-10 classifier
+//! (DenseNet-40: three dense blocks of 12 BN-ReLU-conv layers at `Paper`
+//! scale).
+
+use deepmorph_nn::prelude::*;
+use deepmorph_nn::NnError;
+use rand_chacha::ChaCha8Rng;
+
+use crate::builder::NetBuilder;
+use crate::spec::{ModelScale, ModelSpec, ProbePoint};
+
+struct DenseNetDims {
+    stem: usize,
+    growth: usize,
+    layers_per_block: usize,
+}
+
+fn dims(scale: ModelScale) -> DenseNetDims {
+    match scale {
+        ModelScale::Tiny => DenseNetDims {
+            stem: 8,
+            growth: 4,
+            layers_per_block: 3,
+        },
+        ModelScale::Small => DenseNetDims {
+            stem: 12,
+            growth: 6,
+            layers_per_block: 6,
+        },
+        // DenseNet-40: depth = 3 blocks * 12 layers + stem + transitions.
+        ModelScale::Paper => DenseNetDims {
+            stem: 16,
+            growth: 12,
+            layers_per_block: 12,
+        },
+    }
+}
+
+/// Distributes `removed` layer removals over the three dense blocks,
+/// last block first, keeping at least one layer per block.
+fn apply_sd(layers: usize, removed: usize) -> [usize; 3] {
+    let mut blocks = [layers; 3];
+    let mut left = removed;
+    while left > 0 {
+        let mut removed_this_round = false;
+        for block in (0..3).rev() {
+            if left == 0 {
+                break;
+            }
+            if blocks[block] > 1 {
+                blocks[block] -= 1;
+                left -= 1;
+                removed_this_round = true;
+            }
+        }
+        if !removed_this_round {
+            break;
+        }
+    }
+    blocks
+}
+
+/// Appends one dense layer (BN → ReLU → 3×3 conv producing `growth`
+/// channels) and concatenates its output onto the running feature map.
+fn dense_layer(b: &mut NetBuilder<'_>, growth: usize) -> Result<(), NnError> {
+    let entry = b.here();
+    b.bn()?.relu()?.conv(growth, 3, 1, 1)?;
+    b.concat_from(entry)?;
+    Ok(())
+}
+
+/// Appends a transition: BN → ReLU → 1×1 conv halving channels → 2×2
+/// average pool.
+fn transition(b: &mut NetBuilder<'_>) -> Result<(), NnError> {
+    let c = b.shape().features();
+    b.bn()?.relu()?.conv((c / 2).max(1), 1, 1, 0)?.avgpool(2, 2)?;
+    Ok(())
+}
+
+/// Builds the DenseNet per `spec`.
+///
+/// SD injection: `removed_convs` removes dense layers (each one 3×3 conv),
+/// starting from the last block, keeping one layer per block.
+///
+/// # Errors
+///
+/// Returns an error if the input is too small for the two transitions.
+pub fn build(
+    spec: &ModelSpec,
+    rng: &mut ChaCha8Rng,
+) -> Result<(Graph, Vec<ProbePoint>), NnError> {
+    let d = dims(spec.scale);
+    let blocks = apply_sd(d.layers_per_block, spec.removed_convs);
+    let mut b = NetBuilder::new(spec.input_shape, rng);
+
+    b.conv(d.stem, 3, 1, 1)?.bn()?.relu()?;
+    b.probe("stem");
+
+    for (i, &layer_count) in blocks.iter().enumerate() {
+        for _ in 0..layer_count {
+            dense_layer(&mut b, d.growth)?;
+        }
+        b.probe(&format!("block{}", i + 1));
+        if i < 2 {
+            transition(&mut b)?;
+        }
+    }
+
+    b.bn()?.relu()?.gap()?;
+    b.probe("gap");
+    b.dense(spec.num_classes)?;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::check_forward;
+    use crate::spec::ModelFamily;
+    use deepmorph_tensor::init::stream_rng;
+
+    fn spec(scale: ModelScale, removed: usize) -> ModelSpec {
+        ModelSpec::new(ModelFamily::DenseNet, scale, [3, 16, 16], 10).with_removed_convs(removed)
+    }
+
+    #[test]
+    fn tiny_densenet_builds_and_forwards() {
+        let mut rng = stream_rng(1, "densenet");
+        let (mut g, probes) = build(&spec(ModelScale::Tiny, 0), &mut rng).unwrap();
+        // stem + 3 blocks + gap
+        assert_eq!(probes.len(), 5);
+        check_forward(&mut g, [3, 16, 16], 2, 10).unwrap();
+    }
+
+    #[test]
+    fn paper_scale_is_densenet40() {
+        let d = dims(ModelScale::Paper);
+        // Depth: 3 blocks * 12 conv layers + stem conv + 2 transition convs
+        // + classifier = 40.
+        assert_eq!(3 * d.layers_per_block + 1 + 2 + 1, 40);
+        assert_eq!(d.growth, 12);
+    }
+
+    #[test]
+    fn channel_growth_is_dense() {
+        // After a block of L layers with growth k, channels = in + L*k.
+        let mut rng = stream_rng(2, "densenet");
+        let (_, probes) = build(&spec(ModelScale::Tiny, 0), &mut rng).unwrap();
+        let stem = probes.iter().find(|p| p.label == "stem").unwrap();
+        let block1 = probes.iter().find(|p| p.label == "block1").unwrap();
+        assert_eq!(block1.features, stem.features + 3 * 4);
+    }
+
+    #[test]
+    fn sd_removes_from_last_block_first() {
+        assert_eq!(apply_sd(3, 1), [3, 3, 2]);
+        assert_eq!(apply_sd(3, 3), [2, 2, 2]);
+        assert_eq!(apply_sd(3, 99), [1, 1, 1]);
+    }
+
+    #[test]
+    fn degraded_densenet_trains() {
+        let mut rng = stream_rng(3, "densenet");
+        let (mut g, _) = build(&spec(ModelScale::Tiny, 4), &mut rng).unwrap();
+        let x = deepmorph_tensor::Tensor::zeros(&[2, 3, 16, 16]);
+        let y = g.forward(&x, Mode::Train).unwrap();
+        g.zero_grad();
+        g.backward(&deepmorph_tensor::Tensor::ones(y.shape())).unwrap();
+        check_forward(&mut g, [3, 16, 16], 1, 10).unwrap();
+    }
+}

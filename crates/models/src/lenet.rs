@@ -1,0 +1,138 @@
+//! LeNet-5 (LeCun et al., 1989): conv–pool–conv–pool–fc–fc–fc with tanh
+//! nonlinearities — the paper's 5-layer MNIST classifier.
+
+use deepmorph_nn::prelude::*;
+use deepmorph_nn::NnError;
+use rand_chacha::ChaCha8Rng;
+
+use crate::builder::NetBuilder;
+use crate::spec::{ModelScale, ModelSpec, ProbePoint};
+
+struct LeNetDims {
+    conv1: usize,
+    conv2: usize,
+    fc1: usize,
+    fc2: usize,
+}
+
+fn dims(scale: ModelScale) -> LeNetDims {
+    match scale {
+        ModelScale::Tiny => LeNetDims {
+            conv1: 4,
+            conv2: 8,
+            fc1: 32,
+            fc2: 16,
+        },
+        ModelScale::Small => LeNetDims {
+            conv1: 6,
+            conv2: 16,
+            fc1: 64,
+            fc2: 32,
+        },
+        ModelScale::Paper => LeNetDims {
+            conv1: 6,
+            conv2: 16,
+            fc1: 120,
+            fc2: 84,
+        },
+    }
+}
+
+/// Builds LeNet-5 per `spec`.
+///
+/// SD injection: `removed_convs == 1` removes the second convolution;
+/// `removed_convs >= 2` removes both convolutions (leaving a pooled MLP —
+/// the weakest "remove Convolution layer" edit LeNet admits). The pooling
+/// schedule always remains: the paper removes convolutions, not the
+/// resolution pipeline. Probes sit on the pooled stage outputs so the
+/// instrumentation is identical across SD severities.
+///
+/// # Errors
+///
+/// Returns an error if the input is too small for the 5×5 kernels.
+pub fn build(
+    spec: &ModelSpec,
+    rng: &mut ChaCha8Rng,
+) -> Result<(Graph, Vec<ProbePoint>), NnError> {
+    let d = dims(spec.scale);
+    let mut b = NetBuilder::new(spec.input_shape, rng);
+
+    // C1 + S2 — removed at SD severity >= 2.
+    if spec.removed_convs < 2 {
+        b.conv(d.conv1, 5, 1, 2)?.tanh()?;
+    }
+    b.maxpool(2, 2)?;
+    b.probe("stage1");
+
+    // C3 + S4 — removed at SD severity >= 1.
+    if spec.removed_convs == 0 {
+        b.conv(d.conv2, 5, 1, 2)?.tanh()?;
+    }
+    b.maxpool(2, 2)?;
+    b.probe("stage2");
+
+    b.flatten()?;
+    b.dense(d.fc1)?.tanh()?;
+    b.probe("fc1");
+    b.dense(d.fc2)?.tanh()?;
+    b.probe("fc2");
+    b.dense(spec.num_classes)?;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::check_forward;
+    use crate::spec::ModelFamily;
+    use deepmorph_tensor::init::stream_rng;
+
+    fn spec(scale: ModelScale, removed: usize) -> ModelSpec {
+        ModelSpec::new(ModelFamily::LeNet, scale, [1, 16, 16], 10).with_removed_convs(removed)
+    }
+
+    #[test]
+    fn healthy_lenet_has_four_probes() {
+        let mut rng = stream_rng(1, "lenet");
+        let (mut g, probes) = build(&spec(ModelScale::Paper, 0), &mut rng).unwrap();
+        assert_eq!(probes.len(), 4);
+        assert_eq!(probes[0].label, "stage1");
+        assert_eq!(probes[3].label, "fc2");
+        check_forward(&mut g, [1, 16, 16], 3, 10).unwrap();
+    }
+
+    #[test]
+    fn sd_keeps_probe_count_but_shrinks_model() {
+        let mut rng = stream_rng(2, "lenet");
+        let (mut g0, probes0) = build(&spec(ModelScale::Tiny, 0), &mut rng).unwrap();
+        let mut rng = stream_rng(2, "lenet");
+        let (mut g1, probes1) = build(&spec(ModelScale::Tiny, 1), &mut rng).unwrap();
+        let mut rng = stream_rng(2, "lenet");
+        let (mut g2, probes2) = build(&spec(ModelScale::Tiny, 2), &mut rng).unwrap();
+        assert_eq!(probes0.len(), probes1.len());
+        assert_eq!(probes1.len(), probes2.len());
+        assert!(g1.param_count() < g0.param_count());
+        assert!(g2.param_count() < g1.param_count());
+        check_forward(&mut g1, [1, 16, 16], 1, 10).unwrap();
+        check_forward(&mut g2, [1, 16, 16], 1, 10).unwrap();
+    }
+
+    #[test]
+    fn fully_removed_lenet_is_a_pooled_mlp() {
+        let mut rng = stream_rng(4, "lenet");
+        let (mut g, probes) = build(&spec(ModelScale::Tiny, 9), &mut rng).unwrap();
+        // stage probes read pooled raw pixels: 1 channel.
+        assert_eq!(probes[0].features, 1);
+        check_forward(&mut g, [1, 16, 16], 2, 10).unwrap();
+    }
+
+    #[test]
+    fn probe_features_track_dims() {
+        let mut rng = stream_rng(3, "lenet");
+        let (_, probes) = build(&spec(ModelScale::Paper, 0), &mut rng).unwrap();
+        assert_eq!(probes[0].features, 6);
+        assert!(probes[0].spatial);
+        assert_eq!(probes[2].features, 120);
+        assert!(!probes[2].spatial);
+    }
+}

@@ -1,0 +1,47 @@
+//! Model zoo for the DeepMorph reproduction.
+//!
+//! The paper evaluates four classifier families: LeNet-5 and AlexNet on
+//! MNIST, ResNet-34 and DenseNet-40 on CIFAR-10. This crate builds all four
+//! on the `deepmorph-nn` substrate with:
+//!
+//! * **structural fidelity** — the block plans match the originals
+//!   (ResNet basic-block stages `[3,4,6,3]`, DenseNet three dense blocks,
+//!   AlexNet's five-conv/three-fc split, LeNet's conv-pool-conv-pool-fc),
+//! * **parametric scale** — [`ModelScale`] shrinks channel widths and
+//!   block depths so the full Table I sweep runs on one CPU core,
+//! * **probe points** — every model reports the [`ProbePoint`]s (stage
+//!   outputs) where DeepMorph attaches its auxiliary softmax layers, and
+//! * **structure-defect injection** — [`ModelSpec::removed_convs`] removes
+//!   convolution units the way the paper's SD injection does.
+//!
+//! # Example
+//!
+//! ```
+//! use deepmorph_models::prelude::*;
+//! use deepmorph_tensor::init::stream_rng;
+//!
+//! # fn main() -> Result<(), deepmorph_nn::NnError> {
+//! let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+//! let mut rng = stream_rng(0, "model");
+//! let handle = build_model(&spec, &mut rng)?;
+//! assert!(!handle.probes.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+mod alexnet;
+mod builder;
+mod densenet;
+mod lenet;
+mod resnet;
+mod spec;
+
+pub use builder::{check_forward, FeatShape, NetBuilder};
+pub use spec::{build_model, ModelFamily, ModelHandle, ModelScale, ModelSpec, ProbePoint};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::spec::{
+        build_model, ModelFamily, ModelHandle, ModelScale, ModelSpec, ProbePoint,
+    };
+}

@@ -1,0 +1,180 @@
+//! ResNet with basic blocks (He et al., 2016) — the paper's CIFAR-10
+//! classifier (ResNet-34 plan `[3, 4, 6, 3]` at `Paper` scale).
+
+use deepmorph_nn::prelude::*;
+use deepmorph_nn::NnError;
+use rand_chacha::ChaCha8Rng;
+
+use crate::builder::NetBuilder;
+use crate::spec::{ModelScale, ModelSpec, ProbePoint};
+
+struct ResNetDims {
+    width: usize,
+    blocks: [usize; 4],
+}
+
+fn dims(scale: ModelScale) -> ResNetDims {
+    match scale {
+        ModelScale::Tiny => ResNetDims {
+            width: 4,
+            blocks: [1, 1, 1, 1],
+        },
+        ModelScale::Small => ResNetDims {
+            width: 8,
+            blocks: [2, 2, 2, 2],
+        },
+        // ResNet-34's stage plan.
+        ModelScale::Paper => ResNetDims {
+            width: 16,
+            blocks: [3, 4, 6, 3],
+        },
+    }
+}
+
+/// Removes `removed` blocks from the stage plan, deepest stages first,
+/// allowing stages to reach zero blocks (they degrade to a bare strided
+/// 1×1 transition — exactly the "weaker structure" the SD injection wants).
+fn apply_sd(blocks: [usize; 4], removed: usize) -> [usize; 4] {
+    let mut blocks = blocks;
+    let mut left = removed;
+    // Round-robin from the last stage backwards so damage concentrates in
+    // the high-level feature stages, mirroring the paper's edits.
+    while left > 0 && blocks.iter().sum::<usize>() > 0 {
+        let mut removed_this_round = false;
+        for stage in (0..4).rev() {
+            if left == 0 {
+                break;
+            }
+            if blocks[stage] > 0 {
+                blocks[stage] -= 1;
+                left -= 1;
+                removed_this_round = true;
+            }
+        }
+        if !removed_this_round {
+            break;
+        }
+    }
+    blocks
+}
+
+/// Appends one basic residual block (two 3×3 convs + shortcut).
+fn basic_block(
+    b: &mut NetBuilder<'_>,
+    out_c: usize,
+    stride: usize,
+) -> Result<(), NnError> {
+    let entry = b.here();
+    let in_c = entry.shape.features();
+    b.conv(out_c, 3, stride, 1)?.bn()?.relu()?;
+    b.conv(out_c, 3, 1, 1)?.bn()?;
+    let main = b.here();
+    let shortcut = if stride != 1 || in_c != out_c {
+        // Projection shortcut.
+        b.resume(entry);
+        b.conv(out_c, 1, stride, 0)?.bn()?;
+        b.here()
+    } else {
+        entry
+    };
+    b.resume(main);
+    b.add_from(shortcut)?;
+    b.relu()?;
+    Ok(())
+}
+
+/// Builds the ResNet per `spec`.
+///
+/// SD injection: `removed_convs` deletes residual blocks starting from the
+/// deepest stage; a stage with zero remaining blocks becomes a bare strided
+/// 1×1 transition conv.
+///
+/// # Errors
+///
+/// Returns an error if the input is too small for the three stride-2
+/// stages.
+pub fn build(
+    spec: &ModelSpec,
+    rng: &mut ChaCha8Rng,
+) -> Result<(Graph, Vec<ProbePoint>), NnError> {
+    let d = dims(spec.scale);
+    let blocks = apply_sd(d.blocks, spec.removed_convs);
+    let mut b = NetBuilder::new(spec.input_shape, rng);
+
+    // Stem.
+    b.conv(d.width, 3, 1, 1)?.bn()?.relu()?;
+    b.probe("stem");
+
+    for (stage, &count) in blocks.iter().enumerate() {
+        let out_c = d.width << stage;
+        let stage_stride = if stage == 0 { 1 } else { 2 };
+        if count == 0 {
+            // Degraded stage: bare transition keeps shapes flowing.
+            b.conv(out_c, 1, stage_stride, 0)?.bn()?.relu()?;
+        } else {
+            for block in 0..count {
+                let stride = if block == 0 { stage_stride } else { 1 };
+                basic_block(&mut b, out_c, stride)?;
+            }
+        }
+        b.probe(&format!("stage{}", stage + 1));
+    }
+
+    b.gap()?;
+    b.probe("gap");
+    b.dense(spec.num_classes)?;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::check_forward;
+    use crate::spec::ModelFamily;
+    use deepmorph_tensor::init::stream_rng;
+
+    fn spec(scale: ModelScale, removed: usize) -> ModelSpec {
+        ModelSpec::new(ModelFamily::ResNet, scale, [3, 16, 16], 10).with_removed_convs(removed)
+    }
+
+    #[test]
+    fn tiny_resnet_builds_and_forwards() {
+        let mut rng = stream_rng(1, "resnet");
+        let (mut g, probes) = build(&spec(ModelScale::Tiny, 0), &mut rng).unwrap();
+        // stem + 4 stages + gap
+        assert_eq!(probes.len(), 6);
+        check_forward(&mut g, [3, 16, 16], 2, 10).unwrap();
+    }
+
+    #[test]
+    fn paper_scale_uses_resnet34_plan() {
+        assert_eq!(dims(ModelScale::Paper).blocks, [3, 4, 6, 3]);
+    }
+
+    #[test]
+    fn sd_removes_from_deep_stages_first() {
+        assert_eq!(apply_sd([3, 4, 6, 3], 1), [3, 4, 6, 2]);
+        assert_eq!(apply_sd([3, 4, 6, 3], 2), [3, 4, 5, 2]);
+        assert_eq!(apply_sd([1, 1, 1, 1], 2), [1, 1, 0, 0]);
+        assert_eq!(apply_sd([1, 1, 1, 1], 99), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fully_degraded_resnet_still_forwards() {
+        let mut rng = stream_rng(2, "resnet");
+        let (mut g, _) = build(&spec(ModelScale::Tiny, 4), &mut rng).unwrap();
+        check_forward(&mut g, [3, 16, 16], 2, 10).unwrap();
+    }
+
+    #[test]
+    fn projection_shortcut_used_on_width_change() {
+        // Small scale stage 2 changes width: training-mode forward+backward
+        // must succeed through the projection.
+        let mut rng = stream_rng(3, "resnet");
+        let (mut g, _) = build(&spec(ModelScale::Tiny, 0), &mut rng).unwrap();
+        let x = deepmorph_tensor::Tensor::zeros(&[2, 3, 16, 16]);
+        let y = g.forward(&x, Mode::Train).unwrap();
+        g.zero_grad();
+        g.backward(&deepmorph_tensor::Tensor::ones(y.shape())).unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the model zoo: every (family, scale, SD
+//! severity) combination must build, forward with correct shapes, and
+//! expose consistent probe metadata.
+
+use deepmorph_models::prelude::*;
+use deepmorph_nn::prelude::Mode;
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+use proptest::prelude::*;
+
+fn family_strategy() -> impl Strategy<Value = ModelFamily> {
+    prop_oneof![
+        Just(ModelFamily::LeNet),
+        Just(ModelFamily::AlexNet),
+        Just(ModelFamily::ResNet),
+        Just(ModelFamily::DenseNet),
+    ]
+}
+
+fn input_shape(family: ModelFamily) -> [usize; 3] {
+    match family {
+        ModelFamily::LeNet | ModelFamily::AlexNet => [1, 16, 16],
+        _ => [3, 16, 16],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_sd_severity_builds_and_forwards(
+        family in family_strategy(),
+        removed in 0usize..10,
+        seed in 0u64..20,
+    ) {
+        let spec = ModelSpec::new(family, ModelScale::Tiny, input_shape(family), 10)
+            .with_removed_convs(removed);
+        let mut rng = stream_rng(seed, "prop-models");
+        let mut handle = build_model(&spec, &mut rng).unwrap();
+        let [c, h, w] = spec.input_shape;
+        let x = Tensor::zeros(&[2, c, h, w]);
+        let y = handle.graph.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(y.shape(), &[2, 10]);
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn probe_metadata_matches_graph(
+        family in family_strategy(),
+        seed in 0u64..20,
+    ) {
+        let spec = ModelSpec::new(family, ModelScale::Tiny, input_shape(family), 10);
+        let mut rng = stream_rng(seed, "prop-models");
+        let mut handle = build_model(&spec, &mut rng).unwrap();
+        let nodes: Vec<_> = handle.probes.iter().map(|p| p.node).collect();
+        let [c, h, w] = spec.input_shape;
+        let x = Tensor::zeros(&[3, c, h, w]);
+        let (_, collected) = handle
+            .graph
+            .forward_collect(&x, Mode::Eval, &nodes)
+            .unwrap();
+        for (probe, activation) in handle.probes.iter().zip(&collected) {
+            if probe.spatial {
+                prop_assert_eq!(activation.ndim(), 4, "{}", probe.label);
+                prop_assert_eq!(activation.shape()[1], probe.features);
+            } else {
+                prop_assert_eq!(activation.ndim(), 2, "{}", probe.label);
+                prop_assert_eq!(activation.shape()[1], probe.features);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_init_is_seed_deterministic(
+        family in family_strategy(),
+        seed in 0u64..20,
+    ) {
+        let spec = ModelSpec::new(family, ModelScale::Tiny, input_shape(family), 10);
+        let mut a = build_model(&spec, &mut stream_rng(seed, "prop-det")).unwrap();
+        let mut b = build_model(&spec, &mut stream_rng(seed, "prop-det")).unwrap();
+        let mut wa = Vec::new();
+        a.graph.visit_params(&mut |p| wa.push(p.value.clone()));
+        let mut i = 0;
+        let mut equal = true;
+        b.graph.visit_params(&mut |p| {
+            if p.value != wa[i] {
+                equal = false;
+            }
+            i += 1;
+        });
+        prop_assert!(equal);
+        prop_assert_eq!(i, wa.len());
+    }
+
+    #[test]
+    fn training_mode_backward_works_at_any_severity(
+        family in family_strategy(),
+        removed in 0usize..7,
+    ) {
+        let spec = ModelSpec::new(family, ModelScale::Tiny, input_shape(family), 10)
+            .with_removed_convs(removed);
+        let mut rng = stream_rng(5, "prop-models");
+        let mut handle = build_model(&spec, &mut rng).unwrap();
+        let [c, h, w] = spec.input_shape;
+        let x = Tensor::full(&[2, c, h, w], 0.5);
+        let y = handle.graph.forward(&x, Mode::Train).unwrap();
+        handle.graph.zero_grad();
+        handle.graph.backward(&Tensor::ones(y.shape())).unwrap();
+        let mut any_grad = false;
+        handle.graph.visit_params(&mut |p| {
+            if p.grad.data().iter().any(|&v| v != 0.0) {
+                any_grad = true;
+            }
+        });
+        prop_assert!(any_grad, "no gradients flowed");
+    }
+}

@@ -1,0 +1,152 @@
+//! Activation functions.
+
+use deepmorph_tensor::Tensor;
+
+use crate::dense::single_input;
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+
+/// Rectified linear unit, `max(0, x)`, applied elementwise.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        ReLU { mask: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        let x = single_input(inputs, "relu")?;
+        let out = x.map(|v| v.max(0.0));
+        if mode == Mode::Train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        let mask = self.mask.as_ref().ok_or_else(|| NnError::MissingActivation {
+            layer: "relu".into(),
+        })?;
+        let mut out = grad.clone();
+        for (v, &keep) in out.data_mut().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        Ok(vec![out])
+    }
+
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+/// Hyperbolic tangent activation (used by the classic LeNet-5).
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh { output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &str {
+        "tanh"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        let x = single_input(inputs, "tanh")?;
+        let out = x.map(f32::tanh);
+        if mode == Mode::Train {
+            self.output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        let y = self.output.as_ref().ok_or_else(|| NnError::MissingActivation {
+            layer: "tanh".into(),
+        })?;
+        // d tanh = 1 - tanh^2
+        let mut out = grad.clone();
+        for (g, &yv) in out.data_mut().iter_mut().zip(y.data()) {
+            *g *= 1.0 - yv * yv;
+        }
+        Ok(vec![out])
+    }
+
+    fn clear_cache(&mut self) {
+        self.output = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut l = ReLU::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = l.forward(&[&x], Mode::Eval).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut l = ReLU::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
+        let _ = l.forward(&[&x], Mode::Train).unwrap();
+        let g = l.backward(&Tensor::from_slice(&[10.0, 10.0, 10.0])).unwrap();
+        assert_eq!(g[0].data(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn relu_zero_boundary_blocks_gradient() {
+        let mut l = ReLU::new();
+        let x = Tensor::from_slice(&[0.0]);
+        let _ = l.forward(&[&x], Mode::Train).unwrap();
+        let g = l.backward(&Tensor::from_slice(&[5.0])).unwrap();
+        assert_eq!(g[0].data(), &[0.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_check() {
+        let mut l = Tanh::new();
+        let x = Tensor::from_slice(&[0.3, -0.7, 1.2]);
+        let _ = l.forward(&[&x], Mode::Train).unwrap();
+        let gin = l.backward(&Tensor::ones(&[3])).unwrap().remove(0);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (l.forward(&[&xp], Mode::Eval).unwrap().sum()
+                - l.forward(&[&xm], Mode::Eval).unwrap().sum())
+                / (2.0 * eps);
+            assert!((num - gin.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut l = ReLU::new();
+        assert!(l.backward(&Tensor::ones(&[1])).is_err());
+    }
+}

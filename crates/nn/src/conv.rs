@@ -1,0 +1,280 @@
+//! 2-D convolution layer (im2col-lowered).
+
+use deepmorph_tensor::conv::{col2im, im2col, Conv2dGeometry};
+use deepmorph_tensor::{init::Init, Tensor};
+use rand::Rng;
+
+use crate::dense::single_input;
+use crate::layer::{Layer, Mode, Param};
+use crate::{NnError, Result};
+
+/// 2-D convolution over NCHW inputs.
+///
+/// Weights are stored flattened as `[out_channels, in_channels*kh*kw]` so
+/// the forward pass is a single `patches @ W^T` product on the `im2col`
+/// patch matrix.
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    geo: Conv2dGeometry,
+    weight: Param,
+    bias: Param,
+    cached_cols: Option<Tensor>,
+    cached_batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal weights.
+    ///
+    /// The full input geometry must be known up front (all models in this
+    /// workspace have static shapes), which lets the constructor validate
+    /// once instead of on every batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a geometry error if the kernel/stride/padding combination is
+    /// inconsistent with the input size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let geo = Conv2dGeometry::new(
+            in_channels,
+            out_channels,
+            in_h,
+            in_w,
+            kernel,
+            kernel,
+            stride,
+            padding,
+        )?;
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Param::new(Init::HeNormal.materialize(
+            &[out_channels, geo.patch_len()],
+            fan_in,
+            fan_out,
+            rng,
+        ));
+        let bias = Param::new(Tensor::zeros(&[out_channels]));
+        Ok(Conv2d {
+            name: format!(
+                "conv[{in_channels}->{out_channels} k{kernel} s{stride} p{padding} @{in_h}x{in_w}]"
+            ),
+            geo,
+            weight,
+            bias,
+            cached_cols: None,
+            cached_batch: 0,
+        })
+    }
+
+    /// The validated convolution geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geo
+    }
+
+    /// Output shape `[c, h, w]` (excluding batch).
+    pub fn out_shape(&self) -> [usize; 3] {
+        [self.geo.out_channels, self.geo.out_h, self.geo.out_w]
+    }
+
+    /// Permutes `[n*positions, out_c]` to NCHW `[n, out_c, oh, ow]`.
+    fn cols_to_nchw(&self, y: &Tensor, n: usize) -> Result<Tensor> {
+        let (oc, positions) = (self.geo.out_channels, self.geo.out_positions());
+        let mut out = vec![0.0f32; n * oc * positions];
+        let src = y.data();
+        for i in 0..n {
+            for p in 0..positions {
+                let row = &src[(i * positions + p) * oc..(i * positions + p + 1) * oc];
+                for (ch, &v) in row.iter().enumerate() {
+                    out[(i * oc + ch) * positions + p] = v;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(
+            out,
+            &[n, oc, self.geo.out_h, self.geo.out_w],
+        )?)
+    }
+
+    /// Permutes NCHW gradients back to `[n*positions, out_c]`.
+    fn nchw_to_cols(&self, g: &Tensor, n: usize) -> Result<Tensor> {
+        let (oc, positions) = (self.geo.out_channels, self.geo.out_positions());
+        let mut out = vec![0.0f32; n * positions * oc];
+        let src = g.data();
+        for i in 0..n {
+            for ch in 0..oc {
+                for p in 0..positions {
+                    out[(i * positions + p) * oc + ch] = src[(i * oc + ch) * positions + p];
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[n * positions, oc])?)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        let x = single_input(inputs, &self.name)?;
+        x.expect_rank(4, "conv2d forward")?;
+        let n = x.shape()[0];
+        let cols = im2col(x, &self.geo)?;
+        // [n*positions, patch] @ [out_c, patch]^T -> [n*positions, out_c]
+        let mut y = cols.matmul_nt(&self.weight.value)?;
+        y.add_row_broadcast(&self.bias.value)?;
+        let out = self.cols_to_nchw(&y, n)?;
+        if mode == Mode::Train {
+            self.cached_cols = Some(cols);
+            self.cached_batch = n;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .ok_or_else(|| NnError::MissingActivation {
+                layer: self.name.clone(),
+            })?;
+        let n = self.cached_batch;
+        let g_cols = self.nchw_to_cols(grad, n)?; // [n*pos, out_c]
+        // dW = g_cols^T @ cols : [out_c, patch]
+        let dw = g_cols.matmul_tn(cols)?;
+        self.weight.grad.add_assign_tensor(&dw)?;
+        let db = g_cols.sum_axis0()?;
+        self.bias.grad.add_assign_tensor(&db)?;
+        // d_cols = g_cols @ W : [n*pos, patch]
+        let d_cols = g_cols.matmul(&self.weight.value)?;
+        let dx = col2im(&d_cols, &self.geo, n)?;
+        Ok(vec![dx])
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_cols = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_tensor::init::stream_rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = stream_rng(1, "conv");
+        let mut layer = Conv2d::new(3, 8, 16, 16, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = layer.forward(&[&x], Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 8, 16, 16]);
+    }
+
+    #[test]
+    fn strided_forward_shape() {
+        let mut rng = stream_rng(1, "conv");
+        let mut layer = Conv2d::new(4, 8, 16, 16, 3, 2, 1, &mut rng).unwrap();
+        let x = Tensor::zeros(&[1, 4, 16, 16]);
+        let y = layer.forward(&[&x], Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 conv with identity weights on 1 channel.
+        let mut rng = stream_rng(2, "conv");
+        let mut layer = Conv2d::new(1, 1, 4, 4, 1, 1, 0, &mut rng).unwrap();
+        layer.weight.value = Tensor::ones(&[1, 1]);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = layer.forward(&[&x], Mode::Eval).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn gradient_check_small() {
+        let mut rng = stream_rng(3, "conv");
+        let mut layer = Conv2d::new(2, 3, 5, 5, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::from_vec(
+            (0..50).map(|v| ((v * 7) % 11) as f32 * 0.1 - 0.5).collect(),
+            &[1, 2, 5, 5],
+        )
+        .unwrap();
+        let _ = layer.forward(&[&x], Mode::Train).unwrap();
+        let gout = Tensor::ones(&[1, 3, 5, 5]);
+        let gin = layer.backward(&gout).unwrap().remove(0);
+
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = layer.forward(&[&xp], Mode::Eval).unwrap().sum();
+            let ym = layer.forward(&[&xm], Mode::Eval).unwrap().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = gin.data()[i];
+            assert!(
+                (num - ana).abs() < 0.05,
+                "input grad {i}: numeric {num} analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_check_small() {
+        let mut rng = stream_rng(4, "conv");
+        let mut layer = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::from_vec(
+            (0..16).map(|v| (v as f32 * 0.13).sin()).collect(),
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let _ = layer.forward(&[&x], Mode::Train).unwrap();
+        let gout = Tensor::ones(&[1, 2, 4, 4]);
+        let _ = layer.backward(&gout).unwrap();
+        let analytic = layer.weight.grad.clone();
+
+        let eps = 1e-2;
+        for i in 0..layer.weight.value.len() {
+            let orig = layer.weight.value.data()[i];
+            layer.weight.value.data_mut()[i] = orig + eps;
+            let yp = layer.forward(&[&x], Mode::Eval).unwrap().sum();
+            layer.weight.value.data_mut()[i] = orig - eps;
+            let ym = layer.forward(&[&x], Mode::Eval).unwrap().sum();
+            layer.weight.value.data_mut()[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[i]).abs() < 0.05,
+                "weight grad {i}: numeric {num} analytic {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_shifts_all_outputs() {
+        let mut rng = stream_rng(5, "conv");
+        let mut layer = Conv2d::new(1, 1, 3, 3, 1, 1, 0, &mut rng).unwrap();
+        layer.weight.value = Tensor::zeros(&[1, 1]);
+        layer.bias.value = Tensor::from_slice(&[2.5]);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = layer.forward(&[&x], Mode::Eval).unwrap();
+        assert!(y.data().iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,213 @@
+//! Fully-connected layer.
+
+use deepmorph_tensor::{init::Init, Tensor};
+use rand::Rng;
+
+use crate::layer::{Layer, Mode, Param};
+use crate::{NnError, Result};
+
+/// Fully-connected (affine) layer: `y = x W^T + b`.
+///
+/// `x` is `[n, in_features]`, `W` is `[out_features, in_features]`, `b` is
+/// `[out_features]`.
+#[derive(Debug)]
+pub struct Dense {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-normal weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        Dense::with_init(in_features, out_features, Init::HeNormal, rng)
+    }
+
+    /// Creates a dense layer with a specific weight initializer.
+    pub fn with_init(
+        in_features: usize,
+        out_features: usize,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight = Param::new(init.materialize(
+            &[out_features, in_features],
+            in_features,
+            out_features,
+            rng,
+        ));
+        let bias = Param::new(Tensor::zeros(&[out_features]));
+        Dense {
+            name: format!("dense[{in_features}->{out_features}]"),
+            in_features,
+            out_features,
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Read access to the weight matrix (tests, inspection).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        let x = single_input(inputs, &self.name)?;
+        x.expect_rank(2, "dense forward")?;
+        let mut y = x.matmul_nt(&self.weight.value)?;
+        y.add_row_broadcast(&self.bias.value)?;
+        if mode == Mode::Train {
+            self.cached_input = Some(x.clone());
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::MissingActivation {
+                layer: self.name.clone(),
+            })?;
+        // dW = g^T x : [out, n] @ [n, in] -> [out, in]
+        let dw = grad.matmul_tn(x)?;
+        self.weight.grad.add_assign_tensor(&dw)?;
+        // db = column sums of g.
+        let db = grad.sum_axis0()?;
+        self.bias.grad.add_assign_tensor(&db)?;
+        // dx = g W : [n, out] @ [out, in] -> [n, in]
+        let dx = grad.matmul(&self.weight.value)?;
+        Ok(vec![dx])
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+/// Extracts the single input of a unary layer.
+pub(crate) fn single_input<'a>(inputs: &[&'a Tensor], name: &str) -> Result<&'a Tensor> {
+    if inputs.len() != 1 {
+        return Err(NnError::ArityMismatch {
+            layer: name.to_string(),
+            expected: 1,
+            actual: inputs.len(),
+        });
+    }
+    Ok(inputs[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_tensor::init::stream_rng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = stream_rng(1, "dense");
+        let mut layer = Dense::new(3, 2, &mut rng);
+        layer.bias.value = Tensor::from_slice(&[1.0, -1.0]);
+        let x = Tensor::zeros(&[4, 3]);
+        let y = layer.forward(&[&x], Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[4, 2]);
+        // Zero input → output equals bias.
+        assert_eq!(y.row(0).unwrap(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = stream_rng(1, "dense");
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let g = Tensor::ones(&[1, 2]);
+        assert!(matches!(
+            layer.backward(&g).unwrap_err(),
+            NnError::MissingActivation { .. }
+        ));
+    }
+
+    #[test]
+    fn gradient_check() {
+        // Numerical vs analytic gradient on a scalar loss L = sum(y).
+        let mut rng = stream_rng(2, "dense");
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.7], &[2, 3]).unwrap();
+        let _ = layer.forward(&[&x], Mode::Train).unwrap();
+        let gout = Tensor::ones(&[2, 2]);
+        let gin = layer.backward(&gout).unwrap().remove(0);
+
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = layer.forward(&[&xp], Mode::Eval).unwrap().sum();
+            let ym = layer.forward(&[&xm], Mode::Eval).unwrap().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = gin.data()[i];
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "input grad {i}: numeric {num} analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_check() {
+        let mut rng = stream_rng(3, "dense");
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.2, -0.4, 0.6, 0.8], &[2, 2]).unwrap();
+        let _ = layer.forward(&[&x], Mode::Train).unwrap();
+        let gout = Tensor::ones(&[2, 2]);
+        let _ = layer.backward(&gout).unwrap();
+        let analytic = layer.weight.grad.clone();
+
+        let eps = 1e-3;
+        for i in 0..layer.weight.value.len() {
+            let orig = layer.weight.value.data()[i];
+            layer.weight.value.data_mut()[i] = orig + eps;
+            let yp = layer.forward(&[&x], Mode::Eval).unwrap().sum();
+            layer.weight.value.data_mut()[i] = orig - eps;
+            let ym = layer.forward(&[&x], Mode::Eval).unwrap().sum();
+            layer.weight.value.data_mut()[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[i]).abs() < 1e-2,
+                "weight grad {i}: numeric {num} analytic {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = stream_rng(4, "dense");
+        let mut layer = Dense::new(10, 5, &mut rng);
+        assert_eq!(layer.param_count(), 10 * 5 + 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Inverted dropout.
+
+use deepmorph_tensor::Tensor;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dense::single_input;
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+
+/// Inverted dropout: in training mode zeroes each activation with
+/// probability `p` and scales survivors by `1/(1-p)`; evaluation mode is the
+/// identity.
+///
+/// The layer owns its RNG (seeded at construction) so that a training run
+/// is reproducible without threading an RNG through the graph executor.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: ChaCha8Rng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` (clamped to
+    /// `[0, 0.95]`) and an RNG seed.
+    pub fn new(p: f32, seed: u64) -> Self {
+        Dropout {
+            p: p.clamp(0.0, 0.95),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        "dropout"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        let x = single_input(inputs, "dropout")?;
+        match mode {
+            Mode::Eval => Ok(x.clone()),
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let scale = 1.0 / keep;
+                let mask: Vec<f32> = (0..x.len())
+                    .map(|_| {
+                        if self.rng.gen::<f32>() < keep {
+                            scale
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let mut out = x.clone();
+                for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
+                    *v *= m;
+                }
+                self.mask = Some(mask);
+                Ok(out)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        let mask = self.mask.as_ref().ok_or_else(|| NnError::MissingActivation {
+            layer: "dropout".into(),
+        })?;
+        let mut out = grad.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(mask) {
+            *v *= m;
+        }
+        Ok(vec![out])
+    }
+
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut l = Dropout::new(0.5, 1);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = l.forward(&[&x], Mode::Eval).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut l = Dropout::new(0.5, 42);
+        let x = Tensor::ones(&[10_000]);
+        let y = l.forward(&[&x], Mode::Train).unwrap();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Survivors are scaled by 2.
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_reuses_mask() {
+        let mut l = Dropout::new(0.5, 7);
+        let x = Tensor::ones(&[100]);
+        let y = l.forward(&[&x], Mode::Train).unwrap();
+        let g = l.backward(&Tensor::ones(&[100])).unwrap().remove(0);
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(yv, gv);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut l = Dropout::new(0.0, 3);
+        let x = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let y = l.forward(&[&x], Mode::Train).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let l = Dropout::new(2.0, 0);
+        assert!(l.probability() <= 0.95);
+    }
+}

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+use deepmorph_tensor::TensorError;
+
+/// Errors produced by graph construction, execution, and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape bug in a layer).
+    Tensor(TensorError),
+    /// A layer received the wrong number of inputs.
+    ArityMismatch {
+        /// Layer name.
+        layer: String,
+        /// Inputs the layer expects.
+        expected: usize,
+        /// Inputs it was wired with.
+        actual: usize,
+    },
+    /// A graph node referenced an id that does not exist (or would create a
+    /// cycle by referencing a later node).
+    InvalidNode {
+        /// The offending node index.
+        id: usize,
+        /// Why it is invalid.
+        reason: &'static str,
+    },
+    /// `backward` was called before `forward`, or a cached activation was
+    /// missing.
+    MissingActivation {
+        /// Layer name.
+        layer: String,
+    },
+    /// Label vector and batch size disagree, or a label is out of range.
+    InvalidLabels {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Training was configured with an empty dataset or zero batch size.
+    InvalidTrainConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::ArityMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(f, "layer `{layer}` expects {expected} inputs, got {actual}"),
+            NnError::InvalidNode { id, reason } => {
+                write!(f, "invalid node reference {id}: {reason}")
+            }
+            NnError::MissingActivation { layer } => write!(
+                f,
+                "layer `{layer}` has no cached activation (forward not run?)"
+            ),
+            NnError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
+            NnError::InvalidTrainConfig { reason } => {
+                write!(f, "invalid training configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::InvalidShape {
+            shape: vec![0],
+            reason: "zero",
+        };
+        let ne: NnError = te.clone().into();
+        assert!(matches!(ne, NnError::Tensor(ref inner) if *inner == te));
+        assert!(ne.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,489 @@
+//! DAG graph executor with reverse-mode differentiation.
+//!
+//! Networks are built with [`GraphBuilder`]: nodes are added in topological
+//! order (each node may only reference earlier nodes or the graph input),
+//! which makes forward execution a single in-order sweep and backward a
+//! single reverse sweep — no scheduling required.
+//!
+//! The executor also exposes [`Graph::forward_collect`], which returns the
+//! activations of caller-selected nodes alongside the output. DeepMorph
+//! uses this to extract the *data flow footprints* (intermediate outputs of
+//! hidden layers) that the paper's analysis is built on.
+
+use deepmorph_tensor::Tensor;
+
+use crate::layer::{Layer, Mode, Param};
+use crate::{NnError, Result};
+
+/// Identifier of a node in a [`Graph`] (or the graph input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Sentinel referring to the graph's input tensor.
+    pub const SOURCE: NodeId = NodeId(usize::MAX);
+
+    /// The raw index (source returns `usize::MAX`).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// `true` if this id refers to the graph input.
+    pub fn is_source(self) -> bool {
+        self == NodeId::SOURCE
+    }
+}
+
+struct Node {
+    layer: Box<dyn Layer>,
+    inputs: Vec<NodeId>,
+    label: String,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("label", &self.label)
+            .field("inputs", &self.inputs)
+            .finish()
+    }
+}
+
+/// Incrementally builds a [`Graph`] in topological order.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder { nodes: Vec::new() }
+    }
+
+    /// The id of the graph input tensor.
+    pub fn input(&self) -> NodeId {
+        NodeId::SOURCE
+    }
+
+    /// Adds a layer consuming `inputs`, returning the new node's id.
+    ///
+    /// The node's label defaults to the layer name; use
+    /// [`GraphBuilder::add_labeled`] to override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidNode`] if an input refers to a node that
+    /// does not exist yet (graphs must be built in topological order) and
+    /// [`NnError::ArityMismatch`] if the input count disagrees with the
+    /// layer's arity.
+    pub fn add_layer(&mut self, layer: impl Layer + 'static, inputs: &[NodeId]) -> Result<NodeId> {
+        let label = layer.name().to_string();
+        self.add_labeled(layer, inputs, &label)
+    }
+
+    /// Adds a layer with an explicit label (used in probe/footprint reports).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::add_layer`].
+    pub fn add_labeled(
+        &mut self,
+        layer: impl Layer + 'static,
+        inputs: &[NodeId],
+        label: &str,
+    ) -> Result<NodeId> {
+        if inputs.len() != layer.arity() {
+            return Err(NnError::ArityMismatch {
+                layer: layer.name().to_string(),
+                expected: layer.arity(),
+                actual: inputs.len(),
+            });
+        }
+        for &input in inputs {
+            if !input.is_source() && input.0 >= self.nodes.len() {
+                return Err(NnError::InvalidNode {
+                    id: input.0,
+                    reason: "input node does not exist yet (topological order required)",
+                });
+            }
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            layer: Box::new(layer),
+            inputs: inputs.to_vec(),
+            label: label.to_string(),
+        });
+        Ok(id)
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the graph with `output` as the terminal node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidNode`] if `output` does not exist or is
+    /// the source.
+    pub fn build(self, output: NodeId) -> Result<Graph> {
+        if output.is_source() || output.0 >= self.nodes.len() {
+            return Err(NnError::InvalidNode {
+                id: output.0,
+                reason: "output node does not exist",
+            });
+        }
+        Ok(Graph {
+            nodes: self.nodes,
+            output,
+            activations: Vec::new(),
+        })
+    }
+}
+
+/// A feed-forward computation DAG over a single input tensor.
+#[derive(Debug)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    output: NodeId,
+    /// Activations of the most recent forward pass (training mode only).
+    activations: Vec<Option<Tensor>>,
+}
+
+impl Graph {
+    /// Runs the graph and returns the output of the terminal node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (out, _) = self.forward_collect(x, mode, &[])?;
+        Ok(out)
+    }
+
+    /// Runs the graph, additionally returning the activations of `collect`
+    /// (in the same order). This is the footprint-extraction entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidNode`] for unknown ids in `collect`, and
+    /// propagates layer errors.
+    pub fn forward_collect(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        collect: &[NodeId],
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        for &id in collect {
+            if id.is_source() || id.0 >= self.nodes.len() {
+                return Err(NnError::InvalidNode {
+                    id: id.0,
+                    reason: "collect node does not exist",
+                });
+            }
+        }
+        let mut outputs: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        for idx in 0..self.nodes.len() {
+            // Split borrow: inputs come from `outputs`/`x`, layer is &mut.
+            let input_ids = self.nodes[idx].inputs.clone();
+            let inputs: Vec<&Tensor> = input_ids
+                .iter()
+                .map(|id| {
+                    if id.is_source() {
+                        Ok(x)
+                    } else {
+                        outputs[id.0].as_ref().ok_or(NnError::InvalidNode {
+                            id: id.0,
+                            reason: "input activation missing (cycle?)",
+                        })
+                    }
+                })
+                .collect::<Result<_>>()?;
+            let out = self.nodes[idx].layer.forward(&inputs, mode)?;
+            outputs[idx] = Some(out);
+        }
+        let collected = collect
+            .iter()
+            .map(|id| outputs[id.0].clone().expect("validated above"))
+            .collect();
+        let final_out = outputs[self.output.0].clone().expect("output computed");
+        if mode == Mode::Train {
+            self.activations = outputs;
+        }
+        Ok((final_out, collected))
+    }
+
+    /// Backpropagates `grad` (w.r.t. the terminal node's output),
+    /// accumulating parameter gradients in every layer.
+    ///
+    /// Must follow a training-mode forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingActivation`] if no training forward has
+    /// been run.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<()> {
+        if self.activations.len() != self.nodes.len() {
+            return Err(NnError::MissingActivation {
+                layer: "graph".into(),
+            });
+        }
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[self.output.0] = Some(grad.clone());
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[idx].take() else {
+                continue; // node does not influence the output
+            };
+            let input_grads = self.nodes[idx].layer.backward(&g)?;
+            let input_ids = self.nodes[idx].inputs.clone();
+            debug_assert_eq!(input_grads.len(), input_ids.len());
+            for (id, ig) in input_ids.into_iter().zip(input_grads) {
+                if id.is_source() {
+                    continue; // gradients w.r.t. the data are not needed
+                }
+                match &mut grads[id.0] {
+                    Some(existing) => existing.add_assign_tensor(&ig)?,
+                    slot @ None => *slot = Some(ig),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Visits every trainable parameter in a stable order.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for node in &mut self.nodes {
+            node.layer.visit_params(visitor);
+        }
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut Param::zero_grad);
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.len());
+        count
+    }
+
+    /// Number of nodes (layers) in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for a graph with no nodes (cannot be constructed normally).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The terminal node id.
+    pub fn output_id(&self) -> NodeId {
+        self.output
+    }
+
+    /// Label of a node, if it exists.
+    pub fn label(&self, id: NodeId) -> Option<&str> {
+        self.nodes.get(id.0).map(|n| n.label.as_str())
+    }
+
+    /// Ids and labels of every node, in topological order.
+    pub fn node_labels(&self) -> Vec<(NodeId, &str)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i), n.label.as_str()))
+            .collect()
+    }
+
+    /// Drops cached activations in the graph and all layers.
+    pub fn clear_caches(&mut self) {
+        self.activations.clear();
+        for node in &mut self.nodes {
+            node.layer.clear_cache();
+        }
+    }
+
+    /// Convenience: eval-mode forward returning the predicted class of each
+    /// row of the output logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; the output must be rank 2.
+    pub fn predict(&mut self, x: &Tensor) -> Result<Vec<usize>> {
+        let logits = self.forward(x, Mode::Eval)?;
+        logits.argmax_rows().map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReLU;
+    use crate::dense::Dense;
+    use crate::merge::Add;
+    use deepmorph_tensor::init::stream_rng;
+
+    fn linear_graph() -> Graph {
+        let mut rng = stream_rng(1, "graph");
+        let mut gb = GraphBuilder::new();
+        let x = gb.input();
+        let a = gb.add_layer(Dense::new(3, 4, &mut rng), &[x]).unwrap();
+        let r = gb.add_layer(ReLU::new(), &[a]).unwrap();
+        let b = gb.add_layer(Dense::new(4, 2, &mut rng), &[r]).unwrap();
+        gb.build(b).unwrap()
+    }
+
+    #[test]
+    fn forward_produces_output_shape() {
+        let mut g = linear_graph();
+        let x = Tensor::ones(&[5, 3]);
+        let y = g.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[5, 2]);
+    }
+
+    #[test]
+    fn forward_collect_returns_intermediates() {
+        let mut g = linear_graph();
+        let x = Tensor::ones(&[2, 3]);
+        let ids: Vec<NodeId> = g.node_labels().iter().map(|(id, _)| *id).collect();
+        let (_, collected) = g.forward_collect(&x, Mode::Eval, &ids).unwrap();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[0].shape(), &[2, 4]);
+        assert_eq!(collected[2].shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn collect_rejects_unknown_node() {
+        let mut g = linear_graph();
+        let x = Tensor::ones(&[1, 3]);
+        let bogus = NodeId(99);
+        assert!(g.forward_collect(&x, Mode::Eval, &[bogus]).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_forward_reference() {
+        let mut rng = stream_rng(2, "graph");
+        let mut gb = GraphBuilder::new();
+        let err = gb
+            .add_layer(Dense::new(2, 2, &mut rng), &[NodeId(5)])
+            .unwrap_err();
+        assert!(matches!(err, NnError::InvalidNode { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_arity() {
+        let mut gb = GraphBuilder::new();
+        let x = gb.input();
+        let err = gb.add_layer(Add::new(), &[x]).unwrap_err();
+        assert!(matches!(err, NnError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn build_rejects_source_output() {
+        let gb = GraphBuilder::new();
+        assert!(gb.build(NodeId::SOURCE).is_err());
+    }
+
+    #[test]
+    fn backward_requires_training_forward() {
+        let mut g = linear_graph();
+        let grad = Tensor::ones(&[1, 2]);
+        assert!(g.backward(&grad).is_err());
+    }
+
+    #[test]
+    fn residual_graph_accumulates_gradients() {
+        // y = relu(x W1) + x W2 ; check both branches receive gradient.
+        let mut rng = stream_rng(3, "graph");
+        let mut gb = GraphBuilder::new();
+        let x = gb.input();
+        let a = gb.add_layer(Dense::new(3, 3, &mut rng), &[x]).unwrap();
+        let r = gb.add_layer(ReLU::new(), &[a]).unwrap();
+        let b = gb.add_layer(Dense::new(3, 3, &mut rng), &[x]).unwrap();
+        let s = gb.add_layer(Add::new(), &[r, b]).unwrap();
+        let mut g = gb.build(s).unwrap();
+
+        let input = Tensor::ones(&[2, 3]);
+        let _ = g.forward(&input, Mode::Train).unwrap();
+        g.zero_grad();
+        g.backward(&Tensor::ones(&[2, 3])).unwrap();
+
+        let mut nonzero_params = 0;
+        g.visit_params(&mut |p| {
+            if p.grad.data().iter().any(|&v| v != 0.0) {
+                nonzero_params += 1;
+            }
+        });
+        // Both dense layers (weight+bias each) should have gradients.
+        assert_eq!(nonzero_params, 4);
+    }
+
+    #[test]
+    fn shared_input_fanout_sums_gradients() {
+        // y = (x W) + (x W') where both consume the same intermediate node.
+        let mut rng = stream_rng(4, "graph");
+        let mut gb = GraphBuilder::new();
+        let x = gb.input();
+        let h = gb.add_layer(Dense::new(2, 2, &mut rng), &[x]).unwrap();
+        let a = gb.add_layer(Dense::new(2, 2, &mut rng), &[h]).unwrap();
+        let b = gb.add_layer(Dense::new(2, 2, &mut rng), &[h]).unwrap();
+        let s = gb.add_layer(Add::new(), &[a, b]).unwrap();
+        let mut g = gb.build(s).unwrap();
+
+        let input = Tensor::from_vec(vec![0.3, -0.6, 0.9, 0.1], &[2, 2]).unwrap();
+        let _ = g.forward(&input, Mode::Train).unwrap();
+        g.zero_grad();
+        g.backward(&Tensor::ones(&[2, 2])).unwrap();
+
+        // Gradient check on the first dense layer's weights: the fan-out
+        // means its gradient is the sum of both downstream paths.
+        let mut grads = Vec::new();
+        g.visit_params(&mut |p| grads.push(p.clone()));
+        let w0 = grads[0].clone();
+
+        let eps = 1e-2;
+        for i in 0..w0.value.len() {
+            let perturb = |delta: f32, g: &mut Graph| {
+                let mut j = 0;
+                g.visit_params(&mut |p| {
+                    if j == 0 {
+                        p.value.data_mut()[i] += delta;
+                    }
+                    j += 1;
+                });
+            };
+            perturb(eps, &mut g);
+            let yp = g.forward(&input, Mode::Eval).unwrap().sum();
+            perturb(-2.0 * eps, &mut g);
+            let ym = g.forward(&input, Mode::Eval).unwrap().sum();
+            perturb(eps, &mut g);
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = w0.grad.data()[i];
+            assert!(
+                (num - ana).abs() < 0.05,
+                "param {i}: numeric {num} analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_reported_in_order() {
+        let g = linear_graph();
+        let labels = g.node_labels();
+        assert_eq!(labels.len(), 3);
+        assert!(labels[0].1.starts_with("dense"));
+        assert_eq!(labels[1].1, "relu");
+    }
+}

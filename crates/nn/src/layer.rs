@@ -1,0 +1,121 @@
+//! The [`Layer`] trait and trainable [`Param`]s.
+
+use deepmorph_tensor::Tensor;
+
+use crate::Result;
+
+/// Execution mode: training (batch statistics, dropout active) or
+/// evaluation (running statistics, dropout off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training-time forward: layers may cache activations and use batch
+    /// statistics.
+    Train,
+    /// Inference-time forward: deterministic, uses running statistics.
+    Eval,
+}
+
+/// A trainable parameter: a value and its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient of the loss with respect to the value, accumulated by the
+    /// most recent backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value, allocating a zero gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient to zero, keeping the allocation.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable computation node.
+///
+/// Layers are stateful: `forward` caches whatever the matching `backward`
+/// needs. The graph executor guarantees `backward` is called at most once
+/// after each `forward`, in reverse topological order.
+///
+/// Implementors report trainable parameters through [`Layer::visit_params`];
+/// the optimizer relies on the visit order being stable across calls.
+pub trait Layer {
+    /// Short human-readable layer name (used in errors and reports).
+    fn name(&self) -> &str;
+
+    /// Number of inputs this layer consumes (1 for most, 2 for merges).
+    fn arity(&self) -> usize {
+        1
+    }
+
+    /// Computes the layer output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if input shapes are inconsistent with the layer
+    /// configuration.
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor>;
+
+    /// Propagates `grad` (w.r.t. the layer output) to gradients w.r.t. each
+    /// input, accumulating parameter gradients as a side effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::MissingActivation`] if `forward` has not
+    /// been run, or shape errors on inconsistent gradients.
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>>;
+
+    /// Visits every trainable parameter (stable order).
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        let _ = visitor;
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.len());
+        count
+    }
+
+    /// Drops cached activations to free memory (called between epochs for
+    /// large sweeps). Layers with no cache need not override.
+    fn clear_cache(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_tracks_shape() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.shape(), &[2, 3]);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[4]));
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,124 @@
+//! Loss functions.
+
+use deepmorph_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Softmax cross-entropy over integer class labels.
+///
+/// Combines the softmax and the negative log-likelihood so the gradient is
+/// the numerically-stable `softmax(logits) - onehot(labels)`, averaged over
+/// the batch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    /// Computes `(mean loss, dL/dlogits)` for `[n, k]` logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLabels`] if `labels.len() != n` or any
+    /// label is `>= k`.
+    pub fn compute(&self, logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+        logits.expect_rank(2, "softmax_cross_entropy")?;
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        if labels.len() != n {
+            return Err(NnError::InvalidLabels {
+                reason: format!("{} labels for a batch of {n}", labels.len()),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+            return Err(NnError::InvalidLabels {
+                reason: format!("label {bad} out of range for {k} classes"),
+            });
+        }
+        let log_probs = logits.log_softmax_rows()?;
+        let mut loss = 0.0;
+        for (i, &label) in labels.iter().enumerate() {
+            loss -= log_probs.row(i)?[label];
+        }
+        loss /= n as f32;
+
+        let mut grad = log_probs.map(f32::exp); // softmax probabilities
+        let inv_n = 1.0 / n as f32;
+        for (i, &label) in labels.iter().enumerate() {
+            let row = grad.row_mut(i)?;
+            row[label] -= 1.0;
+            for v in row.iter_mut() {
+                *v *= inv_n;
+            }
+        }
+        Ok((loss, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let (loss, _) = SoftmaxCrossEntropy::new()
+            .compute(&logits, &[0, 1])
+            .unwrap();
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_k() {
+        let logits = Tensor::zeros(&[3, 10]);
+        let (loss, _) = SoftmaxCrossEntropy::new()
+            .compute(&logits, &[0, 5, 9])
+            .unwrap();
+        assert!((loss - (10f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.2], &[2, 3]).unwrap();
+        let (_, grad) = SoftmaxCrossEntropy::new()
+            .compute(&logits, &[2, 0])
+            .unwrap();
+        for r in 0..2 {
+            let s: f32 = grad.row(r).unwrap().iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.9, 0.1, 0.3, -0.6], &[2, 3]).unwrap();
+        let labels = [1usize, 2];
+        let loss_fn = SoftmaxCrossEntropy::new();
+        let (_, grad) = loss_fn.compute(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = loss_fn.compute(&lp, &labels).unwrap();
+            let (fm, _) = loss_fn.compute(&lm, &labels).unwrap();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "grad {i}: numeric {num} analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        let loss = SoftmaxCrossEntropy::new();
+        assert!(loss.compute(&logits, &[0]).is_err());
+        assert!(loss.compute(&logits, &[0, 3]).is_err());
+    }
+}

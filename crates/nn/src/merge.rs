@@ -1,0 +1,204 @@
+//! Multi-input merge layers: residual addition and channel concatenation.
+
+use deepmorph_tensor::Tensor;
+
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+
+/// Elementwise sum of two tensors — the residual ("shortcut") connection
+/// used by ResNet blocks.
+#[derive(Debug, Default)]
+pub struct Add {
+    seen_forward: bool,
+}
+
+impl Add {
+    /// Creates a residual add layer.
+    pub fn new() -> Self {
+        Add { seen_forward: false }
+    }
+}
+
+impl Layer for Add {
+    fn name(&self) -> &str {
+        "add"
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        if inputs.len() != 2 {
+            return Err(NnError::ArityMismatch {
+                layer: "add".into(),
+                expected: 2,
+                actual: inputs.len(),
+            });
+        }
+        if mode == Mode::Train {
+            self.seen_forward = true;
+        }
+        inputs[0].add_tensor(inputs[1]).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        if !self.seen_forward {
+            return Err(NnError::MissingActivation { layer: "add".into() });
+        }
+        Ok(vec![grad.clone(), grad.clone()])
+    }
+
+    fn clear_cache(&mut self) {
+        self.seen_forward = false;
+    }
+}
+
+/// Concatenates two NCHW tensors along the channel axis — the dense
+/// connectivity pattern of DenseNet blocks.
+#[derive(Debug, Default)]
+pub struct ConcatChannels {
+    split: Option<(usize, usize)>,
+}
+
+impl ConcatChannels {
+    /// Creates a channel-concat layer.
+    pub fn new() -> Self {
+        ConcatChannels { split: None }
+    }
+}
+
+impl Layer for ConcatChannels {
+    fn name(&self) -> &str {
+        "concat_channels"
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        if inputs.len() != 2 {
+            return Err(NnError::ArityMismatch {
+                layer: "concat_channels".into(),
+                expected: 2,
+                actual: inputs.len(),
+            });
+        }
+        let (a, b) = (inputs[0], inputs[1]);
+        a.expect_rank(4, "concat_channels")?;
+        b.expect_rank(4, "concat_channels")?;
+        let [n, ca, h, w] = [a.shape()[0], a.shape()[1], a.shape()[2], a.shape()[3]];
+        let [nb, cb, hb, wb] = [b.shape()[0], b.shape()[1], b.shape()[2], b.shape()[3]];
+        if n != nb || h != hb || w != wb {
+            return Err(NnError::Tensor(deepmorph_tensor::TensorError::ShapeMismatch {
+                lhs: a.shape().to_vec(),
+                rhs: b.shape().to_vec(),
+                op: "concat_channels",
+            }));
+        }
+        let plane = h * w;
+        let mut out = vec![0.0f32; n * (ca + cb) * plane];
+        for i in 0..n {
+            let dst = &mut out[i * (ca + cb) * plane..(i + 1) * (ca + cb) * plane];
+            dst[..ca * plane]
+                .copy_from_slice(&a.data()[i * ca * plane..(i + 1) * ca * plane]);
+            dst[ca * plane..]
+                .copy_from_slice(&b.data()[i * cb * plane..(i + 1) * cb * plane]);
+        }
+        if mode == Mode::Train {
+            self.split = Some((ca, cb));
+        }
+        Ok(Tensor::from_vec(out, &[n, ca + cb, h, w])?)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        let (ca, cb) = self.split.ok_or_else(|| NnError::MissingActivation {
+            layer: "concat_channels".into(),
+        })?;
+        grad.expect_rank(4, "concat_channels backward")?;
+        let [n, c, h, w] = [
+            grad.shape()[0],
+            grad.shape()[1],
+            grad.shape()[2],
+            grad.shape()[3],
+        ];
+        debug_assert_eq!(c, ca + cb);
+        let plane = h * w;
+        let mut ga = vec![0.0f32; n * ca * plane];
+        let mut gb = vec![0.0f32; n * cb * plane];
+        for i in 0..n {
+            let src = &grad.data()[i * c * plane..(i + 1) * c * plane];
+            ga[i * ca * plane..(i + 1) * ca * plane].copy_from_slice(&src[..ca * plane]);
+            gb[i * cb * plane..(i + 1) * cb * plane].copy_from_slice(&src[ca * plane..]);
+        }
+        Ok(vec![
+            Tensor::from_vec(ga, &[n, ca, h, w])?,
+            Tensor::from_vec(gb, &[n, cb, h, w])?,
+        ])
+    }
+
+    fn clear_cache(&mut self) {
+        self.split = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sums_and_splits_gradient() {
+        let mut l = Add::new();
+        let a = Tensor::ones(&[1, 2, 2, 2]);
+        let b = Tensor::full(&[1, 2, 2, 2], 2.0);
+        let y = l.forward(&[&a, &b], Mode::Train).unwrap();
+        assert!(y.data().iter().all(|&v| v == 3.0));
+        let grads = l.backward(&Tensor::ones(&[1, 2, 2, 2])).unwrap();
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0], grads[1]);
+    }
+
+    #[test]
+    fn add_rejects_wrong_arity() {
+        let mut l = Add::new();
+        let a = Tensor::ones(&[2]);
+        assert!(matches!(
+            l.forward(&[&a], Mode::Eval).unwrap_err(),
+            NnError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let mut l = ConcatChannels::new();
+        let a = Tensor::ones(&[2, 1, 2, 2]);
+        let b = Tensor::zeros(&[2, 3, 2, 2]);
+        let y = l.forward(&[&a, &b], Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 4, 2, 2]);
+        assert_eq!(y.at(&[1, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(y.at(&[1, 3, 1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn concat_backward_splits() {
+        let mut l = ConcatChannels::new();
+        let a = Tensor::ones(&[1, 1, 2, 2]);
+        let b = Tensor::ones(&[1, 2, 2, 2]);
+        let _ = l.forward(&[&a, &b], Mode::Train).unwrap();
+        let g = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[1, 3, 2, 2]).unwrap();
+        let grads = l.backward(&g).unwrap();
+        assert_eq!(grads[0].shape(), &[1, 1, 2, 2]);
+        assert_eq!(grads[1].shape(), &[1, 2, 2, 2]);
+        assert_eq!(grads[0].data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(grads[1].data()[0], 4.0);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let mut l = ConcatChannels::new();
+        let a = Tensor::ones(&[1, 1, 2, 2]);
+        let b = Tensor::ones(&[1, 1, 3, 3]);
+        assert!(l.forward(&[&a, &b], Mode::Eval).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! Batch normalization.
+
+use deepmorph_tensor::Tensor;
+
+use crate::dense::single_input;
+use crate::layer::{Layer, Mode, Param};
+use crate::{NnError, Result};
+
+/// Per-channel batch normalization for NCHW tensors.
+///
+/// Training mode normalizes with batch statistics and updates exponential
+/// running averages; evaluation mode uses the running averages, so
+/// inference is deterministic.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    name: String,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with γ=1, β=0.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            name: format!("batchnorm[{channels}]"),
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+        }
+    }
+
+    /// Channel count this layer normalizes.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<(usize, usize, usize)> {
+        x.expect_rank(4, "batchnorm")?;
+        if x.shape()[1] != self.channels {
+            return Err(NnError::Tensor(deepmorph_tensor::TensorError::ShapeMismatch {
+                lhs: x.shape().to_vec(),
+                rhs: vec![0, self.channels, 0, 0],
+                op: "batchnorm channels",
+            }));
+        }
+        Ok((x.shape()[0], x.shape()[2], x.shape()[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        let x = single_input(inputs, &self.name)?;
+        let (n, h, w) = self.check_input(x)?;
+        let c = self.channels;
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut out = x.clone();
+
+        match mode {
+            Mode::Train => {
+                let mut x_hat = Tensor::zeros(x.shape());
+                let mut inv_std = vec![0.0f32; c];
+                for ch in 0..c {
+                    // Batch mean/var over (n, h, w) for this channel.
+                    let mut mean = 0.0;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for p in 0..plane {
+                            mean += x.data()[base + p];
+                        }
+                    }
+                    mean /= m;
+                    let mut var = 0.0;
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for p in 0..plane {
+                            let d = x.data()[base + p] - mean;
+                            var += d * d;
+                        }
+                    }
+                    var /= m;
+                    let istd = 1.0 / (var + self.eps).sqrt();
+                    inv_std[ch] = istd;
+                    let g = self.gamma.value.data()[ch];
+                    let b = self.beta.value.data()[ch];
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for p in 0..plane {
+                            let d = x.data()[base + p] - mean;
+                            let xh = d * istd;
+                            x_hat.data_mut()[base + p] = xh;
+                            out.data_mut()[base + p] = g * xh + b;
+                        }
+                    }
+                    self.running_mean[ch] =
+                        (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                    self.running_var[ch] =
+                        (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                }
+                self.cache = Some(BnCache { x_hat, inv_std });
+            }
+            Mode::Eval => {
+                for ch in 0..c {
+                    let istd = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                    let mean = self.running_mean[ch];
+                    let g = self.gamma.value.data()[ch];
+                    let b = self.beta.value.data()[ch];
+                    for i in 0..n {
+                        let base = (i * c + ch) * plane;
+                        for p in 0..plane {
+                            out.data_mut()[base + p] =
+                                g * (x.data()[base + p] - mean) * istd + b;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        let cache = self.cache.as_ref().ok_or_else(|| NnError::MissingActivation {
+            layer: self.name.clone(),
+        })?;
+        let (n, h, w) = self.check_input(grad)?;
+        let c = self.channels;
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut dx = Tensor::zeros(grad.shape());
+
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let istd = cache.inv_std[ch];
+            // Accumulate dgamma, dbeta, and the two reduction terms the dx
+            // formula needs.
+            let mut dgamma = 0.0;
+            let mut dbeta = 0.0;
+            let mut sum_dxhat = 0.0;
+            let mut sum_dxhat_xhat = 0.0;
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for p in 0..plane {
+                    let dy = grad.data()[base + p];
+                    let xh = cache.x_hat.data()[base + p];
+                    dgamma += dy * xh;
+                    dbeta += dy;
+                    let dxhat = dy * g;
+                    sum_dxhat += dxhat;
+                    sum_dxhat_xhat += dxhat * xh;
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += dgamma;
+            self.beta.grad.data_mut()[ch] += dbeta;
+            // dx = (istd / m) * (m*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+            for i in 0..n {
+                let base = (i * c + ch) * plane;
+                for p in 0..plane {
+                    let dy = grad.data()[base + p];
+                    let xh = cache.x_hat.data()[base + p];
+                    let dxhat = dy * g;
+                    dx.data_mut()[base + p] =
+                        (istd / m) * (m * dxhat - sum_dxhat - xh * sum_dxhat_xhat);
+                }
+            }
+        }
+        Ok(vec![dx])
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> Tensor {
+        Tensor::from_vec(
+            (0..24).map(|v| ((v * 13) % 17) as f32 * 0.3 - 2.0).collect(),
+            &[2, 2, 2, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_output_is_standardized() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = sample_input();
+        let y = bn.forward(&[&x], Mode::Train).unwrap();
+        // Per-channel mean ≈ 0, var ≈ 1 (γ=1, β=0).
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for i in 0..2 {
+                for p in 0..6 {
+                    vals.push(y.data()[(i * 2 + ch) * 6 + p]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = sample_input();
+        // Before any training step, running stats are (0, 1): eval ≈ identity.
+        let y = bn.forward(&[&x], Mode::Eval).unwrap();
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        // After many train passes running stats converge to batch stats.
+        for _ in 0..200 {
+            let _ = bn.forward(&[&x], Mode::Train).unwrap();
+        }
+        let y2 = bn.forward(&[&x], Mode::Eval).unwrap();
+        let y_train = bn.forward(&[&x], Mode::Train).unwrap();
+        for (a, b) in y2.data().iter().zip(y_train.data()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(
+            vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1, 0.0, 0.9],
+            &[2, 1, 2, 2],
+        )
+        .unwrap();
+        let _ = bn.forward(&[&x], Mode::Train).unwrap();
+        // Weighted loss so the gradient isn't trivially zero (sum of a
+        // standardized batch is 0 regardless of input).
+        let wts: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).sin() + 0.2).collect();
+        let gout = Tensor::from_vec(wts.clone(), &[2, 1, 2, 2]).unwrap();
+        let gin = bn.backward(&gout).unwrap().remove(0);
+
+        let eps = 1e-2;
+        for i in 0..8 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let loss = |bn: &mut BatchNorm2d, t: &Tensor| {
+                let y = bn.forward(&[t], Mode::Train).unwrap();
+                y.data().iter().zip(&wts).map(|(a, b)| a * b).sum::<f32>()
+            };
+            let mut bn2 = BatchNorm2d::new(1);
+            let num = (loss(&mut bn2, &xp) - loss(&mut bn2, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gin.data()[i]).abs() < 0.02,
+                "grad {i}: numeric {num} analytic {}",
+                gin.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_grads_accumulate() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let _ = bn.forward(&[&x], Mode::Train).unwrap();
+        let _ = bn.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        // dbeta = sum(dy) = 4
+        assert!((bn.beta.grad.data()[0] - 4.0).abs() < 1e-5);
+        // dgamma = sum(dy*xhat) = sum(xhat) ≈ 0 for a standardized batch
+        assert!(bn.gamma.grad.data()[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        assert!(bn.forward(&[&x], Mode::Train).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Optimizers.
+
+use deepmorph_tensor::Tensor;
+
+use crate::graph::Graph;
+use crate::Result;
+
+/// A gradient-based parameter updater.
+///
+/// Optimizers keep per-parameter state (momentum buffers, Adam moments)
+/// indexed by the graph's stable parameter-visit order; always pair one
+/// optimizer with one graph.
+pub trait Optimizer {
+    /// Applies one update step from the gradients accumulated in `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (which indicate optimizer/graph
+    /// mismatch).
+    fn step(&mut self, graph: &mut Graph) -> Result<()>;
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd::with_momentum(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum `mu` and L2 weight decay `wd`.
+    pub fn with_momentum(lr: f32, mu: f32, wd: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: mu,
+            weight_decay: wd,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, graph: &mut Graph) -> Result<()> {
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        let mut idx = 0;
+        let mut result = Ok(());
+        graph.visit_params(&mut |p| {
+            if result.is_err() {
+                return;
+            }
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            idx += 1;
+            // v = mu*v - lr*(g + wd*w) ; w += v
+            for ((vv, &g), w) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(p.value.data().iter())
+            {
+                *vv = mu * *vv - lr * (g + wd * *w);
+            }
+            if let Err(e) = p.value.add_assign_tensor(v) {
+                result = Err(e.into());
+            }
+        });
+        result
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, graph: &mut Graph) -> Result<()> {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        graph.visit_params(&mut |p| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            idx += 1;
+            for (((mv, vv), &g), w) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.grad.data())
+                .zip(p.value.data_mut().iter_mut())
+            {
+                *mv = b1 * *mv + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                *w -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::graph::GraphBuilder;
+    use crate::layer::Mode;
+    use crate::loss::SoftmaxCrossEntropy;
+    use deepmorph_tensor::init::stream_rng;
+
+    fn tiny_graph(seed: u64) -> Graph {
+        let mut rng = stream_rng(seed, "optim");
+        let mut gb = GraphBuilder::new();
+        let x = gb.input();
+        let out = gb.add_layer(Dense::new(2, 2, &mut rng), &[x]).unwrap();
+        gb.build(out).unwrap()
+    }
+
+    fn one_step_loss(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut g = tiny_graph(1);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let labels = [0usize, 1];
+        let loss_fn = SoftmaxCrossEntropy::new();
+        let mut last = f32::NAN;
+        for _ in 0..steps {
+            let logits = g.forward(&x, Mode::Train).unwrap();
+            let (loss, grad) = loss_fn.compute(&logits, &labels).unwrap();
+            g.zero_grad();
+            g.backward(&grad).unwrap();
+            opt.step(&mut g).unwrap();
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let initial = one_step_loss(&mut Sgd::new(0.0), 1);
+        let trained = one_step_loss(&mut Sgd::new(0.5), 100);
+        assert!(trained < initial * 0.5, "{trained} vs {initial}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let plain = one_step_loss(&mut Sgd::new(0.1), 50);
+        let momentum = one_step_loss(&mut Sgd::with_momentum(0.1, 0.9, 0.0), 50);
+        assert!(momentum < plain, "momentum {momentum} vs plain {plain}");
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let initial = one_step_loss(&mut Sgd::new(0.0), 1);
+        let trained = one_step_loss(&mut Adam::new(0.05), 100);
+        assert!(trained < initial * 0.5, "{trained} vs {initial}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut g = tiny_graph(2);
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        // Zero gradients: only decay acts.
+        let x = Tensor::ones(&[1, 2]);
+        let _ = g.forward(&x, Mode::Train).unwrap();
+        g.zero_grad();
+        let mut before = 0.0;
+        g.visit_params(&mut |p| before += p.value.norm_sq());
+        opt.step(&mut g).unwrap();
+        let mut after = 0.0;
+        g.visit_params(&mut |p| after += p.value.norm_sq());
+        assert!(after < before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-9);
+        let mut adam = Adam::new(0.1);
+        adam.set_learning_rate(0.2);
+        assert!((adam.learning_rate() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+//! Shape-changing layers.
+
+use deepmorph_tensor::Tensor;
+
+use crate::dense::single_input;
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+
+/// Flattens `[n, c, h, w]` (or any rank ≥ 2) to `[n, features]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    original_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten {
+            original_shape: None,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        "flatten"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
+        let x = single_input(inputs, "flatten")?;
+        if x.ndim() < 2 {
+            return Err(NnError::Tensor(deepmorph_tensor::TensorError::RankMismatch {
+                expected: 2,
+                actual: x.ndim(),
+                op: "flatten",
+            }));
+        }
+        let n = x.shape()[0];
+        let features: usize = x.shape()[1..].iter().product();
+        if mode == Mode::Train {
+            self.original_shape = Some(x.shape().to_vec());
+        }
+        x.reshape(&[n, features]).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+        let shape = self
+            .original_shape
+            .as_ref()
+            .ok_or_else(|| NnError::MissingActivation {
+                layer: "flatten".into(),
+            })?;
+        Ok(vec![grad.reshape(shape)?])
+    }
+
+    fn clear_cache(&mut self) {
+        self.original_shape = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut l = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let y = l.forward(&[&x], Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = l.backward(&y).unwrap().remove(0);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn flatten_rejects_rank1() {
+        let mut l = Flatten::new();
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(l.forward(&[&x], Mode::Eval).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the NN framework invariants.
+
+use deepmorph_nn::prelude::*;
+use deepmorph_nn::train::gather_batch;
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+use proptest::prelude::*;
+
+fn mlp(seed: u64, in_dim: usize, out_dim: usize) -> Graph {
+    let mut rng = stream_rng(seed, "nn-prop");
+    let mut gb = GraphBuilder::new();
+    let x = gb.input();
+    let h = gb.add_layer(Dense::new(in_dim, 8, &mut rng), &[x]).unwrap();
+    let r = gb.add_layer(ReLU::new(), &[h]).unwrap();
+    let o = gb.add_layer(Dense::new(8, out_dim, &mut rng), &[r]).unwrap();
+    gb.build(o).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eval_forward_is_deterministic(
+        data in proptest::collection::vec(-3.0f32..3.0, 8),
+        seed in 0u64..50,
+    ) {
+        let mut g = mlp(seed, 4, 3);
+        let x = Tensor::from_vec(data, &[2, 4]).unwrap();
+        let a = g.forward(&x, Mode::Eval).unwrap();
+        let b = g.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_grads_sum_zero(
+        logits in proptest::collection::vec(-5.0f32..5.0, 12),
+        labels in proptest::collection::vec(0usize..4, 3),
+    ) {
+        let t = Tensor::from_vec(logits, &[3, 4]).unwrap();
+        let (loss, grad) = SoftmaxCrossEntropy::new().compute(&t, &labels).unwrap();
+        prop_assert!(loss >= -1e-5, "loss {loss}");
+        for r in 0..3 {
+            let s: f32 = grad.row(r).unwrap().iter().sum();
+            prop_assert!(s.abs() < 1e-4, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn gather_batch_matches_manual_rows(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        pick in proptest::collection::vec(0usize..6, 1..8),
+    ) {
+        let picks: Vec<usize> = pick.into_iter().filter(|&i| i < rows).collect();
+        prop_assume!(!picks.is_empty());
+        let x = Tensor::from_vec(
+            (0..rows * cols).map(|v| v as f32).collect(),
+            &[rows, cols],
+        ).unwrap();
+        let b = gather_batch(&x, &picks).unwrap();
+        prop_assert_eq!(b.shape()[0], picks.len());
+        for (out_row, &src) in picks.iter().enumerate() {
+            prop_assert_eq!(b.row(out_row).unwrap(), x.row(src).unwrap());
+        }
+    }
+
+    #[test]
+    fn accuracy_is_fraction_of_matches(
+        pairs in proptest::collection::vec((0usize..5, 0usize..5), 1..40),
+    ) {
+        let preds: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let labels: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let acc = accuracy(&preds, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let manual = pairs.iter().filter(|(a, b)| a == b).count() as f32 / pairs.len() as f32;
+        prop_assert!((acc - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confusion_matrix_row_sums_equal_class_counts(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..40),
+    ) {
+        let preds: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let labels: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let m = confusion_matrix(&preds, &labels, 4);
+        for c in 0..4 {
+            let row_sum: usize = m[c].iter().sum();
+            let count = labels.iter().filter(|&&l| l == c).count();
+            prop_assert_eq!(row_sum, count);
+        }
+    }
+
+    #[test]
+    fn training_never_produces_nan(
+        seed in 0u64..20,
+        lr in 0.001f32..0.2,
+    ) {
+        let mut rng = stream_rng(seed, "nn-prop-data");
+        let n = 16;
+        let data: Vec<f32> = (0..n * 4)
+            .map(|_| deepmorph_tensor::init::gaussian(&mut rng))
+            .collect();
+        let x = Tensor::from_vec(data, &[n, 4]).unwrap();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut g = mlp(seed, 4, 3);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            learning_rate: lr,
+            ..TrainConfig::default()
+        });
+        let report = trainer.fit(&mut g, &x, &labels, &mut rng).unwrap();
+        prop_assert!(report.final_loss().is_finite());
+        let y = g.forward(&x, Mode::Eval).unwrap();
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn clip_gradients_never_increases_norm(scale in 0.1f32..100.0) {
+        let mut g = mlp(3, 4, 3);
+        let x = Tensor::ones(&[4, 4]);
+        let logits = g.forward(&x, Mode::Train).unwrap();
+        let (_, grad) = SoftmaxCrossEntropy::new()
+            .compute(&logits, &[0, 1, 2, 0])
+            .unwrap();
+        g.zero_grad();
+        g.backward(&grad.scaled(scale)).unwrap();
+        let before = clip_gradients(&mut g, 2.0);
+        let mut after_sq = 0.0;
+        g.visit_params(&mut |p| after_sq += p.grad.norm_sq());
+        prop_assert!(after_sq.sqrt() <= before.max(2.0) + 1e-3);
+        prop_assert!(after_sq.sqrt() <= 2.0 + 1e-3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Dense tensor math substrate for the DeepMorph reproduction.
+//!
+//! The paper implements DeepMorph over TensorFlow; this crate is the
+//! from-scratch replacement for the numerical kernels that the rest of the
+//! workspace builds on. It provides:
+//!
+//! * [`Tensor`] — a contiguous, row-major, `f32` n-dimensional array with
+//!   elementwise arithmetic, matrix multiplication, reductions, and
+//!   softmax/log-softmax.
+//! * [`conv`] — `im2col`/`col2im` and pooling kernels used by the
+//!   convolution layers in `deepmorph-nn`.
+//! * [`init`] — deterministic weight initialization (uniform, normal,
+//!   Xavier/Glorot, He).
+//! * [`stats`] — distribution/geometry helpers (entropy, KL/JS divergence,
+//!   cosine similarity) that the DeepMorph footprint analysis relies on.
+//!
+//! Layout convention is **NCHW** for 4-D activation tensors and
+//! `[rows, cols]` for matrices.
+//!
+//! # Example
+//!
+//! ```
+//! use deepmorph_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), deepmorph_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod conv;
+mod error;
+pub mod init;
+pub mod stats;
+mod tensor;
+
+pub use error::TensorError;
+pub use tensor::Tensor;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::conv::{self, Conv2dGeometry, PoolGeometry};
+    pub use crate::init::{self, Init};
+    pub use crate::stats;
+    pub use crate::{Tensor, TensorError};
+}
+
+/// Result alias used across this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

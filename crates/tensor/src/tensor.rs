@@ -1,0 +1,1028 @@
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+use crate::{Result, TensorError};
+
+/// A dense, contiguous, row-major `f32` n-dimensional array.
+///
+/// `Tensor` is the single numeric container used throughout the DeepMorph
+/// reproduction: network activations are `[n, c, h, w]` or `[n, features]`,
+/// weights are `[out, in]` / `[out_c, in_c, kh, kw]`, and probe
+/// distributions are `[n, classes]`.
+///
+/// All operations either return a new tensor or mutate `self` in place
+/// (`*_inplace` / `*_mut` suffixes); shapes are validated and mismatches
+/// reported as [`TensorError`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------------
+    // Constructors
+    // ---------------------------------------------------------------------
+
+    /// Creates a tensor filled with zeros.
+    ///
+    /// ```
+    /// # use deepmorph_tensor::Tensor;
+    /// let t = Tensor::zeros(&[2, 3]);
+    /// assert_eq!(t.len(), 6);
+    /// assert!(t.data().iter().all(|&v| v == 0.0));
+    /// ```
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not
+    /// equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                shape: shape.to_vec(),
+                len: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
+    /// rank or any coordinate is out of range.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Sets the value at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] on a bad index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        let mut off = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            if ix >= dim {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.shape.clone(),
+                });
+            }
+            off = off * dim + ix;
+            let _ = i;
+        }
+        Ok(off)
+    }
+
+    /// Borrow row `r` of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::IndexOutOfBounds`] for a bad row.
+    pub fn row(&self, r: usize) -> Result<&[f32]> {
+        self.expect_rank(2, "row")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        if r >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![r],
+                shape: self.shape.clone(),
+            });
+        }
+        Ok(&self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// Mutable borrow of row `r` of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::row`].
+    pub fn row_mut(&mut self, r: usize) -> Result<&mut [f32]> {
+        self.expect_rank(2, "row_mut")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        if r >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![r],
+                shape: self.shape.clone(),
+            });
+        }
+        Ok(&mut self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// Checks that the tensor has exactly `rank` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] otherwise.
+    pub fn expect_rank(&self, rank: usize, op: &'static str) -> Result<()> {
+        if self.ndim() != rank {
+            return Err(TensorError::RankMismatch {
+                expected: rank,
+                actual: self.ndim(),
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
+    // Shape manipulation
+    // ---------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                shape: shape.to_vec(),
+                len: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// In-place variant of [`Tensor::reshape`]; avoids the buffer copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape_inplace(&mut self, shape: &[usize]) -> Result<()> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                shape: shape.to_vec(),
+                len: self.data.len(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Tensor> {
+        self.expect_rank(2, "transpose")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts rows `[start, end)` of a rank-2 tensor into a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices or
+    /// [`TensorError::IndexOutOfBounds`] for a bad range.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Tensor> {
+        self.expect_rank(2, "slice_rows")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        if start > end || end > rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![start, end],
+                shape: self.shape.clone(),
+            });
+        }
+        Ok(Tensor {
+            shape: vec![end - start, cols],
+            data: self.data[start * cols..end * cols].to_vec(),
+        })
+    }
+
+    /// Stacks rank-≥1 tensors along a new leading batch axis.
+    ///
+    /// Each input must have identical shape `s`; the result has shape
+    /// `[inputs.len(), s...]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes disagree, or
+    /// [`TensorError::InvalidShape`] for an empty input list.
+    pub fn stack(inputs: &[&Tensor]) -> Result<Tensor> {
+        let first = inputs.first().ok_or(TensorError::InvalidShape {
+            shape: vec![],
+            reason: "cannot stack zero tensors",
+        })?;
+        let mut data = Vec::with_capacity(first.len() * inputs.len());
+        for t in inputs {
+            if t.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape.clone(),
+                    rhs: t.shape.clone(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut shape = vec![inputs.len()];
+        shape.extend_from_slice(&first.shape);
+        Ok(Tensor { shape, data })
+    }
+
+    /// Concatenates rank-2 tensors along axis 0 (rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if column counts disagree or
+    /// [`TensorError::InvalidShape`] for an empty input list.
+    pub fn concat_rows(inputs: &[&Tensor]) -> Result<Tensor> {
+        let first = inputs.first().ok_or(TensorError::InvalidShape {
+            shape: vec![],
+            reason: "cannot concat zero tensors",
+        })?;
+        first.expect_rank(2, "concat_rows")?;
+        let cols = first.shape[1];
+        let mut rows = 0;
+        let mut data = Vec::new();
+        for t in inputs {
+            t.expect_rank(2, "concat_rows")?;
+            if t.shape[1] != cols {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape.clone(),
+                    rhs: t.shape.clone(),
+                    op: "concat_rows",
+                });
+            }
+            rows += t.shape[0];
+            data.extend_from_slice(&t.data);
+        }
+        Ok(Tensor {
+            shape: vec![rows, cols],
+            data,
+        })
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ---------------------------------------------------------------------
+
+    fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum, returning a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_tensor(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other, "add")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign_tensor(&mut self, other: &Tensor) -> Result<()> {
+        self.check_same_shape(other, "add_assign")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Elementwise `self += alpha * other` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.check_same_shape(other, "axpy")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Elementwise difference, returning a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub_tensor(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other, "sub")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Elementwise (Hadamard) product, returning a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul_tensor(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other, "mul")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns a copy scaled by `s`.
+    pub fn scaled(&self, s: f32) -> Tensor {
+        let mut out = self.clone();
+        out.scale(s);
+        out
+    }
+
+    /// Adds `s` to every element in place.
+    pub fn add_scalar(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v += s;
+        }
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill(&mut self, value: f32) {
+        for v in &mut self.data {
+            *v = value;
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Reductions & row-wise ops
+    // ---------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Index of the maximum element of each row of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        self.expect_rank(2, "argmax_rows")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Column sums of a rank-2 tensor, returned as shape `[cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_axis0(&self) -> Result<Tensor> {
+        self.expect_rank(2, "sum_axis0")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c] += self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Row sums of a rank-2 tensor, returned as shape `[rows]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_axis1(&self) -> Result<Tensor> {
+        self.expect_rank(2, "sum_axis1")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            out.push(self.data[r * cols..(r + 1) * cols].iter().sum());
+        }
+        Tensor::from_vec(out, &[rows])
+    }
+
+    /// Adds a `[cols]` bias vector to every row of a `[rows, cols]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `self` is not rank 2 or `bias` is not
+    /// `[cols]`.
+    pub fn add_row_broadcast(&mut self, bias: &Tensor) -> Result<()> {
+        self.expect_rank(2, "add_row_broadcast")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        if bias.shape != [cols] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: bias.shape.clone(),
+                op: "add_row_broadcast",
+            });
+        }
+        for r in 0..rows {
+            for c in 0..cols {
+                self.data[r * cols + c] += bias.data[c];
+            }
+        }
+        Ok(())
+    }
+
+    /// Row-wise softmax of a `[rows, cols]` matrix.
+    ///
+    /// Numerically stabilized by subtracting the row max before
+    /// exponentiation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        self.expect_rank(2, "softmax_rows")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let mut out = self.clone();
+        for r in 0..rows {
+            let row = &mut out.data[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                sum += *v;
+            }
+            // A row of -inf logits would give sum == 0; fall back to uniform.
+            if sum <= 0.0 || !sum.is_finite() {
+                for v in row.iter_mut() {
+                    *v = 1.0 / cols as f32;
+                }
+            } else {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row-wise log-softmax of a `[rows, cols]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn log_softmax_rows(&self) -> Result<Tensor> {
+        self.expect_rank(2, "log_softmax_rows")?;
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let mut out = self.clone();
+        for r in 0..rows {
+            let row = &mut out.data[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
+            for v in row.iter_mut() {
+                *v -= log_sum;
+            }
+        }
+        Ok(out)
+    }
+
+    // ---------------------------------------------------------------------
+    // Matrix multiplication
+    // ---------------------------------------------------------------------
+
+    /// Matrix product `self @ other` for rank-2 tensors.
+    ///
+    /// Uses an `i-k-j` loop order so the inner loop streams both operand
+    /// rows, which is the cache-friendly layout for row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        self.expect_rank(2, "matmul")?;
+        other.expect_rank(2, "matmul")?;
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: [m, k],
+                rhs: [k2, n],
+            });
+        }
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self @ other.T` without materializing the transpose.
+    ///
+    /// `self` is `[m, k]`, `other` is `[n, k]`; result is `[m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        self.expect_rank(2, "matmul_nt")?;
+        other.expect_rank(2, "matmul_nt")?;
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: [m, k],
+                rhs: [k2, n],
+            });
+        }
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self.T @ other` without materializing the transpose.
+    ///
+    /// `self` is `[k, m]`, `other` is `[k, n]`; result is `[m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        self.expect_rank(2, "matmul_tn")?;
+        other.expect_rank(2, "matmul_tn")?;
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: [m, k],
+                rhs: [k2, n],
+            });
+        }
+        let mut out = vec![0.0; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} [", self.shape)?;
+        const LIMIT: usize = 8;
+        for (i, v) in self.data.iter().take(LIMIT).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > LIMIT {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Tensor::add_tensor`] for a fallible
+    /// version.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.add_tensor(rhs).expect("tensor add: shape mismatch")
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Tensor::sub_tensor`] for a fallible
+    /// version.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.sub_tensor(rhs).expect("tensor sub: shape mismatch")
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scaled(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        let err = Tensor::from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], 42.0).unwrap();
+        assert_eq!(t.at(&[1, 2, 3]).unwrap(), 42.0);
+        assert_eq!(t.at(&[0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn indexing_rejects_out_of_bounds() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.at(&[2, 0]).is_err());
+        assert!(t.at(&[0]).is_err());
+        assert!(t.at(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            a.matmul(&b).unwrap_err(),
+            TensorError::MatmulDimMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), &[4, 3]).unwrap();
+        let via_nt = a.matmul_nt(&b).unwrap();
+        let via_t = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(via_nt, via_t);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_then_matmul() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.25).collect(), &[3, 4]).unwrap();
+        let via_tn = a.matmul_tn(&b).unwrap();
+        let via_t = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(via_tn, via_t);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for r in 0..2 {
+            let row = s.row(r).unwrap();
+            assert!(close(row.iter().sum::<f32>(), 1.0));
+            assert!(row[2] > row[1] && row[1] > row[0]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let shifted = t.map(|v| v + 100.0);
+        let a = t.softmax_rows().unwrap();
+        let b = shifted.softmax_rows().unwrap();
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!(close(*x, *y));
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -0.25, 2.0, 1.0], &[1, 4]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        let ls = t.log_softmax_rows().unwrap();
+        for (p, lp) in s.data().iter().zip(ls.data()) {
+            assert!(close(p.ln(), *lp));
+        }
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let t = Tensor::from_vec(vec![0.0, 5.0, 5.0, 1.0, 0.0, -1.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap();
+        assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn stack_builds_batch_axis() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let s = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.at(&[0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(s.at(&[1, 1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(Tensor::stack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn concat_rows_appends() {
+        let a = Tensor::ones(&[1, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let c = Tensor::concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[3, 3]);
+        assert_eq!(c.row(0).unwrap(), &[1.0, 1.0, 1.0]);
+        assert_eq!(c.row(2).unwrap(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_per_row() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        let bias = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        t.add_row_broadcast(&bias).unwrap();
+        assert_eq!(t.row(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.row(1).unwrap(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.0], &[2, 2]).unwrap();
+        assert!(close(t.sum(), 2.0));
+        assert!(close(t.mean(), 0.5));
+        assert!(close(t.max(), 3.0));
+        assert!(close(t.min(), -2.0));
+        assert!(close(t.norm_sq(), 14.0));
+        assert_eq!(t.sum_axis0().unwrap().data(), &[4.0, -2.0]);
+        assert_eq!(t.sum_axis1().unwrap().data(), &[-1.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(&[100]);
+        let s = format!("{t}");
+        assert!(s.contains('…'));
+        assert!(s.len() < 200);
+    }
+
+    #[test]
+    fn eye_is_matmul_identity() {
+        let t = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[3, 3]).unwrap();
+        assert_eq!(t.matmul(&Tensor::eye(3)).unwrap(), t);
+        assert_eq!(Tensor::eye(3).matmul(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+}

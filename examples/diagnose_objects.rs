@@ -1,0 +1,62 @@
+//! Domain scenario: label noise in a CIFAR-like object classification
+//! pipeline.
+//!
+//! ```text
+//! cargo run --release --example diagnose_objects
+//! ```
+//!
+//! A labeling vendor confused two object classes: 50% of class 3 was
+//! delivered labeled as class 5. The team sees a ResNet with good-but-not-
+//! great accuracy and suspicious, systematic confusions. DeepMorph
+//! pinpoints Unreliable Training Data (UTD) and names the contaminated
+//! pair — the actionable output a developer needs (re-audit those labels).
+
+use deepmorph_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = 3usize;
+    let target = 5usize;
+    let scenario = Scenario::builder(ModelFamily::ResNet, DatasetKind::Objects)
+        .seed(13)
+        .scale(ModelScale::Tiny)
+        .train_per_class(120)
+        .test_per_class(40)
+        .train_config(TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            learning_rate: 0.05,
+            lr_decay: 0.9,
+            ..TrainConfig::default()
+        })
+        .inject(DefectSpec::unreliable_training_data(source, target, 0.5))
+        .build()?;
+
+    println!("training ResNet on synth-objects with mislabeled class {source}→{target} …");
+    let outcome = scenario.run()?;
+    println!();
+    println!("{}", outcome.report);
+
+    // Per-case view: which (true, predicted) pairs did the UTD-assigned
+    // cases form? This is the pair a developer would re-audit.
+    let mut pair_counts = std::collections::HashMap::new();
+    for case in &outcome.report.cases {
+        if case.assigned == "UTD" {
+            *pair_counts
+                .entry((case.true_label, case.predicted))
+                .or_insert(0usize) += 1;
+        }
+    }
+    let mut pairs: Vec<_> = pair_counts.into_iter().collect();
+    pairs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("suspicious confusion pairs (true -> predicted):");
+    for ((t, p), n) in pairs.iter().take(3) {
+        println!("  {t} -> {p}: {n} faulty cases");
+    }
+    if let Some(((t, p), _)) = pairs.first() {
+        println!(
+            "=> recommend auditing training labels between classes {t} and {p} \
+             (injected: {source} tagged as {target})"
+        );
+    }
+    Ok(())
+}

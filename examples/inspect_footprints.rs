@@ -1,0 +1,90 @@
+//! Footprint inspection: the developer-facing, layer-by-layer view of why
+//! individual inputs were misclassified.
+//!
+//! ```text
+//! cargo run --release --example inspect_footprints
+//! ```
+//!
+//! Trains a LeNet whose training data was starved of classes 0–2, then for
+//! a handful of faulty cases prints the input (ASCII), the probe
+//! trajectory trace from `deepmorph::explain`, and finishes with the
+//! aggregate narrative.
+
+use deepmorph::explain::{explain_case, explain_report};
+use deepmorph::instrument::{InstrumentedModel, ProbeTrainingConfig};
+use deepmorph::pattern::ClassPatterns;
+use deepmorph_data::generator::render_ascii;
+use deepmorph_repro::prelude::*;
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let defect = DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98);
+    let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(5)
+        .train_per_class(100)
+        .test_per_class(25)
+        .inject(defect.clone())
+        .build()?;
+
+    // Rebuild the pipeline pieces explicitly so we can reach the raw
+    // footprints (Scenario::run would hide them behind the report).
+    let (clean_train, test) = scenario.generate_data();
+    let mut inject_rng = stream_rng(5, "scenario-inject");
+    let train = defect.apply_to_dataset(&clean_train, &mut inject_rng);
+
+    let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+    let mut model_rng = stream_rng(5, "scenario-model");
+    let mut model = build_model(&spec, &mut model_rng)?;
+    let mut train_rng = stream_rng(5, "scenario-train");
+    Trainer::new(TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        learning_rate: 0.05,
+        lr_decay: 0.9,
+        ..TrainConfig::default()
+    })
+    .fit(&mut model.graph, train.images(), train.labels(), &mut train_rng)?;
+
+    let mut faulty = FaultyCases::collect(&mut model, &test)?;
+    faulty.truncate(100)?;
+    println!("{} faulty cases collected\n", faulty.len());
+
+    let mut inst = InstrumentedModel::build(
+        model,
+        train.images(),
+        train.labels(),
+        10,
+        &ProbeTrainingConfig::default(),
+    )?;
+    let train_fps = inst.footprints(train.images())?;
+    let patterns = ClassPatterns::learn(&train_fps, train.labels(), inst.probe_accuracies())?;
+    let probe_labels: Vec<String> = train_fps.probe_labels().to_vec();
+
+    let faulty_fps = inst.footprints(&faulty.images)?;
+    for i in 0..faulty.len().min(3) {
+        println!("--- faulty case {i} ---");
+        let [c, h, w] = [1usize, 16, 16];
+        let img_len = c * h * w;
+        let img = Tensor::from_vec(
+            faulty.images.data()[i * img_len..(i + 1) * img_len].to_vec(),
+            &[c, h, w],
+        )?;
+        println!("{}", render_ascii(&img));
+        println!(
+            "{}",
+            explain_case(
+                faulty_fps.footprint(i),
+                faulty.true_labels[i],
+                faulty.predicted[i],
+                &patterns,
+                &probe_labels,
+            )
+        );
+    }
+
+    // Aggregate narrative via the normal diagnosis path.
+    let scenario_outcome = scenario.run()?;
+    println!("{}", explain_report(&scenario_outcome.report));
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: diagnose a model whose training data is missing three
+//! classes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The scenario trains a LeNet on the synthetic digit dataset after an
+//! Insufficient-Training-Data (ITD) injection removed almost all samples
+//! of classes 0–2, then lets DeepMorph attribute the resulting test
+//! failures. Expected output: the ITD ratio dominates.
+
+use deepmorph_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the experiment: model, dataset, and the defect to
+    //    inject. In a real deployment there is no injection — you hand
+    //    DeepMorph your model, training set, and misclassified cases.
+    let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(7)
+        .scale(ModelScale::Tiny)
+        .train_per_class(100)
+        .test_per_class(30)
+        .inject(DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98))
+        .build()?;
+
+    // 2. Run: generate data, inject, train, collect faulty cases,
+    //    instrument, diagnose.
+    println!("training LeNet on synth-digits with an ITD injection …");
+    let outcome = scenario.run()?;
+
+    // 3. Read the report.
+    println!();
+    println!("{}", outcome.report);
+    println!(
+        "model test accuracy {:.3}; {} faulty cases",
+        outcome.test_accuracy, outcome.faulty_count
+    );
+
+    match outcome.report.dominant() {
+        Some(DefectKind::InsufficientTrainingData) => {
+            println!("=> DeepMorph correctly identified the injected ITD defect.");
+        }
+        Some(other) => println!("=> DeepMorph reported {other} (expected ITD)."),
+        None => println!("=> no dominant defect reported."),
+    }
+    Ok(())
+}

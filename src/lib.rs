@@ -1,0 +1,47 @@
+//! Umbrella crate for the DeepMorph reproduction workspace.
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! the runnable examples under `examples/` and the integration tests under
+//! `tests/` can use a single dependency. Library users should depend on the
+//! individual crates instead:
+//!
+//! * [`deepmorph_tensor`] — dense tensor math
+//! * [`deepmorph_nn`] — layers, graphs, training
+//! * [`deepmorph_data`] — synthetic datasets
+//! * [`deepmorph_models`] — LeNet / AlexNet / ResNet / DenseNet builders
+//! * [`deepmorph_defects`] — defect injection
+//! * [`deepmorph`] — the DeepMorph diagnosis pipeline itself
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```no_run
+//! use deepmorph_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+//!     .seed(7)
+//!     .scale(ModelScale::Tiny)
+//!     .inject(DefectSpec::insufficient_training_data([0, 1, 2], 0.9))
+//!     .build()?;
+//! let outcome = scenario.run()?;
+//! println!("{}", outcome.report);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use deepmorph;
+pub use deepmorph_data;
+pub use deepmorph_defects;
+pub use deepmorph_models;
+pub use deepmorph_nn;
+pub use deepmorph_tensor;
+
+/// Convenience re-exports used by the examples and integration tests.
+///
+/// `deepmorph::prelude` already re-exports the substrate preludes, so this
+/// is a single pass-through.
+pub mod prelude {
+    pub use deepmorph::prelude::*;
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the full generate → inject → train →
+//! diagnose pipeline at reduced scale.
+//!
+//! These train real (tiny) models, so each test keeps its dataset small;
+//! the statistically demanding sweeps live in the `table1` binary.
+
+use deepmorph_repro::prelude::*;
+
+fn fast_train_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        learning_rate: 0.05,
+        lr_decay: 0.9,
+        ..TrainConfig::default()
+    }
+}
+
+fn scenario(
+    family: ModelFamily,
+    dataset: DatasetKind,
+    defect: DefectSpec,
+) -> Scenario {
+    Scenario::builder(family, dataset)
+        .seed(7)
+        .train_per_class(60)
+        .test_per_class(20)
+        .train_config(fast_train_config())
+        .inject(defect)
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn healthy_lenet_reaches_good_accuracy() {
+    let s = scenario(ModelFamily::LeNet, DatasetKind::Digits, DefectSpec::Healthy);
+    match s.run() {
+        Ok(outcome) => {
+            assert!(
+                outcome.test_accuracy > 0.8,
+                "healthy LeNet accuracy {}",
+                outcome.test_accuracy
+            );
+        }
+        // A perfect model is an acceptable healthy outcome.
+        Err(DeepMorphError::NoFaultyCases) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn itd_injection_is_diagnosed_on_lenet() {
+    let s = scenario(
+        ModelFamily::LeNet,
+        DatasetKind::Digits,
+        DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98),
+    );
+    let outcome = s.run().expect("scenario runs");
+    assert_eq!(
+        outcome.report.dominant(),
+        Some(DefectKind::InsufficientTrainingData),
+        "report: {}",
+        outcome.report
+    );
+    // The ITD injection leaves classes 0-2 nearly unlearned, so the faulty
+    // cases should be dominated by those classes.
+    let from_starved = outcome
+        .report
+        .cases
+        .iter()
+        .filter(|c| c.true_label <= 2)
+        .count();
+    assert!(from_starved * 2 > outcome.report.num_cases);
+}
+
+#[test]
+fn utd_injection_is_diagnosed_on_lenet() {
+    let s = scenario(
+        ModelFamily::LeNet,
+        DatasetKind::Digits,
+        DefectSpec::unreliable_training_data(3, 5, 0.5),
+    );
+    let outcome = s.run().expect("scenario runs");
+    assert_eq!(
+        outcome.report.dominant(),
+        Some(DefectKind::UnreliableTrainingData),
+        "report: {}",
+        outcome.report
+    );
+}
+
+#[test]
+fn sd_injection_is_diagnosed_on_lenet() {
+    let s = scenario(
+        ModelFamily::LeNet,
+        DatasetKind::Digits,
+        DefectSpec::structure_defect(6),
+    );
+    let outcome = s.run().expect("scenario runs");
+    assert_eq!(
+        outcome.report.dominant(),
+        Some(DefectKind::StructureDefect),
+        "report: {}",
+        outcome.report
+    );
+    // A structure-defective model separates its own training data poorly.
+    assert!(outcome.report.model_health < 0.9);
+}
+
+#[test]
+fn ratios_always_form_a_distribution() {
+    for defect in [
+        DefectSpec::insufficient_training_data(vec![4], 0.95),
+        DefectSpec::unreliable_training_data(1, 2, 0.5),
+    ] {
+        let s = scenario(ModelFamily::LeNet, DatasetKind::Digits, defect);
+        if let Ok(outcome) = s.run() {
+            let sum: f32 = outcome.report.ratios.as_array().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "ratios {:?}", outcome.report.ratios);
+            assert_eq!(outcome.report.cases.len(), outcome.report.num_cases);
+        }
+    }
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let s = scenario(
+        ModelFamily::LeNet,
+        DatasetKind::Digits,
+        DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98),
+    );
+    let outcome = s.run().expect("scenario runs");
+    let json = outcome.report.to_json();
+    assert!(json.contains("ratios"));
+    let back: DefectReport = serde_json::from_str(&json).expect("round trip");
+    assert_eq!(back, outcome.report);
+}
+
+#[test]
+fn scenario_is_deterministic_given_seed() {
+    let make = || {
+        scenario(
+            ModelFamily::LeNet,
+            DatasetKind::Digits,
+            DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98),
+        )
+        .run()
+        .expect("scenario runs")
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.report.ratios.as_array(), b.report.ratios.as_array());
+    assert_eq!(a.test_accuracy, b.test_accuracy);
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the repair loop (paper Section IV's "modify the
+//! models accordingly" evaluation).
+
+use deepmorph_repro::prelude::*;
+
+fn train_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        learning_rate: 0.05,
+        lr_decay: 0.9,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn itd_repair_collects_data_and_improves_accuracy() {
+    let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(7)
+        .train_per_class(80)
+        .test_per_class(25)
+        .train_config(train_config())
+        .inject(DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98))
+        .build()
+        .unwrap();
+    let (outcome, repair) = scenario.run_with_repair().expect("repair runs");
+    assert_eq!(
+        outcome.report.dominant(),
+        Some(DefectKind::InsufficientTrainingData)
+    );
+    match &repair.plan {
+        RepairPlan::CollectMoreData { classes } => {
+            // The starved classes should be among the recommendations.
+            assert!(classes.iter().any(|c| *c <= 2), "classes {classes:?}");
+        }
+        other => panic!("expected data collection, got {other}"),
+    }
+    // More data for the starved classes must enlarge the training set and
+    // substantially restore accuracy.
+    assert!(repair.repaired_train_size > 80 * 10 - 3 * 78);
+    assert!(
+        repair.improvement() > 0.1,
+        "improvement {:+.3} (before {:.3}, after {:.3})",
+        repair.improvement(),
+        repair.accuracy_before,
+        repair.accuracy_after
+    );
+}
+
+#[test]
+fn sd_repair_restores_structure() {
+    let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(7)
+        .train_per_class(80)
+        .test_per_class(25)
+        .train_config(train_config())
+        .inject(DefectSpec::structure_defect(6))
+        .build()
+        .unwrap();
+    let (outcome, repair) = scenario.run_with_repair().expect("repair runs");
+    assert_eq!(outcome.report.dominant(), Some(DefectKind::StructureDefect));
+    assert_eq!(repair.plan, RepairPlan::StrengthenStructure);
+    assert!(
+        repair.improvement() > 0.15,
+        "improvement {:+.3}",
+        repair.improvement()
+    );
+}
+
+#[test]
+fn utd_repair_cleans_labels_without_losing_samples() {
+    let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(11)
+        .train_per_class(80)
+        .test_per_class(30)
+        .train_config(train_config())
+        .inject(DefectSpec::unreliable_training_data(3, 5, 0.5))
+        .build()
+        .unwrap();
+    match scenario.run_with_repair() {
+        Ok((outcome, repair)) => {
+            assert_eq!(
+                outcome.report.dominant(),
+                Some(DefectKind::UnreliableTrainingData)
+            );
+            match repair.plan {
+                RepairPlan::CleanLabels { .. } => {}
+                ref other => panic!("expected label cleaning, got {other}"),
+            }
+            // Cleaning relabels; it never drops samples.
+            assert_eq!(repair.repaired_train_size, 80 * 10);
+            assert!(
+                repair.improvement() > -0.05,
+                "cleaning should not hurt: {:+.3}",
+                repair.improvement()
+            );
+        }
+        // Mild UTD occasionally leaves a perfect model at this scale.
+        Err(DeepMorphError::NoFaultyCases) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
