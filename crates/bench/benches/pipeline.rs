@@ -91,9 +91,7 @@ fn bench_pattern_learning(c: &mut Criterion) {
     let fps = inst.footprints(prepared.train.images()).unwrap();
     let accs = inst.probe_accuracies();
     c.bench_function("pipeline/learn_patterns_300_footprints", |b| {
-        b.iter(|| {
-            ClassPatterns::learn(&fps, prepared.train.labels(), accs.clone()).unwrap()
-        })
+        b.iter(|| ClassPatterns::learn(&fps, prepared.train.labels(), accs.clone()).unwrap())
     });
 }
 
@@ -110,8 +108,7 @@ fn bench_classification(c: &mut Criterion) {
     .unwrap();
     let train_fps = inst.footprints(prepared.train.images()).unwrap();
     let patterns =
-        ClassPatterns::learn(&train_fps, prepared.train.labels(), inst.probe_accuracies())
-            .unwrap();
+        ClassPatterns::learn(&train_fps, prepared.train.labels(), inst.probe_accuracies()).unwrap();
     let faulty_fps = inst.footprints(prepared.faulty.images()).unwrap();
     let specifics: Vec<FootprintSpecifics> = faulty_fps
         .iter()
@@ -132,19 +129,16 @@ fn bench_classification(c: &mut Criterion) {
     });
     c.bench_function("pipeline/specifics_50_cases", |b| {
         b.iter(|| {
-            faulty_fps
-                .iter()
-                .enumerate()
-                .map(|(i, fp)| {
-                    FootprintSpecifics::compute(
-                        fp,
-                        prepared.faulty.labels()[i],
-                        (prepared.faulty.labels()[i] + 1) % 10,
-                        &patterns,
-                        AlignmentMetric::JensenShannon,
-                    )
-                })
-                .count()
+            faulty_fps.iter().enumerate().fold(0usize, |acc, (i, fp)| {
+                criterion::black_box(FootprintSpecifics::compute(
+                    fp,
+                    prepared.faulty.labels()[i],
+                    (prepared.faulty.labels()[i] + 1) % 10,
+                    &patterns,
+                    AlignmentMetric::JensenShannon,
+                ));
+                acc + 1
+            })
         })
     });
 }

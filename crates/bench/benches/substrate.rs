@@ -1,21 +1,91 @@
 //! Substrate throughput benchmarks: the tensor/NN kernels every
 //! experiment spends its time in.
+//!
+//! The `*_serial` vs `*_parallel` pairs compare the pinned single-threaded
+//! reference kernels against the default dispatch (threaded + ILP-blocked
+//! under the `parallel` feature); `scripts/record_baseline.sh` captures
+//! their ratio into `BENCH_baseline.json`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use deepmorph_nn::prelude::*;
 use deepmorph_data::{DataGenerator, SynthDigits};
+use deepmorph_nn::prelude::*;
 use deepmorph_tensor::conv::{im2col, Conv2dGeometry};
 use deepmorph_tensor::init::stream_rng;
 use deepmorph_tensor::Tensor;
 
+/// Deterministic pseudo-random activations in `[-1, 1]` (never exactly
+/// zero, so the zero-skip branch in the matmul kernels stays cold, as it
+/// is for real activations).
+fn synth_tensor(shape: &[usize], salt: u64) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt);
+            ((h >> 40) as f32 / (1u64 << 24) as f32).mul_add(2.0, -1.0) + 1e-4
+        })
+        .collect();
+    Tensor::from_vec(data, shape).unwrap()
+}
+
+fn bench_matmul_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    for &n in &[128usize, 256] {
+        let a = synth_tensor(&[n, n], 1);
+        let b = synth_tensor(&[n, n], 2);
+        group.bench_function(format!("matmul_serial_{n}x{n}"), |bench| {
+            bench.iter(|| a.matmul_serial(&b).unwrap())
+        });
+        group.bench_function(format!("matmul_parallel_{n}x{n}"), |bench| {
+            bench.iter(|| a.matmul(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_batch64_serial_vs_parallel(c: &mut Criterion) {
+    // The batch-64 convolution hot path: im2col lowering plus the
+    // `patches @ W^T` GEMM of a LeNet-scale 8→16 channel 3x3 layer.
+    let mut group = c.benchmark_group("conv_b64");
+    let geo = Conv2dGeometry::new(8, 16, 16, 16, 3, 3, 1, 1).unwrap();
+    let x = synth_tensor(&[64, 8, 16, 16], 3);
+    let cols = im2col(&x, &geo).unwrap(); // [64*256, 72]
+    let mut wrng = stream_rng(1, "bench-conv-w");
+    let w = deepmorph_tensor::init::Init::HeNormal.materialize(
+        &[16, geo.patch_len()],
+        geo.patch_len(),
+        16,
+        &mut wrng,
+    );
+    group.bench_function("gemm_serial", |b| {
+        b.iter(|| cols.matmul_nt_serial(&w).unwrap())
+    });
+    group.bench_function("gemm_parallel", |b| b.iter(|| cols.matmul_nt(&w).unwrap()));
+    group.bench_function("im2col", |b| b.iter(|| im2col(&x, &geo).unwrap()));
+    let mut rng = stream_rng(2, "bench-conv-layer");
+    let mut layer = Conv2d::new(8, 16, 16, 16, 3, 1, 1, &mut rng).unwrap();
+    group.bench_function("layer_forward", |b| {
+        b.iter(|| layer.forward(&[&x], Mode::Eval).unwrap())
+    });
+    group.bench_function("layer_forward_backward", |b| {
+        b.iter_batched(
+            || Tensor::ones(&[64, 16, 16, 16]),
+            |grad| {
+                let _ = layer.forward(&[&x], Mode::Train).unwrap();
+                layer.backward(&grad).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor");
     for &n in &[32usize, 128] {
-        let a = Tensor::from_vec(
-            (0..n * n).map(|i| (i % 13) as f32 - 6.0).collect(),
-            &[n, n],
-        )
-        .unwrap();
+        let a =
+            Tensor::from_vec((0..n * n).map(|i| (i % 13) as f32 - 6.0).collect(), &[n, n]).unwrap();
         let b = a.clone();
         group.bench_function(format!("matmul_{n}x{n}"), |bench| {
             bench.iter(|| a.matmul(&b).unwrap())
@@ -41,7 +111,9 @@ fn bench_conv_layer(c: &mut Criterion) {
     let mut rng = stream_rng(1, "bench");
     let mut layer = Conv2d::new(8, 16, 16, 16, 3, 1, 1, &mut rng).unwrap();
     let x = Tensor::from_vec(
-        (0..8 * 8 * 256).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect(),
+        (0..8 * 8 * 256)
+            .map(|i| ((i % 11) as f32 - 5.0) * 0.1)
+            .collect(),
         &[8, 8, 16, 16],
     )
     .unwrap();
@@ -64,7 +136,9 @@ fn bench_conv_layer(c: &mut Criterion) {
 fn bench_batchnorm(c: &mut Criterion) {
     let mut bn = BatchNorm2d::new(16);
     let x = Tensor::from_vec(
-        (0..8 * 16 * 64).map(|i| ((i % 19) as f32 - 9.0) * 0.2).collect(),
+        (0..8 * 16 * 64)
+            .map(|i| ((i % 19) as f32 - 9.0) * 0.2)
+            .collect(),
         &[8, 16, 8, 8],
     )
     .unwrap();
@@ -119,7 +193,9 @@ fn bench_training_epoch(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_im2col, bench_conv_layer, bench_batchnorm,
+    targets = bench_matmul, bench_matmul_serial_vs_parallel,
+              bench_conv_batch64_serial_vs_parallel,
+              bench_im2col, bench_conv_layer, bench_batchnorm,
               bench_data_generation, bench_training_epoch
 }
 criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Merges the per-binary JSON written by the criterion shim (see
+//! `CRITERION_JSON_DIR`) into a single `BENCH_baseline.json`, computing the
+//! serial-vs-parallel speedups the ISSUE acceptance tracks.
+//!
+//! Usage: `baseline <criterion-json-dir> <output-path>` (defaults:
+//! `target/criterion-json`, `BENCH_baseline.json`). Run via
+//! `scripts/record_baseline.sh`.
+
+use deepmorph_json::Json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = args
+        .next()
+        .unwrap_or_else(|| "target/criterion-json".into());
+    let out_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut sections: Vec<(String, Json)> = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    for path in &entries {
+        let text = std::fs::read_to_string(path).expect("read bench json");
+        let doc = Json::parse(&text).expect("parse bench json");
+        let bench = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        for r in doc.req("results").unwrap().as_arr().unwrap() {
+            let id = r.req("id").unwrap().as_str().unwrap().to_string();
+            let median = r.req("median_ns").unwrap().as_f64().unwrap();
+            results.push((id, median));
+        }
+        sections.push((bench, doc));
+    }
+
+    let lookup =
+        |id: &str| -> Option<f64> { results.iter().find(|(n, _)| n == id).map(|(_, v)| *v) };
+    let mut speedups: Vec<(String, Json)> = Vec::new();
+    for (label, serial, parallel) in [
+        (
+            "matmul_128",
+            "tensor/matmul_serial_128x128",
+            "tensor/matmul_parallel_128x128",
+        ),
+        (
+            "matmul_256",
+            "tensor/matmul_serial_256x256",
+            "tensor/matmul_parallel_256x256",
+        ),
+        (
+            "conv_b64_gemm",
+            "conv_b64/gemm_serial",
+            "conv_b64/gemm_parallel",
+        ),
+    ] {
+        if let (Some(s), Some(p)) = (lookup(serial), lookup(parallel)) {
+            speedups.push((
+                label.to_string(),
+                Json::obj([
+                    ("serial_ns", Json::num(s)),
+                    ("parallel_ns", Json::num(p)),
+                    ("speedup", Json::num(s / p)),
+                ]),
+            ));
+        }
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let doc = Json::obj([
+        (
+            "note",
+            Json::str(
+                "Median per-iteration times from the vendored criterion shim; \
+                 *_serial ids pin the single-threaded reference kernels, \
+                 *_parallel the default dispatch (threaded + ILP-blocked). \
+                 Regenerate with scripts/record_baseline.sh.",
+            ),
+        ),
+        ("threads", Json::num(threads as f64)),
+        ("speedups", Json::Obj(speedups)),
+        ("benches", Json::Obj(sections)),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write baseline");
+    println!("wrote {out_path}");
+}

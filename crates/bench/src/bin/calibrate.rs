@@ -51,7 +51,8 @@ fn analyze(family: ModelFamily, defect: &DefectSpec) -> Result<(), DeepMorphErro
     let mut inject_rng = stream_rng(7, "scenario-inject");
     let train = defect.apply_to_dataset(&clean_train, &mut inject_rng);
     let input_shape = [dataset.channels(), dataset.side(), dataset.side()];
-    let spec = defect.apply_to_model_spec(ModelSpec::new(family, ModelScale::Tiny, input_shape, 10));
+    let spec =
+        defect.apply_to_model_spec(ModelSpec::new(family, ModelScale::Tiny, input_shape, 10));
     let mut model_rng = stream_rng(7, "scenario-model");
     let mut model = build_model(&spec, &mut model_rng)?;
     let mut train_rng = stream_rng(7, "scenario-train");
@@ -61,7 +62,12 @@ fn analyze(family: ModelFamily, defect: &DefectSpec) -> Result<(), DeepMorphErro
         learning_rate: 0.05,
         ..TrainConfig::default()
     })
-    .fit(&mut model.graph, train.images(), train.labels(), &mut train_rng)?;
+    .fit(
+        &mut model.graph,
+        train.images(),
+        train.labels(),
+        &mut train_rng,
+    )?;
     let test_acc = evaluate_accuracy(&mut model.graph, test.images(), test.labels(), 64)?;
     let mut faulty = FaultyCases::collect(&mut model, &test)?;
     faulty.truncate(200)?;
@@ -69,13 +75,8 @@ fn analyze(family: ModelFamily, defect: &DefectSpec) -> Result<(), DeepMorphErro
     // Mirror the pipeline's fit/holdout split.
     let mut split_rng = stream_rng(ProbeTrainingConfig::default().seed, "holdout-split");
     let (fit, holdout) = train.split_stratified(0.85, &mut split_rng);
-    let mut inst = InstrumentedModel::build(
-        model,
-        fit.images(),
-        fit.labels(),
-        10,
-        &Default::default(),
-    )?;
+    let mut inst =
+        InstrumentedModel::build(model, fit.images(), fit.labels(), 10, &Default::default())?;
     let train_fps = inst.footprints(fit.images())?;
     let holdout_fps = inst.footprints(holdout.images())?;
     let patterns = ClassPatterns::learn_with_holdout(
@@ -99,7 +100,7 @@ fn analyze(family: ModelFamily, defect: &DefectSpec) -> Result<(), DeepMorphErro
         if specifics.is_empty() {
             return 0.0;
         }
-        specifics.iter().map(|s| f(s)).sum::<f32>() / specifics.len() as f32
+        specifics.iter().map(f).sum::<f32>() / specifics.len() as f32
     };
     println!(
         "{:<8} {:<28} acc={:.2} n={:<3} health={:.2} | nov={:.3} ent={:.3} conf={:.3} \

@@ -98,7 +98,9 @@ fn main() {
     let result = if num_seeds <= 1 {
         run_table(&config, |cell| print_cell(config.seed, cell))
     } else {
-        let seeds: Vec<u64> = (0..num_seeds as u64).map(|i| config.seed + i * 101).collect();
+        let seeds: Vec<u64> = (0..num_seeds as u64)
+            .map(|i| config.seed + i * 101)
+            .collect();
         run_table_seeds(&config, &seeds, print_cell)
     }
     .unwrap_or_else(|e| {
@@ -110,7 +112,7 @@ fn main() {
     println!("total wall time: {:.1}s", start.elapsed().as_secs_f32());
 
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&result).expect("serializable"))
+        std::fs::write(&path, result.to_json_value().to_string_pretty())
             .unwrap_or_else(|e| eprintln!("could not write {path}: {e}"));
         println!("wrote JSON results to {path}");
     }

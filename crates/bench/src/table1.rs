@@ -8,7 +8,7 @@
 //! cell (diagonal dominance).
 
 use deepmorph::prelude::*;
-use serde::{Deserialize, Serialize};
+use deepmorph_json::Json;
 
 /// Experiment scale knobs for the Table I sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,7 +66,7 @@ pub fn default_defects() -> [DefectSpec; 3] {
 }
 
 /// One (model, injected-defect) cell of Table I.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     /// Model family name.
     pub model: String,
@@ -89,7 +89,7 @@ pub struct CellResult {
 }
 
 /// The full Table I result set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TableResult {
     /// All cells, row-major (defect-major, model-minor).
     pub cells: Vec<CellResult>,
@@ -102,6 +102,35 @@ impl TableResult {
             return 0.0;
         }
         self.cells.iter().filter(|c| c.correct).count() as f32 / self.cells.len() as f32
+    }
+
+    /// The result set as a [`Json`] value (for `--json` output).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            (
+                "diagonal_accuracy",
+                Json::num(f64::from(self.diagonal_accuracy())),
+            ),
+            (
+                "cells",
+                Json::arr(self.cells.iter().map(|c| {
+                    Json::obj([
+                        ("model", Json::str(c.model.clone())),
+                        ("dataset", Json::str(c.dataset.clone())),
+                        ("injected", Json::str(c.injected.clone())),
+                        (
+                            "ratios",
+                            Json::arr(c.ratios.iter().map(|&v| Json::num(f64::from(v)))),
+                        ),
+                        ("reported", Json::str(c.reported.clone())),
+                        ("correct", Json::Bool(c.correct)),
+                        ("test_accuracy", Json::num(f64::from(c.test_accuracy))),
+                        ("faulty_cases", Json::num(c.faulty_cases as f64)),
+                        ("model_health", Json::num(f64::from(c.model_health))),
+                    ])
+                })),
+            ),
+        ])
     }
 }
 
@@ -278,18 +307,10 @@ pub fn aggregate_tables(tables: &[TableResult]) -> TableResult {
 /// = (model × reported ratio).
 pub fn render_table(result: &TableResult) -> String {
     let mut out = String::new();
-    out.push_str(
-        "RESULTS ON DL MODELS WITH INJECTED DEFECTS (reproduction of Table I)\n",
-    );
-    out.push_str(
-        "                 |        synth-digits         |        synth-objects        \n",
-    );
-    out.push_str(
-        "Injected         |    LeNet     |   AlexNet    |    ResNet    |   DenseNet   \n",
-    );
-    out.push_str(
-        "                 | ITD  UTD  SD | ITD  UTD  SD | ITD  UTD  SD | ITD  UTD  SD \n",
-    );
+    out.push_str("RESULTS ON DL MODELS WITH INJECTED DEFECTS (reproduction of Table I)\n");
+    out.push_str("                 |        synth-digits         |        synth-objects        \n");
+    out.push_str("Injected         |    LeNet     |   AlexNet    |    ResNet    |   DenseNet   \n");
+    out.push_str("                 | ITD  UTD  SD | ITD  UTD  SD | ITD  UTD  SD | ITD  UTD  SD \n");
     out.push_str(&"-".repeat(78));
     out.push('\n');
     for injected in ["ITD", "UTD", "SD"] {

@@ -145,12 +145,13 @@ impl PopulationEvidence {
         let mut true_hist = vec![0.0f32; num_classes];
         let mut pred_hist = vec![0.0f32; num_classes];
         for c in cases {
-            *pair_counts.entry((c.true_label, c.predicted)).or_insert(0usize) += 1;
+            *pair_counts
+                .entry((c.true_label, c.predicted))
+                .or_insert(0usize) += 1;
             true_hist[c.true_label] += 1.0;
             pred_hist[c.predicted] += 1.0;
         }
-        let pair_concentration =
-            pair_counts.values().copied().max().unwrap_or(0) as f32 / n;
+        let pair_concentration = pair_counts.values().copied().max().unwrap_or(0) as f32 / n;
         stats::normalize_in_place(&mut true_hist);
         stats::normalize_in_place(&mut pred_hist);
         PopulationEvidence {
@@ -299,9 +300,7 @@ impl DefectClassifier {
         let utd = w.utd_contamination * contamination * noise.max(0.25)
             + w.utd_noise_concentration * noise
             + w.utd_confidence * case.final_conf_pred * health
-            + w.utd_pair_concentration
-                * population.pair_concentration
-                * (1.0 - starvation);
+            + w.utd_pair_concentration * population.pair_concentration * (1.0 - starvation);
 
         // SD: the probes say the features support the true class all the
         // way down (late flip or none, low probe probability for the
@@ -344,11 +343,7 @@ mod tests {
                 labels.push(c);
             }
         }
-        let set = FootprintSet::new(
-            fps,
-            (0..4).map(|l| format!("l{l}")).collect(),
-            4,
-        );
+        let set = FootprintSet::new(fps, (0..4).map(|l| format!("l{l}")).collect(), 4);
         ClassPatterns::learn(&set, &labels, vec![0.3, 0.5, 0.8, last_acc]).unwrap()
     }
 

@@ -34,7 +34,10 @@ impl fmt::Display for DeepMorphError {
                 write!(f, "instrumentation error: {reason}")
             }
             DeepMorphError::NoFaultyCases => {
-                write!(f, "no faulty cases to diagnose (model classifies the test set perfectly)")
+                write!(
+                    f,
+                    "no faulty cases to diagnose (model classifies the test set perfectly)"
+                )
             }
             DeepMorphError::InvalidScenario { reason } => {
                 write!(f, "invalid scenario: {reason}")

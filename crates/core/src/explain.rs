@@ -30,10 +30,7 @@ pub fn explain_case(
 ) -> String {
     let metric = AlignmentMetric::JensenShannon;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "case: true class {true_label}, predicted {predicted}"
-    );
+    let _ = writeln!(out, "case: true class {true_label}, predicted {predicted}");
     let _ = writeln!(
         out,
         "{:<12} {:>6} {:>7} | {:>10} {:>10}",
@@ -51,10 +48,7 @@ pub fn explain_case(
         } else {
             "<- departs"
         };
-        let label = probe_labels
-            .get(l)
-            .map(String::as_str)
-            .unwrap_or("(probe)");
+        let label = probe_labels.get(l).map(String::as_str).unwrap_or("(probe)");
         let _ = writeln!(
             out,
             "{label:<12} {top:>6} {:>7.3} | {a_true:>10.3} {a_pred:>10.3}  {marker}",
@@ -153,11 +147,7 @@ mod tests {
                 labels.push(c);
             }
         }
-        let set = FootprintSet::new(
-            fps,
-            vec!["stage1".into(), "stage2".into(), "fc".into()],
-            3,
-        );
+        let set = FootprintSet::new(fps, vec!["stage1".into(), "stage2".into(), "fc".into()], 3);
         ClassPatterns::learn(&set, &labels, vec![0.5, 0.7, 0.9]).unwrap()
     }
 

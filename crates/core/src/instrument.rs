@@ -131,11 +131,13 @@ impl InstrumentedModel {
         let batch_size = 64;
         let feature_mats = extract_probe_features(&mut model, &sub_images, batch_size)?;
 
-        let mut probes = Vec::with_capacity(model.probes.len());
-        for (point, feats) in model.probes.clone().into_iter().zip(feature_mats) {
-            let probe = fit_probe(point, &feats, &sub_labels, num_classes, config)?;
-            probes.push(probe);
-        }
+        let probes = fit_probes(
+            model.probes.clone(),
+            &feature_mats,
+            &sub_labels,
+            num_classes,
+            config,
+        )?;
         Ok(InstrumentedModel {
             model,
             probes,
@@ -177,16 +179,12 @@ impl InstrumentedModel {
         let feature_mats = extract_probe_features(&mut self.model, images, self.batch_size)?;
         for (probe, feats) in self.probes.iter().zip(&feature_mats) {
             let probs = probe.predict_probs(feats)?;
-            for i in 0..n {
-                per_case[i].push(probs.row(i)?.to_vec());
+            for (i, case) in per_case.iter_mut().enumerate() {
+                case.push(probs.row(i)?.to_vec());
             }
         }
         let footprints = per_case.into_iter().map(Footprint::new).collect();
-        let labels = self
-            .probes
-            .iter()
-            .map(|p| p.point.label.clone())
-            .collect();
+        let labels = self.probes.iter().map(|p| p.point.label.clone()).collect();
         Ok(FootprintSet::new(footprints, labels, self.num_classes))
     }
 
@@ -233,6 +231,39 @@ fn extract_probe_features(
             let refs: Vec<&Tensor> = chunks.iter().collect();
             Tensor::concat_rows(&refs).map_err(Into::into)
         })
+        .collect()
+}
+
+/// Fits every probe. Each probe derives its own RNG stream from its label
+/// and trains on its own feature matrix, so probes are fully independent:
+/// with the `parallel` feature they train on worker threads (one result
+/// slot per probe, order preserved — output is identical to the serial
+/// loop).
+fn fit_probes(
+    points: Vec<ProbePoint>,
+    feature_mats: &[Tensor],
+    labels: &[usize],
+    num_classes: usize,
+    config: &ProbeTrainingConfig,
+) -> Result<Vec<TrainedProbe>> {
+    #[cfg(feature = "parallel")]
+    if points.len() > 1 && deepmorph_parallel::max_threads() > 1 {
+        return deepmorph_parallel::par_map(points.len(), |i| {
+            fit_probe(
+                points[i].clone(),
+                &feature_mats[i],
+                labels,
+                num_classes,
+                config,
+            )
+        })
+        .into_iter()
+        .collect();
+    }
+    points
+        .into_iter()
+        .zip(feature_mats)
+        .map(|(point, feats)| fit_probe(point, feats, labels, num_classes, config))
         .collect()
 }
 
@@ -305,8 +336,9 @@ fn feature_stats(features: &Tensor) -> (Vec<f32>, Vec<f32>) {
     let (n, f) = (features.shape()[0], features.shape()[1]);
     let mut mean = vec![0.0f32; f];
     for i in 0..n {
-        for j in 0..f {
-            mean[j] += features.data()[i * f + j];
+        let row = &features.data()[i * f..(i + 1) * f];
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v;
         }
     }
     for m in &mut mean {
@@ -345,7 +377,11 @@ mod tests {
     use deepmorph_tensor::init::{gaussian, stream_rng};
     use rand::Rng;
 
-    fn synthetic_features(n_per_class: usize, classes: usize, rng: &mut impl Rng) -> (Tensor, Vec<usize>) {
+    fn synthetic_features(
+        n_per_class: usize,
+        classes: usize,
+        rng: &mut impl Rng,
+    ) -> (Tensor, Vec<usize>) {
         // Linearly separable blobs in `classes` dimensions.
         let f = classes + 2;
         let mut data = Vec::new();
@@ -396,7 +432,9 @@ mod tests {
         // machinery must produce well-formed footprints.
         let n = 40;
         let images = Tensor::from_vec(
-            (0..n * 256).map(|i| ((i * 31) % 97) as f32 / 97.0).collect(),
+            (0..n * 256)
+                .map(|i| ((i * 31) % 97) as f32 / 97.0)
+                .collect(),
             &[n, 1, 16, 16],
         )
         .unwrap();
@@ -427,8 +465,8 @@ mod tests {
         let mut rng = stream_rng(3, "probe-test");
         let model = build_model(&spec, &mut rng).unwrap();
         let images = Tensor::zeros(&[0, 1, 16, 16]);
-        let err = InstrumentedModel::build(model, &images, &[], 10, &Default::default())
-            .unwrap_err();
+        let err =
+            InstrumentedModel::build(model, &images, &[], 10, &Default::default()).unwrap_err();
         assert!(matches!(err, DeepMorphError::Instrumentation { .. }));
     }
 }

@@ -81,23 +81,23 @@ impl ClassPatterns {
         let mut counts = vec![0usize; k];
         for (fp, &label) in train_footprints.iter().zip(train_labels) {
             counts[label] += 1;
-            for l in 0..depth {
-                for (m, &p) in mean[l][label].iter_mut().zip(fp.layer(l)) {
+            for (l, mean_l) in mean.iter_mut().enumerate() {
+                for (m, &p) in mean_l[label].iter_mut().zip(fp.layer(l)) {
                     *m += p;
                 }
             }
         }
-        for l in 0..depth {
-            for c in 0..k {
+        for mean_l in &mut mean {
+            for (c, mean_lc) in mean_l.iter_mut().enumerate() {
                 if counts[c] > 0 {
                     let inv = 1.0 / counts[c] as f32;
-                    for m in &mut mean[l][c] {
+                    for m in mean_lc {
                         *m *= inv;
                     }
                 } else {
                     // A class absent from training (extreme ITD): uniform
                     // pattern, which no footprint aligns with strongly.
-                    for m in &mut mean[l][c] {
+                    for m in mean_lc {
                         *m = 1.0 / k as f32;
                     }
                 }
@@ -564,14 +564,9 @@ mod tests {
     fn empty_holdout_falls_back_to_fit() {
         let (fit_fps, fit_labels) = crisp_footprints(4, 3, 2);
         let empty = FootprintSet::new(vec![], vec!["a".into(), "b".into()], 3);
-        let p = ClassPatterns::learn_with_holdout(
-            &fit_fps,
-            &fit_labels,
-            &empty,
-            &[],
-            vec![0.5, 0.9],
-        )
-        .unwrap();
+        let p =
+            ClassPatterns::learn_with_holdout(&fit_fps, &fit_labels, &empty, &[], vec![0.5, 0.9])
+                .unwrap();
         assert_eq!(p.class_count(0), 4);
     }
 

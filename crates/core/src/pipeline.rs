@@ -221,16 +221,11 @@ mod tests {
         for c in 0..k {
             for s in 0..per_class {
                 let level = c as f32 / k as f32 + (s % 3) as f32 * 0.01;
-                data.extend(std::iter::repeat(level).take(256));
+                data.extend(std::iter::repeat_n(level, 256));
                 labels.push(c);
             }
         }
-        Dataset::new(
-            Tensor::from_vec(data, &[n, 1, 16, 16]).unwrap(),
-            labels,
-            k,
-        )
-        .unwrap()
+        Dataset::new(Tensor::from_vec(data, &[n, 1, 16, 16]).unwrap(), labels, k).unwrap()
     }
 
     #[test]
@@ -278,9 +273,7 @@ mod tests {
             max_faulty_cases: 10,
             ..Default::default()
         });
-        let (report, _instrumented) = tool
-            .diagnose(model, &train, &faulty, "LeNet toy")
-            .unwrap();
+        let (report, _instrumented) = tool.diagnose(model, &train, &faulty, "LeNet toy").unwrap();
         assert!(report.num_cases > 0 && report.num_cases <= 10);
         let sum: f32 = report.ratios.as_array().iter().sum();
         assert!((sum - 1.0).abs() < 1e-4);

@@ -55,7 +55,10 @@ impl std::fmt::Display for RepairPlan {
                 "audit training labels: samples labeled {suspect_label} executing as {executes_as}"
             ),
             RepairPlan::StrengthenStructure => {
-                write!(f, "strengthen the network structure (restore conv capacity)")
+                write!(
+                    f,
+                    "strengthen the network structure (restore conv capacity)"
+                )
             }
         }
     }
@@ -195,6 +198,8 @@ mod tests {
             executes_as: 3,
         };
         assert!(p.to_string().contains("labeled 5"));
-        assert!(RepairPlan::StrengthenStructure.to_string().contains("strengthen"));
+        assert!(RepairPlan::StrengthenStructure
+            .to_string()
+            .contains("strengthen"));
     }
 }

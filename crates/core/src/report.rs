@@ -2,13 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use deepmorph_json::{Json, JsonError};
 
 use deepmorph_defects::DefectKind;
 
 /// The three defect ratios in `[ITD, UTD, SD]` order — one row of the
 /// paper's Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DefectRatios {
     ratios: [f32; 3],
 }
@@ -53,7 +53,7 @@ impl fmt::Display for DefectRatios {
 }
 
 /// Per-case diagnosis detail.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CaseDiagnosis {
     /// Index of the case within the faulty set.
     pub case_index: usize,
@@ -68,7 +68,7 @@ pub struct CaseDiagnosis {
 }
 
 /// The output of one DeepMorph diagnosis run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DefectReport {
     /// Ratio of faulty cases attributed to each defect type.
     pub ratios: DefectRatios,
@@ -99,13 +99,147 @@ impl DefectReport {
     }
 
     /// Serializes the report as pretty JSON (for the experiment harness).
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the report contains no non-serializable values.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report is serializable")
+        self.to_json_value().to_string_pretty()
     }
+
+    /// The report as a [`Json`] value.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("subject", Json::str(self.subject.clone())),
+            ("num_cases", Json::num(self.num_cases as f64)),
+            ("model_health", Json::num(f64::from(self.model_health))),
+            ("ratios", ratios_to_json(&self.ratios.as_array())),
+            (
+                "probe_labels",
+                Json::arr(self.probe_labels.iter().map(|l| Json::str(l.clone()))),
+            ),
+            (
+                "probe_accuracies",
+                Json::arr(
+                    self.probe_accuracies
+                        .iter()
+                        .map(|&a| Json::num(f64::from(a))),
+                ),
+            ),
+            (
+                "cases",
+                Json::arr(self.cases.iter().map(|c| {
+                    Json::obj([
+                        ("case_index", Json::num(c.case_index as f64)),
+                        ("true_label", Json::num(c.true_label as f64)),
+                        ("predicted", Json::num(c.predicted as f64)),
+                        ("assigned", Json::str(c.assigned.clone())),
+                        ("score_distribution", ratios_to_json(&c.score_distribution)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Parses a report previously produced by [`DefectReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed documents or missing fields.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let doc = Json::parse(text)?;
+        let field_err = |name: &str| JsonError {
+            message: format!("bad field '{name}'"),
+            offset: 0,
+        };
+        let f32_field = |value: &Json, name: &str| -> Result<f32, JsonError> {
+            value
+                .as_f64()
+                .map(|v| v as f32)
+                .ok_or_else(|| field_err(name))
+        };
+        let cases = doc
+            .req("cases")?
+            .as_arr()
+            .ok_or_else(|| field_err("cases"))?
+            .iter()
+            .map(|c| {
+                Ok(CaseDiagnosis {
+                    case_index: c
+                        .req("case_index")?
+                        .as_usize()
+                        .ok_or_else(|| field_err("case_index"))?,
+                    true_label: c
+                        .req("true_label")?
+                        .as_usize()
+                        .ok_or_else(|| field_err("true_label"))?,
+                    predicted: c
+                        .req("predicted")?
+                        .as_usize()
+                        .ok_or_else(|| field_err("predicted"))?,
+                    assigned: c
+                        .req("assigned")?
+                        .as_str()
+                        .ok_or_else(|| field_err("assigned"))?
+                        .to_string(),
+                    score_distribution: ratios_from_json(c.req("score_distribution")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(DefectReport {
+            ratios: DefectRatios::new(ratios_from_json(doc.req("ratios")?)?),
+            num_cases: doc
+                .req("num_cases")?
+                .as_usize()
+                .ok_or_else(|| field_err("num_cases"))?,
+            probe_labels: doc
+                .req("probe_labels")?
+                .as_arr()
+                .ok_or_else(|| field_err("probe_labels"))?
+                .iter()
+                .map(|l| {
+                    l.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| field_err("probe_labels"))
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            probe_accuracies: doc
+                .req("probe_accuracies")?
+                .as_arr()
+                .ok_or_else(|| field_err("probe_accuracies"))?
+                .iter()
+                .map(|a| f32_field(a, "probe_accuracies"))
+                .collect::<Result<Vec<_>, JsonError>>()?,
+            model_health: f32_field(doc.req("model_health")?, "model_health")?,
+            cases,
+            subject: doc
+                .req("subject")?
+                .as_str()
+                .ok_or_else(|| field_err("subject"))?
+                .to_string(),
+        })
+    }
+}
+
+fn ratios_to_json(ratios: &[f32; 3]) -> Json {
+    Json::arr(ratios.iter().map(|&v| Json::num(f64::from(v))))
+}
+
+fn ratios_from_json(value: &Json) -> Result<[f32; 3], JsonError> {
+    let items = value.as_arr().ok_or(JsonError {
+        message: "ratios must be an array".into(),
+        offset: 0,
+    })?;
+    if items.len() != 3 {
+        return Err(JsonError {
+            message: format!("ratios must have 3 entries, got {}", items.len()),
+            offset: 0,
+        });
+    }
+    let mut out = [0.0f32; 3];
+    for (slot, item) in out.iter_mut().zip(items) {
+        *slot = item.as_f64().ok_or(JsonError {
+            message: "ratio entries must be numbers".into(),
+            offset: 0,
+        })? as f32;
+    }
+    Ok(out)
 }
 
 impl fmt::Display for DefectReport {
@@ -176,7 +310,16 @@ mod tests {
     fn json_round_trips() {
         let r = report();
         let json = r.to_json();
-        let back: DefectReport = serde_json::from_str(&json).unwrap();
+        let back = DefectReport::from_json(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        assert!(DefectReport::from_json("{}").is_err());
+        assert!(DefectReport::from_json("not json").is_err());
+        let missing_ratio = r#"{"subject": "x", "num_cases": 0, "model_health": 1.0,
+            "ratios": [0.5, 0.5], "probe_labels": [], "probe_accuracies": [], "cases": []}"#;
+        assert!(DefectReport::from_json(missing_ratio).is_err());
     }
 }

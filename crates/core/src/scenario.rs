@@ -177,7 +177,11 @@ impl Scenario {
         stream: &str,
     ) -> Result<(deepmorph_models::ModelHandle, f32)> {
         let cfg = &self.cfg;
-        let input_shape = [cfg.dataset.channels(), cfg.dataset.side(), cfg.dataset.side()];
+        let input_shape = [
+            cfg.dataset.channels(),
+            cfg.dataset.side(),
+            cfg.dataset.side(),
+        ];
         let spec = ModelSpec::new(
             cfg.family,
             cfg.scale,
@@ -189,7 +193,12 @@ impl Scenario {
         let mut model = build_model(&spec, &mut model_rng)?;
         let mut train_rng = stream_rng(cfg.seed, &format!("scenario-train{stream}"));
         let mut trainer = Trainer::new(cfg.train_config.clone());
-        let report = trainer.fit(&mut model.graph, train.images(), train.labels(), &mut train_rng)?;
+        let report = trainer.fit(
+            &mut model.graph,
+            train.images(),
+            train.labels(),
+            &mut train_rng,
+        )?;
         Ok((model, report.final_train_accuracy))
     }
 
@@ -266,11 +275,10 @@ impl Scenario {
     pub fn run_with_repair(&self) -> Result<(ScenarioOutcome, RepairOutcome)> {
         let cfg = &self.cfg;
         let mut executed = self.execute()?;
-        let plan = recommend(&executed.outcome.report).ok_or_else(|| {
-            DeepMorphError::InvalidScenario {
+        let plan =
+            recommend(&executed.outcome.report).ok_or_else(|| DeepMorphError::InvalidScenario {
                 reason: "no repair plan can be derived from the report".into(),
-            }
-        })?;
+            })?;
 
         let repaired_train: Dataset = match &plan {
             RepairPlan::CollectMoreData { classes } => {

@@ -62,7 +62,11 @@ impl Dataset {
     ///
     /// Returns a [`TensorError`] if `images` is not rank 4, the label count
     /// disagrees with the sample count, or a label is out of range.
-    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, TensorError> {
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, TensorError> {
         images.expect_rank(4, "dataset images")?;
         if images.shape()[0] != labels.len() {
             return Err(TensorError::LengthMismatch {
@@ -261,11 +265,8 @@ mod tests {
 
     fn toy_dataset(n_per_class: usize, classes: usize) -> Dataset {
         let n = n_per_class * classes;
-        let images = Tensor::from_vec(
-            (0..n * 4).map(|v| v as f32).collect(),
-            &[n, 1, 2, 2],
-        )
-        .unwrap();
+        let images =
+            Tensor::from_vec((0..n * 4).map(|v| v as f32).collect(), &[n, 1, 2, 2]).unwrap();
         let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
         Dataset::new(images, labels, classes).unwrap()
     }

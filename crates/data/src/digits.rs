@@ -97,10 +97,7 @@ impl SynthDigits {
                 Segment::new(R, B, R, M),
                 Segment::new(R, M, L, M),
             ],
-            7 => vec![
-                Segment::new(L, T, R, T),
-                Segment::new(R, T, 0.42, B),
-            ],
+            7 => vec![Segment::new(L, T, R, T), Segment::new(R, T, 0.42, B)],
             8 => vec![
                 Segment::new(L, T, R, T),
                 Segment::new(R, T, R, B),
@@ -138,7 +135,8 @@ impl DataGenerator for SynthDigits {
     fn sample(&self, class: usize, rng: &mut ChaCha8Rng) -> Tensor {
         assert!(class < 10, "digit class {class} out of range");
         let segments = SynthDigits::skeleton(class);
-        let jitter = AffineJitter::sample(rng, self.max_rotation, self.max_scale_dev, self.max_shift);
+        let jitter =
+            AffineJitter::sample(rng, self.max_rotation, self.max_scale_dev, self.max_shift);
         let thickness = rng.gen_range(0.055..0.085);
         let mut plane = render_strokes(&segments, self.side, thickness, &jitter);
         let brightness = rng.gen_range(0.75..1.0);

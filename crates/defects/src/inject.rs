@@ -44,10 +44,7 @@ pub enum DefectSpec {
 impl DefectSpec {
     /// ITD: starve the given classes by removing `fraction` of their
     /// training samples.
-    pub fn insufficient_training_data(
-        classes: impl Into<Vec<usize>>,
-        fraction: f32,
-    ) -> Self {
+    pub fn insufficient_training_data(classes: impl Into<Vec<usize>>, fraction: f32) -> Self {
         DefectSpec::Itd {
             classes: classes.into(),
             fraction: fraction.clamp(0.0, 1.0),
@@ -55,7 +52,11 @@ impl DefectSpec {
     }
 
     /// UTD: mislabel `fraction` of `source_class` as `target_class`.
-    pub fn unreliable_training_data(source_class: usize, target_class: usize, fraction: f32) -> Self {
+    pub fn unreliable_training_data(
+        source_class: usize,
+        target_class: usize,
+        fraction: f32,
+    ) -> Self {
         DefectSpec::Utd {
             source_class,
             target_class,
@@ -90,7 +91,10 @@ impl DefectSpec {
             DefectSpec::Itd { classes, fraction } => {
                 let mut remove = Vec::new();
                 for &class in classes {
-                    assert!(class < train.num_classes(), "ITD class {class} out of range");
+                    assert!(
+                        class < train.num_classes(),
+                        "ITD class {class} out of range"
+                    );
                     let mut idx = train.class_indices(class);
                     idx.shuffle(rng);
                     let take = ((idx.len() as f32) * fraction).round() as usize;
@@ -199,7 +203,10 @@ mod tests {
         assert_eq!(injected, ds);
         let mspec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
         assert_eq!(spec.apply_to_model_spec(mspec).removed_convs, 2);
-        assert_eq!(DefectSpec::Healthy.apply_to_model_spec(mspec).removed_convs, 0);
+        assert_eq!(
+            DefectSpec::Healthy.apply_to_model_spec(mspec).removed_convs,
+            0
+        );
     }
 
     #[test]

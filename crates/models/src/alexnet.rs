@@ -56,10 +56,7 @@ fn dims(scale: ModelScale) -> AlexDims {
 /// # Errors
 ///
 /// Returns an error if the input is too small for the three pooling steps.
-pub fn build(
-    spec: &ModelSpec,
-    rng: &mut ChaCha8Rng,
-) -> Result<(Graph, Vec<ProbePoint>), NnError> {
+pub fn build(spec: &ModelSpec, rng: &mut ChaCha8Rng) -> Result<(Graph, Vec<ProbePoint>), NnError> {
     let d = dims(spec.scale);
     let mut b = NetBuilder::new(spec.input_shape, rng);
 

@@ -211,9 +211,10 @@ impl<'r> NetBuilder<'r> {
                 })
             }
         };
-        self.node = self
-            .gb
-            .add_layer(Dense::new(in_features, out_features, self.rng), &[self.node])?;
+        self.node = self.gb.add_layer(
+            Dense::new(in_features, out_features, self.rng),
+            &[self.node],
+        )?;
         self.shape = FeatShape::Flat(out_features);
         Ok(self)
     }
@@ -224,7 +225,10 @@ impl<'r> NetBuilder<'r> {
     ///
     /// Propagates graph errors.
     pub fn dropout(&mut self, p: f32) -> Result<&mut Self, NnError> {
-        self.dropout_seed = self.dropout_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        self.dropout_seed = self
+            .dropout_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(1);
         self.node = self
             .gb
             .add_layer(Dropout::new(p, self.dropout_seed), &[self.node])?;

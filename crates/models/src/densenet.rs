@@ -73,7 +73,10 @@ fn dense_layer(b: &mut NetBuilder<'_>, growth: usize) -> Result<(), NnError> {
 /// average pool.
 fn transition(b: &mut NetBuilder<'_>) -> Result<(), NnError> {
     let c = b.shape().features();
-    b.bn()?.relu()?.conv((c / 2).max(1), 1, 1, 0)?.avgpool(2, 2)?;
+    b.bn()?
+        .relu()?
+        .conv((c / 2).max(1), 1, 1, 0)?
+        .avgpool(2, 2)?;
     Ok(())
 }
 
@@ -85,10 +88,7 @@ fn transition(b: &mut NetBuilder<'_>) -> Result<(), NnError> {
 /// # Errors
 ///
 /// Returns an error if the input is too small for the two transitions.
-pub fn build(
-    spec: &ModelSpec,
-    rng: &mut ChaCha8Rng,
-) -> Result<(Graph, Vec<ProbePoint>), NnError> {
+pub fn build(spec: &ModelSpec, rng: &mut ChaCha8Rng) -> Result<(Graph, Vec<ProbePoint>), NnError> {
     let d = dims(spec.scale);
     let blocks = apply_sd(d.layers_per_block, spec.removed_convs);
     let mut b = NetBuilder::new(spec.input_shape, rng);
@@ -165,7 +165,8 @@ mod tests {
         let x = deepmorph_tensor::Tensor::zeros(&[2, 3, 16, 16]);
         let y = g.forward(&x, Mode::Train).unwrap();
         g.zero_grad();
-        g.backward(&deepmorph_tensor::Tensor::ones(y.shape())).unwrap();
+        g.backward(&deepmorph_tensor::Tensor::ones(y.shape()))
+            .unwrap();
         check_forward(&mut g, [3, 16, 16], 1, 10).unwrap();
     }
 }

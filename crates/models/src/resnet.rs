@@ -59,11 +59,7 @@ fn apply_sd(blocks: [usize; 4], removed: usize) -> [usize; 4] {
 }
 
 /// Appends one basic residual block (two 3×3 convs + shortcut).
-fn basic_block(
-    b: &mut NetBuilder<'_>,
-    out_c: usize,
-    stride: usize,
-) -> Result<(), NnError> {
+fn basic_block(b: &mut NetBuilder<'_>, out_c: usize, stride: usize) -> Result<(), NnError> {
     let entry = b.here();
     let in_c = entry.shape.features();
     b.conv(out_c, 3, stride, 1)?.bn()?.relu()?;
@@ -93,10 +89,7 @@ fn basic_block(
 ///
 /// Returns an error if the input is too small for the three stride-2
 /// stages.
-pub fn build(
-    spec: &ModelSpec,
-    rng: &mut ChaCha8Rng,
-) -> Result<(Graph, Vec<ProbePoint>), NnError> {
+pub fn build(spec: &ModelSpec, rng: &mut ChaCha8Rng) -> Result<(Graph, Vec<ProbePoint>), NnError> {
     let d = dims(spec.scale);
     let blocks = apply_sd(d.blocks, spec.removed_convs);
     let mut b = NetBuilder::new(spec.input_shape, rng);
@@ -175,6 +168,7 @@ mod tests {
         let x = deepmorph_tensor::Tensor::zeros(&[2, 3, 16, 16]);
         let y = g.forward(&x, Mode::Train).unwrap();
         g.zero_grad();
-        g.backward(&deepmorph_tensor::Tensor::ones(y.shape())).unwrap();
+        g.backward(&deepmorph_tensor::Tensor::ones(y.shape()))
+            .unwrap();
     }
 }

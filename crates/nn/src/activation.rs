@@ -34,9 +34,12 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let mask = self.mask.as_ref().ok_or_else(|| NnError::MissingActivation {
-            layer: "relu".into(),
-        })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| NnError::MissingActivation {
+                layer: "relu".into(),
+            })?;
         let mut out = grad.clone();
         for (v, &keep) in out.data_mut().iter_mut().zip(mask) {
             if !keep {
@@ -79,9 +82,12 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let y = self.output.as_ref().ok_or_else(|| NnError::MissingActivation {
-            layer: "tanh".into(),
-        })?;
+        let y = self
+            .output
+            .as_ref()
+            .ok_or_else(|| NnError::MissingActivation {
+                layer: "tanh".into(),
+            })?;
         // d tanh = 1 - tanh^2
         let mut out = grad.clone();
         for (g, &yv) in out.data_mut().iter_mut().zip(y.data()) {
@@ -112,7 +118,9 @@ mod tests {
         let mut l = ReLU::new();
         let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
         let _ = l.forward(&[&x], Mode::Train).unwrap();
-        let g = l.backward(&Tensor::from_slice(&[10.0, 10.0, 10.0])).unwrap();
+        let g = l
+            .backward(&Tensor::from_slice(&[10.0, 10.0, 10.0]))
+            .unwrap();
         assert_eq!(g[0].data(), &[0.0, 10.0, 10.0]);
     }
 

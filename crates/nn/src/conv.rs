@@ -87,36 +87,50 @@ impl Conv2d {
     }
 
     /// Permutes `[n*positions, out_c]` to NCHW `[n, out_c, oh, ow]`.
+    ///
+    /// Per-sample pure permutation, so the batch loop splits over threads
+    /// (bitwise exact) via [`deepmorph_tensor::chunks`].
     fn cols_to_nchw(&self, y: &Tensor, n: usize) -> Result<Tensor> {
         let (oc, positions) = (self.geo.out_channels, self.geo.out_positions());
         let mut out = vec![0.0f32; n * oc * positions];
         let src = y.data();
-        for i in 0..n {
-            for p in 0..positions {
-                let row = &src[(i * positions + p) * oc..(i * positions + p + 1) * oc];
-                for (ch, &v) in row.iter().enumerate() {
-                    out[(i * oc + ch) * positions + p] = v;
+        deepmorph_tensor::chunks::for_chunks_mut(
+            &mut out,
+            oc * positions,
+            deepmorph_tensor::chunks::PAR_GRAIN_ELEMS,
+            |i, img| {
+                for p in 0..positions {
+                    let row = &src[(i * positions + p) * oc..(i * positions + p + 1) * oc];
+                    for (ch, &v) in row.iter().enumerate() {
+                        img[ch * positions + p] = v;
+                    }
                 }
-            }
-        }
+            },
+        );
         Ok(Tensor::from_vec(
             out,
             &[n, oc, self.geo.out_h, self.geo.out_w],
         )?)
     }
 
-    /// Permutes NCHW gradients back to `[n*positions, out_c]`.
+    /// Permutes NCHW gradients back to `[n*positions, out_c]` (the inverse
+    /// of [`Conv2d::cols_to_nchw`], parallel over samples the same way).
     fn nchw_to_cols(&self, g: &Tensor, n: usize) -> Result<Tensor> {
         let (oc, positions) = (self.geo.out_channels, self.geo.out_positions());
         let mut out = vec![0.0f32; n * positions * oc];
         let src = g.data();
-        for i in 0..n {
-            for ch in 0..oc {
-                for p in 0..positions {
-                    out[(i * positions + p) * oc + ch] = src[(i * oc + ch) * positions + p];
+        deepmorph_tensor::chunks::for_chunks_mut(
+            &mut out,
+            positions * oc,
+            deepmorph_tensor::chunks::PAR_GRAIN_ELEMS,
+            |i, img| {
+                for ch in 0..oc {
+                    for p in 0..positions {
+                        img[p * oc + ch] = src[(i * oc + ch) * positions + p];
+                    }
                 }
-            }
-        }
+            },
+        );
         Ok(Tensor::from_vec(out, &[n * positions, oc])?)
     }
 }
@@ -151,6 +165,7 @@ impl Layer for Conv2d {
             })?;
         let n = self.cached_batch;
         let g_cols = self.nchw_to_cols(grad, n)?; // [n*pos, out_c]
+
         // dW = g_cols^T @ cols : [out_c, patch]
         let dw = g_cols.matmul_tn(cols)?;
         self.weight.grad.add_assign_tensor(&dw)?;

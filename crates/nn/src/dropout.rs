@@ -71,9 +71,12 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let mask = self.mask.as_ref().ok_or_else(|| NnError::MissingActivation {
-            layer: "dropout".into(),
-        })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| NnError::MissingActivation {
+                layer: "dropout".into(),
+            })?;
         let mut out = grad.clone();
         for (v, &m) in out.data_mut().iter_mut().zip(mask) {
             *v *= m;

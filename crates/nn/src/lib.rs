@@ -84,8 +84,6 @@ pub mod prelude {
     pub use crate::optim::{Adam, Optimizer, Sgd};
     pub use crate::pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
     pub use crate::shape_ops::Flatten;
-    pub use crate::train::{
-        clip_gradients, evaluate_accuracy, TrainConfig, TrainReport, Trainer,
-    };
+    pub use crate::train::{clip_gradients, evaluate_accuracy, TrainConfig, TrainReport, Trainer};
     pub use crate::{NnError, Result as NnResult};
 }

@@ -15,7 +15,9 @@ pub struct Add {
 impl Add {
     /// Creates a residual add layer.
     pub fn new() -> Self {
-        Add { seen_forward: false }
+        Add {
+            seen_forward: false,
+        }
     }
 }
 
@@ -44,7 +46,9 @@ impl Layer for Add {
 
     fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
         if !self.seen_forward {
-            return Err(NnError::MissingActivation { layer: "add".into() });
+            return Err(NnError::MissingActivation {
+                layer: "add".into(),
+            });
         }
         Ok(vec![grad.clone(), grad.clone()])
     }
@@ -91,20 +95,20 @@ impl Layer for ConcatChannels {
         let [n, ca, h, w] = [a.shape()[0], a.shape()[1], a.shape()[2], a.shape()[3]];
         let [nb, cb, hb, wb] = [b.shape()[0], b.shape()[1], b.shape()[2], b.shape()[3]];
         if n != nb || h != hb || w != wb {
-            return Err(NnError::Tensor(deepmorph_tensor::TensorError::ShapeMismatch {
-                lhs: a.shape().to_vec(),
-                rhs: b.shape().to_vec(),
-                op: "concat_channels",
-            }));
+            return Err(NnError::Tensor(
+                deepmorph_tensor::TensorError::ShapeMismatch {
+                    lhs: a.shape().to_vec(),
+                    rhs: b.shape().to_vec(),
+                    op: "concat_channels",
+                },
+            ));
         }
         let plane = h * w;
         let mut out = vec![0.0f32; n * (ca + cb) * plane];
         for i in 0..n {
             let dst = &mut out[i * (ca + cb) * plane..(i + 1) * (ca + cb) * plane];
-            dst[..ca * plane]
-                .copy_from_slice(&a.data()[i * ca * plane..(i + 1) * ca * plane]);
-            dst[ca * plane..]
-                .copy_from_slice(&b.data()[i * cb * plane..(i + 1) * cb * plane]);
+            dst[..ca * plane].copy_from_slice(&a.data()[i * ca * plane..(i + 1) * ca * plane]);
+            dst[ca * plane..].copy_from_slice(&b.data()[i * cb * plane..(i + 1) * cb * plane]);
         }
         if mode == Mode::Train {
             self.split = Some((ca, cb));

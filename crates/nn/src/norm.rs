@@ -54,11 +54,13 @@ impl BatchNorm2d {
     fn check_input(&self, x: &Tensor) -> Result<(usize, usize, usize)> {
         x.expect_rank(4, "batchnorm")?;
         if x.shape()[1] != self.channels {
-            return Err(NnError::Tensor(deepmorph_tensor::TensorError::ShapeMismatch {
-                lhs: x.shape().to_vec(),
-                rhs: vec![0, self.channels, 0, 0],
-                op: "batchnorm channels",
-            }));
+            return Err(NnError::Tensor(
+                deepmorph_tensor::TensorError::ShapeMismatch {
+                    lhs: x.shape().to_vec(),
+                    rhs: vec![0, self.channels, 0, 0],
+                    op: "batchnorm channels",
+                },
+            ));
         }
         Ok((x.shape()[0], x.shape()[2], x.shape()[3]))
     }
@@ -81,7 +83,7 @@ impl Layer for BatchNorm2d {
             Mode::Train => {
                 let mut x_hat = Tensor::zeros(x.shape());
                 let mut inv_std = vec![0.0f32; c];
-                for ch in 0..c {
+                for (ch, istd_slot) in inv_std.iter_mut().enumerate() {
                     // Batch mean/var over (n, h, w) for this channel.
                     let mut mean = 0.0;
                     for i in 0..n {
@@ -101,7 +103,7 @@ impl Layer for BatchNorm2d {
                     }
                     var /= m;
                     let istd = 1.0 / (var + self.eps).sqrt();
-                    inv_std[ch] = istd;
+                    *istd_slot = istd;
                     let g = self.gamma.value.data()[ch];
                     let b = self.beta.value.data()[ch];
                     for i in 0..n {
@@ -129,8 +131,7 @@ impl Layer for BatchNorm2d {
                     for i in 0..n {
                         let base = (i * c + ch) * plane;
                         for p in 0..plane {
-                            out.data_mut()[base + p] =
-                                g * (x.data()[base + p] - mean) * istd + b;
+                            out.data_mut()[base + p] = g * (x.data()[base + p] - mean) * istd + b;
                         }
                     }
                 }
@@ -140,9 +141,12 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let cache = self.cache.as_ref().ok_or_else(|| NnError::MissingActivation {
-            layer: self.name.clone(),
-        })?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::MissingActivation {
+                layer: self.name.clone(),
+            })?;
         let (n, h, w) = self.check_input(grad)?;
         let c = self.channels;
         let plane = h * w;
@@ -203,7 +207,9 @@ mod tests {
 
     fn sample_input() -> Tensor {
         Tensor::from_vec(
-            (0..24).map(|v| ((v * 13) % 17) as f32 * 0.3 - 2.0).collect(),
+            (0..24)
+                .map(|v| ((v * 13) % 17) as f32 * 0.3 - 2.0)
+                .collect(),
             &[2, 2, 2, 3],
         )
         .unwrap()
@@ -223,8 +229,7 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

@@ -24,7 +24,13 @@ impl MaxPool2d {
     /// # Errors
     ///
     /// Returns a geometry error if the window does not fit the input.
-    pub fn new(channels: usize, in_h: usize, in_w: usize, window: usize, stride: usize) -> Result<Self> {
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self> {
         let geo = PoolGeometry::new(channels, in_h, in_w, window, stride)?;
         Ok(MaxPool2d {
             name: format!("maxpool[{window}x{window} s{stride} @{in_h}x{in_w}]"),
@@ -54,9 +60,12 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let argmax = self.argmax.as_ref().ok_or_else(|| NnError::MissingActivation {
-            layer: self.name.clone(),
-        })?;
+        let argmax = self
+            .argmax
+            .as_ref()
+            .ok_or_else(|| NnError::MissingActivation {
+                layer: self.name.clone(),
+            })?;
         Ok(vec![maxpool2d_backward(grad, argmax, &self.geo)?])
     }
 
@@ -79,7 +88,13 @@ impl AvgPool2d {
     /// # Errors
     ///
     /// Returns a geometry error if the window does not fit the input.
-    pub fn new(channels: usize, in_h: usize, in_w: usize, window: usize, stride: usize) -> Result<Self> {
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self> {
         let geo = PoolGeometry::new(channels, in_h, in_w, window, stride)?;
         Ok(AvgPool2d {
             name: format!("avgpool[{window}x{window} s{stride} @{in_h}x{in_w}]"),

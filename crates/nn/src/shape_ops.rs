@@ -29,11 +29,13 @@ impl Layer for Flatten {
     fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
         let x = single_input(inputs, "flatten")?;
         if x.ndim() < 2 {
-            return Err(NnError::Tensor(deepmorph_tensor::TensorError::RankMismatch {
-                expected: 2,
-                actual: x.ndim(),
-                op: "flatten",
-            }));
+            return Err(NnError::Tensor(
+                deepmorph_tensor::TensorError::RankMismatch {
+                    expected: 2,
+                    actual: x.ndim(),
+                    op: "flatten",
+                },
+            ));
         }
         let n = x.shape()[0];
         let features: usize = x.shape()[1..].iter().product();

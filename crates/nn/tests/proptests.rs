@@ -12,7 +12,9 @@ fn mlp(seed: u64, in_dim: usize, out_dim: usize) -> Graph {
     let x = gb.input();
     let h = gb.add_layer(Dense::new(in_dim, 8, &mut rng), &[x]).unwrap();
     let r = gb.add_layer(ReLU::new(), &[h]).unwrap();
-    let o = gb.add_layer(Dense::new(8, out_dim, &mut rng), &[r]).unwrap();
+    let o = gb
+        .add_layer(Dense::new(8, out_dim, &mut rng), &[r])
+        .unwrap();
     gb.build(o).unwrap()
 }
 
@@ -83,8 +85,8 @@ proptest! {
         let preds: Vec<usize> = pairs.iter().map(|p| p.0).collect();
         let labels: Vec<usize> = pairs.iter().map(|p| p.1).collect();
         let m = confusion_matrix(&preds, &labels, 4);
-        for c in 0..4 {
-            let row_sum: usize = m[c].iter().sum();
+        for (c, row) in m.iter().enumerate() {
+            let row_sum: usize = row.iter().sum();
             let count = labels.iter().filter(|&&l| l == c).count();
             prop_assert_eq!(row_sum, count);
         }

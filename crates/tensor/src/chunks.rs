@@ -1,0 +1,62 @@
+//! Serial/parallel dispatch for chunked kernels.
+//!
+//! Every hot kernel in this crate is written as "apply `f` to contiguous
+//! chunk `i` of an output buffer", which makes the serial and parallel
+//! executions *bitwise identical*: the parallel path only changes which
+//! thread runs a chunk, never the per-element operation order. These
+//! wrappers fall back to a plain loop when the `parallel` feature is off,
+//! when only one thread is available, or when the buffer is below the
+//! given grain size (thread spawn costs ~tens of µs; tiny kernels lose).
+
+/// Minimum output elements before a memory-bound kernel (im2col, pooling,
+/// permutes) fans out to threads.
+pub const PAR_GRAIN_ELEMS: usize = 1 << 15;
+
+/// Minimum multiply-accumulate count before a matmul fans out to threads.
+pub const PAR_GRAIN_FLOPS: usize = 1 << 18;
+
+/// Runs `f(chunk_index, chunk)` over contiguous `chunk_len`-sized chunks,
+/// in parallel when worthwhile (buffer at least `grain` elements, the
+/// `parallel` feature on, and more than one thread available).
+#[allow(unused_variables)]
+pub fn for_chunks_mut<T: Send, F>(data: &mut [T], chunk_len: usize, grain: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() || chunk_len == 0 {
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    if data.len() >= grain && deepmorph_parallel::max_threads() > 1 {
+        deepmorph_parallel::par_chunks_mut(data, chunk_len, f);
+        return;
+    }
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        f(i, chunk);
+    }
+}
+
+/// Two-buffer variant of [`for_chunks_mut`] (lockstep chunks).
+#[allow(unused_variables)]
+pub fn for_chunks2_mut<T: Send, U: Send, F>(
+    a: &mut [T],
+    a_chunk: usize,
+    b: &mut [U],
+    b_chunk: usize,
+    grain: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    if a.is_empty() || a_chunk == 0 || b_chunk == 0 {
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    if a.len() >= grain && deepmorph_parallel::max_threads() > 1 {
+        deepmorph_parallel::par_chunks2_mut(a, a_chunk, b, b_chunk, f);
+        return;
+    }
+    for (i, (ca, cb)) in a.chunks_mut(a_chunk).zip(b.chunks_mut(b_chunk)).enumerate() {
+        f(i, ca, cb);
+    }
+}

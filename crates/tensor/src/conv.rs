@@ -136,14 +136,20 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
     let mut out = vec![0.0f32; n * positions * patch_len];
     let src = input.data();
     let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+    let (out_h, out_w) = (geo.out_h, geo.out_w);
 
-    for i in 0..n {
-        let src_img = &src[i * c * h * w..(i + 1) * c * h * w];
-        for oy in 0..geo.out_h {
-            for ox in 0..geo.out_w {
-                let row_idx = i * positions + oy * geo.out_w + ox;
-                let row = &mut out[row_idx * patch_len..(row_idx + 1) * patch_len];
-                let base_y = (oy * stride) as isize - pad as isize;
+    // One chunk per (sample, output row): a pure gather, so chunks are
+    // independent and the parallel split is bitwise exact.
+    crate::chunks::for_chunks_mut(
+        &mut out,
+        out_w * patch_len,
+        crate::chunks::PAR_GRAIN_ELEMS,
+        |chunk_idx, rows| {
+            let i = chunk_idx / out_h;
+            let oy = chunk_idx % out_h;
+            let src_img = &src[i * c * h * w..(i + 1) * c * h * w];
+            let base_y = (oy * stride) as isize - pad as isize;
+            for (ox, row) in rows.chunks_mut(patch_len).enumerate() {
                 let base_x = (ox * stride) as isize - pad as isize;
                 let mut k = 0;
                 for ch in 0..c {
@@ -165,8 +171,8 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, &[n * positions, patch_len])
 }
 
@@ -198,34 +204,41 @@ pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, n: usize) -> Result<Tensor> {
     let mut out = vec![0.0f32; n * c * h * w];
     let src = cols.data();
 
-    for i in 0..n {
-        let dst_img = &mut out[i * c * h * w..(i + 1) * c * h * w];
-        for oy in 0..geo.out_h {
-            for ox in 0..geo.out_w {
-                let row_idx = i * positions + oy * geo.out_w + ox;
-                let row = &src[row_idx * patch_len..(row_idx + 1) * patch_len];
-                let base_y = (oy * stride) as isize - pad as isize;
-                let base_x = (ox * stride) as isize - pad as isize;
-                let mut k = 0;
-                for ch in 0..c {
-                    for ky in 0..kh {
-                        let y = base_y + ky as isize;
-                        if y < 0 || y >= h as isize {
-                            k += kw;
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let x = base_x + kx as isize;
-                            if x >= 0 && x < w as isize {
-                                dst_img[ch * h * w + y as usize * w + x as usize] += row[k];
+    // col2im scatter-adds overlapping receptive fields, so the parallel
+    // split is per sample: each image's accumulation stays on one thread
+    // in serial order (bitwise exact).
+    crate::chunks::for_chunks_mut(
+        &mut out,
+        c * h * w,
+        crate::chunks::PAR_GRAIN_ELEMS,
+        |i, dst_img| {
+            for oy in 0..geo.out_h {
+                for ox in 0..geo.out_w {
+                    let row_idx = i * positions + oy * geo.out_w + ox;
+                    let row = &src[row_idx * patch_len..(row_idx + 1) * patch_len];
+                    let base_y = (oy * stride) as isize - pad as isize;
+                    let base_x = (ox * stride) as isize - pad as isize;
+                    let mut k = 0;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            let y = base_y + ky as isize;
+                            if y < 0 || y >= h as isize {
+                                k += kw;
+                                continue;
                             }
-                            k += 1;
+                            for kx in 0..kw {
+                                let x = base_x + kx as isize;
+                                if x >= 0 && x < w as isize {
+                                    dst_img[ch * h * w + y as usize * w + x as usize] += row[k];
+                                }
+                                k += 1;
+                            }
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, &[n, c, h, w])
 }
 
@@ -255,7 +268,13 @@ impl PoolGeometry {
     ///
     /// Returns [`TensorError::InvalidGeometry`] if the window does not fit
     /// or any dimension is zero.
-    pub fn new(channels: usize, in_h: usize, in_w: usize, window: usize, stride: usize) -> Result<Self> {
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self> {
         if channels == 0 || window == 0 || stride == 0 {
             return Err(TensorError::InvalidGeometry {
                 reason: format!("zero dimension: c={channels} window={window} stride={stride}"),
@@ -302,10 +321,21 @@ pub fn maxpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Vec<usiz
     let mut out = vec![0.0f32; n * c * geo.out_h * geo.out_w];
     let mut argmax = vec![0usize; out.len()];
     let src = input.data();
-    for i in 0..n {
-        let img = &src[i * c * h * w..(i + 1) * c * h * w];
-        for ch in 0..c {
-            let plane = &img[ch * h * w..(ch + 1) * h * w];
+    let plane_len = geo.out_h * geo.out_w;
+    // One chunk per (sample, channel) output plane; each plane only reads
+    // its own input plane, so the parallel split is bitwise exact.
+    crate::chunks::for_chunks2_mut(
+        &mut out,
+        plane_len,
+        &mut argmax,
+        plane_len,
+        crate::chunks::PAR_GRAIN_ELEMS,
+        |chunk_idx, out_plane, arg_plane| {
+            // `chunk_idx` counts (sample, channel) planes; the channel is
+            // still needed because argmax indexes into the sample's
+            // `c*h*w` buffer.
+            let ch = chunk_idx % c;
+            let plane = &src[chunk_idx * h * w..(chunk_idx + 1) * h * w];
             for oy in 0..geo.out_h {
                 for ox in 0..geo.out_w {
                     let mut best = f32::NEG_INFINITY;
@@ -321,13 +351,13 @@ pub fn maxpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Vec<usiz
                             }
                         }
                     }
-                    let o = ((i * c + ch) * geo.out_h + oy) * geo.out_w + ox;
-                    out[o] = best;
-                    argmax[o] = best_idx;
+                    let o = oy * geo.out_w + ox;
+                    out_plane[o] = best;
+                    arg_plane[o] = best_idx;
                 }
             }
-        }
-    }
+        },
+    );
     Ok((
         Tensor::from_vec(out, &[n, c, geo.out_h, geo.out_w])?,
         argmax,
@@ -340,19 +370,28 @@ pub fn maxpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Vec<usiz
 /// # Errors
 ///
 /// Returns a shape error if `grad` disagrees with `geo`.
-pub fn maxpool2d_backward(
-    grad: &Tensor,
-    argmax: &[usize],
-    geo: &PoolGeometry,
-) -> Result<Tensor> {
+pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], geo: &PoolGeometry) -> Result<Tensor> {
     grad.expect_rank(4, "maxpool2d_backward")?;
     let n = grad.shape()[0];
     let mut out = vec![0.0f32; n * geo.channels * geo.in_h * geo.in_w];
     let img_len = geo.channels * geo.in_h * geo.in_w;
-    for (o, (&g, &idx)) in grad.data().iter().zip(argmax).enumerate() {
-        let i = o / (geo.channels * geo.out_h * geo.out_w);
-        out[i * img_len + idx] += g;
-    }
+    let grad_img_len = geo.channels * geo.out_h * geo.out_w;
+    let g = grad.data();
+    // Scatter-adds stay within one sample; split per sample.
+    crate::chunks::for_chunks_mut(
+        &mut out,
+        img_len,
+        crate::chunks::PAR_GRAIN_ELEMS,
+        |i, dst_img| {
+            let lo = i * grad_img_len;
+            for (gv, &idx) in g[lo..lo + grad_img_len]
+                .iter()
+                .zip(&argmax[lo..lo + grad_img_len])
+            {
+                dst_img[idx] += gv;
+            }
+        },
+    );
     Tensor::from_vec(out, &[n, geo.channels, geo.in_h, geo.in_w])
 }
 
@@ -377,10 +416,13 @@ pub fn avgpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<Tensor> {
     let norm = 1.0 / (geo.window * geo.window) as f32;
     let mut out = vec![0.0f32; n * c * geo.out_h * geo.out_w];
     let src = input.data();
-    for i in 0..n {
-        let img = &src[i * c * h * w..(i + 1) * c * h * w];
-        for ch in 0..c {
-            let plane = &img[ch * h * w..(ch + 1) * h * w];
+    // One chunk per (sample, channel) output plane; pure gather.
+    crate::chunks::for_chunks_mut(
+        &mut out,
+        geo.out_h * geo.out_w,
+        crate::chunks::PAR_GRAIN_ELEMS,
+        |chunk_idx, out_plane| {
+            let plane = &src[chunk_idx * h * w..(chunk_idx + 1) * h * w];
             for oy in 0..geo.out_h {
                 for ox in 0..geo.out_w {
                     let mut acc = 0.0;
@@ -389,11 +431,11 @@ pub fn avgpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<Tensor> {
                             acc += plane[(oy * geo.stride + ky) * w + ox * geo.stride + kx];
                         }
                     }
-                    out[((i * c + ch) * geo.out_h + oy) * geo.out_w + ox] = acc * norm;
+                    out_plane[oy * geo.out_w + ox] = acc * norm;
                 }
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, &[n, c, geo.out_h, geo.out_w])
 }
 
@@ -409,22 +451,26 @@ pub fn avgpool2d_backward(grad: &Tensor, geo: &PoolGeometry) -> Result<Tensor> {
     let norm = 1.0 / (geo.window * geo.window) as f32;
     let mut out = vec![0.0f32; n * geo.channels * geo.in_h * geo.in_w];
     let g = grad.data();
-    for i in 0..n {
-        for ch in 0..geo.channels {
+    // Scatter-adds stay within one (sample, channel) plane; split per plane.
+    crate::chunks::for_chunks_mut(
+        &mut out,
+        geo.in_h * geo.in_w,
+        crate::chunks::PAR_GRAIN_ELEMS,
+        |chunk_idx, out_plane| {
             for oy in 0..geo.out_h {
                 for ox in 0..geo.out_w {
-                    let gv = g[((i * geo.channels + ch) * geo.out_h + oy) * geo.out_w + ox] * norm;
+                    let gv = g[(chunk_idx * geo.out_h + oy) * geo.out_w + ox] * norm;
                     for ky in 0..geo.window {
                         for kx in 0..geo.window {
                             let y = oy * geo.stride + ky;
                             let x = ox * geo.stride + kx;
-                            out[((i * geo.channels + ch) * geo.in_h + y) * geo.in_w + x] += gv;
+                            out_plane[y * geo.in_w + x] += gv;
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, &[n, geo.channels, geo.in_h, geo.in_w])
 }
 
@@ -447,12 +493,20 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
     let norm = 1.0 / (h * w) as f32;
     let mut out = vec![0.0f32; n * c];
     let src = input.data();
-    for i in 0..n {
-        for ch in 0..c {
+    // One chunk per sample row of the [n, c] output; pure reduction over
+    // that sample's planes. The work scales with the *input* size, so the
+    // parallel threshold is computed on it rather than on `out.len()`.
+    let grain = if n * c * h * w >= crate::chunks::PAR_GRAIN_ELEMS {
+        0
+    } else {
+        usize::MAX
+    };
+    crate::chunks::for_chunks_mut(&mut out, c, grain, |i, row| {
+        for (ch, slot) in row.iter_mut().enumerate() {
             let plane = &src[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
-            out[i * c + ch] = plane.iter().sum::<f32>() * norm;
+            *slot = plane.iter().sum::<f32>() * norm;
         }
-    }
+    });
     Tensor::from_vec(out, &[n, c])
 }
 
@@ -535,6 +589,7 @@ mod tests {
         let cols = im2col(&x, &g).unwrap();
         let wf = w.reshape(&[1, 4]).unwrap();
         let out = cols.matmul_nt(&wf).unwrap(); // [9, 1]
+
         // Direct: out[y][x] = x[y][x] - x[y+1][x+1] = -5 for this ramp.
         for v in out.data() {
             assert!((v + 5.0).abs() < 1e-5);

@@ -49,9 +49,7 @@ impl Init {
         let data: Vec<f32> = match self {
             Init::Zeros => vec![0.0; len],
             Init::Ones => vec![1.0; len],
-            Init::Uniform { limit } => (0..len)
-                .map(|_| rng.gen_range(-limit..=limit))
-                .collect(),
+            Init::Uniform { limit } => (0..len).map(|_| rng.gen_range(-limit..=limit)).collect(),
             Init::Normal { std } => (0..len).map(|_| gaussian(rng) * std).collect(),
             Init::XavierUniform => {
                 let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();

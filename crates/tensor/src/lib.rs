@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+pub mod chunks;
 pub mod conv;
 mod error;
 pub mod init;

@@ -13,10 +13,7 @@
 /// Zero-probability entries contribute zero. Inputs are not renormalized;
 /// pass distributions that already sum to 1.
 pub fn entropy(p: &[f32]) -> f32 {
-    p.iter()
-        .filter(|&&v| v > 0.0)
-        .map(|&v| -v * v.ln())
-        .sum()
+    p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum()
 }
 
 /// Entropy normalized to `[0, 1]` by `ln(k)`; 1 means uniform.

@@ -568,8 +568,9 @@ impl Tensor {
         let (rows, cols) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                out[c] += self.data[r * cols + c];
+            let row = &self.data[r * cols..(r + 1) * cols];
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
             }
         }
         Tensor::from_vec(out, &[cols])
@@ -674,24 +675,35 @@ impl Tensor {
 
     /// Matrix product `self @ other` for rank-2 tensors.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop streams both operand
-    /// rows, which is the cache-friendly layout for row-major data.
+    /// With the `parallel` feature (default), large products are computed
+    /// by [`Tensor::matmul_fast`]; the result is bitwise identical to
+    /// [`Tensor::matmul_serial`] because every output element accumulates
+    /// its `k` terms in the same order either way.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        self.expect_rank(2, "matmul")?;
-        other.expect_rank(2, "matmul")?;
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDimMismatch {
-                lhs: [m, k],
-                rhs: [k2, n],
-            });
+        let (m, k, n) = self.matmul_dims(other, false, false, "matmul")?;
+        if cfg!(feature = "parallel") && m * k * n >= crate::chunks::PAR_GRAIN_FLOPS {
+            self.matmul_fast(other)
+        } else {
+            self.matmul_serial(other)
         }
+    }
+
+    /// Reference kernel for [`Tensor::matmul`]: `i-k-j` loop order so the
+    /// inner loop streams both operand rows (cache-friendly for row-major
+    /// data). Always single-threaded; the baseline the benches compare
+    /// the parallel path against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_serial(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.matmul_dims(other, false, false, "matmul")?;
         let mut out = vec![0.0; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -709,25 +721,98 @@ impl Tensor {
         Tensor::from_vec(out, &[m, n])
     }
 
+    /// Optimized kernel behind [`Tensor::matmul`]: rows are distributed
+    /// over threads and the `k` loop is processed two steps at a time so
+    /// each output row makes half as many L1 round-trips. Per output
+    /// element the floating-point additions happen in exactly the serial
+    /// order, so results are bitwise identical to
+    /// [`Tensor::matmul_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_fast(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.matmul_dims(other, false, false, "matmul")?;
+        let mut out = vec![0.0; m * n];
+        let a_data = &self.data;
+        let b_data = &other.data;
+        crate::chunks::for_chunks_mut(&mut out, n, 0, |i, out_row| {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            let mut p = 0;
+            // Four k-steps per pass: the chained `(((o + a0·x0) + a1·x1) +
+            // a2·x2) + a3·x3` performs the same adds, in the same order,
+            // as four single steps, while touching each output element
+            // once instead of four times. Any zero coefficient falls back
+            // to skip-aware single steps (same semantics as the serial
+            // kernel's `a == 0` skip).
+            while p + 3 < k {
+                let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    let b0 = &b_data[p * n..(p + 1) * n];
+                    let b1 = &b_data[(p + 1) * n..(p + 2) * n];
+                    let b2 = &b_data[(p + 2) * n..(p + 3) * n];
+                    let b3 = &b_data[(p + 3) * n..(p + 4) * n];
+                    for ((((o, &x0), &x1), &x2), &x3) in
+                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o = (((*o + a0 * x0) + a1 * x1) + a2 * x2) + a3 * x3;
+                    }
+                } else {
+                    for (q, &a) in a_row[p..p + 4].iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_data[(p + q) * n..(p + q + 1) * n];
+                        for (o, &x) in out_row.iter_mut().zip(b_row) {
+                            *o += a * x;
+                        }
+                    }
+                }
+                p += 4;
+            }
+            for (q, &a) in a_row[p..].iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[(p + q) * n..(p + q + 1) * n];
+                for (o, &x) in out_row.iter_mut().zip(b_row) {
+                    *o += a * x;
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
     /// `self @ other.T` without materializing the transpose.
     ///
-    /// `self` is `[m, k]`, `other` is `[n, k]`; result is `[m, n]`.
+    /// `self` is `[m, k]`, `other` is `[n, k]`; result is `[m, n]`. Large
+    /// products dispatch to [`Tensor::matmul_nt_fast`] under the
+    /// `parallel` feature; results are bitwise identical to
+    /// [`Tensor::matmul_nt_serial`].
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
-        self.expect_rank(2, "matmul_nt")?;
-        other.expect_rank(2, "matmul_nt")?;
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (n, k2) = (other.shape[0], other.shape[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDimMismatch {
-                lhs: [m, k],
-                rhs: [k2, n],
-            });
+        let (m, k, n) = self.matmul_dims(other, false, true, "matmul_nt")?;
+        if cfg!(feature = "parallel") && m * k * n >= crate::chunks::PAR_GRAIN_FLOPS {
+            self.matmul_nt_fast(other)
+        } else {
+            self.matmul_nt_serial(other)
         }
+    }
+
+    /// Reference kernel for [`Tensor::matmul_nt`]: one dot product per
+    /// output element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_nt_serial(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.matmul_dims(other, false, true, "matmul_nt")?;
         let mut out = vec![0.0; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -743,25 +828,100 @@ impl Tensor {
         Tensor::from_vec(out, &[m, n])
     }
 
+    /// Optimized kernel behind [`Tensor::matmul_nt`]: rows are distributed
+    /// over threads and eight dot products run interleaved, giving eight
+    /// independent accumulator chains (the serial kernel is bound by the
+    /// latency of its single chain). Each accumulator still sums its `k`
+    /// terms in serial order, so results are bitwise identical to
+    /// [`Tensor::matmul_nt_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_nt_fast(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.matmul_dims(other, false, true, "matmul_nt")?;
+        let mut out = vec![0.0; m * n];
+        let a_data = &self.data;
+        let b_data = &other.data;
+        crate::chunks::for_chunks_mut(&mut out, n, 0, |i, out_row| {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            let mut j = 0;
+            while j + 8 <= n {
+                let b0 = &b_data[j * k..(j + 1) * k];
+                let b1 = &b_data[(j + 1) * k..(j + 2) * k];
+                let b2 = &b_data[(j + 2) * k..(j + 3) * k];
+                let b3 = &b_data[(j + 3) * k..(j + 4) * k];
+                let b4 = &b_data[(j + 4) * k..(j + 5) * k];
+                let b5 = &b_data[(j + 5) * k..(j + 6) * k];
+                let b6 = &b_data[(j + 6) * k..(j + 7) * k];
+                let b7 = &b_data[(j + 7) * k..(j + 8) * k];
+                let mut s = [0.0f32; 8];
+                for (((((((((&a, &x0), &x1), &x2), &x3), &x4), &x5), &x6), &x7),) in a_row
+                    .iter()
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                    .zip(b4)
+                    .zip(b5)
+                    .zip(b6)
+                    .zip(b7)
+                    .map(|x| (x,))
+                {
+                    s[0] += a * x0;
+                    s[1] += a * x1;
+                    s[2] += a * x2;
+                    s[3] += a * x3;
+                    s[4] += a * x4;
+                    s[5] += a * x5;
+                    s[6] += a * x6;
+                    s[7] += a * x7;
+                }
+                out_row[j..j + 8].copy_from_slice(&s);
+                j += 8;
+            }
+            for jj in j..n {
+                let b_row = &b_data[jj * k..(jj + 1) * k];
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out_row[jj] = acc;
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
     /// `self.T @ other` without materializing the transpose.
     ///
-    /// `self` is `[k, m]`, `other` is `[k, n]`; result is `[m, n]`.
+    /// `self` is `[k, m]`, `other` is `[k, n]`; result is `[m, n]`. Large
+    /// products dispatch to a row-parallel kernel under the `parallel`
+    /// feature; results are bitwise identical to
+    /// [`Tensor::matmul_tn_serial`].
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
-        self.expect_rank(2, "matmul_tn")?;
-        other.expect_rank(2, "matmul_tn")?;
-        let (k, m) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDimMismatch {
-                lhs: [m, k],
-                rhs: [k2, n],
-            });
+        let (m, k, n) = self.matmul_dims(other, true, false, "matmul_tn")?;
+        if cfg!(feature = "parallel") && m * k * n >= crate::chunks::PAR_GRAIN_FLOPS {
+            self.matmul_tn_fast(other)
+        } else {
+            self.matmul_tn_serial(other)
         }
+    }
+
+    /// Reference kernel for [`Tensor::matmul_tn`]: streams both operands
+    /// once, scattering into the whole output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_tn_serial(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.matmul_dims(other, true, false, "matmul_tn")?;
         let mut out = vec![0.0; m * n];
         for p in 0..k {
             let a_row = &self.data[p * m..(p + 1) * m];
@@ -777,6 +937,65 @@ impl Tensor {
             }
         }
         Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Row-parallel kernel behind [`Tensor::matmul_tn`]. Each output row
+    /// `i` accumulates `self[p, i] * other[p, :]` for `p` ascending —
+    /// the same per-element order as the serial kernel, so results are
+    /// bitwise identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_tn_fast(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.matmul_dims(other, true, false, "matmul_tn")?;
+        let mut out = vec![0.0; m * n];
+        let a_data = &self.data;
+        let b_data = &other.data;
+        crate::chunks::for_chunks_mut(&mut out, n, 0, |i, out_row| {
+            for p in 0..k {
+                let a = a_data[p * m + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Validates operand ranks/shapes for the matmul family and returns
+    /// `(m, k, n)`. `ta`/`tb` mark which operand is used transposed.
+    fn matmul_dims(
+        &self,
+        other: &Tensor,
+        ta: bool,
+        tb: bool,
+        op: &'static str,
+    ) -> Result<(usize, usize, usize)> {
+        self.expect_rank(2, op)?;
+        other.expect_rank(2, op)?;
+        let (m, k) = if ta {
+            (self.shape[1], self.shape[0])
+        } else {
+            (self.shape[0], self.shape[1])
+        };
+        let (k2, n) = if tb {
+            (other.shape[1], other.shape[0])
+        } else {
+            (other.shape[0], other.shape[1])
+        };
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: [m, k],
+                rhs: [k2, n],
+            });
+        }
+        Ok((m, k, n))
     }
 }
 

@@ -14,7 +14,10 @@ use deepmorph_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("UTD severity sweep on LeNet / synth-digits\n");
-    println!("{:>9} | {:>8} | {:>7} | {:>5} {:>5} {:>5} | dominant", "fraction", "test acc", "faulty", "ITD", "UTD", "SD");
+    println!(
+        "{:>9} | {:>8} | {:>7} | {:>5} {:>5} {:>5} | dominant",
+        "fraction", "test acc", "faulty", "ITD", "UTD", "SD"
+    );
     println!("{}", "-".repeat(66));
 
     for &fraction in &[0.2f32, 0.35, 0.5, 0.65, 0.8] {

@@ -44,7 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lr_decay: 0.9,
         ..TrainConfig::default()
     })
-    .fit(&mut model.graph, train.images(), train.labels(), &mut train_rng)?;
+    .fit(
+        &mut model.graph,
+        train.images(),
+        train.labels(),
+        &mut train_rng,
+    )?;
 
     let mut faulty = FaultyCases::collect(&mut model, &test)?;
     faulty.truncate(100)?;

@@ -1,0 +1,141 @@
+//! Determinism guard for the `parallel` feature.
+//!
+//! The parallel kernels promise *bitwise* identical results to the serial
+//! path: every output element accumulates its terms in the same order; only
+//! the thread that computes it changes. These tests pin that contract:
+//!
+//! 1. kernel-level: the dispatching matmuls equal their pinned serial
+//!    reference kernels bit for bit,
+//! 2. scenario-level: a fixed-seed LeNet/Digits diagnosis is identical
+//!    run-to-run in one process, and
+//! 3. build-level: the report digest is recorded under `target/` and
+//!    compared across feature configurations — running `cargo test` then
+//!    `cargo test --no-default-features` (tier-1 + serial gate) makes the
+//!    second run verify the first's digest.
+
+use deepmorph_repro::prelude::*;
+use deepmorph_tensor::Tensor;
+
+fn synth(shape: &[usize], salt: u64) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            ((h >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(data, shape).unwrap()
+}
+
+/// Sprinkles exact zeros so the kernels' zero-skip paths are exercised.
+fn with_zeros(t: &Tensor) -> Tensor {
+    let mut z = t.clone();
+    for (i, v) in z.data_mut().iter_mut().enumerate() {
+        if i % 7 == 0 {
+            *v = 0.0;
+        }
+    }
+    z
+}
+
+#[test]
+fn matmul_family_bitwise_matches_serial_reference() {
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (5, 3, 7),
+        (33, 65, 17),
+        (64, 72, 16), // the batch-64 conv GEMM shape class
+        (128, 128, 128),
+        (130, 70, 9), // odd sizes exercise every unroll tail
+    ] {
+        for salt in [1u64, 2] {
+            let a0 = synth(&[m, k], salt);
+            let b0 = synth(&[k, n], salt + 10);
+            for (a, b) in [(a0.clone(), b0.clone()), (with_zeros(&a0), with_zeros(&b0))] {
+                let fast = a.matmul(&b).unwrap();
+                let slow = a.matmul_serial(&b).unwrap();
+                assert_eq!(fast.data(), slow.data(), "matmul {m}x{k}x{n}");
+
+                let bt = synth(&[n, k], salt + 20);
+                let fast = a.matmul_nt(&bt).unwrap();
+                let slow = a.matmul_nt_serial(&bt).unwrap();
+                assert_eq!(fast.data(), slow.data(), "matmul_nt {m}x{k}x{n}");
+
+                let at = synth(&[k, m], salt + 30);
+                let bk = synth(&[k, n], salt + 40);
+                let fast = at.matmul_tn(&bk).unwrap();
+                let slow = at.matmul_tn_serial(&bk).unwrap();
+                assert_eq!(fast.data(), slow.data(), "matmul_tn {m}x{k}x{n}");
+            }
+        }
+    }
+    // Direct fast-kernel calls must match too (benches call them directly).
+    let a = synth(&[40, 24], 5);
+    let b = synth(&[24, 40], 6);
+    assert_eq!(
+        a.matmul_fast(&b).unwrap().data(),
+        a.matmul_serial(&b).unwrap().data()
+    );
+}
+
+fn run_fixed_scenario() -> deepmorph::report::DefectReport {
+    let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(1234)
+        .scale(ModelScale::Tiny)
+        .train_per_class(40)
+        .test_per_class(12)
+        .train_config(TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..TrainConfig::default()
+        })
+        .inject(DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98))
+        .build()
+        .expect("scenario builds");
+    scenario.run().expect("scenario runs").report
+}
+
+fn fnv64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn fixed_seed_scenario_is_identical_across_runs_and_builds() {
+    let first = run_fixed_scenario();
+    let second = run_fixed_scenario();
+    assert_eq!(first, second, "same-process reruns must match exactly");
+
+    let json = first.to_json();
+    let digest = format!("{:016x}", fnv64(&json));
+
+    // Cross-build guard: `cargo test` (parallel default) and
+    // `cargo test --no-default-features` (serial) both run this test; each
+    // writes its digest and checks any digest a previous configuration
+    // left behind. Identical numerics ⇒ identical digests.
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("determinism");
+    std::fs::create_dir_all(&dir).expect("create digest dir");
+    let features = if cfg!(feature = "parallel") {
+        "parallel"
+    } else {
+        "serial"
+    };
+    for entry in std::fs::read_dir(&dir).expect("read digest dir") {
+        let path = entry.expect("dir entry").path();
+        let other = std::fs::read_to_string(&path).unwrap_or_default();
+        assert_eq!(
+            other.trim(),
+            digest,
+            "diagnosis report diverged from the digest recorded by {} — \
+             the serial and parallel paths no longer agree bitwise",
+            path.display()
+        );
+    }
+    std::fs::write(dir.join(format!("{features}.digest")), &digest).expect("write digest");
+}

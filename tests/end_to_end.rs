@@ -16,11 +16,7 @@ fn fast_train_config() -> TrainConfig {
     }
 }
 
-fn scenario(
-    family: ModelFamily,
-    dataset: DatasetKind,
-    defect: DefectSpec,
-) -> Scenario {
+fn scenario(family: ModelFamily, dataset: DatasetKind, defect: DefectSpec) -> Scenario {
     Scenario::builder(family, dataset)
         .seed(7)
         .train_per_class(60)
@@ -116,7 +112,11 @@ fn ratios_always_form_a_distribution() {
         let s = scenario(ModelFamily::LeNet, DatasetKind::Digits, defect);
         if let Ok(outcome) = s.run() {
             let sum: f32 = outcome.report.ratios.as_array().iter().sum();
-            assert!((sum - 1.0).abs() < 1e-4, "ratios {:?}", outcome.report.ratios);
+            assert!(
+                (sum - 1.0).abs() < 1e-4,
+                "ratios {:?}",
+                outcome.report.ratios
+            );
             assert_eq!(outcome.report.cases.len(), outcome.report.num_cases);
         }
     }
@@ -132,7 +132,7 @@ fn reports_serialize_to_json() {
     let outcome = s.run().expect("scenario runs");
     let json = outcome.report.to_json();
     assert!(json.contains("ratios"));
-    let back: DefectReport = serde_json::from_str(&json).expect("round trip");
+    let back = DefectReport::from_json(&json).expect("round trip");
     assert_eq!(back, outcome.report);
 }
 

@@ -2,9 +2,9 @@
 //! every compatible dataset through the real data pipeline, and the
 //! instrumentation must work on all of them.
 
-use deepmorph_repro::prelude::*;
 use deepmorph::instrument::{InstrumentedModel, ProbeTrainingConfig};
 use deepmorph_data::DataGenerator;
+use deepmorph_repro::prelude::*;
 use deepmorph_tensor::init::stream_rng;
 
 fn tiny_dataset(kind: DatasetKind, per_class: usize, seed: u64) -> deepmorph_data::Dataset {
@@ -64,9 +64,8 @@ fn instrumentation_works_for_every_family() {
             epochs: 2,
             ..Default::default()
         };
-        let mut inst =
-            InstrumentedModel::build(model, data.images(), data.labels(), 10, &config)
-                .unwrap_or_else(|e| panic!("{family}: {e}"));
+        let mut inst = InstrumentedModel::build(model, data.images(), data.labels(), 10, &config)
+            .unwrap_or_else(|e| panic!("{family}: {e}"));
         let fps = inst.footprints(data.images()).unwrap();
         assert_eq!(fps.len(), data.len(), "{family}");
         assert_eq!(fps.depth(), probes, "{family}");

@@ -1,0 +1,369 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and `sample_size`.
+//!
+//! Harness behavior:
+//!
+//! * `cargo bench -- --test` runs every routine exactly once (compile +
+//!   smoke), which is what the CI bench-smoke job uses.
+//! * Any other non-flag argument is a substring filter on bench ids.
+//! * When `CRITERION_JSON_DIR` is set, each bench binary writes
+//!   `<dir>/<binary>.json` with per-bench median/mean nanoseconds — the
+//!   input for `BENCH_baseline.json`.
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark, collected for the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full bench id (`group/name` or the literal id).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// How `iter_batched` amortizes setup cost. The shim always re-runs setup
+/// per iteration (i.e. `PerIteration` semantics), which is correct for every
+/// variant, just slower to measure than upstream for `SmallInput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+/// Passed to bench closures; runs and times the routine.
+pub struct Bencher<'a> {
+    criterion: &'a Criterion,
+    id: String,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` with no per-iteration setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.criterion.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // Time each call individually so setup stays untimed.
+        let mut time_one = || {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        };
+        // Warmup.
+        time_one();
+        let samples = self.criterion.sample_size.max(2);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            times.push(time_one().as_nanos() as f64);
+        }
+        self.finish_sampling(times, 1);
+    }
+
+    fn run(&mut self, mut routine: impl FnMut()) {
+        if self.criterion.test_mode {
+            routine();
+            return;
+        }
+        // Estimate the per-iteration cost from one warmup call, then pick
+        // an iteration count giving ≥2ms per sample.
+        let start = Instant::now();
+        routine();
+        let est = start.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(2);
+        let iters: u64 = (target.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        let samples = self.criterion.sample_size.max(2);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                routine();
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.finish_sampling(times, iters);
+    }
+
+    fn finish_sampling(&self, mut times: Vec<f64>, iters: u64) {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{:<48} time: [median {} mean {}] ({} samples x {} iters)",
+            self.id,
+            fmt_ns(median),
+            fmt_ns(mean),
+            times.len(),
+            iters
+        );
+        RECORDS.lock().expect("records lock").push(BenchRecord {
+            id: self.id.clone(),
+            median_ns: median,
+            mean_ns: mean,
+            samples: times.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+            // Other flags (--bench, --nocapture, …) are accepted and ignored.
+        }
+        Criterion {
+            sample_size: 20,
+            test_mode,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per bench.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        if !self.matches(&id) {
+            return;
+        }
+        if self.test_mode {
+            println!("Testing {id} ... ");
+        }
+        let mut b = Bencher {
+            criterion: self,
+            id,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("ok");
+        }
+    }
+
+    /// Starts a named group; bench ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: impl Into<String>, f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(id, f);
+    }
+
+    /// Overrides the sample count for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Writes collected records as JSON when `CRITERION_JSON_DIR` is set.
+/// Called by `criterion_main!` — not intended for direct use.
+#[doc(hidden)]
+pub fn finalize() {
+    let Ok(dir) = std::env::var("CRITERION_JSON_DIR") else {
+        return;
+    };
+    let records = RECORDS.lock().expect("records lock");
+    let binary = std::env::args()
+        .next()
+        .map(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "bench".into())
+        })
+        .unwrap_or_else(|| "bench".into());
+    // Strip the -<hash> suffix cargo appends to bench binaries.
+    let name = match binary.rsplit_once('-') {
+        Some((stem, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            stem.to_string()
+        }
+        _ => binary,
+    };
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(json.as_bytes());
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group then writing the
+/// optional JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_result() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+            filters: vec![],
+        };
+        c.bench_function("shim/self_test", |b| b.iter(|| black_box(2u64 + 2)));
+        let records = RECORDS.lock().unwrap();
+        let r = records
+            .iter()
+            .find(|r| r.id == "shim/self_test")
+            .expect("record present");
+        assert!(r.median_ns > 0.0);
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn filters_skip_nonmatching_ids() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+            filters: vec!["only_this".into()],
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |_b| ran = true);
+        assert!(!ran);
+        c.bench_function("group/only_this_one", |_b| ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            test_mode: true,
+            filters: vec![],
+        };
+        let mut count = 0;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+        let mut batched = 0;
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(|| 1, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 1);
+    }
+}
