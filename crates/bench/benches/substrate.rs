@@ -11,7 +11,7 @@ use deepmorph_data::{DataGenerator, SynthDigits};
 use deepmorph_nn::prelude::*;
 use deepmorph_tensor::conv::{im2col, Conv2dGeometry};
 use deepmorph_tensor::init::stream_rng;
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 
 /// Deterministic pseudo-random activations in `[-1, 1]` (never exactly
 /// zero, so the zero-skip branch in the matmul kernels stays cold, as it
@@ -77,6 +77,79 @@ fn bench_conv_batch64_serial_vs_parallel(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+    group.finish();
+}
+
+/// One conv training step with full workspace recycling — the per-batch
+/// shape the graph executor drives.
+fn conv_train_step(layer: &mut Conv2d, x: &Tensor, grad: &Tensor) {
+    let y = layer.forward(&[x], Mode::Train).unwrap();
+    workspace::recycle_tensor(y);
+    let gx = layer.backward(grad).unwrap().into_first();
+    workspace::recycle_tensor(gx);
+}
+
+/// Steady-state benches: the same hot loops as above, measured *warm* —
+/// after the thread's workspace arena has absorbed every buffer the loop
+/// needs, so iterations perform zero heap allocations
+/// (`tests/alloc_regression.rs` pins that).
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady");
+
+    // Warm batch-64 conv forward+backward.
+    let mut rng = stream_rng(11, "bench-steady-conv");
+    let mut layer = Conv2d::new(8, 16, 16, 16, 3, 1, 1, &mut rng).unwrap();
+    let x = synth_tensor(&[64, 8, 16, 16], 13);
+    let grad = Tensor::ones(&[64, 16, 16, 16]);
+    for _ in 0..3 {
+        conv_train_step(&mut layer, &x, &grad);
+    }
+    group.bench_function("conv_b64_step_warm", |b| {
+        b.iter(|| conv_train_step(&mut layer, &x, &grad))
+    });
+
+    // Warm probe-training epoch: the softmax-regression loop
+    // `core::instrument::fit_probe` runs per probe point (1500 samples ×
+    // 64 features × 10 classes, batch 128, fixed order).
+    let (n, f, classes, batch) = (1500usize, 64usize, 10usize, 128usize);
+    let feats = synth_tensor(&[n, f], 17);
+    let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+    let order: Vec<usize> = (0..n).collect();
+    let mut wrng = stream_rng(19, "bench-steady-probe");
+    let mut weight = deepmorph_tensor::init::Init::XavierUniform.materialize(
+        &[classes, f],
+        f,
+        classes,
+        &mut wrng,
+    );
+    let mut bias = Tensor::zeros(&[classes]);
+    let loss = SoftmaxCrossEntropy::new();
+    let mut by: Vec<usize> = Vec::with_capacity(batch);
+    let mut probe_epoch = |weight: &mut Tensor, bias: &mut Tensor| {
+        for chunk in order.chunks(batch) {
+            let bx = deepmorph_nn::train::gather_batch(&feats, chunk).unwrap();
+            by.clear();
+            by.extend(chunk.iter().map(|&i| labels[i]));
+            let mut logits = bx.matmul_nt(weight).unwrap();
+            logits.add_row_broadcast(bias).unwrap();
+            let (_, g) = loss.compute(&logits, &by).unwrap();
+            workspace::recycle_tensor(logits);
+            let dw = g.matmul_tn(&bx).unwrap();
+            workspace::recycle_tensor(bx);
+            weight.axpy(-0.3, &dw).unwrap();
+            workspace::recycle_tensor(dw);
+            let db = g.sum_axis0().unwrap();
+            bias.axpy(-0.3, &db).unwrap();
+            workspace::recycle_tensor(db);
+            workspace::recycle_tensor(g);
+        }
+    };
+    for _ in 0..2 {
+        probe_epoch(&mut weight, &mut bias);
+    }
+    group.bench_function("probe_epoch_warm", |b| {
+        b.iter(|| probe_epoch(&mut weight, &mut bias))
     });
     group.finish();
 }
@@ -194,7 +267,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_matmul, bench_matmul_serial_vs_parallel,
-              bench_conv_batch64_serial_vs_parallel,
+              bench_conv_batch64_serial_vs_parallel, bench_steady_state,
               bench_im2col, bench_conv_layer, bench_batchnorm,
               bench_data_generation, bench_training_epoch
 }

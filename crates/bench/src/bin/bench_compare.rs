@@ -1,0 +1,205 @@
+//! Compares a fresh bench run against a committed baseline.
+//!
+//! Two modes over the per-binary JSON the criterion shim writes to
+//! `CRITERION_JSON_DIR`:
+//!
+//! * **check** (default): every bench id present in both the fresh run and
+//!   the baseline is compared; a median more than `--threshold` (default
+//!   15%) slower than the baseline fails the process with exit code 1.
+//!   This is the CI bench-smoke gate (`scripts/bench_compare.sh`).
+//! * **`--write <path>`**: additionally records the fresh run — plus the
+//!   speedups of the headline hot loops versus the baseline — as a
+//!   workspace report (`BENCH_workspace.json` via
+//!   `scripts/record_workspace.sh`).
+//!
+//! Usage:
+//!   `bench_compare <criterion-json-dir> <baseline.json>
+//!        [--threshold 0.15] [--write <out.json>]`
+
+use deepmorph_json::Json;
+
+/// Headline comparisons recorded by `--write`:
+/// `(label, fresh bench id, baseline bench id)`. The acceptance bar is
+/// ≥ 1.4× on the warm conv_b64 forward+backward step and on a training
+/// epoch versus the PR 1 (allocate-per-call) kernels; the baseline ids
+/// measured exactly that work before the workspace landed.
+const HEADLINE: &[(&str, &str, &str)] = &[
+    (
+        "conv_b64_step_warm",
+        "steady/conv_b64_step_warm",
+        "steady/conv_b64_step_warm",
+    ),
+    (
+        "probe_epoch_warm",
+        "steady/probe_epoch_warm",
+        "steady/probe_epoch_warm",
+    ),
+    (
+        "training_epoch_100_samples",
+        "nn/lenet_one_epoch_100_samples",
+        "nn/lenet_one_epoch_100_samples",
+    ),
+    (
+        "conv_b64_forward_backward",
+        "conv_b64/layer_forward_backward",
+        "conv_b64/layer_forward_backward",
+    ),
+    (
+        "conv_b64_forward",
+        "conv_b64/layer_forward",
+        "conv_b64/layer_forward",
+    ),
+];
+
+fn load_results(path: &std::path::Path, into: &mut Vec<(String, f64)>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let doc = Json::parse(&text).expect("parse bench json");
+    collect_results(&doc, into);
+}
+
+/// Pulls `(id, median_ns)` pairs out of either a raw shim report
+/// (`{"results": [...]}`) or a merged baseline (`{"benches": {bin: {...}}}`).
+fn collect_results(doc: &Json, into: &mut Vec<(String, f64)>) {
+    if let Some(results) = doc.get("results").and_then(Json::as_arr) {
+        for r in results {
+            let id = r.req("id").unwrap().as_str().unwrap().to_string();
+            let median = r.req("median_ns").unwrap().as_f64().unwrap();
+            into.push((id, median));
+        }
+    }
+    if let Some(Json::Obj(sections)) = doc.get("benches") {
+        for (_, section) in sections {
+            collect_results(section, into);
+        }
+    }
+}
+
+fn main() {
+    let mut dir = "target/criterion-json".to_string();
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut threshold = 0.15f64;
+    let mut write_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    let mut positional = 0;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .expect("--threshold needs a value")
+                    .parse()
+                    .expect("threshold must be a float");
+            }
+            "--write" => write_path = Some(args.next().expect("--write needs a path")),
+            _ => {
+                match positional {
+                    0 => dir = arg,
+                    1 => baseline_path = arg,
+                    _ => panic!("unexpected argument {arg}"),
+                }
+                positional += 1;
+            }
+        }
+    }
+
+    // Fresh run: every *.json the criterion shim wrote.
+    let mut fresh: Vec<(String, f64)> = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no bench json found in {dir}");
+    for path in &entries {
+        load_results(path, &mut fresh);
+    }
+
+    let mut baseline: Vec<(String, f64)> = Vec::new();
+    load_results(std::path::Path::new(&baseline_path), &mut baseline);
+
+    let lookup = |set: &[(String, f64)], id: &str| -> Option<f64> {
+        set.iter().find(|(n, _)| n == id).map(|(_, v)| *v)
+    };
+
+    // Regression gate over the intersection of ids.
+    let mut regressions = Vec::new();
+    let mut compared = 0;
+    for (id, base) in &baseline {
+        let Some(now) = lookup(&fresh, id) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = now / base;
+        let marker = if ratio > 1.0 + threshold {
+            " REGRESSION"
+        } else {
+            ""
+        };
+        println!("{id}: {base:.0} ns -> {now:.0} ns ({ratio:.2}x){marker}");
+        if ratio > 1.0 + threshold {
+            regressions.push((id.clone(), ratio));
+        }
+    }
+    assert!(compared > 0, "no bench ids shared with {baseline_path}");
+
+    if let Some(out_path) = write_path {
+        let mut improvements: Vec<(String, Json)> = Vec::new();
+        for (label, fresh_id, base_id) in HEADLINE {
+            if let (Some(base), Some(now)) = (lookup(&baseline, base_id), lookup(&fresh, fresh_id))
+            {
+                improvements.push((
+                    (*label).to_string(),
+                    Json::obj([
+                        ("bench_id", Json::str(*fresh_id)),
+                        ("baseline_id", Json::str(*base_id)),
+                        ("baseline_ns", Json::num(base)),
+                        ("workspace_ns", Json::num(now)),
+                        ("speedup", Json::num(base / now)),
+                    ]),
+                ));
+            }
+        }
+        let steady: Vec<(String, Json)> = fresh
+            .iter()
+            .filter(|(id, _)| id.starts_with("steady/"))
+            .map(|(id, ns)| (id.clone(), Json::num(*ns)))
+            .collect();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let doc = Json::obj([
+            (
+                "note",
+                Json::str(
+                    "Steady-state (workspace-arena) bench record: `improvements` compares \
+                     this run against BENCH_baseline.json (the PR 1 allocate-per-call \
+                     kernels); `steady_ns` are warm zero-allocation loop medians. \
+                     Regenerate with scripts/record_workspace.sh.",
+                ),
+            ),
+            ("threads", Json::num(threads as f64)),
+            ("improvements", Json::Obj(improvements)),
+            ("steady_ns", Json::Obj(steady)),
+        ]);
+        std::fs::write(&out_path, doc.to_string_pretty()).expect("write workspace report");
+        println!("wrote {out_path}");
+    }
+
+    if !regressions.is_empty() {
+        eprintln!(
+            "bench regression(s) beyond {:.0}% vs {baseline_path}:",
+            threshold * 100.0
+        );
+        for (id, ratio) in &regressions {
+            eprintln!("  {id}: {ratio:.2}x");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "bench compare ok: {compared} ids within {:.0}%",
+        threshold * 100.0
+    );
+}

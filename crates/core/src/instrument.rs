@@ -12,7 +12,7 @@ use deepmorph_nn::layer::Mode;
 use deepmorph_nn::prelude::NodeId;
 use deepmorph_tensor::conv::global_avg_pool;
 use deepmorph_tensor::init::{stream_rng, Init};
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 use rand::seq::SliceRandom;
 
 use deepmorph_models::{ModelHandle, ProbePoint};
@@ -182,6 +182,7 @@ impl InstrumentedModel {
             for (i, case) in per_case.iter_mut().enumerate() {
                 case.push(probs.row(i)?.to_vec());
             }
+            workspace::recycle_tensor(probs);
         }
         let footprints = per_case.into_iter().map(Footprint::new).collect();
         let labels = self.probes.iter().map(|p| p.point.label.clone()).collect();
@@ -207,17 +208,23 @@ fn extract_probe_features(
     let probe_nodes: Vec<NodeId> = model.probes.iter().map(|p| p.node).collect();
     let n = images.shape()[0];
     let mut parts: Vec<Vec<Tensor>> = vec![Vec::new(); probe_nodes.len()];
+    let mut idx: Vec<usize> = Vec::with_capacity(batch_size);
     let mut start = 0;
     while start < n {
         let end = (start + batch_size).min(n);
-        let idx: Vec<usize> = (start..end).collect();
+        idx.clear();
+        idx.extend(start..end);
         let batch = deepmorph_nn::train::gather_batch(images, &idx)?;
-        let (_, collected) = model
+        let (out, collected) = model
             .graph
             .forward_collect(&batch, Mode::Eval, &probe_nodes)?;
+        workspace::recycle_tensor(batch);
+        workspace::recycle_tensor(out);
         for (slot, activation) in parts.iter_mut().zip(collected) {
             let feats = if activation.ndim() == 4 {
-                global_avg_pool(&activation)?
+                let pooled = global_avg_pool(&activation)?;
+                workspace::recycle_tensor(activation);
+                pooled
             } else {
                 activation
             };
@@ -287,19 +294,29 @@ fn fit_probe(
 
     let mut order: Vec<usize> = (0..n).collect();
     let loss = deepmorph_nn::loss::SoftmaxCrossEntropy::new();
+    // Per-batch label scratch; all tensor scratch cycles through the
+    // thread's workspace arena, so after the first epoch warms it the
+    // probe-training loop performs no heap allocations.
+    let mut by: Vec<usize> = Vec::with_capacity(config.batch_size.max(1));
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
         for chunk in order.chunks(config.batch_size.max(1)) {
             let bx = deepmorph_nn::train::gather_batch(&x, chunk)?;
-            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            by.clear();
+            by.extend(chunk.iter().map(|&i| labels[i]));
             let mut logits = bx.matmul_nt(&weight)?;
             logits.add_row_broadcast(&bias)?;
             let (_, grad) = loss.compute(&logits, &by)?;
+            workspace::recycle_tensor(logits);
             // dW = grad^T X, db = column sums.
             let dw = grad.matmul_tn(&bx)?;
+            workspace::recycle_tensor(bx);
             weight.axpy(-config.learning_rate, &dw)?;
+            workspace::recycle_tensor(dw);
             let db = grad.sum_axis0()?;
             bias.axpy(-config.learning_rate, &db)?;
+            workspace::recycle_tensor(db);
+            workspace::recycle_tensor(grad);
         }
     }
 
@@ -317,6 +334,7 @@ fn fit_probe(
         folded_b.data_mut()[c] -= shift;
     }
 
+    workspace::recycle_tensor(x);
     let probe = TrainedProbe {
         point,
         weight: folded_w,
@@ -325,6 +343,7 @@ fn fit_probe(
     };
     let probs = probe.predict_probs(features)?;
     let preds = probs.argmax_rows()?;
+    workspace::recycle_tensor(probs);
     let acc = deepmorph_nn::metrics::accuracy(&preds, labels);
     Ok(TrainedProbe {
         train_accuracy: acc,
@@ -360,7 +379,7 @@ fn feature_stats(features: &Tensor) -> (Vec<f32>, Vec<f32>) {
 
 fn standardized(features: &Tensor, mean: &[f32], inv_std: &[f32]) -> Result<Tensor> {
     let (n, f) = (features.shape()[0], features.shape()[1]);
-    let mut out = features.clone();
+    let mut out = features.pooled_clone();
     for i in 0..n {
         let row = out.row_mut(i)?;
         for j in 0..f {

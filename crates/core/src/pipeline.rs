@@ -1,6 +1,6 @@
 //! The end-to-end DeepMorph pipeline.
 
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 
 use deepmorph_data::Dataset;
 use deepmorph_models::ModelHandle;
@@ -81,7 +81,8 @@ impl FaultyCases {
             return Ok(());
         }
         let keep: Vec<usize> = (0..max).collect();
-        self.images = gather_batch(&self.images, &keep)?;
+        let trimmed = gather_batch(&self.images, &keep)?;
+        workspace::recycle_tensor(std::mem::replace(&mut self.images, trimmed));
         self.true_labels.truncate(max);
         self.predicted.truncate(max);
         Ok(())

@@ -1,21 +1,27 @@
 //! Activation functions.
 
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 
 use crate::dense::single_input;
-use crate::layer::{Layer, Mode};
+use crate::layer::{Grads, Layer, Mode};
 use crate::{NnError, Result};
 
 /// Rectified linear unit, `max(0, x)`, applied elementwise.
 #[derive(Debug, Default)]
 pub struct ReLU {
-    mask: Option<Vec<bool>>,
+    /// Persistent sign mask, refilled (capacity reused) each training
+    /// forward.
+    mask: Vec<bool>,
+    has_mask: bool,
 }
 
 impl ReLU {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        ReLU { mask: None }
+        ReLU {
+            mask: Vec::new(),
+            has_mask: false,
+        }
     }
 }
 
@@ -28,29 +34,29 @@ impl Layer for ReLU {
         let x = single_input(inputs, "relu")?;
         let out = x.map(|v| v.max(0.0));
         if mode == Mode::Train {
-            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+            self.mask.clear();
+            self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+            self.has_mask = true;
         }
         Ok(out)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let mask = self
-            .mask
-            .as_ref()
-            .ok_or_else(|| NnError::MissingActivation {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
+        if !self.has_mask || self.mask.len() != grad.len() {
+            return Err(NnError::MissingActivation {
                 layer: "relu".into(),
-            })?;
-        let mut out = grad.clone();
-        for (v, &keep) in out.data_mut().iter_mut().zip(mask) {
-            if !keep {
-                *v = 0.0;
-            }
+            });
         }
-        Ok(vec![out])
+        let mut out = workspace::tensor_raw(grad.shape());
+        for ((o, &g), &keep) in out.data_mut().iter_mut().zip(grad.data()).zip(&self.mask) {
+            *o = if keep { g } else { 0.0 };
+        }
+        Ok(Grads::one(out))
     }
 
     fn clear_cache(&mut self) {
-        self.mask = None;
+        self.mask.clear();
+        self.has_mask = false;
     }
 }
 
@@ -76,28 +82,33 @@ impl Layer for Tanh {
         let x = single_input(inputs, "tanh")?;
         let out = x.map(f32::tanh);
         if mode == Mode::Train {
-            self.output = Some(out.clone());
+            workspace::recycle_opt(self.output.replace(out.pooled_clone()));
         }
         Ok(out)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
         let y = self
             .output
             .as_ref()
             .ok_or_else(|| NnError::MissingActivation {
                 layer: "tanh".into(),
             })?;
-        // d tanh = 1 - tanh^2
-        let mut out = grad.clone();
-        for (g, &yv) in out.data_mut().iter_mut().zip(y.data()) {
-            *g *= 1.0 - yv * yv;
+        if y.len() != grad.len() {
+            return Err(NnError::MissingActivation {
+                layer: "tanh".into(),
+            });
         }
-        Ok(vec![out])
+        // d tanh = 1 - tanh^2
+        let mut out = workspace::tensor_raw(grad.shape());
+        for ((o, &g), &yv) in out.data_mut().iter_mut().zip(grad.data()).zip(y.data()) {
+            *o = g * (1.0 - yv * yv);
+        }
+        Ok(Grads::one(out))
     }
 
     fn clear_cache(&mut self) {
-        self.output = None;
+        workspace::recycle_opt(self.output.take());
     }
 }
 
@@ -120,8 +131,9 @@ mod tests {
         let _ = l.forward(&[&x], Mode::Train).unwrap();
         let g = l
             .backward(&Tensor::from_slice(&[10.0, 10.0, 10.0]))
-            .unwrap();
-        assert_eq!(g[0].data(), &[0.0, 10.0, 10.0]);
+            .unwrap()
+            .into_first();
+        assert_eq!(g.data(), &[0.0, 10.0, 10.0]);
     }
 
     #[test]
@@ -129,8 +141,11 @@ mod tests {
         let mut l = ReLU::new();
         let x = Tensor::from_slice(&[0.0]);
         let _ = l.forward(&[&x], Mode::Train).unwrap();
-        let g = l.backward(&Tensor::from_slice(&[5.0])).unwrap();
-        assert_eq!(g[0].data(), &[0.0]);
+        let g = l
+            .backward(&Tensor::from_slice(&[5.0]))
+            .unwrap()
+            .into_first();
+        assert_eq!(g.data(), &[0.0]);
     }
 
     #[test]
@@ -138,7 +153,7 @@ mod tests {
         let mut l = Tanh::new();
         let x = Tensor::from_slice(&[0.3, -0.7, 1.2]);
         let _ = l.forward(&[&x], Mode::Train).unwrap();
-        let gin = l.backward(&Tensor::ones(&[3])).unwrap().remove(0);
+        let gin = l.backward(&Tensor::ones(&[3])).unwrap().into_first();
         let eps = 1e-3;
         for i in 0..3 {
             let mut xp = x.clone();

@@ -1,22 +1,26 @@
 //! 2-D convolution layer (im2col-lowered).
 
-use deepmorph_tensor::conv::{col2im, im2col, Conv2dGeometry};
-use deepmorph_tensor::{init::Init, Tensor};
+use deepmorph_tensor::conv::{col2im_mapped_into, im2col_mapped_into, Conv2dGeometry, Im2colMap};
+use deepmorph_tensor::{init::Init, workspace, Tensor};
 use rand::Rng;
 
 use crate::dense::single_input;
-use crate::layer::{Layer, Mode, Param};
+use crate::layer::{Grads, Layer, Mode, Param};
 use crate::{NnError, Result};
 
 /// 2-D convolution over NCHW inputs.
 ///
 /// Weights are stored flattened as `[out_channels, in_channels*kh*kw]` so
 /// the forward pass is a single `patches @ W^T` product on the `im2col`
-/// patch matrix.
+/// patch matrix. The geometry and its im2col gather table are computed once
+/// per layer instance; per-batch buffers are drawn from (and recycled to)
+/// the thread's workspace arena, so a warm train step performs no heap
+/// allocations.
 #[derive(Debug)]
 pub struct Conv2d {
     name: String,
     geo: Conv2dGeometry,
+    map: Im2colMap,
     weight: Param,
     bias: Param,
     cached_cols: Option<Tensor>,
@@ -28,7 +32,8 @@ impl Conv2d {
     ///
     /// The full input geometry must be known up front (all models in this
     /// workspace have static shapes), which lets the constructor validate
-    /// once instead of on every batch.
+    /// once — and precompute the im2col index table once — instead of on
+    /// every batch.
     ///
     /// # Errors
     ///
@@ -68,6 +73,7 @@ impl Conv2d {
             name: format!(
                 "conv[{in_channels}->{out_channels} k{kernel} s{stride} p{padding} @{in_h}x{in_w}]"
             ),
+            map: Im2colMap::new(&geo),
             geo,
             weight,
             bias,
@@ -89,13 +95,14 @@ impl Conv2d {
     /// Permutes `[n*positions, out_c]` to NCHW `[n, out_c, oh, ow]`.
     ///
     /// Per-sample pure permutation, so the batch loop splits over threads
-    /// (bitwise exact) via [`deepmorph_tensor::chunks`].
-    fn cols_to_nchw(&self, y: &Tensor, n: usize) -> Result<Tensor> {
+    /// (bitwise exact) via [`deepmorph_tensor::chunks`]. Every output
+    /// element is written, so the buffer is a raw workspace checkout.
+    fn cols_to_nchw(&self, y: &Tensor, n: usize) -> Tensor {
         let (oc, positions) = (self.geo.out_channels, self.geo.out_positions());
-        let mut out = vec![0.0f32; n * oc * positions];
+        let mut out = workspace::tensor_raw(&[n, oc, self.geo.out_h, self.geo.out_w]);
         let src = y.data();
         deepmorph_tensor::chunks::for_chunks_mut(
-            &mut out,
+            out.data_mut(),
             oc * positions,
             deepmorph_tensor::chunks::PAR_GRAIN_ELEMS,
             |i, img| {
@@ -107,20 +114,17 @@ impl Conv2d {
                 }
             },
         );
-        Ok(Tensor::from_vec(
-            out,
-            &[n, oc, self.geo.out_h, self.geo.out_w],
-        )?)
+        out
     }
 
     /// Permutes NCHW gradients back to `[n*positions, out_c]` (the inverse
     /// of [`Conv2d::cols_to_nchw`], parallel over samples the same way).
-    fn nchw_to_cols(&self, g: &Tensor, n: usize) -> Result<Tensor> {
+    fn nchw_to_cols(&self, g: &Tensor, n: usize) -> Tensor {
         let (oc, positions) = (self.geo.out_channels, self.geo.out_positions());
-        let mut out = vec![0.0f32; n * positions * oc];
+        let mut out = workspace::tensor_raw(&[n * positions, oc]);
         let src = g.data();
         deepmorph_tensor::chunks::for_chunks_mut(
-            &mut out,
+            out.data_mut(),
             positions * oc,
             deepmorph_tensor::chunks::PAR_GRAIN_ELEMS,
             |i, img| {
@@ -131,7 +135,7 @@ impl Conv2d {
                 }
             },
         );
-        Ok(Tensor::from_vec(out, &[n * positions, oc])?)
+        out
     }
 }
 
@@ -144,19 +148,23 @@ impl Layer for Conv2d {
         let x = single_input(inputs, &self.name)?;
         x.expect_rank(4, "conv2d forward")?;
         let n = x.shape()[0];
-        let cols = im2col(x, &self.geo)?;
+        let mut cols = workspace::tensor_raw(&[n * self.geo.out_positions(), self.geo.patch_len()]);
+        im2col_mapped_into(x, &self.map, cols.data_mut())?;
         // [n*positions, patch] @ [out_c, patch]^T -> [n*positions, out_c]
         let mut y = cols.matmul_nt(&self.weight.value)?;
         y.add_row_broadcast(&self.bias.value)?;
-        let out = self.cols_to_nchw(&y, n)?;
+        let out = self.cols_to_nchw(&y, n);
+        workspace::recycle_tensor(y);
         if mode == Mode::Train {
-            self.cached_cols = Some(cols);
+            workspace::recycle_opt(self.cached_cols.replace(cols));
             self.cached_batch = n;
+        } else {
+            workspace::recycle_tensor(cols);
         }
         Ok(out)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
         let cols = self
             .cached_cols
             .as_ref()
@@ -164,17 +172,23 @@ impl Layer for Conv2d {
                 layer: self.name.clone(),
             })?;
         let n = self.cached_batch;
-        let g_cols = self.nchw_to_cols(grad, n)?; // [n*pos, out_c]
+        let g_cols = self.nchw_to_cols(grad, n); // [n*pos, out_c]
 
         // dW = g_cols^T @ cols : [out_c, patch]
         let dw = g_cols.matmul_tn(cols)?;
         self.weight.grad.add_assign_tensor(&dw)?;
+        workspace::recycle_tensor(dw);
         let db = g_cols.sum_axis0()?;
         self.bias.grad.add_assign_tensor(&db)?;
+        workspace::recycle_tensor(db);
         // d_cols = g_cols @ W : [n*pos, patch]
         let d_cols = g_cols.matmul(&self.weight.value)?;
-        let dx = col2im(&d_cols, &self.geo, n)?;
-        Ok(vec![dx])
+        workspace::recycle_tensor(g_cols);
+        let mut dx =
+            workspace::tensor_raw(&[n, self.geo.in_channels, self.geo.in_h, self.geo.in_w]);
+        col2im_mapped_into(&d_cols, &self.map, n, dx.data_mut())?;
+        workspace::recycle_tensor(d_cols);
+        Ok(Grads::one(dx))
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -183,7 +197,7 @@ impl Layer for Conv2d {
     }
 
     fn clear_cache(&mut self) {
-        self.cached_cols = None;
+        workspace::recycle_opt(self.cached_cols.take());
     }
 }
 
@@ -221,28 +235,49 @@ mod tests {
         assert_eq!(y.data(), x.data());
     }
 
+    /// Central-difference derivative of `sum(layer(x))` w.r.t. `buf[i]`,
+    /// perturbing in place and restoring — no full-tensor clones per
+    /// checked element.
+    fn numeric_grad(
+        layer: &mut Conv2d,
+        x: &mut Tensor,
+        i: usize,
+        eps: f32,
+        perturb_weight: bool,
+    ) -> f32 {
+        let read = |layer: &mut Conv2d, x: &Tensor| layer.forward(&[x], Mode::Eval).unwrap().sum();
+        let bump = |layer: &mut Conv2d, x: &mut Tensor, delta: f32| {
+            let buf = if perturb_weight {
+                layer.weight.value.data_mut()
+            } else {
+                x.data_mut()
+            };
+            buf[i] += delta;
+        };
+        bump(layer, x, eps);
+        let yp = read(layer, x);
+        bump(layer, x, -2.0 * eps);
+        let ym = read(layer, x);
+        bump(layer, x, eps); // restore
+        (yp - ym) / (2.0 * eps)
+    }
+
     #[test]
     fn gradient_check_small() {
         let mut rng = stream_rng(3, "conv");
         let mut layer = Conv2d::new(2, 3, 5, 5, 3, 1, 1, &mut rng).unwrap();
-        let x = Tensor::from_vec(
+        let mut x = Tensor::from_vec(
             (0..50).map(|v| ((v * 7) % 11) as f32 * 0.1 - 0.5).collect(),
             &[1, 2, 5, 5],
         )
         .unwrap();
         let _ = layer.forward(&[&x], Mode::Train).unwrap();
         let gout = Tensor::ones(&[1, 3, 5, 5]);
-        let gin = layer.backward(&gout).unwrap().remove(0);
+        let gin = layer.backward(&gout).unwrap().into_first();
 
         let eps = 1e-2;
         for i in (0..x.len()).step_by(7) {
-            let mut xp = x.clone();
-            xp.data_mut()[i] += eps;
-            let mut xm = x.clone();
-            xm.data_mut()[i] -= eps;
-            let yp = layer.forward(&[&xp], Mode::Eval).unwrap().sum();
-            let ym = layer.forward(&[&xm], Mode::Eval).unwrap().sum();
-            let num = (yp - ym) / (2.0 * eps);
+            let num = numeric_grad(&mut layer, &mut x, i, eps, false);
             let ana = gin.data()[i];
             assert!(
                 (num - ana).abs() < 0.05,
@@ -255,7 +290,7 @@ mod tests {
     fn weight_gradient_check_small() {
         let mut rng = stream_rng(4, "conv");
         let mut layer = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng).unwrap();
-        let x = Tensor::from_vec(
+        let mut x = Tensor::from_vec(
             (0..16).map(|v| (v as f32 * 0.13).sin()).collect(),
             &[1, 1, 4, 4],
         )
@@ -267,13 +302,7 @@ mod tests {
 
         let eps = 1e-2;
         for i in 0..layer.weight.value.len() {
-            let orig = layer.weight.value.data()[i];
-            layer.weight.value.data_mut()[i] = orig + eps;
-            let yp = layer.forward(&[&x], Mode::Eval).unwrap().sum();
-            layer.weight.value.data_mut()[i] = orig - eps;
-            let ym = layer.forward(&[&x], Mode::Eval).unwrap().sum();
-            layer.weight.value.data_mut()[i] = orig;
-            let num = (yp - ym) / (2.0 * eps);
+            let num = numeric_grad(&mut layer, &mut x, i, eps, true);
             assert!(
                 (num - analytic.data()[i]).abs() < 0.05,
                 "weight grad {i}: numeric {num} analytic {}",

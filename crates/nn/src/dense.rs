@@ -1,9 +1,9 @@
 //! Fully-connected layer.
 
-use deepmorph_tensor::{init::Init, Tensor};
+use deepmorph_tensor::{init::Init, workspace, Tensor};
 use rand::Rng;
 
-use crate::layer::{Layer, Mode, Param};
+use crate::layer::{Grads, Layer, Mode, Param};
 use crate::{NnError, Result};
 
 /// Fully-connected (affine) layer: `y = x W^T + b`.
@@ -77,12 +77,14 @@ impl Layer for Dense {
         let mut y = x.matmul_nt(&self.weight.value)?;
         y.add_row_broadcast(&self.bias.value)?;
         if mode == Mode::Train {
-            self.cached_input = Some(x.clone());
+            // Pooled copy for the backward pass; the previous batch's copy
+            // cycles back through the arena.
+            workspace::recycle_opt(self.cached_input.replace(x.pooled_clone()));
         }
         Ok(y)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
         let x = self
             .cached_input
             .as_ref()
@@ -92,12 +94,14 @@ impl Layer for Dense {
         // dW = g^T x : [out, n] @ [n, in] -> [out, in]
         let dw = grad.matmul_tn(x)?;
         self.weight.grad.add_assign_tensor(&dw)?;
+        workspace::recycle_tensor(dw);
         // db = column sums of g.
         let db = grad.sum_axis0()?;
         self.bias.grad.add_assign_tensor(&db)?;
+        workspace::recycle_tensor(db);
         // dx = g W : [n, out] @ [out, in] -> [n, in]
         let dx = grad.matmul(&self.weight.value)?;
-        Ok(vec![dx])
+        Ok(Grads::one(dx))
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -106,7 +110,7 @@ impl Layer for Dense {
     }
 
     fn clear_cache(&mut self) {
-        self.cached_input = None;
+        workspace::recycle_opt(self.cached_input.take());
     }
 }
 
@@ -158,7 +162,7 @@ mod tests {
         let x = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.9, -0.7], &[2, 3]).unwrap();
         let _ = layer.forward(&[&x], Mode::Train).unwrap();
         let gout = Tensor::ones(&[2, 2]);
-        let gin = layer.backward(&gout).unwrap().remove(0);
+        let gin = layer.backward(&gout).unwrap().into_first();
 
         let eps = 1e-3;
         for i in 0..x.len() {

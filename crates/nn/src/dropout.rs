@@ -1,12 +1,12 @@
 //! Inverted dropout.
 
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::dense::single_input;
-use crate::layer::{Layer, Mode};
+use crate::layer::{Grads, Layer, Mode};
 use crate::{NnError, Result};
 
 /// Inverted dropout: in training mode zeroes each activation with
@@ -19,7 +19,10 @@ use crate::{NnError, Result};
 pub struct Dropout {
     p: f32,
     rng: ChaCha8Rng,
-    mask: Option<Vec<f32>>,
+    /// Persistent mask buffer, refilled (capacity reused) each training
+    /// forward.
+    mask: Vec<f32>,
+    has_mask: bool,
 }
 
 impl Dropout {
@@ -29,7 +32,8 @@ impl Dropout {
         Dropout {
             p: p.clamp(0.0, 0.95),
             rng: ChaCha8Rng::seed_from_u64(seed),
-            mask: None,
+            mask: Vec::new(),
+            has_mask: false,
         }
     }
 
@@ -47,45 +51,44 @@ impl Layer for Dropout {
     fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
         let x = single_input(inputs, "dropout")?;
         match mode {
-            Mode::Eval => Ok(x.clone()),
+            Mode::Eval => Ok(x.pooled_clone()),
             Mode::Train => {
                 let keep = 1.0 - self.p;
                 let scale = 1.0 / keep;
-                let mask: Vec<f32> = (0..x.len())
-                    .map(|_| {
-                        if self.rng.gen::<f32>() < keep {
-                            scale
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect();
-                let mut out = x.clone();
-                for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
-                    *v *= m;
+                self.mask.clear();
+                self.mask.extend((0..x.len()).map(|_| {
+                    if self.rng.gen::<f32>() < keep {
+                        scale
+                    } else {
+                        0.0
+                    }
+                }));
+                self.has_mask = true;
+                let mut out = workspace::tensor_raw(x.shape());
+                for ((o, &v), &m) in out.data_mut().iter_mut().zip(x.data()).zip(&self.mask) {
+                    *o = v * m;
                 }
-                self.mask = Some(mask);
                 Ok(out)
             }
         }
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let mask = self
-            .mask
-            .as_ref()
-            .ok_or_else(|| NnError::MissingActivation {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
+        if !self.has_mask || self.mask.len() != grad.len() {
+            return Err(NnError::MissingActivation {
                 layer: "dropout".into(),
-            })?;
-        let mut out = grad.clone();
-        for (v, &m) in out.data_mut().iter_mut().zip(mask) {
-            *v *= m;
+            });
         }
-        Ok(vec![out])
+        let mut out = workspace::tensor_raw(grad.shape());
+        for ((o, &g), &m) in out.data_mut().iter_mut().zip(grad.data()).zip(&self.mask) {
+            *o = g * m;
+        }
+        Ok(Grads::one(out))
     }
 
     fn clear_cache(&mut self) {
-        self.mask = None;
+        self.mask = Vec::new();
+        self.has_mask = false;
     }
 }
 
@@ -117,7 +120,7 @@ mod tests {
         let mut l = Dropout::new(0.5, 7);
         let x = Tensor::ones(&[100]);
         let y = l.forward(&[&x], Mode::Train).unwrap();
-        let g = l.backward(&Tensor::ones(&[100])).unwrap().remove(0);
+        let g = l.backward(&Tensor::ones(&[100])).unwrap().into_first();
         for (yv, gv) in y.data().iter().zip(g.data()) {
             assert_eq!(yv, gv);
         }

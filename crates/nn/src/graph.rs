@@ -10,7 +10,7 @@
 //! uses this to extract the *data flow footprints* (intermediate outputs of
 //! hidden layers) that the paper's analysis is built on.
 
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 
 use crate::layer::{Layer, Mode, Param};
 use crate::{NnError, Result};
@@ -145,18 +145,30 @@ impl GraphBuilder {
         Ok(Graph {
             nodes: self.nodes,
             output,
-            activations: Vec::new(),
+            slots: Vec::new(),
+            grad_slots: Vec::new(),
+            ready: false,
         })
     }
 }
 
 /// A feed-forward computation DAG over a single input tensor.
+///
+/// The executor owns two persistent slot vectors (activations during the
+/// forward sweep, gradients during backward) and recycles every retired
+/// tensor into the thread's workspace arena, so a warm train step drives
+/// the whole graph without heap allocations beyond what individual layers
+/// need.
 #[derive(Debug)]
 pub struct Graph {
     nodes: Vec<Node>,
     output: NodeId,
-    /// Activations of the most recent forward pass (training mode only).
-    activations: Vec<Option<Tensor>>,
+    /// Reusable activation slots for the current forward sweep.
+    slots: Vec<Option<Tensor>>,
+    /// Reusable gradient slots for the backward sweep.
+    grad_slots: Vec<Option<Tensor>>,
+    /// Set by a training-mode forward; gates [`Graph::backward`].
+    ready: bool,
 }
 
 impl Graph {
@@ -191,33 +203,60 @@ impl Graph {
                 });
             }
         }
-        let mut outputs: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        for idx in 0..self.nodes.len() {
-            // Split borrow: inputs come from `outputs`/`x`, layer is &mut.
-            let input_ids = self.nodes[idx].inputs.clone();
-            let inputs: Vec<&Tensor> = input_ids
-                .iter()
-                .map(|id| {
-                    if id.is_source() {
-                        Ok(x)
-                    } else {
-                        outputs[id.0].as_ref().ok_or(NnError::InvalidNode {
-                            id: id.0,
-                            reason: "input activation missing (cycle?)",
-                        })
-                    }
-                })
-                .collect::<Result<_>>()?;
-            let out = self.nodes[idx].layer.forward(&inputs, mode)?;
-            outputs[idx] = Some(out);
+        // Recycle anything a previous (possibly aborted) sweep left behind
+        // and make sure one slot exists per node.
+        for slot in &mut self.slots {
+            workspace::recycle_opt(slot.take());
+        }
+        self.slots.resize_with(self.nodes.len(), || None);
+
+        let Graph { nodes, slots, .. } = &mut *self;
+        for idx in 0..nodes.len() {
+            let Node { layer, inputs, .. } = &mut nodes[idx];
+            let resolve = |id: &NodeId| -> Result<&Tensor> {
+                if id.is_source() {
+                    Ok(x)
+                } else {
+                    slots[id.0].as_ref().ok_or(NnError::InvalidNode {
+                        id: id.0,
+                        reason: "input activation missing (cycle?)",
+                    })
+                }
+            };
+            // Arity is ≤ 2 for every layer in this workspace; resolve into
+            // an inline buffer (no per-node Vec), with a heap fallback for
+            // hypothetical wider layers.
+            let mut inline: [&Tensor; 2] = [x, x];
+            let spill: Vec<&Tensor>;
+            let input_refs: &[&Tensor] = if inputs.len() <= inline.len() {
+                for (slot, id) in inline.iter_mut().zip(inputs.iter()) {
+                    *slot = resolve(id)?;
+                }
+                &inline[..inputs.len()]
+            } else {
+                spill = inputs.iter().map(resolve).collect::<Result<_>>()?;
+                &spill
+            };
+            let out = layer.forward(input_refs, mode)?;
+            slots[idx] = Some(out);
         }
         let collected = collect
             .iter()
-            .map(|id| outputs[id.0].clone().expect("validated above"))
+            .map(|id| {
+                self.slots[id.0]
+                    .as_ref()
+                    .expect("validated above")
+                    .pooled_clone()
+            })
             .collect();
-        let final_out = outputs[self.output.0].clone().expect("output computed");
+        let final_out = self.slots[self.output.0].take().expect("output computed");
+        // The sweep is over: every remaining activation is dead, so it
+        // goes straight back to the arena (layers keep their own caches).
+        for slot in &mut self.slots {
+            workspace::recycle_opt(slot.take());
+        }
         if mode == Mode::Train {
-            self.activations = outputs;
+            self.ready = true;
         }
         Ok((final_out, collected))
     }
@@ -232,26 +271,38 @@ impl Graph {
     /// Returns [`NnError::MissingActivation`] if no training forward has
     /// been run.
     pub fn backward(&mut self, grad: &Tensor) -> Result<()> {
-        if self.activations.len() != self.nodes.len() {
+        if !self.ready {
             return Err(NnError::MissingActivation {
                 layer: "graph".into(),
             });
         }
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[self.output.0] = Some(grad.clone());
-        for idx in (0..self.nodes.len()).rev() {
-            let Some(g) = grads[idx].take() else {
+        for slot in &mut self.grad_slots {
+            workspace::recycle_opt(slot.take());
+        }
+        self.grad_slots.resize_with(self.nodes.len(), || None);
+        self.grad_slots[self.output.0] = Some(grad.pooled_clone());
+        let Graph {
+            nodes, grad_slots, ..
+        } = &mut *self;
+        for idx in (0..nodes.len()).rev() {
+            let Some(g) = grad_slots[idx].take() else {
                 continue; // node does not influence the output
             };
-            let input_grads = self.nodes[idx].layer.backward(&g)?;
-            let input_ids = self.nodes[idx].inputs.clone();
-            debug_assert_eq!(input_grads.len(), input_ids.len());
-            for (id, ig) in input_ids.into_iter().zip(input_grads) {
+            let node = &mut nodes[idx];
+            let input_grads = node.layer.backward(&g)?;
+            workspace::recycle_tensor(g);
+            debug_assert_eq!(input_grads.len(), node.inputs.len());
+            for (id, ig) in node.inputs.iter().zip(input_grads) {
                 if id.is_source() {
-                    continue; // gradients w.r.t. the data are not needed
+                    // Gradients w.r.t. the data are not needed.
+                    workspace::recycle_tensor(ig);
+                    continue;
                 }
-                match &mut grads[id.0] {
-                    Some(existing) => existing.add_assign_tensor(&ig)?,
+                match &mut grad_slots[id.0] {
+                    Some(existing) => {
+                        existing.add_assign_tensor(&ig)?;
+                        workspace::recycle_tensor(ig);
+                    }
                     slot @ None => *slot = Some(ig),
                 }
             }
@@ -307,9 +358,16 @@ impl Graph {
             .collect()
     }
 
-    /// Drops cached activations in the graph and all layers.
+    /// Drops cached activations in the graph and all layers (recycling
+    /// them through the workspace arena).
     pub fn clear_caches(&mut self) {
-        self.activations.clear();
+        for slot in &mut self.slots {
+            workspace::recycle_opt(slot.take());
+        }
+        for slot in &mut self.grad_slots {
+            workspace::recycle_opt(slot.take());
+        }
+        self.ready = false;
         for node in &mut self.nodes {
             node.layer.clear_cache();
         }
@@ -323,7 +381,9 @@ impl Graph {
     /// Propagates layer errors; the output must be rank 2.
     pub fn predict(&mut self, x: &Tensor) -> Result<Vec<usize>> {
         let logits = self.forward(x, Mode::Eval)?;
-        logits.argmax_rows().map_err(Into::into)
+        let preds = logits.argmax_rows()?;
+        workspace::recycle_tensor(logits);
+        Ok(preds)
     }
 }
 

@@ -1,4 +1,5 @@
-//! The [`Layer`] trait and trainable [`Param`]s.
+//! The [`Layer`] trait, trainable [`Param`]s, and the inline [`Grads`]
+//! container backward passes return.
 
 use deepmorph_tensor::Tensor;
 
@@ -48,6 +49,66 @@ impl Param {
     }
 }
 
+/// Input gradients produced by one [`Layer::backward`] call.
+///
+/// Layers have arity ≤ 2, so the gradients are stored inline — returning
+/// them costs no heap allocation, which keeps the backward hot loop
+/// allocation-free (`tests/alloc_regression.rs`). Iterate with
+/// `for g in grads` (yields owned tensors in input order).
+#[derive(Debug, Default)]
+pub struct Grads {
+    slots: [Option<Tensor>; 2],
+}
+
+impl Grads {
+    /// Gradients of a unary layer.
+    pub fn one(g: Tensor) -> Self {
+        Grads {
+            slots: [Some(g), None],
+        }
+    }
+
+    /// Gradients of a binary (merge) layer, in input order.
+    pub fn two(g0: Tensor, g1: Tensor) -> Self {
+        Grads {
+            slots: [Some(g0), Some(g1)],
+        }
+    }
+
+    /// Number of gradients held.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` when no gradients are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the `i`-th input gradient.
+    pub fn get(&self, i: usize) -> Option<&Tensor> {
+        self.slots.get(i).and_then(Option::as_ref)
+    }
+
+    /// Consumes the container, returning the first gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is empty.
+    pub fn into_first(mut self) -> Tensor {
+        self.slots[0].take().expect("Grads::into_first on empty")
+    }
+}
+
+impl IntoIterator for Grads {
+    type Item = Tensor;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<Tensor>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.into_iter().flatten()
+    }
+}
+
 /// A differentiable computation node.
 ///
 /// Layers are stateful: `forward` caches whatever the matching `backward`
@@ -76,11 +137,15 @@ pub trait Layer {
     /// Propagates `grad` (w.r.t. the layer output) to gradients w.r.t. each
     /// input, accumulating parameter gradients as a side effect.
     ///
+    /// Returned tensors should come from the thread's workspace arena
+    /// ([`deepmorph_tensor::workspace`]); the graph executor recycles them
+    /// after consumption.
+    ///
     /// # Errors
     ///
     /// Returns [`crate::NnError::MissingActivation`] if `forward` has not
     /// been run, or shape errors on inconsistent gradients.
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>>;
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads>;
 
     /// Visits every trainable parameter (stable order).
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -117,5 +182,20 @@ mod tests {
         p.grad.fill(3.0);
         p.zero_grad();
         assert!(p.grad.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn grads_container_round_trips() {
+        let g = Grads::one(Tensor::ones(&[2]));
+        assert_eq!(g.len(), 1);
+        assert!(g.get(1).is_none());
+        assert_eq!(g.into_first().len(), 2);
+
+        let g = Grads::two(Tensor::ones(&[1]), Tensor::zeros(&[3]));
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        let items: Vec<Tensor> = g.into_iter().collect();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].len(), 3);
     }
 }

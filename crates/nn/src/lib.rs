@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::dense::Dense;
     pub use crate::dropout::Dropout;
     pub use crate::graph::{Graph, GraphBuilder, NodeId};
-    pub use crate::layer::{Layer, Mode, Param};
+    pub use crate::layer::{Grads, Layer, Mode, Param};
     pub use crate::loss::SoftmaxCrossEntropy;
     pub use crate::merge::{Add, ConcatChannels};
     pub use crate::metrics::{accuracy, confusion_matrix, Metrics};

@@ -45,6 +45,7 @@ impl SoftmaxCrossEntropy {
         loss /= n as f32;
 
         let mut grad = log_probs.map(f32::exp); // softmax probabilities
+        deepmorph_tensor::workspace::recycle_tensor(log_probs);
         let inv_n = 1.0 / n as f32;
         for (i, &label) in labels.iter().enumerate() {
             let row = grad.row_mut(i)?;

@@ -1,8 +1,8 @@
 //! Multi-input merge layers: residual addition and channel concatenation.
 
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 
-use crate::layer::{Layer, Mode};
+use crate::layer::{Grads, Layer, Mode};
 use crate::{NnError, Result};
 
 /// Elementwise sum of two tensors — the residual ("shortcut") connection
@@ -44,13 +44,13 @@ impl Layer for Add {
         inputs[0].add_tensor(inputs[1]).map_err(Into::into)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
         if !self.seen_forward {
             return Err(NnError::MissingActivation {
                 layer: "add".into(),
             });
         }
-        Ok(vec![grad.clone(), grad.clone()])
+        Ok(Grads::two(grad.pooled_clone(), grad.pooled_clone()))
     }
 
     fn clear_cache(&mut self) {
@@ -104,19 +104,19 @@ impl Layer for ConcatChannels {
             ));
         }
         let plane = h * w;
-        let mut out = vec![0.0f32; n * (ca + cb) * plane];
+        let mut out = workspace::tensor_raw(&[n, ca + cb, h, w]);
         for i in 0..n {
-            let dst = &mut out[i * (ca + cb) * plane..(i + 1) * (ca + cb) * plane];
+            let dst = &mut out.data_mut()[i * (ca + cb) * plane..(i + 1) * (ca + cb) * plane];
             dst[..ca * plane].copy_from_slice(&a.data()[i * ca * plane..(i + 1) * ca * plane]);
             dst[ca * plane..].copy_from_slice(&b.data()[i * cb * plane..(i + 1) * cb * plane]);
         }
         if mode == Mode::Train {
             self.split = Some((ca, cb));
         }
-        Ok(Tensor::from_vec(out, &[n, ca + cb, h, w])?)
+        Ok(out)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
         let (ca, cb) = self.split.ok_or_else(|| NnError::MissingActivation {
             layer: "concat_channels".into(),
         })?;
@@ -129,17 +129,14 @@ impl Layer for ConcatChannels {
         ];
         debug_assert_eq!(c, ca + cb);
         let plane = h * w;
-        let mut ga = vec![0.0f32; n * ca * plane];
-        let mut gb = vec![0.0f32; n * cb * plane];
+        let mut ga = workspace::tensor_raw(&[n, ca, h, w]);
+        let mut gb = workspace::tensor_raw(&[n, cb, h, w]);
         for i in 0..n {
             let src = &grad.data()[i * c * plane..(i + 1) * c * plane];
-            ga[i * ca * plane..(i + 1) * ca * plane].copy_from_slice(&src[..ca * plane]);
-            gb[i * cb * plane..(i + 1) * cb * plane].copy_from_slice(&src[ca * plane..]);
+            ga.data_mut()[i * ca * plane..(i + 1) * ca * plane].copy_from_slice(&src[..ca * plane]);
+            gb.data_mut()[i * cb * plane..(i + 1) * cb * plane].copy_from_slice(&src[ca * plane..]);
         }
-        Ok(vec![
-            Tensor::from_vec(ga, &[n, ca, h, w])?,
-            Tensor::from_vec(gb, &[n, cb, h, w])?,
-        ])
+        Ok(Grads::two(ga, gb))
     }
 
     fn clear_cache(&mut self) {
@@ -160,7 +157,7 @@ mod tests {
         assert!(y.data().iter().all(|&v| v == 3.0));
         let grads = l.backward(&Tensor::ones(&[1, 2, 2, 2])).unwrap();
         assert_eq!(grads.len(), 2);
-        assert_eq!(grads[0], grads[1]);
+        assert_eq!(grads.get(0), grads.get(1));
     }
 
     #[test]
@@ -192,10 +189,12 @@ mod tests {
         let _ = l.forward(&[&a, &b], Mode::Train).unwrap();
         let g = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[1, 3, 2, 2]).unwrap();
         let grads = l.backward(&g).unwrap();
-        assert_eq!(grads[0].shape(), &[1, 1, 2, 2]);
-        assert_eq!(grads[1].shape(), &[1, 2, 2, 2]);
-        assert_eq!(grads[0].data(), &[0.0, 1.0, 2.0, 3.0]);
-        assert_eq!(grads[1].data()[0], 4.0);
+        let ga = grads.get(0).unwrap();
+        let gb = grads.get(1).unwrap();
+        assert_eq!(ga.shape(), &[1, 1, 2, 2]);
+        assert_eq!(gb.shape(), &[1, 2, 2, 2]);
+        assert_eq!(ga.data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(gb.data()[0], 4.0);
     }
 
     #[test]

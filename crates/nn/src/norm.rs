@@ -1,9 +1,9 @@
 //! Batch normalization.
 
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 
 use crate::dense::single_input;
-use crate::layer::{Layer, Mode, Param};
+use crate::layer::{Grads, Layer, Mode, Param};
 use crate::{NnError, Result};
 
 /// Per-channel batch normalization for NCHW tensors.
@@ -21,12 +21,10 @@ pub struct BatchNorm2d {
     beta: Param,
     running_mean: Vec<f32>,
     running_var: Vec<f32>,
-    cache: Option<BnCache>,
-}
-
-#[derive(Debug)]
-struct BnCache {
-    x_hat: Tensor,
+    /// Normalized activations of the last training forward (workspace
+    /// buffer, recycled on replacement).
+    cached_x_hat: Option<Tensor>,
+    /// Per-channel `1/σ` of the last training forward (persistent buffer).
     inv_std: Vec<f32>,
 }
 
@@ -42,7 +40,8 @@ impl BatchNorm2d {
             beta: Param::new(Tensor::zeros(&[channels])),
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
-            cache: None,
+            cached_x_hat: None,
+            inv_std: Vec::new(),
         }
     }
 
@@ -77,13 +76,16 @@ impl Layer for BatchNorm2d {
         let c = self.channels;
         let plane = h * w;
         let m = (n * plane) as f32;
-        let mut out = x.clone();
+        // Every element of `out` (and, in training, `x_hat`) is written
+        // below, so both are raw workspace checkouts.
+        let mut out = workspace::tensor_raw(x.shape());
 
         match mode {
             Mode::Train => {
-                let mut x_hat = Tensor::zeros(x.shape());
-                let mut inv_std = vec![0.0f32; c];
-                for (ch, istd_slot) in inv_std.iter_mut().enumerate() {
+                let mut x_hat = workspace::tensor_raw(x.shape());
+                self.inv_std.clear();
+                self.inv_std.resize(c, 0.0);
+                for (ch, istd_slot) in self.inv_std.iter_mut().enumerate() {
                     // Batch mean/var over (n, h, w) for this channel.
                     let mut mean = 0.0;
                     for i in 0..n {
@@ -120,7 +122,7 @@ impl Layer for BatchNorm2d {
                     self.running_var[ch] =
                         (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
                 }
-                self.cache = Some(BnCache { x_hat, inv_std });
+                workspace::recycle_opt(self.cached_x_hat.replace(x_hat));
             }
             Mode::Eval => {
                 for ch in 0..c {
@@ -140,22 +142,28 @@ impl Layer for BatchNorm2d {
         Ok(out)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let cache = self
-            .cache
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
+        let x_hat = self
+            .cached_x_hat
             .as_ref()
             .ok_or_else(|| NnError::MissingActivation {
                 layer: self.name.clone(),
             })?;
         let (n, h, w) = self.check_input(grad)?;
         let c = self.channels;
+        if self.inv_std.len() != c || x_hat.len() != grad.len() {
+            return Err(NnError::MissingActivation {
+                layer: self.name.clone(),
+            });
+        }
         let plane = h * w;
         let m = (n * plane) as f32;
-        let mut dx = Tensor::zeros(grad.shape());
+        // Every element of `dx` is written below.
+        let mut dx = workspace::tensor_raw(grad.shape());
 
         for ch in 0..c {
             let g = self.gamma.value.data()[ch];
-            let istd = cache.inv_std[ch];
+            let istd = self.inv_std[ch];
             // Accumulate dgamma, dbeta, and the two reduction terms the dx
             // formula needs.
             let mut dgamma = 0.0;
@@ -166,7 +174,7 @@ impl Layer for BatchNorm2d {
                 let base = (i * c + ch) * plane;
                 for p in 0..plane {
                     let dy = grad.data()[base + p];
-                    let xh = cache.x_hat.data()[base + p];
+                    let xh = x_hat.data()[base + p];
                     dgamma += dy * xh;
                     dbeta += dy;
                     let dxhat = dy * g;
@@ -181,14 +189,14 @@ impl Layer for BatchNorm2d {
                 let base = (i * c + ch) * plane;
                 for p in 0..plane {
                     let dy = grad.data()[base + p];
-                    let xh = cache.x_hat.data()[base + p];
+                    let xh = x_hat.data()[base + p];
                     let dxhat = dy * g;
                     dx.data_mut()[base + p] =
                         (istd / m) * (m * dxhat - sum_dxhat - xh * sum_dxhat_xhat);
                 }
             }
         }
-        Ok(vec![dx])
+        Ok(Grads::one(dx))
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -197,7 +205,8 @@ impl Layer for BatchNorm2d {
     }
 
     fn clear_cache(&mut self) {
-        self.cache = None;
+        workspace::recycle_opt(self.cached_x_hat.take());
+        self.inv_std = Vec::new();
     }
 }
 
@@ -268,7 +277,7 @@ mod tests {
         // standardized batch is 0 regardless of input).
         let wts: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).sin() + 0.2).collect();
         let gout = Tensor::from_vec(wts.clone(), &[2, 1, 2, 2]).unwrap();
-        let gin = bn.backward(&gout).unwrap().remove(0);
+        let gin = bn.backward(&gout).unwrap().into_first();
 
         let eps = 1e-2;
         for i in 0..8 {

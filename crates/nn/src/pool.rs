@@ -1,21 +1,32 @@
 //! Pooling layers: max, average, and global average.
 
 use deepmorph_tensor::conv::{
-    avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d,
-    maxpool2d_backward, PoolGeometry,
+    avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d_backward,
+    maxpool2d_into, PoolGeometry,
 };
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor};
 
 use crate::dense::single_input;
-use crate::layer::{Layer, Mode};
+use crate::layer::{Grads, Layer, Mode};
 use crate::{NnError, Result};
 
 /// Max pooling over square windows of an NCHW tensor.
+///
+/// The argmax routing table lives in a persistent per-layer buffer that is
+/// overwritten each batch, so a warm forward/backward step performs no
+/// heap allocations.
 #[derive(Debug)]
 pub struct MaxPool2d {
     name: String,
     geo: PoolGeometry,
-    argmax: Option<Vec<usize>>,
+    /// Argmax routing table of the last **training** forward (what
+    /// backward consumes).
+    argmax: Vec<usize>,
+    /// Scratch table for eval-mode forwards, so evaluating between a
+    /// training forward and its backward cannot clobber the cached
+    /// routing.
+    eval_argmax: Vec<usize>,
+    active: bool,
 }
 
 impl MaxPool2d {
@@ -35,7 +46,9 @@ impl MaxPool2d {
         Ok(MaxPool2d {
             name: format!("maxpool[{window}x{window} s{stride} @{in_h}x{in_w}]"),
             geo,
-            argmax: None,
+            argmax: Vec::new(),
+            eval_argmax: Vec::new(),
+            active: false,
         })
     }
 
@@ -52,25 +65,41 @@ impl Layer for MaxPool2d {
 
     fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
         let x = single_input(inputs, &self.name)?;
-        let (y, argmax) = maxpool2d(x, &self.geo)?;
+        x.expect_rank(4, "maxpool2d")?;
+        let n = x.shape()[0];
+        let mut out =
+            workspace::tensor_raw(&[n, self.geo.channels, self.geo.out_h, self.geo.out_w]);
+        let argmax = if mode == Mode::Train {
+            &mut self.argmax
+        } else {
+            &mut self.eval_argmax
+        };
+        argmax.resize(out.len(), 0);
+        maxpool2d_into(x, &self.geo, out.data_mut(), argmax)?;
         if mode == Mode::Train {
-            self.argmax = Some(argmax);
+            self.active = true;
         }
-        Ok(y)
+        Ok(out)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
-        let argmax = self
-            .argmax
-            .as_ref()
-            .ok_or_else(|| NnError::MissingActivation {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
+        let expected = grad.len();
+        if !self.active || self.argmax.len() != expected {
+            return Err(NnError::MissingActivation {
                 layer: self.name.clone(),
-            })?;
-        Ok(vec![maxpool2d_backward(grad, argmax, &self.geo)?])
+            });
+        }
+        Ok(Grads::one(maxpool2d_backward(
+            grad,
+            &self.argmax,
+            &self.geo,
+        )?))
     }
 
     fn clear_cache(&mut self) {
-        self.argmax = None;
+        self.argmax = Vec::new();
+        self.eval_argmax = Vec::new();
+        self.active = false;
     }
 }
 
@@ -122,13 +151,13 @@ impl Layer for AvgPool2d {
         avgpool2d(x, &self.geo).map_err(Into::into)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
         if !self.seen_forward {
             return Err(NnError::MissingActivation {
                 layer: self.name.clone(),
             });
         }
-        Ok(vec![avgpool2d_backward(grad, &self.geo)?])
+        Ok(Grads::one(avgpool2d_backward(grad, &self.geo)?))
     }
 
     fn clear_cache(&mut self) {
@@ -169,11 +198,11 @@ impl Layer for GlobalAvgPool {
         global_avg_pool(x).map_err(Into::into)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
         let (h, w) = self.spatial.ok_or_else(|| NnError::MissingActivation {
             layer: "global_avg_pool".into(),
         })?;
-        Ok(vec![global_avg_pool_backward(grad, h, w)?])
+        Ok(Grads::one(global_avg_pool_backward(grad, h, w)?))
     }
 
     fn clear_cache(&mut self) {
@@ -191,9 +220,31 @@ mod tests {
         let x = Tensor::from_vec((0..32).map(|v| v as f32).collect(), &[1, 2, 4, 4]).unwrap();
         let y = l.forward(&[&x], Mode::Train).unwrap();
         assert_eq!(y.shape(), &[1, 2, 2, 2]);
-        let g = l.backward(&Tensor::ones(&[1, 2, 2, 2])).unwrap().remove(0);
+        let g = l
+            .backward(&Tensor::ones(&[1, 2, 2, 2]))
+            .unwrap()
+            .into_first();
         assert_eq!(g.shape(), &[1, 2, 4, 4]);
         assert_eq!(g.sum(), 8.0);
+    }
+
+    #[test]
+    fn eval_forward_does_not_clobber_training_argmax() {
+        // forward(Train, A) → forward(Eval, B) → backward must route A's
+        // gradient through A's argmax, not B's.
+        let mut l = MaxPool2d::new(1, 4, 4, 2, 2).unwrap();
+        let a = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        // B reverses A, so its maxima sit in different window corners.
+        let b = Tensor::from_vec((0..16).rev().map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let _ = l.forward(&[&a], Mode::Train).unwrap();
+        let _ = l.forward(&[&b], Mode::Eval).unwrap();
+        let g = l
+            .backward(&Tensor::ones(&[1, 1, 2, 2]))
+            .unwrap()
+            .into_first();
+        // A's maxima are the bottom-right corner of each window.
+        assert_eq!(g.at(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(g.at(&[0, 0, 0, 0]).unwrap(), 0.0);
     }
 
     #[test]
@@ -201,7 +252,10 @@ mod tests {
         let mut l = AvgPool2d::new(1, 4, 4, 2, 2).unwrap();
         let x = Tensor::ones(&[1, 1, 4, 4]);
         let _ = l.forward(&[&x], Mode::Train).unwrap();
-        let g = l.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap().remove(0);
+        let g = l
+            .backward(&Tensor::ones(&[1, 1, 2, 2]))
+            .unwrap()
+            .into_first();
         assert!(g.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
     }
 
@@ -213,7 +267,7 @@ mod tests {
         assert_eq!(y.shape(), &[1, 2]);
         assert!((y.data()[0] - 1.5).abs() < 1e-6);
         assert!((y.data()[1] - 5.5).abs() < 1e-6);
-        let g = l.backward(&Tensor::ones(&[1, 2])).unwrap().remove(0);
+        let g = l.backward(&Tensor::ones(&[1, 2])).unwrap().into_first();
         assert_eq!(g.shape(), &[1, 2, 2, 2]);
         assert!((g.sum() - 2.0).abs() < 1e-6);
     }
@@ -223,6 +277,8 @@ mod tests {
         let mut l = GlobalAvgPool::new();
         assert!(l.backward(&Tensor::ones(&[1, 2])).is_err());
         let mut l = AvgPool2d::new(1, 4, 4, 2, 2).unwrap();
+        assert!(l.backward(&Tensor::ones(&[1, 1, 2, 2])).is_err());
+        let mut l = MaxPool2d::new(1, 4, 4, 2, 2).unwrap();
         assert!(l.backward(&Tensor::ones(&[1, 1, 2, 2])).is_err());
     }
 }

@@ -1,15 +1,15 @@
 //! Shape-changing layers.
 
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{Shape, Tensor};
 
 use crate::dense::single_input;
-use crate::layer::{Layer, Mode};
+use crate::layer::{Grads, Layer, Mode};
 use crate::{NnError, Result};
 
 /// Flattens `[n, c, h, w]` (or any rank ≥ 2) to `[n, features]`.
 #[derive(Debug, Default)]
 pub struct Flatten {
-    original_shape: Option<Vec<usize>>,
+    original_shape: Option<Shape>,
 }
 
 impl Flatten {
@@ -40,19 +40,19 @@ impl Layer for Flatten {
         let n = x.shape()[0];
         let features: usize = x.shape()[1..].iter().product();
         if mode == Mode::Train {
-            self.original_shape = Some(x.shape().to_vec());
+            self.original_shape = Some(Shape::from_slice(x.shape()));
         }
         x.reshape(&[n, features]).map_err(Into::into)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Result<Vec<Tensor>> {
+    fn backward(&mut self, grad: &Tensor) -> Result<Grads> {
         let shape = self
             .original_shape
             .as_ref()
             .ok_or_else(|| NnError::MissingActivation {
                 layer: "flatten".into(),
             })?;
-        Ok(vec![grad.reshape(shape)?])
+        Ok(Grads::one(grad.reshape(shape.as_slice())?))
     }
 
     fn clear_cache(&mut self) {
@@ -70,7 +70,7 @@ mod tests {
         let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
         let y = l.forward(&[&x], Mode::Train).unwrap();
         assert_eq!(y.shape(), &[2, 12]);
-        let g = l.backward(&y).unwrap().remove(0);
+        let g = l.backward(&y).unwrap().into_first();
         assert_eq!(g.shape(), x.shape());
         assert_eq!(g.data(), x.data());
     }

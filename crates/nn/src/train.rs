@@ -1,6 +1,6 @@
 //! Mini-batch training loop.
 
-use deepmorph_tensor::Tensor;
+use deepmorph_tensor::{workspace, Tensor, MAX_RANK};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -92,8 +92,10 @@ impl TrainReport {
     }
 }
 
-/// Gathers the rows/images of `x` selected by `indices` into a new batch
-/// tensor (works for any rank ≥ 1; axis 0 is the sample axis).
+/// Gathers the rows/images of `x` selected by `indices` into a batch
+/// tensor drawn from the thread's workspace arena (works for any rank ≥ 1;
+/// axis 0 is the sample axis). Recycle the batch after use to keep the
+/// training loop allocation-free.
 ///
 /// # Errors
 ///
@@ -101,18 +103,21 @@ impl TrainReport {
 pub fn gather_batch(x: &Tensor, indices: &[usize]) -> Result<Tensor> {
     let n = x.shape()[0];
     let sample_len: usize = x.shape()[1..].iter().product();
-    let mut data = Vec::with_capacity(indices.len() * sample_len);
-    for &i in indices {
-        if i >= n {
-            return Err(NnError::InvalidLabels {
-                reason: format!("sample index {i} out of range for {n}"),
-            });
-        }
-        data.extend_from_slice(&x.data()[i * sample_len..(i + 1) * sample_len]);
+    if let Some(&bad) = indices.iter().find(|&&i| i >= n) {
+        return Err(NnError::InvalidLabels {
+            reason: format!("sample index {bad} out of range for {n}"),
+        });
     }
-    let mut shape = vec![indices.len()];
-    shape.extend_from_slice(&x.shape()[1..]);
-    Tensor::from_vec(data, &shape).map_err(Into::into)
+    let mut shape = [0usize; MAX_RANK];
+    shape[0] = indices.len();
+    shape[1..x.ndim()].copy_from_slice(&x.shape()[1..]);
+    let mut out = workspace::tensor_raw(&shape[..x.ndim()]);
+    if sample_len > 0 {
+        for (dst, &i) in out.data_mut().chunks_mut(sample_len).zip(indices) {
+            dst.copy_from_slice(&x.data()[i * sample_len..(i + 1) * sample_len]);
+        }
+    }
+    Ok(out)
 }
 
 /// Mini-batch trainer driving a [`Graph`] with softmax cross-entropy.
@@ -178,6 +183,8 @@ impl Trainer {
         let mut order: Vec<usize> = (0..n).collect();
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
 
+        // Per-batch label scratch, reused across the whole run.
+        let mut by: Vec<usize> = Vec::with_capacity(self.config.batch_size);
         for _epoch in 0..self.config.epochs {
             if self.config.shuffle {
                 order.shuffle(rng);
@@ -186,11 +193,15 @@ impl Trainer {
             let mut batches = 0;
             for chunk in order.chunks(self.config.batch_size) {
                 let bx = gather_batch(x, chunk)?;
-                let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                by.clear();
+                by.extend(chunk.iter().map(|&i| labels[i]));
                 let logits = graph.forward(&bx, Mode::Train)?;
+                workspace::recycle_tensor(bx);
                 let (loss, grad) = loss_fn.compute(&logits, &by)?;
+                workspace::recycle_tensor(logits);
                 graph.zero_grad();
                 graph.backward(&grad)?;
+                workspace::recycle_tensor(grad);
                 if let Some(max_norm) = self.config.clip_grad_norm {
                     clip_gradients(graph, max_norm);
                 }
@@ -237,12 +248,15 @@ pub fn evaluate_accuracy(
 pub fn predict_all(graph: &mut Graph, x: &Tensor, batch_size: usize) -> Result<Vec<usize>> {
     let n = x.shape()[0];
     let mut preds = Vec::with_capacity(n);
+    let mut indices: Vec<usize> = Vec::with_capacity(batch_size.max(1));
     let mut start = 0;
     while start < n {
         let end = (start + batch_size.max(1)).min(n);
-        let indices: Vec<usize> = (start..end).collect();
+        indices.clear();
+        indices.extend(start..end);
         let bx = gather_batch(x, &indices)?;
         preds.extend(graph.predict(&bx)?);
+        workspace::recycle_tensor(bx);
         start = end;
     }
     Ok(preds)

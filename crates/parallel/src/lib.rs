@@ -319,19 +319,23 @@ pub fn max_threads() -> usize {
 /// Splits `0..n` into at most `parts` contiguous ranges of near-equal size.
 pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.clamp(1, n.max(1));
+    (0..parts).filter_map(|i| nth_range(n, parts, i)).collect()
+}
+
+/// The `i`-th range of the [`split_ranges`] partition, computed without
+/// allocating (`None` for an empty slot). The dispatch hot paths use this
+/// directly so submitting a batch performs no heap allocation — a
+/// requirement of the zero-allocation steady state the tensor workspace
+/// provides (`tests/alloc_regression.rs`).
+fn nth_range(n: usize, parts: usize, i: usize) -> Option<Range<usize>> {
     let base = n / parts;
     let rem = n % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut start = 0;
-    for i in 0..parts {
-        let len = base + usize::from(i < rem);
-        if len == 0 {
-            continue;
-        }
-        out.push(start..start + len);
-        start += len;
+    let len = base + usize::from(i < rem);
+    if len == 0 {
+        return None;
     }
-    out
+    let start = i * base + i.min(rem);
+    Some(start..start + len)
 }
 
 /// How many blocks to split `n_items` into for the current pool.
@@ -404,11 +408,14 @@ where
         }
         return;
     }
-    let blocks = split_ranges(n_chunks, block_count(n_chunks));
+    let parts = block_count(n_chunks);
     let base = SendPtr(data.as_mut_ptr());
-    Pool::global().run_batch(blocks.len(), &|bi| {
+    Pool::global().run_batch(parts, &|bi| {
         let base = &base;
-        for chunk_idx in blocks[bi].clone() {
+        let Some(range) = nth_range(n_chunks, parts, bi) else {
+            return;
+        };
+        for chunk_idx in range {
             let start = chunk_idx * chunk_len;
             let end = (start + chunk_len).min(len);
             // SAFETY: blocks hold disjoint chunk indexes, so these slices
@@ -454,12 +461,15 @@ pub fn par_chunks2_mut<T: Send, U: Send, F>(
         }
         return;
     }
-    let blocks = split_ranges(n_chunks, block_count(n_chunks));
+    let parts = block_count(n_chunks);
     let base_a = SendPtr(a.as_mut_ptr());
     let base_b = SendPtr(b.as_mut_ptr());
-    Pool::global().run_batch(blocks.len(), &|bi| {
+    Pool::global().run_batch(parts, &|bi| {
         let (base_a, base_b) = (&base_a, &base_b);
-        for chunk_idx in blocks[bi].clone() {
+        let Some(range) = nth_range(n_chunks, parts, bi) else {
+            return;
+        };
+        for chunk_idx in range {
             let (sa, sb) = (chunk_idx * a_chunk, chunk_idx * b_chunk);
             let (ea, eb) = ((sa + a_chunk).min(a_len), (sb + b_chunk).min(b_len));
             // SAFETY: disjoint chunk indexes per block ⇒ no aliasing; both
@@ -506,8 +516,12 @@ where
         f(0..n);
         return;
     }
-    let blocks = split_ranges(n, block_count(n));
-    Pool::global().run_batch(blocks.len(), &|bi| f(blocks[bi].clone()));
+    let parts = block_count(n);
+    Pool::global().run_batch(parts, &|bi| {
+        if let Some(range) = nth_range(n, parts, bi) {
+            f(range);
+        }
+    });
 }
 
 #[cfg(test)]

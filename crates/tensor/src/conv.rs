@@ -6,9 +6,15 @@
 //! so `conv2d(x, w)` is `patches @ w_flat.T`. The backward pass reverses the
 //! lowering with [`col2im`].
 //!
+//! Layers that run the same geometry every batch should build an
+//! [`Im2colMap`] once and use the `*_mapped_into` kernels: the gather
+//! indices are precomputed per layer, and outputs land in caller-provided
+//! (workspace-recycled) buffers, so the steady-state batch loop performs no
+//! heap allocations and no per-element bounds arithmetic.
+//!
 //! All activation tensors are NCHW.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{workspace, Result, Tensor, TensorError};
 
 /// Static geometry of a 2-D convolution: input/output sizes, kernel,
 /// stride, and padding.
@@ -100,6 +106,84 @@ impl Conv2dGeometry {
     pub fn out_positions(&self) -> usize {
         self.out_h * self.out_w
     }
+
+    fn check_input(&self, input: &Tensor, op: &'static str) -> Result<usize> {
+        input.expect_rank(4, op)?;
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        if c != self.in_channels || h != self.in_h || w != self.in_w {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!(
+                    "input {:?} does not match geometry (c={}, h={}, w={})",
+                    input.shape(),
+                    self.in_channels,
+                    self.in_h,
+                    self.in_w
+                ),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// Sentinel in an [`Im2colMap`] marking a padding slot (reads as `0.0`).
+const PAD: usize = usize::MAX;
+
+/// Precomputed gather indices for one convolution geometry.
+///
+/// Entry `(p * patch_len + k)` holds the offset of patch slot `k` at output
+/// position `p` within one image's `c*h*w` buffer, or [`PAD`] when the slot
+/// falls in the zero padding. Layers cache one map per instance so the
+/// per-batch kernels do table lookups instead of recomputing receptive
+/// fields.
+#[derive(Debug, Clone)]
+pub struct Im2colMap {
+    geo: Conv2dGeometry,
+    idx: Vec<usize>,
+}
+
+impl Im2colMap {
+    /// Builds the index table for `geo`.
+    pub fn new(geo: &Conv2dGeometry) -> Self {
+        let patch_len = geo.patch_len();
+        let (c, h, w) = (geo.in_channels, geo.in_h, geo.in_w);
+        let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+        let mut idx = vec![PAD; geo.out_positions() * patch_len];
+        for oy in 0..geo.out_h {
+            let base_y = (oy * stride) as isize - pad as isize;
+            for ox in 0..geo.out_w {
+                let base_x = (ox * stride) as isize - pad as isize;
+                let row = &mut idx[(oy * geo.out_w + ox) * patch_len..][..patch_len];
+                let mut k = 0;
+                for ch in 0..c {
+                    for ky in 0..kh {
+                        let y = base_y + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            k += kw;
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let x = base_x + kx as isize;
+                            if x >= 0 && x < w as isize {
+                                row[k] = ch * h * w + y as usize * w + x as usize;
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Im2colMap { geo: *geo, idx }
+    }
+
+    /// The geometry this map was built for.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geo
+    }
 }
 
 /// Lowers a batch of NCHW inputs to a patch matrix.
@@ -107,34 +191,21 @@ impl Conv2dGeometry {
 /// `input` is `[n, c, h, w]`; the result is
 /// `[n * out_h * out_w, c * kernel_h * kernel_w]` where row
 /// `(i * out_positions + p)` is the receptive field of sample `i` at output
-/// position `p` (row-major over `out_h x out_w`).
+/// position `p` (row-major over `out_h x out_w`). The result buffer comes
+/// from the thread's [`workspace`] arena.
 ///
 /// # Errors
 ///
 /// Returns a shape error if `input` is not rank 4 or disagrees with `geo`.
 pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
-    input.expect_rank(4, "im2col")?;
-    let [n, c, h, w] = [
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
-    ];
-    if c != geo.in_channels || h != geo.in_h || w != geo.in_w {
-        return Err(TensorError::InvalidGeometry {
-            reason: format!(
-                "input {:?} does not match geometry (c={}, h={}, w={})",
-                input.shape(),
-                geo.in_channels,
-                geo.in_h,
-                geo.in_w
-            ),
-        });
-    }
+    let n = geo.check_input(input, "im2col")?;
     let patch_len = geo.patch_len();
     let positions = geo.out_positions();
-    let mut out = vec![0.0f32; n * positions * patch_len];
+    // Padding slots rely on the zero fill (only in-bounds slots are
+    // written below).
+    let mut out = workspace::take_zeroed(n * positions * patch_len);
     let src = input.data();
+    let (c, h, w) = (geo.in_channels, geo.in_h, geo.in_w);
     let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
     let (out_h, out_w) = (geo.out_h, geo.out_w);
 
@@ -176,8 +247,53 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
     Tensor::from_vec(out, &[n * positions, patch_len])
 }
 
+/// Table-driven [`im2col`] writing into a caller-provided buffer
+/// (`n * out_positions * patch_len`, fully overwritten — stale contents are
+/// fine). Identical output to [`im2col`], zero allocations.
+///
+/// # Errors
+///
+/// Returns a shape error if `input` disagrees with the map's geometry or
+/// `out` has the wrong length.
+pub fn im2col_mapped_into(input: &Tensor, map: &Im2colMap, out: &mut [f32]) -> Result<()> {
+    let geo = &map.geo;
+    let n = geo.check_input(input, "im2col")?;
+    let patch_len = geo.patch_len();
+    let positions = geo.out_positions();
+    if out.len() != n * positions * patch_len {
+        return Err(TensorError::LengthMismatch {
+            shape: vec![n * positions, patch_len],
+            len: out.len(),
+        });
+    }
+    let src = input.data();
+    let img_len = geo.in_channels * geo.in_h * geo.in_w;
+    let idx = &map.idx;
+    let out_h = geo.out_h;
+    let row_len = geo.out_w * patch_len;
+
+    // Same (sample, output row) chunking as `im2col`; each row is a pure
+    // table gather with `0.0` written for padding slots.
+    crate::chunks::for_chunks_mut(
+        out,
+        row_len,
+        crate::chunks::PAR_GRAIN_ELEMS,
+        |chunk_idx, rows| {
+            let i = chunk_idx / out_h;
+            let oy = chunk_idx % out_h;
+            let src_img = &src[i * img_len..(i + 1) * img_len];
+            let tbl = &idx[oy * row_len..(oy + 1) * row_len];
+            for (slot, &ix) in rows.iter_mut().zip(tbl) {
+                *slot = if ix == PAD { 0.0 } else { src_img[ix] };
+            }
+        },
+    );
+    Ok(())
+}
+
 /// Reverses [`im2col`]: scatters patch-matrix gradients back onto the NCHW
-/// input gradient, summing where receptive fields overlap.
+/// input gradient, summing where receptive fields overlap. The result
+/// buffer comes from the thread's [`workspace`] arena.
 ///
 /// `cols` must be `[n * out_h * out_w, patch_len]`; the result is
 /// `[n, c, h, w]`.
@@ -186,6 +302,33 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
 ///
 /// Returns a shape error if `cols` disagrees with `geo` or `n`.
 pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, n: usize) -> Result<Tensor> {
+    let mut out = workspace::take_raw(n * geo.in_channels * geo.in_h * geo.in_w);
+    col2im_scatter(cols, geo, n, None, &mut out)?;
+    Tensor::from_vec(out, &[n, geo.in_channels, geo.in_h, geo.in_w])
+}
+
+/// Table-driven [`col2im`] writing into a caller-provided buffer
+/// (`n * c * h * w`, fully overwritten). Identical output to [`col2im`],
+/// zero allocations.
+///
+/// # Errors
+///
+/// Returns a shape error if `cols` disagrees with the map's geometry or
+/// `out` has the wrong length.
+pub fn col2im_mapped_into(cols: &Tensor, map: &Im2colMap, n: usize, out: &mut [f32]) -> Result<()> {
+    col2im_scatter(cols, &map.geo, n, Some(&map.idx), out)
+}
+
+/// Shared scatter core of [`col2im`] / [`col2im_mapped_into`]: zeroes each
+/// image chunk, then adds overlapping receptive fields in the pinned order
+/// (output positions row-major, patch slots `ch, ky, kx`).
+fn col2im_scatter(
+    cols: &Tensor,
+    geo: &Conv2dGeometry,
+    n: usize,
+    idx: Option<&[usize]>,
+    out: &mut [f32],
+) -> Result<()> {
     cols.expect_rank(2, "col2im")?;
     let patch_len = geo.patch_len();
     let positions = geo.out_positions();
@@ -200,18 +343,36 @@ pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, n: usize) -> Result<Tensor> {
         });
     }
     let (c, h, w) = (geo.in_channels, geo.in_h, geo.in_w);
+    if out.len() != n * c * h * w {
+        return Err(TensorError::LengthMismatch {
+            shape: vec![n, c, h, w],
+            len: out.len(),
+        });
+    }
     let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
-    let mut out = vec![0.0f32; n * c * h * w];
     let src = cols.data();
 
     // col2im scatter-adds overlapping receptive fields, so the parallel
     // split is per sample: each image's accumulation stays on one thread
     // in serial order (bitwise exact).
     crate::chunks::for_chunks_mut(
-        &mut out,
+        out,
         c * h * w,
         crate::chunks::PAR_GRAIN_ELEMS,
         |i, dst_img| {
+            dst_img.fill(0.0);
+            if let Some(idx) = idx {
+                for p in 0..positions {
+                    let row = &src[(i * positions + p) * patch_len..][..patch_len];
+                    let tbl = &idx[p * patch_len..(p + 1) * patch_len];
+                    for (&v, &ix) in row.iter().zip(tbl) {
+                        if ix != PAD {
+                            dst_img[ix] += v;
+                        }
+                    }
+                }
+                return;
+            }
             for oy in 0..geo.out_h {
                 for ox in 0..geo.out_w {
                     let row_idx = i * positions + oy * geo.out_w + ox;
@@ -239,7 +400,7 @@ pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, n: usize) -> Result<Tensor> {
             }
         },
     );
-    Tensor::from_vec(out, &[n, c, h, w])
+    Ok(())
 }
 
 /// Static geometry of a 2-D pooling window.
@@ -297,6 +458,22 @@ impl PoolGeometry {
             out_w,
         })
     }
+
+    fn check_input(&self, input: &Tensor, op: &'static str) -> Result<usize> {
+        input.expect_rank(4, op)?;
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        if c != self.channels || h != self.in_h || w != self.in_w {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!("input {:?} does not match pool geometry", input.shape()),
+            });
+        }
+        Ok(n)
+    }
 }
 
 /// Max-pools an NCHW batch; also returns the argmax index (into each image's
@@ -306,28 +483,51 @@ impl PoolGeometry {
 ///
 /// Returns a shape error if `input` disagrees with `geo`.
 pub fn maxpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Vec<usize>)> {
-    input.expect_rank(4, "maxpool2d")?;
-    let [n, c, h, w] = [
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
-    ];
-    if c != geo.channels || h != geo.in_h || w != geo.in_w {
-        return Err(TensorError::InvalidGeometry {
-            reason: format!("input {:?} does not match pool geometry", input.shape()),
+    let n = geo.check_input(input, "maxpool2d")?;
+    let mut out = workspace::take_raw(n * geo.channels * geo.out_h * geo.out_w);
+    let mut argmax = vec![0usize; out.len()];
+    maxpool2d_kernel(input, geo, &mut out, &mut argmax);
+    Ok((
+        Tensor::from_vec(out, &[n, geo.channels, geo.out_h, geo.out_w])?,
+        argmax,
+    ))
+}
+
+/// [`maxpool2d`] into caller-provided buffers (both fully overwritten;
+/// zero allocations). Layers keep `out`/`argmax` across batches.
+///
+/// # Errors
+///
+/// Returns a shape error if `input` disagrees with `geo` or buffer lengths
+/// are wrong.
+pub fn maxpool2d_into(
+    input: &Tensor,
+    geo: &PoolGeometry,
+    out: &mut [f32],
+    argmax: &mut [usize],
+) -> Result<()> {
+    let n = geo.check_input(input, "maxpool2d")?;
+    let expected = n * geo.channels * geo.out_h * geo.out_w;
+    if out.len() != expected || argmax.len() != expected {
+        return Err(TensorError::LengthMismatch {
+            shape: vec![n, geo.channels, geo.out_h, geo.out_w],
+            len: out.len().min(argmax.len()),
         });
     }
-    let mut out = vec![0.0f32; n * c * geo.out_h * geo.out_w];
-    let mut argmax = vec![0usize; out.len()];
+    maxpool2d_kernel(input, geo, out, argmax);
+    Ok(())
+}
+
+fn maxpool2d_kernel(input: &Tensor, geo: &PoolGeometry, out: &mut [f32], argmax: &mut [usize]) {
+    let (c, h, w) = (geo.channels, geo.in_h, geo.in_w);
     let src = input.data();
     let plane_len = geo.out_h * geo.out_w;
     // One chunk per (sample, channel) output plane; each plane only reads
     // its own input plane, so the parallel split is bitwise exact.
     crate::chunks::for_chunks2_mut(
-        &mut out,
+        out,
         plane_len,
-        &mut argmax,
+        argmax,
         plane_len,
         crate::chunks::PAR_GRAIN_ELEMS,
         |chunk_idx, out_plane, arg_plane| {
@@ -358,14 +558,11 @@ pub fn maxpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Vec<usiz
             }
         },
     );
-    Ok((
-        Tensor::from_vec(out, &[n, c, geo.out_h, geo.out_w])?,
-        argmax,
-    ))
 }
 
 /// Backward pass of [`maxpool2d`]: routes each output gradient to the input
-/// position that produced the max.
+/// position that produced the max. The result buffer comes from the
+/// thread's [`workspace`] arena.
 ///
 /// # Errors
 ///
@@ -373,7 +570,7 @@ pub fn maxpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<(Tensor, Vec<usiz
 pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], geo: &PoolGeometry) -> Result<Tensor> {
     grad.expect_rank(4, "maxpool2d_backward")?;
     let n = grad.shape()[0];
-    let mut out = vec![0.0f32; n * geo.channels * geo.in_h * geo.in_w];
+    let mut out = workspace::take_raw(n * geo.channels * geo.in_h * geo.in_w);
     let img_len = geo.channels * geo.in_h * geo.in_w;
     let grad_img_len = geo.channels * geo.out_h * geo.out_w;
     let g = grad.data();
@@ -383,6 +580,7 @@ pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], geo: &PoolGeometry) -
         img_len,
         crate::chunks::PAR_GRAIN_ELEMS,
         |i, dst_img| {
+            dst_img.fill(0.0);
             let lo = i * grad_img_len;
             for (gv, &idx) in g[lo..lo + grad_img_len]
                 .iter()
@@ -395,26 +593,17 @@ pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], geo: &PoolGeometry) -
     Tensor::from_vec(out, &[n, geo.channels, geo.in_h, geo.in_w])
 }
 
-/// Average-pools an NCHW batch.
+/// Average-pools an NCHW batch. The result buffer comes from the thread's
+/// [`workspace`] arena.
 ///
 /// # Errors
 ///
 /// Returns a shape error if `input` disagrees with `geo`.
 pub fn avgpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<Tensor> {
-    input.expect_rank(4, "avgpool2d")?;
-    let [n, c, h, w] = [
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
-    ];
-    if c != geo.channels || h != geo.in_h || w != geo.in_w {
-        return Err(TensorError::InvalidGeometry {
-            reason: format!("input {:?} does not match pool geometry", input.shape()),
-        });
-    }
+    let n = geo.check_input(input, "avgpool2d")?;
     let norm = 1.0 / (geo.window * geo.window) as f32;
-    let mut out = vec![0.0f32; n * c * geo.out_h * geo.out_w];
+    let mut out = workspace::take_raw(n * geo.channels * geo.out_h * geo.out_w);
+    let (h, w) = (geo.in_h, geo.in_w);
     let src = input.data();
     // One chunk per (sample, channel) output plane; pure gather.
     crate::chunks::for_chunks_mut(
@@ -436,11 +625,12 @@ pub fn avgpool2d(input: &Tensor, geo: &PoolGeometry) -> Result<Tensor> {
             }
         },
     );
-    Tensor::from_vec(out, &[n, c, geo.out_h, geo.out_w])
+    Tensor::from_vec(out, &[n, geo.channels, geo.out_h, geo.out_w])
 }
 
 /// Backward pass of [`avgpool2d`]: spreads each output gradient uniformly
-/// over its window.
+/// over its window. The result buffer comes from the thread's
+/// [`workspace`] arena.
 ///
 /// # Errors
 ///
@@ -449,7 +639,7 @@ pub fn avgpool2d_backward(grad: &Tensor, geo: &PoolGeometry) -> Result<Tensor> {
     grad.expect_rank(4, "avgpool2d_backward")?;
     let n = grad.shape()[0];
     let norm = 1.0 / (geo.window * geo.window) as f32;
-    let mut out = vec![0.0f32; n * geo.channels * geo.in_h * geo.in_w];
+    let mut out = workspace::take_raw(n * geo.channels * geo.in_h * geo.in_w);
     let g = grad.data();
     // Scatter-adds stay within one (sample, channel) plane; split per plane.
     crate::chunks::for_chunks_mut(
@@ -457,6 +647,7 @@ pub fn avgpool2d_backward(grad: &Tensor, geo: &PoolGeometry) -> Result<Tensor> {
         geo.in_h * geo.in_w,
         crate::chunks::PAR_GRAIN_ELEMS,
         |chunk_idx, out_plane| {
+            out_plane.fill(0.0);
             for oy in 0..geo.out_h {
                 for ox in 0..geo.out_w {
                     let gv = g[(chunk_idx * geo.out_h + oy) * geo.out_w + ox] * norm;
@@ -474,7 +665,8 @@ pub fn avgpool2d_backward(grad: &Tensor, geo: &PoolGeometry) -> Result<Tensor> {
     Tensor::from_vec(out, &[n, geo.channels, geo.in_h, geo.in_w])
 }
 
-/// Global average pool: `[n, c, h, w]` → `[n, c]`.
+/// Global average pool: `[n, c, h, w]` → `[n, c]`. The result buffer comes
+/// from the thread's [`workspace`] arena.
 ///
 /// Used both by the classifier heads and by DeepMorph's softmax probes to
 /// summarize a convolutional activation into a fixed-size vector.
@@ -491,7 +683,7 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
         input.shape()[3],
     ];
     let norm = 1.0 / (h * w) as f32;
-    let mut out = vec![0.0f32; n * c];
+    let mut out = workspace::take_raw(n * c);
     let src = input.data();
     // One chunk per sample row of the [n, c] output; pure reduction over
     // that sample's planes. The work scales with the *input* size, so the
@@ -510,7 +702,8 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[n, c])
 }
 
-/// Backward pass of [`global_avg_pool`].
+/// Backward pass of [`global_avg_pool`]. The result buffer comes from the
+/// thread's [`workspace`] arena.
 ///
 /// # Errors
 ///
@@ -519,7 +712,7 @@ pub fn global_avg_pool_backward(grad: &Tensor, h: usize, w: usize) -> Result<Ten
     grad.expect_rank(2, "global_avg_pool_backward")?;
     let (n, c) = (grad.shape()[0], grad.shape()[1]);
     let norm = 1.0 / (h * w) as f32;
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = workspace::take_raw(n * c * h * w);
     for i in 0..n {
         for ch in 0..c {
             let gv = grad.data()[i * c + ch] * norm;
@@ -581,6 +774,30 @@ mod tests {
     }
 
     #[test]
+    fn mapped_im2col_matches_direct() {
+        for (c, h, w, k, s, p) in [(2, 5, 5, 3, 1, 1), (3, 8, 6, 3, 2, 0), (1, 4, 4, 4, 1, 2)] {
+            let geo = Conv2dGeometry::new(c, 4, h, w, k, k, s, p).unwrap();
+            let map = Im2colMap::new(&geo);
+            let x = seq_tensor(&[2, c, h, w]);
+            let direct = im2col(&x, &geo).unwrap();
+            let mut mapped = vec![7.7f32; direct.len()]; // stale contents
+            im2col_mapped_into(&x, &map, &mut mapped).unwrap();
+            assert_eq!(direct.data(), &mapped[..], "geometry {geo:?}");
+        }
+    }
+
+    #[test]
+    fn mapped_col2im_matches_direct() {
+        let geo = Conv2dGeometry::new(2, 3, 5, 5, 3, 3, 1, 1).unwrap();
+        let map = Im2colMap::new(&geo);
+        let cols = seq_tensor(&[2 * geo.out_positions(), geo.patch_len()]);
+        let direct = col2im(&cols, &geo, 2).unwrap();
+        let mut mapped = vec![9.9f32; direct.len()];
+        col2im_mapped_into(&cols, &map, 2, &mut mapped).unwrap();
+        assert_eq!(direct.data(), &mapped[..]);
+    }
+
+    #[test]
     fn conv_via_im2col_matches_direct() {
         // Direct 2D convolution (valid, stride 1) computed naively.
         let x = seq_tensor(&[1, 1, 4, 4]);
@@ -634,6 +851,19 @@ mod tests {
         assert_eq!(gx.at(&[0, 0, 1, 1]).unwrap(), 1.0); // position of 6
         assert_eq!(gx.at(&[0, 0, 3, 3]).unwrap(), 1.0); // position of 16
         assert_eq!(gx.at(&[0, 0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn maxpool_into_matches_allocating_version() {
+        let x = seq_tensor(&[2, 2, 4, 4]);
+        let g = PoolGeometry::new(2, 4, 4, 2, 2).unwrap();
+        let (y, argmax) = maxpool2d(&x, &g).unwrap();
+        let mut out = vec![-1.0f32; y.len()];
+        let mut arg = vec![usize::MAX; y.len()];
+        maxpool2d_into(&x, &g, &mut out, &mut arg).unwrap();
+        assert_eq!(y.data(), &out[..]);
+        assert_eq!(argmax, arg);
+        assert!(maxpool2d_into(&x, &g, &mut out[..3], &mut arg).is_err());
     }
 
     #[test]

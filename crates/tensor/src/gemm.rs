@@ -1,0 +1,313 @@
+//! Unified cache-blocked, B-panel-packed GEMM.
+//!
+//! One kernel computes all three products the network needs — `A·B`,
+//! `A·Bᵀ`, and `Aᵀ·B` — parameterized by [`GemmOp`]. Operands that would
+//! be walked with a stride are first packed into contiguous workspace
+//! buffers ([`crate::workspace`]): `Aᵀ` for [`GemmOp::TN`], `Bᵀ` for
+//! [`GemmOp::NT`], and wide `B` matrices into cache-sized column panels.
+//! After packing, every variant runs the same inner loop.
+//!
+//! # Determinism contract
+//!
+//! `tests/determinism.rs` pins serial and parallel builds to *bitwise*
+//! identical results, so the accumulation order here is load-bearing:
+//!
+//! * every output element accumulates its `k` terms with `p` ascending, as
+//!   a single dependent add chain;
+//! * [`GemmOp::NN`] and [`GemmOp::TN`] skip terms whose `A` coefficient is
+//!   exactly `0.0` (matching the historical reference kernels — skipping
+//!   is *not* a pure optimization, it changes `-0.0` and `NaN`/`inf`
+//!   propagation); [`GemmOp::NT`] never skips (its reference was a plain
+//!   dot product);
+//! * the 4-step unrolled chain `(((o + a₀x₀) + a₁x₁) + a₂x₂) + a₃x₃`
+//!   performs the same adds in the same order as four single steps;
+//! * parallelism only changes which thread computes an output row, never
+//!   the order of operations within one.
+
+use crate::workspace;
+
+/// Which operand, if any, the product uses transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmOp {
+    /// `out = A[m,k] · B[k,n]`, skipping zero `A` coefficients.
+    NN,
+    /// `out = A[m,k] · B[n,k]ᵀ`, no zero skipping.
+    NT,
+    /// `out = A[k,m]ᵀ · B[k,n]`, skipping zero `A` coefficients.
+    TN,
+}
+
+/// Panel width (output columns) processed per cache block. One output
+/// segment plus four packed `B` rows of this width stay inside L1.
+const PANEL: usize = 512;
+
+/// Accumulates the selected product into `out` (`m · n`, caller-zeroed for
+/// a plain product).
+///
+/// `a` and `b` are row-major with the shapes implied by `op`; `parallel`
+/// requests fan-out over output rows (honored only when the `parallel`
+/// feature is active, enough threads exist, and the product is large
+/// enough to pay for dispatch — smaller products run inline).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `(m, k, n)` and `op`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    op: GemmOp,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    parallel: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length");
+    assert_eq!(b.len(), k * n, "gemm: rhs length");
+    assert_eq!(out.len(), m * n, "gemm: out length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Pack strided operands into contiguous workspace buffers.
+    let a_packed = match op {
+        GemmOp::TN => Some(pack_a_transposed(a, m, k)),
+        _ => None,
+    };
+    let a_eff: &[f32] = a_packed.as_deref().unwrap_or(a);
+
+    let b_packed = match op {
+        GemmOp::NT => Some(pack_b_panels_transposed(b, k, n)),
+        // Row-major B is already a single contiguous panel when it fits.
+        GemmOp::NN | GemmOp::TN if n > PANEL => Some(pack_b_panels(b, k, n)),
+        _ => None,
+    };
+    let b_eff: &[f32] = b_packed.as_deref().unwrap_or(b);
+
+    let skip_zero = op != GemmOp::NT;
+    let row = |i: usize, out_row: &mut [f32]| {
+        let a_row = &a_eff[i * k..(i + 1) * k];
+        let mut j0 = 0;
+        while j0 < n {
+            let w = PANEL.min(n - j0);
+            let panel = &b_eff[(j0 / PANEL) * k * PANEL..][..k * w];
+            accumulate_panel(a_row, panel, &mut out_row[j0..j0 + w], w, skip_zero);
+            j0 += w;
+        }
+    };
+
+    if parallel {
+        // Grain 0: the caller already decided this product is worth
+        // fanning out; `for_chunks_mut` still falls back to the serial
+        // loop when the feature is off or no extra threads exist.
+        crate::chunks::for_chunks_mut(out, n, 0, |i, out_row| row(i, out_row));
+    } else {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            row(i, out_row);
+        }
+    }
+
+    if let Some(buf) = a_packed {
+        workspace::recycle(buf);
+    }
+    if let Some(buf) = b_packed {
+        workspace::recycle(buf);
+    }
+}
+
+/// Accumulates `out_seg[j] += Σ_p a_row[p] · panel[p·w + j]` with `p`
+/// ascending per element. Four `k` steps run as one dependent chain per
+/// element (same adds, same order, fewer L1 round-trips); when
+/// `skip_zero`, any zero coefficient in a quad falls back to skip-aware
+/// single steps, preserving the reference kernels' exact semantics.
+fn accumulate_panel(a_row: &[f32], panel: &[f32], out_seg: &mut [f32], w: usize, skip_zero: bool) {
+    let k = a_row.len();
+    let mut p = 0;
+    while p + 3 < k {
+        let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+        if !skip_zero || (a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0) {
+            let b0 = &panel[p * w..(p + 1) * w];
+            let b1 = &panel[(p + 1) * w..(p + 2) * w];
+            let b2 = &panel[(p + 2) * w..(p + 3) * w];
+            let b3 = &panel[(p + 3) * w..(p + 4) * w];
+            for ((((o, &x0), &x1), &x2), &x3) in out_seg.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o = (((*o + a0 * x0) + a1 * x1) + a2 * x2) + a3 * x3;
+            }
+        } else {
+            for (q, &a) in a_row[p..p + 4].iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &panel[(p + q) * w..(p + q + 1) * w];
+                for (o, &x) in out_seg.iter_mut().zip(b_row) {
+                    *o += a * x;
+                }
+            }
+        }
+        p += 4;
+    }
+    for (q, &a) in a_row[p..].iter().enumerate() {
+        if skip_zero && a == 0.0 {
+            continue;
+        }
+        let b_row = &panel[(p + q) * w..(p + q + 1) * w];
+        for (o, &x) in out_seg.iter_mut().zip(b_row) {
+            *o += a * x;
+        }
+    }
+}
+
+/// Packs `a` (`[k, m]` row-major) as `Aᵀ` (`[m, k]` row-major) into a
+/// workspace buffer. Source rows stream; the `m` destination rows being
+/// interleaved stay within a few open cache lines.
+fn pack_a_transposed(a: &[f32], m: usize, k: usize) -> Vec<f32> {
+    let mut dst = workspace::take_raw(m * k);
+    for p in 0..k {
+        let src_row = &a[p * m..(p + 1) * m];
+        for (i, &v) in src_row.iter().enumerate() {
+            dst[i * k + p] = v;
+        }
+    }
+    dst
+}
+
+/// Packs row-major `b` (`[k, n]`) into contiguous column panels of width
+/// [`PANEL`]: panel `q` starts at `q·k·PANEL` and stores its `k` rows
+/// (width `min(PANEL, n − q·PANEL)`) back to back.
+fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut dst = workspace::take_raw(k * n);
+    let mut j0 = 0;
+    while j0 < n {
+        let w = PANEL.min(n - j0);
+        let panel = &mut dst[(j0 / PANEL) * k * PANEL..];
+        for p in 0..k {
+            panel[p * w..(p + 1) * w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+        j0 += w;
+    }
+    dst
+}
+
+/// Packs `b` (`[n, k]` row-major) as `Bᵀ` in the panel layout of
+/// [`pack_b_panels`]. Source rows stream; writes fan across one panel
+/// column.
+fn pack_b_panels_transposed(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut dst = workspace::take_raw(k * n);
+    let mut j0 = 0;
+    while j0 < n {
+        let w = PANEL.min(n - j0);
+        let panel = &mut dst[(j0 / PANEL) * k * PANEL..];
+        for jj in 0..w {
+            let src_row = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+            for (p, &v) in src_row.iter().enumerate() {
+                panel[p * w + jj] = v;
+            }
+        }
+        j0 += w;
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(len: usize, salt: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(salt.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                ((h >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn with_zeros(mut v: Vec<f32>) -> Vec<f32> {
+        for (i, x) in v.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *x = 0.0;
+            }
+        }
+        v
+    }
+
+    /// Independent per-element reference with the documented order and
+    /// skip semantics.
+    fn naive(op: GemmOp, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    let av = match op {
+                        GemmOp::TN => a[p * m + i],
+                        _ => a[i * k + p],
+                    };
+                    if op != GemmOp::NT && av == 0.0 {
+                        continue;
+                    }
+                    let bv = match op {
+                        GemmOp::NT => b[j * k + p],
+                        _ => b[p * n + j],
+                    };
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_reference_bitwise() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (16, 72, 16),
+            (33, 9, 130),
+            (4, 6, PANEL + 3), // exercises the panel split
+            (2, 70, 2 * PANEL + 1),
+        ] {
+            for op in [GemmOp::NN, GemmOp::NT, GemmOp::TN] {
+                for zeros in [false, true] {
+                    let mut a = synth(m * k, 1);
+                    let mut b = synth(k * n, 2);
+                    if zeros {
+                        a = with_zeros(a);
+                        b = with_zeros(b);
+                    }
+                    let expect = naive(op, &a, &b, m, k, n);
+                    for parallel in [false, true] {
+                        let mut out = vec![0.0f32; m * n];
+                        gemm_into(op, &a, &b, &mut out, m, k, n, parallel);
+                        assert_eq!(
+                            out, expect,
+                            "{op:?} {m}x{k}x{n} zeros={zeros} parallel={parallel}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_no_ops() {
+        let mut out = vec![1.0f32; 0];
+        gemm_into(GemmOp::NN, &[], &[], &mut out, 0, 0, 0, false);
+        let mut out = vec![0.0f32; 4];
+        gemm_into(GemmOp::NN, &[], &[], &mut out, 2, 0, 2, false);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn accumulates_into_existing_output() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 4.0];
+        let mut out = vec![10.0f32];
+        gemm_into(GemmOp::NN, &a, &b, &mut out, 1, 2, 1, false);
+        assert_eq!(out, vec![10.0 + 3.0 + 8.0]);
+    }
+}

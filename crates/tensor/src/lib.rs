@@ -9,6 +9,10 @@
 //!   softmax/log-softmax.
 //! * [`conv`] — `im2col`/`col2im` and pooling kernels used by the
 //!   convolution layers in `deepmorph-nn`.
+//! * [`gemm`] — the single cache-blocked, B-panel-packed matrix-multiply
+//!   kernel behind the whole `matmul` family.
+//! * [`workspace`] — the thread-local scratch arena that keeps the
+//!   conv/matmul hot loop allocation-free after warm-up.
 //! * [`init`] — deterministic weight initialization (uniform, normal,
 //!   Xavier/Glorot, He).
 //! * [`stats`] — distribution/geometry helpers (entropy, KL/JS divergence,
@@ -34,19 +38,24 @@
 pub mod chunks;
 pub mod conv;
 mod error;
+pub mod gemm;
 pub mod init;
+mod shape;
 pub mod stats;
 mod tensor;
+pub mod workspace;
 
 pub use error::TensorError;
+pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::conv::{self, Conv2dGeometry, PoolGeometry};
+    pub use crate::conv::{self, Conv2dGeometry, Im2colMap, PoolGeometry};
+    pub use crate::gemm::{gemm_into, GemmOp};
     pub use crate::init::{self, Init};
     pub use crate::stats;
-    pub use crate::{Tensor, TensorError};
+    pub use crate::{workspace, Tensor, TensorError};
 }
 
 /// Result alias used across this crate.

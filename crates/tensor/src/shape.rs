@@ -1,0 +1,127 @@
+//! Inline tensor shapes.
+//!
+//! Every tensor in this workspace has rank ≤ [`MAX_RANK`], so shapes are
+//! stored in a fixed-size inline array instead of a `Vec<usize>`. This
+//! removes one heap allocation from every tensor construction — which
+//! matters because the workspace arena ([`crate::workspace`]) recycles the
+//! *data* buffers, leaving shape vectors as the last per-tensor allocation
+//! on the hot path.
+
+use std::fmt;
+
+/// Maximum tensor rank representable by [`Shape`].
+///
+/// Activations are at most NCHW (rank 4); [`crate::Tensor::stack`] adds one
+/// leading axis, giving 5.
+pub const MAX_RANK: usize = 5;
+
+/// A tensor shape stored inline (no heap allocation).
+///
+/// Compares and displays like the `&[usize]` slice it wraps.
+#[derive(Clone, Copy, Eq)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    /// Builds a shape from a slice of dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() > MAX_RANK`; fallible constructors
+    /// ([`crate::Tensor::from_vec`]) validate the rank before calling this.
+    pub fn from_slice(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "tensor rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            rank: dims.len() as u8,
+        }
+    }
+
+    /// The dimensions as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// Product of all dimensions (1 for a rank-0 shape).
+    pub fn num_elements(&self) -> usize {
+        self.as_slice().iter().product()
+    }
+}
+
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[usize]> for Shape {
+    fn eq(&self, other: &[usize]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[usize; N]> for Shape {
+    fn eq(&self, other: &[usize; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_dims() {
+        let s = Shape::from_slice(&[2, 3, 4]);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.num_elements(), 24);
+    }
+
+    #[test]
+    fn empty_shape_is_rank_zero() {
+        let s = Shape::from_slice(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        let a = Shape::from_slice(&[2, 3]);
+        let b = Shape::from_slice(&[2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a, [2usize, 3]);
+        assert_ne!(a.as_slice(), Shape::from_slice(&[2, 3, 1]).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn oversized_rank_panics() {
+        let _ = Shape::from_slice(&[1; MAX_RANK + 1]);
+    }
+
+    #[test]
+    fn debug_matches_slice() {
+        let s = Shape::from_slice(&[4, 5]);
+        assert_eq!(format!("{s:?}"), "[4, 5]");
+    }
+}

@@ -1,7 +1,9 @@
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
-use crate::{Result, TensorError};
+use crate::gemm::{gemm_into, GemmOp};
+use crate::shape::{Shape, MAX_RANK};
+use crate::{workspace, Result, TensorError};
 
 /// A dense, contiguous, row-major `f32` n-dimensional array.
 ///
@@ -12,10 +14,13 @@ use crate::{Result, TensorError};
 ///
 /// All operations either return a new tensor or mutate `self` in place
 /// (`*_inplace` / `*_mut` suffixes); shapes are validated and mismatches
-/// reported as [`TensorError`].
+/// reported as [`TensorError`]. Operations on the training/inference hot
+/// path draw their result buffers from the thread's [`workspace`] arena, so
+/// a caller that recycles retired tensors
+/// ([`workspace::recycle_tensor`]) runs allocation-free in steady state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Vec<f32>,
 }
 
@@ -33,9 +38,10 @@ impl Tensor {
     /// assert!(t.data().iter().all(|&v| v == 0.0));
     /// ```
     pub fn zeros(shape: &[usize]) -> Self {
+        let shape = Shape::from_slice(shape);
         Tensor {
-            shape: shape.to_vec(),
-            data: vec![0.0; shape.iter().product()],
+            data: vec![0.0; shape.num_elements()],
+            shape,
         }
     }
 
@@ -46,9 +52,10 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
+        let shape = Shape::from_slice(shape);
         Tensor {
-            shape: shape.to_vec(),
-            data: vec![value; shape.iter().product()],
+            data: vec![value; shape.num_elements()],
+            shape,
         }
     }
 
@@ -66,8 +73,15 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not
-    /// equal the product of `shape`.
+    /// equal the product of `shape`, or [`TensorError::InvalidShape`] for a
+    /// rank above [`MAX_RANK`].
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        if shape.len() > MAX_RANK {
+            return Err(TensorError::InvalidShape {
+                shape: shape.to_vec(),
+                reason: "rank exceeds MAX_RANK",
+            });
+        }
         let expected: usize = shape.iter().product();
         if data.len() != expected {
             return Err(TensorError::LengthMismatch {
@@ -76,7 +90,7 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data,
         })
     }
@@ -84,9 +98,15 @@ impl Tensor {
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
         Tensor {
-            shape: vec![data.len()],
+            shape: Shape::from_slice(&[data.len()]),
             data: data.to_vec(),
         }
+    }
+
+    /// Assembles a tensor from pre-validated parts (workspace checkout).
+    pub(crate) fn from_parts(shape: Shape, data: Vec<f32>) -> Self {
+        debug_assert_eq!(shape.num_elements(), data.len());
+        Tensor { shape, data }
     }
 
     // ---------------------------------------------------------------------
@@ -95,12 +115,12 @@ impl Tensor {
 
     /// The tensor's shape.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Number of dimensions.
     pub fn ndim(&self) -> usize {
-        self.shape.len()
+        self.shape.rank()
     }
 
     /// Total number of elements.
@@ -128,6 +148,36 @@ impl Tensor {
         self.data
     }
 
+    /// Copy of `self` whose buffer comes from the thread's [`workspace`]
+    /// arena (allocation-free once warm). Use instead of `clone()` on hot
+    /// paths that recycle their tensors.
+    pub fn pooled_clone(&self) -> Tensor {
+        let mut data = workspace::take_raw(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor {
+            shape: self.shape,
+            data,
+        }
+    }
+
+    /// Overwrites `self` with `src`'s contents and shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if element counts differ
+    /// (the buffer is reused, never reallocated).
+    pub fn copy_from(&mut self, src: &Tensor) -> Result<()> {
+        if self.data.len() != src.data.len() {
+            return Err(TensorError::LengthMismatch {
+                shape: src.shape().to_vec(),
+                len: self.data.len(),
+            });
+        }
+        self.shape = src.shape;
+        self.data.copy_from_slice(&src.data);
+        Ok(())
+    }
+
     /// Value at a multi-dimensional index.
     ///
     /// # Errors
@@ -150,22 +200,21 @@ impl Tensor {
     }
 
     fn offset(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.shape.len() {
+        if index.len() != self.ndim() {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
-                shape: self.shape.clone(),
+                shape: self.shape().to_vec(),
             });
         }
         let mut off = 0;
-        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+        for (&ix, &dim) in index.iter().zip(self.shape()) {
             if ix >= dim {
                 return Err(TensorError::IndexOutOfBounds {
                     index: index.to_vec(),
-                    shape: self.shape.clone(),
+                    shape: self.shape().to_vec(),
                 });
             }
             off = off * dim + ix;
-            let _ = i;
         }
         Ok(off)
     }
@@ -178,11 +227,11 @@ impl Tensor {
     /// [`TensorError::IndexOutOfBounds`] for a bad row.
     pub fn row(&self, r: usize) -> Result<&[f32]> {
         self.expect_rank(2, "row")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
         if r >= rows {
             return Err(TensorError::IndexOutOfBounds {
                 index: vec![r],
-                shape: self.shape.clone(),
+                shape: self.shape().to_vec(),
             });
         }
         Ok(&self.data[r * cols..(r + 1) * cols])
@@ -195,11 +244,11 @@ impl Tensor {
     /// Same conditions as [`Tensor::row`].
     pub fn row_mut(&mut self, r: usize) -> Result<&mut [f32]> {
         self.expect_rank(2, "row_mut")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
         if r >= rows {
             return Err(TensorError::IndexOutOfBounds {
                 index: vec![r],
-                shape: self.shape.clone(),
+                shape: self.shape().to_vec(),
             });
         }
         Ok(&mut self.data[r * cols..(r + 1) * cols])
@@ -225,12 +274,19 @@ impl Tensor {
     // Shape manipulation
     // ---------------------------------------------------------------------
 
-    /// Returns a tensor with the same data and a new shape.
+    /// Returns a tensor with the same data and a new shape (buffer drawn
+    /// from the [`workspace`] arena).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        if shape.len() > MAX_RANK {
+            return Err(TensorError::InvalidShape {
+                shape: shape.to_vec(),
+                reason: "rank exceeds MAX_RANK",
+            });
+        }
         let expected: usize = shape.iter().product();
         if expected != self.data.len() {
             return Err(TensorError::LengthMismatch {
@@ -238,10 +294,9 @@ impl Tensor {
                 len: self.data.len(),
             });
         }
-        Ok(Tensor {
-            shape: shape.to_vec(),
-            data: self.data.clone(),
-        })
+        let mut out = self.pooled_clone();
+        out.shape = Shape::from_slice(shape);
+        Ok(out)
     }
 
     /// In-place variant of [`Tensor::reshape`]; avoids the buffer copy.
@@ -250,6 +305,12 @@ impl Tensor {
     ///
     /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
     pub fn reshape_inplace(&mut self, shape: &[usize]) -> Result<()> {
+        if shape.len() > MAX_RANK {
+            return Err(TensorError::InvalidShape {
+                shape: shape.to_vec(),
+                reason: "rank exceeds MAX_RANK",
+            });
+        }
         let expected: usize = shape.iter().product();
         if expected != self.data.len() {
             return Err(TensorError::LengthMismatch {
@@ -257,7 +318,7 @@ impl Tensor {
                 len: self.data.len(),
             });
         }
-        self.shape = shape.to_vec();
+        self.shape = Shape::from_slice(shape);
         Ok(())
     }
 
@@ -268,8 +329,8 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn transpose(&self) -> Result<Tensor> {
         self.expect_rank(2, "transpose")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
-        let mut out = Tensor::zeros(&[cols, rows]);
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = workspace::tensor_raw(&[cols, rows]);
         for r in 0..rows {
             for c in 0..cols {
                 out.data[c * rows + r] = self.data[r * cols + c];
@@ -286,17 +347,17 @@ impl Tensor {
     /// [`TensorError::IndexOutOfBounds`] for a bad range.
     pub fn slice_rows(&self, start: usize, end: usize) -> Result<Tensor> {
         self.expect_rank(2, "slice_rows")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
         if start > end || end > rows {
             return Err(TensorError::IndexOutOfBounds {
                 index: vec![start, end],
-                shape: self.shape.clone(),
+                shape: self.shape().to_vec(),
             });
         }
-        Ok(Tensor {
-            shape: vec![end - start, cols],
-            data: self.data[start * cols..end * cols].to_vec(),
-        })
+        let mut out = workspace::tensor_raw(&[end - start, cols]);
+        out.data
+            .copy_from_slice(&self.data[start * cols..end * cols]);
+        Ok(out)
     }
 
     /// Stacks rank-≥1 tensors along a new leading batch axis.
@@ -307,26 +368,37 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes disagree, or
-    /// [`TensorError::InvalidShape`] for an empty input list.
+    /// [`TensorError::InvalidShape`] for an empty input list or a result
+    /// rank above [`MAX_RANK`].
     pub fn stack(inputs: &[&Tensor]) -> Result<Tensor> {
         let first = inputs.first().ok_or(TensorError::InvalidShape {
             shape: vec![],
             reason: "cannot stack zero tensors",
         })?;
+        if first.ndim() + 1 > MAX_RANK {
+            return Err(TensorError::InvalidShape {
+                shape: first.shape().to_vec(),
+                reason: "stack result rank exceeds MAX_RANK",
+            });
+        }
         let mut data = Vec::with_capacity(first.len() * inputs.len());
         for t in inputs {
             if t.shape != first.shape {
                 return Err(TensorError::ShapeMismatch {
-                    lhs: first.shape.clone(),
-                    rhs: t.shape.clone(),
+                    lhs: first.shape().to_vec(),
+                    rhs: t.shape().to_vec(),
                     op: "stack",
                 });
             }
             data.extend_from_slice(&t.data);
         }
-        let mut shape = vec![inputs.len()];
-        shape.extend_from_slice(&first.shape);
-        Ok(Tensor { shape, data })
+        let mut dims = [0usize; MAX_RANK];
+        dims[0] = inputs.len();
+        dims[1..=first.ndim()].copy_from_slice(first.shape());
+        Ok(Tensor {
+            shape: Shape::from_slice(&dims[..first.ndim() + 1]),
+            data,
+        })
     }
 
     /// Concatenates rank-2 tensors along axis 0 (rows).
@@ -341,23 +413,23 @@ impl Tensor {
             reason: "cannot concat zero tensors",
         })?;
         first.expect_rank(2, "concat_rows")?;
-        let cols = first.shape[1];
+        let cols = first.shape()[1];
         let mut rows = 0;
         let mut data = Vec::new();
         for t in inputs {
             t.expect_rank(2, "concat_rows")?;
-            if t.shape[1] != cols {
+            if t.shape()[1] != cols {
                 return Err(TensorError::ShapeMismatch {
-                    lhs: first.shape.clone(),
-                    rhs: t.shape.clone(),
+                    lhs: first.shape().to_vec(),
+                    rhs: t.shape().to_vec(),
                     op: "concat_rows",
                 });
             }
-            rows += t.shape[0];
+            rows += t.shape()[0];
             data.extend_from_slice(&t.data);
         }
         Ok(Tensor {
-            shape: vec![rows, cols],
+            shape: Shape::from_slice(&[rows, cols]),
             data,
         })
     }
@@ -369,12 +441,27 @@ impl Tensor {
     fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
-                lhs: self.shape.clone(),
-                rhs: other.shape.clone(),
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
                 op,
             });
         }
         Ok(())
+    }
+
+    /// Applies `f` pairwise into a workspace-backed result tensor.
+    fn zip_map(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
+        self.check_same_shape(other, op)?;
+        let mut out = workspace::tensor_raw(self.shape());
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
+        Ok(out)
     }
 
     /// Elementwise sum, returning a new tensor.
@@ -383,17 +470,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn add_tensor(&self, other: &Tensor) -> Result<Tensor> {
-        self.check_same_shape(other, "add")?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
-        Ok(Tensor {
-            shape: self.shape.clone(),
-            data,
-        })
+        self.zip_map(other, "add", |a, b| a + b)
     }
 
     /// Elementwise `self += other`.
@@ -428,17 +505,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn sub_tensor(&self, other: &Tensor) -> Result<Tensor> {
-        self.check_same_shape(other, "sub")?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a - b)
-            .collect();
-        Ok(Tensor {
-            shape: self.shape.clone(),
-            data,
-        })
+        self.zip_map(other, "sub", |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product, returning a new tensor.
@@ -447,17 +514,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn mul_tensor(&self, other: &Tensor) -> Result<Tensor> {
-        self.check_same_shape(other, "mul")?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .collect();
-        Ok(Tensor {
-            shape: self.shape.clone(),
-            data,
-        })
+        self.zip_map(other, "mul", |a, b| a * b)
     }
 
     /// Multiplies every element by `s` in place.
@@ -469,7 +526,7 @@ impl Tensor {
 
     /// Returns a copy scaled by `s`.
     pub fn scaled(&self, s: f32) -> Tensor {
-        let mut out = self.clone();
+        let mut out = self.pooled_clone();
         out.scale(s);
         out
     }
@@ -483,10 +540,11 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+        let mut out = workspace::tensor_raw(self.shape());
+        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+            *o = f(v);
         }
+        out
     }
 
     /// Applies `f` to every element in place.
@@ -543,7 +601,7 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn argmax_rows(&self) -> Result<Vec<usize>> {
         self.expect_rank(2, "argmax_rows")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
         let mut out = Vec::with_capacity(rows);
         for r in 0..rows {
             let row = &self.data[r * cols..(r + 1) * cols];
@@ -558,22 +616,23 @@ impl Tensor {
         Ok(out)
     }
 
-    /// Column sums of a rank-2 tensor, returned as shape `[cols]`.
+    /// Column sums of a rank-2 tensor, returned as shape `[cols]` (buffer
+    /// drawn from the [`workspace`] arena).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn sum_axis0(&self) -> Result<Tensor> {
         self.expect_rank(2, "sum_axis0")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0; cols];
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = workspace::tensor_zeroed(&[cols]);
         for r in 0..rows {
             let row = &self.data[r * cols..(r + 1) * cols];
-            for (o, &v) in out.iter_mut().zip(row) {
+            for (o, &v) in out.data.iter_mut().zip(row) {
                 *o += v;
             }
         }
-        Tensor::from_vec(out, &[cols])
+        Ok(out)
     }
 
     /// Row sums of a rank-2 tensor, returned as shape `[rows]`.
@@ -583,12 +642,12 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn sum_axis1(&self) -> Result<Tensor> {
         self.expect_rank(2, "sum_axis1")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
-        let mut out = Vec::with_capacity(rows);
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = workspace::tensor_raw(&[rows]);
         for r in 0..rows {
-            out.push(self.data[r * cols..(r + 1) * cols].iter().sum());
+            out.data[r] = self.data[r * cols..(r + 1) * cols].iter().sum();
         }
-        Tensor::from_vec(out, &[rows])
+        Ok(out)
     }
 
     /// Adds a `[cols]` bias vector to every row of a `[rows, cols]` matrix.
@@ -599,11 +658,11 @@ impl Tensor {
     /// `[cols]`.
     pub fn add_row_broadcast(&mut self, bias: &Tensor) -> Result<()> {
         self.expect_rank(2, "add_row_broadcast")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
         if bias.shape != [cols] {
             return Err(TensorError::ShapeMismatch {
-                lhs: self.shape.clone(),
-                rhs: bias.shape.clone(),
+                lhs: self.shape().to_vec(),
+                rhs: bias.shape().to_vec(),
                 op: "add_row_broadcast",
             });
         }
@@ -625,8 +684,8 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn softmax_rows(&self) -> Result<Tensor> {
         self.expect_rank(2, "softmax_rows")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
-        let mut out = self.clone();
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = self.pooled_clone();
         for r in 0..rows {
             let row = &mut out.data[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -656,8 +715,8 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn log_softmax_rows(&self) -> Result<Tensor> {
         self.expect_rank(2, "log_softmax_rows")?;
-        let (rows, cols) = (self.shape[0], self.shape[1]);
-        let mut out = self.clone();
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = self.pooled_clone();
         for r in 0..rows {
             let row = &mut out.data[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -672,13 +731,23 @@ impl Tensor {
     // ---------------------------------------------------------------------
     // Matrix multiplication
     // ---------------------------------------------------------------------
+    //
+    // All four entry points below are thin wrappers over the single
+    // cache-blocked, B-panel-packed kernel in [`crate::gemm`]; the
+    // dispatching versions fan rows out over threads for large products,
+    // the `*_serial` versions pin single-threaded execution (benches and
+    // the determinism tests compare the two). Every variant produces
+    // bitwise-identical results because the kernel fixes the per-element
+    // accumulation order regardless of threading.
+
+    /// `true` when a product of this size is worth fanning out.
+    fn parallel_worthwhile(m: usize, k: usize, n: usize) -> bool {
+        cfg!(feature = "parallel") && m * k * n >= crate::chunks::PAR_GRAIN_FLOPS
+    }
 
     /// Matrix product `self @ other` for rank-2 tensors.
     ///
-    /// With the `parallel` feature (default), large products are computed
-    /// by [`Tensor::matmul_fast`]; the result is bitwise identical to
-    /// [`Tensor::matmul_serial`] because every output element accumulates
-    /// its `k` terms in the same order either way.
+    /// The result buffer comes from the thread's [`workspace`] arena.
     ///
     /// # Errors
     ///
@@ -686,17 +755,22 @@ impl Tensor {
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = self.matmul_dims(other, false, false, "matmul")?;
-        if cfg!(feature = "parallel") && m * k * n >= crate::chunks::PAR_GRAIN_FLOPS {
-            self.matmul_fast(other)
-        } else {
-            self.matmul_serial(other)
-        }
+        let mut out = workspace::tensor_zeroed(&[m, n]);
+        gemm_into(
+            GemmOp::NN,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            Tensor::parallel_worthwhile(m, k, n),
+        );
+        Ok(out)
     }
 
-    /// Reference kernel for [`Tensor::matmul`]: `i-k-j` loop order so the
-    /// inner loop streams both operand rows (cache-friendly for row-major
-    /// data). Always single-threaded; the baseline the benches compare
-    /// the parallel path against.
+    /// Single-threaded reference entry point for [`Tensor::matmul`]
+    /// (same kernel, threading pinned off; bitwise identical).
     ///
     /// # Errors
     ///
@@ -704,92 +778,25 @@ impl Tensor {
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_serial(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = self.matmul_dims(other, false, false, "matmul")?;
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
-    }
-
-    /// Optimized kernel behind [`Tensor::matmul`]: rows are distributed
-    /// over threads and the `k` loop is processed two steps at a time so
-    /// each output row makes half as many L1 round-trips. Per output
-    /// element the floating-point additions happen in exactly the serial
-    /// order, so results are bitwise identical to
-    /// [`Tensor::matmul_serial`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::RankMismatch`] or
-    /// [`TensorError::MatmulDimMismatch`].
-    pub fn matmul_fast(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, false, false, "matmul")?;
-        let mut out = vec![0.0; m * n];
-        let a_data = &self.data;
-        let b_data = &other.data;
-        crate::chunks::for_chunks_mut(&mut out, n, 0, |i, out_row| {
-            let a_row = &a_data[i * k..(i + 1) * k];
-            let mut p = 0;
-            // Four k-steps per pass: the chained `(((o + a0·x0) + a1·x1) +
-            // a2·x2) + a3·x3` performs the same adds, in the same order,
-            // as four single steps, while touching each output element
-            // once instead of four times. Any zero coefficient falls back
-            // to skip-aware single steps (same semantics as the serial
-            // kernel's `a == 0` skip).
-            while p + 3 < k {
-                let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
-                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
-                    let b0 = &b_data[p * n..(p + 1) * n];
-                    let b1 = &b_data[(p + 1) * n..(p + 2) * n];
-                    let b2 = &b_data[(p + 2) * n..(p + 3) * n];
-                    let b3 = &b_data[(p + 3) * n..(p + 4) * n];
-                    for ((((o, &x0), &x1), &x2), &x3) in
-                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                    {
-                        *o = (((*o + a0 * x0) + a1 * x1) + a2 * x2) + a3 * x3;
-                    }
-                } else {
-                    for (q, &a) in a_row[p..p + 4].iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b_data[(p + q) * n..(p + q + 1) * n];
-                        for (o, &x) in out_row.iter_mut().zip(b_row) {
-                            *o += a * x;
-                        }
-                    }
-                }
-                p += 4;
-            }
-            for (q, &a) in a_row[p..].iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[(p + q) * n..(p + q + 1) * n];
-                for (o, &x) in out_row.iter_mut().zip(b_row) {
-                    *o += a * x;
-                }
-            }
-        });
-        Tensor::from_vec(out, &[m, n])
+        let mut out = workspace::tensor_zeroed(&[m, n]);
+        gemm_into(
+            GemmOp::NN,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            false,
+        );
+        Ok(out)
     }
 
     /// `self @ other.T` without materializing the transpose.
     ///
-    /// `self` is `[m, k]`, `other` is `[n, k]`; result is `[m, n]`. Large
-    /// products dispatch to [`Tensor::matmul_nt_fast`] under the
-    /// `parallel` feature; results are bitwise identical to
-    /// [`Tensor::matmul_nt_serial`].
+    /// `self` is `[m, k]`, `other` is `[n, k]`; result is `[m, n]`. The
+    /// kernel packs `other`ᵀ into a workspace panel buffer, then runs the
+    /// same inner loop as [`Tensor::matmul`].
     ///
     /// # Errors
     ///
@@ -797,15 +804,21 @@ impl Tensor {
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = self.matmul_dims(other, false, true, "matmul_nt")?;
-        if cfg!(feature = "parallel") && m * k * n >= crate::chunks::PAR_GRAIN_FLOPS {
-            self.matmul_nt_fast(other)
-        } else {
-            self.matmul_nt_serial(other)
-        }
+        let mut out = workspace::tensor_zeroed(&[m, n]);
+        gemm_into(
+            GemmOp::NT,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            Tensor::parallel_worthwhile(m, k, n),
+        );
+        Ok(out)
     }
 
-    /// Reference kernel for [`Tensor::matmul_nt`]: one dot product per
-    /// output element.
+    /// Single-threaded reference entry point for [`Tensor::matmul_nt`].
     ///
     /// # Errors
     ///
@@ -813,92 +826,25 @@ impl Tensor {
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_nt_serial(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = self.matmul_dims(other, false, true, "matmul_nt")?;
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
-    }
-
-    /// Optimized kernel behind [`Tensor::matmul_nt`]: rows are distributed
-    /// over threads and eight dot products run interleaved, giving eight
-    /// independent accumulator chains (the serial kernel is bound by the
-    /// latency of its single chain). Each accumulator still sums its `k`
-    /// terms in serial order, so results are bitwise identical to
-    /// [`Tensor::matmul_nt_serial`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::RankMismatch`] or
-    /// [`TensorError::MatmulDimMismatch`].
-    pub fn matmul_nt_fast(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, false, true, "matmul_nt")?;
-        let mut out = vec![0.0; m * n];
-        let a_data = &self.data;
-        let b_data = &other.data;
-        crate::chunks::for_chunks_mut(&mut out, n, 0, |i, out_row| {
-            let a_row = &a_data[i * k..(i + 1) * k];
-            let mut j = 0;
-            while j + 8 <= n {
-                let b0 = &b_data[j * k..(j + 1) * k];
-                let b1 = &b_data[(j + 1) * k..(j + 2) * k];
-                let b2 = &b_data[(j + 2) * k..(j + 3) * k];
-                let b3 = &b_data[(j + 3) * k..(j + 4) * k];
-                let b4 = &b_data[(j + 4) * k..(j + 5) * k];
-                let b5 = &b_data[(j + 5) * k..(j + 6) * k];
-                let b6 = &b_data[(j + 6) * k..(j + 7) * k];
-                let b7 = &b_data[(j + 7) * k..(j + 8) * k];
-                let mut s = [0.0f32; 8];
-                for (((((((((&a, &x0), &x1), &x2), &x3), &x4), &x5), &x6), &x7),) in a_row
-                    .iter()
-                    .zip(b0)
-                    .zip(b1)
-                    .zip(b2)
-                    .zip(b3)
-                    .zip(b4)
-                    .zip(b5)
-                    .zip(b6)
-                    .zip(b7)
-                    .map(|x| (x,))
-                {
-                    s[0] += a * x0;
-                    s[1] += a * x1;
-                    s[2] += a * x2;
-                    s[3] += a * x3;
-                    s[4] += a * x4;
-                    s[5] += a * x5;
-                    s[6] += a * x6;
-                    s[7] += a * x7;
-                }
-                out_row[j..j + 8].copy_from_slice(&s);
-                j += 8;
-            }
-            for jj in j..n {
-                let b_row = &b_data[jj * k..(jj + 1) * k];
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out_row[jj] = acc;
-            }
-        });
-        Tensor::from_vec(out, &[m, n])
+        let mut out = workspace::tensor_zeroed(&[m, n]);
+        gemm_into(
+            GemmOp::NT,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            false,
+        );
+        Ok(out)
     }
 
     /// `self.T @ other` without materializing the transpose.
     ///
-    /// `self` is `[k, m]`, `other` is `[k, n]`; result is `[m, n]`. Large
-    /// products dispatch to a row-parallel kernel under the `parallel`
-    /// feature; results are bitwise identical to
-    /// [`Tensor::matmul_tn_serial`].
+    /// `self` is `[k, m]`, `other` is `[k, n]`; result is `[m, n]`. The
+    /// kernel packs `self`ᵀ into a workspace buffer, then runs the same
+    /// inner loop as [`Tensor::matmul`].
     ///
     /// # Errors
     ///
@@ -906,15 +852,21 @@ impl Tensor {
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = self.matmul_dims(other, true, false, "matmul_tn")?;
-        if cfg!(feature = "parallel") && m * k * n >= crate::chunks::PAR_GRAIN_FLOPS {
-            self.matmul_tn_fast(other)
-        } else {
-            self.matmul_tn_serial(other)
-        }
+        let mut out = workspace::tensor_zeroed(&[m, n]);
+        gemm_into(
+            GemmOp::TN,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            Tensor::parallel_worthwhile(m, k, n),
+        );
+        Ok(out)
     }
 
-    /// Reference kernel for [`Tensor::matmul_tn`]: streams both operands
-    /// once, scattering into the whole output.
+    /// Single-threaded reference entry point for [`Tensor::matmul_tn`].
     ///
     /// # Errors
     ///
@@ -922,50 +874,18 @@ impl Tensor {
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_tn_serial(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = self.matmul_dims(other, true, false, "matmul_tn")?;
-        let mut out = vec![0.0; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
-    }
-
-    /// Row-parallel kernel behind [`Tensor::matmul_tn`]. Each output row
-    /// `i` accumulates `self[p, i] * other[p, :]` for `p` ascending —
-    /// the same per-element order as the serial kernel, so results are
-    /// bitwise identical.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::RankMismatch`] or
-    /// [`TensorError::MatmulDimMismatch`].
-    pub fn matmul_tn_fast(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, true, false, "matmul_tn")?;
-        let mut out = vec![0.0; m * n];
-        let a_data = &self.data;
-        let b_data = &other.data;
-        crate::chunks::for_chunks_mut(&mut out, n, 0, |i, out_row| {
-            for p in 0..k {
-                let a = a_data[p * m + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        });
-        Tensor::from_vec(out, &[m, n])
+        let mut out = workspace::tensor_zeroed(&[m, n]);
+        gemm_into(
+            GemmOp::TN,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            false,
+        );
+        Ok(out)
     }
 
     /// Validates operand ranks/shapes for the matmul family and returns
@@ -980,14 +900,14 @@ impl Tensor {
         self.expect_rank(2, op)?;
         other.expect_rank(2, op)?;
         let (m, k) = if ta {
-            (self.shape[1], self.shape[0])
+            (self.shape()[1], self.shape()[0])
         } else {
-            (self.shape[0], self.shape[1])
+            (self.shape()[0], self.shape()[1])
         };
         let (k2, n) = if tb {
-            (other.shape[1], other.shape[0])
+            (other.shape()[1], other.shape()[0])
         } else {
-            (other.shape[0], other.shape[1])
+            (other.shape()[0], other.shape()[1])
         };
         if k != k2 {
             return Err(TensorError::MatmulDimMismatch {
@@ -1067,6 +987,12 @@ mod tests {
         assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
         let err = Tensor::from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
         assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn from_vec_rejects_oversized_rank() {
+        let err = Tensor::from_vec(vec![1.0], &[1; MAX_RANK + 1]).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidShape { .. }));
     }
 
     #[test]
@@ -1243,5 +1169,17 @@ mod tests {
         let r = t.reshape(&[3, 2]).unwrap();
         assert_eq!(r.data(), t.data());
         assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn pooled_clone_and_copy_from_round_trip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let c = t.pooled_clone();
+        assert_eq!(c, t);
+        let mut dst = Tensor::zeros(&[4]);
+        dst.copy_from(&t).unwrap();
+        assert_eq!(dst.shape(), &[2, 2]);
+        assert_eq!(dst.data(), t.data());
+        assert!(Tensor::zeros(&[3]).copy_from(&t).is_err());
     }
 }

@@ -1,0 +1,267 @@
+//! Thread-local scratch arena for hot-loop `f32` buffers.
+//!
+//! DeepMorph re-runs probe training and footprint extraction across every
+//! defect-injection scenario, so the conv/matmul hot loop executes
+//! thousands of times per report. Allocating fresh buffers each call costs
+//! allocator traffic *and* page faults (a fresh `vec![0.0; …]` is lazily
+//! mapped, so its first touch faults every page). The [`Workspace`] arena
+//! keeps retired buffers in size-keyed free lists: after a warm-up step,
+//! every checkout is a pop and every retire is a push — zero heap
+//! allocations in steady state (`tests/alloc_regression.rs` enforces this).
+//!
+//! # Checkout / recycle protocol
+//!
+//! * [`take_raw`] / [`take_zeroed`] check a buffer of an exact length out
+//!   of the current thread's arena ([`tensor_raw`] / [`tensor_zeroed`] wrap
+//!   it in a [`Tensor`]). `*_raw` buffers contain stale values from their
+//!   previous life — only for kernels that overwrite every element.
+//! * [`recycle`] / [`recycle_tensor`] return a buffer to the arena. Buffers
+//!   are plain `Vec<f32>`s, so forgetting to recycle is never unsound —
+//!   the buffer is simply freed and the next checkout of that size
+//!   allocates again.
+//!
+//! # Thread affinity
+//!
+//! The arena is **thread-local**: checkouts always come from the calling
+//! thread's arena, and a recycle feeds the arena of whichever thread runs
+//! it. The `deepmorph-parallel` worker pool interacts with this in two
+//! ways:
+//!
+//! * Chunked kernels (`par_chunks_mut`) check buffers out on the
+//!   *submitting* thread and hand workers disjoint chunks — workers never
+//!   touch an arena.
+//! * Order-preserving fan-outs (`par_map`, e.g. per-probe training) run
+//!   whole closures on worker threads; each worker then warms and reuses
+//!   its own arena. One arena per worker thread, no locks anywhere.
+//!
+//! For deterministic reuse, recycle on the thread that checked out —
+//! cross-thread recycling is safe but leaves the original arena cold.
+
+use std::cell::RefCell;
+
+use crate::{Shape, Tensor};
+
+/// Retired buffers kept per size class before further recycles are
+/// dropped. Hot loops use a handful of live buffers per size, so a small
+/// cap bounds arena growth while keeping steady state allocation-free.
+const MAX_POOLED_PER_SIZE: usize = 16;
+
+/// A size-keyed pool of reusable `f32` buffers.
+///
+/// Usually accessed through the thread-local free functions
+/// ([`take_raw`], [`take_zeroed`], [`recycle`], …); the type is public so
+/// tests and callers with special lifetimes can hold a private arena.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Free lists, one per exact buffer length. Hot loops cycle through a
+    /// few distinct sizes, so a linear scan beats hashing.
+    pools: Vec<(usize, Vec<Vec<f32>>)>,
+    checkouts: u64,
+    misses: u64,
+}
+
+impl Workspace {
+    /// Creates an empty arena.
+    pub const fn new() -> Self {
+        Workspace {
+            pools: Vec::new(),
+            checkouts: 0,
+            misses: 0,
+        }
+    }
+
+    /// Checks out a buffer of exactly `len` elements with **unspecified
+    /// contents** (stale values from the buffer's previous use). Only for
+    /// kernels that overwrite every element.
+    pub fn checkout_raw(&mut self, len: usize) -> Vec<f32> {
+        self.checkouts += 1;
+        if let Some((_, list)) = self.pools.iter_mut().find(|(l, _)| *l == len) {
+            if let Some(buf) = list.pop() {
+                debug_assert_eq!(buf.len(), len);
+                return buf;
+            }
+        }
+        self.misses += 1;
+        vec![0.0; len]
+    }
+
+    /// Checks out a buffer of exactly `len` elements, zero-filled.
+    pub fn checkout_zeroed(&mut self, len: usize) -> Vec<f32> {
+        self.checkouts += 1;
+        if let Some((_, list)) = self.pools.iter_mut().find(|(l, _)| *l == len) {
+            if let Some(mut buf) = list.pop() {
+                debug_assert_eq!(buf.len(), len);
+                buf.fill(0.0);
+                return buf;
+            }
+        }
+        self.misses += 1;
+        // Fresh allocation: `vec![0.0; …]` maps lazily-zeroed pages, so the
+        // kernel that writes the buffer pays the page-faults where it
+        // touches them (often in parallel) — never fill() a cold buffer.
+        vec![0.0; len]
+    }
+
+    /// Returns a buffer to the arena for reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        let len = buf.len();
+        if len == 0 {
+            return;
+        }
+        if let Some((_, list)) = self.pools.iter_mut().find(|(l, _)| *l == len) {
+            if list.len() < MAX_POOLED_PER_SIZE {
+                list.push(buf);
+            }
+            return;
+        }
+        self.pools.push((len, vec![buf]));
+    }
+
+    /// Drops every pooled buffer, releasing the memory to the allocator.
+    pub fn reset(&mut self) {
+        self.pools.clear();
+    }
+
+    /// Total bytes currently held in free lists.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pools
+            .iter()
+            .map(|(len, list)| len * list.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// `(checkouts, misses)` since construction. A warm hot loop shows a
+    /// growing checkout count with a constant miss count.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.checkouts, self.misses)
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<Workspace> = const { RefCell::new(Workspace::new()) };
+}
+
+/// Runs `f` with exclusive access to the current thread's arena.
+///
+/// `f` must not re-enter the workspace API (the arena is behind a
+/// `RefCell`); use the leaf helpers below from kernel code.
+pub fn with<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+/// Thread-local [`Workspace::checkout_raw`].
+pub fn take_raw(len: usize) -> Vec<f32> {
+    with(|ws| ws.checkout_raw(len))
+}
+
+/// Thread-local [`Workspace::checkout_zeroed`].
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    with(|ws| ws.checkout_zeroed(len))
+}
+
+/// Thread-local [`Workspace::recycle`].
+pub fn recycle(buf: Vec<f32>) {
+    with(|ws| ws.recycle(buf));
+}
+
+/// Recycles a tensor's data buffer into the current thread's arena.
+pub fn recycle_tensor(t: Tensor) {
+    recycle(t.into_vec());
+}
+
+/// Recycles an optional tensor (no-op for `None`).
+pub fn recycle_opt(t: Option<Tensor>) {
+    if let Some(t) = t {
+        recycle_tensor(t);
+    }
+}
+
+/// Checks out a tensor of `shape` with **unspecified element values**.
+/// Only for kernels that overwrite every element.
+pub fn tensor_raw(shape: &[usize]) -> Tensor {
+    let s = Shape::from_slice(shape);
+    let data = take_raw(s.num_elements());
+    Tensor::from_parts(s, data)
+}
+
+/// Checks out a zero-filled tensor of `shape`.
+pub fn tensor_zeroed(shape: &[usize]) -> Tensor {
+    let s = Shape::from_slice(shape);
+    let data = take_zeroed(s.num_elements());
+    Tensor::from_parts(s, data)
+}
+
+/// Drops every buffer pooled by the current thread's arena.
+pub fn reset() {
+    with(Workspace::reset);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_recycled_buffers() {
+        let mut ws = Workspace::new();
+        let a = ws.checkout_zeroed(64);
+        ws.recycle(a);
+        let b = ws.checkout_raw(64);
+        assert_eq!(b.len(), 64);
+        let (checkouts, misses) = ws.stats();
+        assert_eq!(checkouts, 2);
+        assert_eq!(misses, 1, "second checkout must hit the pool");
+    }
+
+    #[test]
+    fn zeroed_checkout_clears_stale_data() {
+        let mut ws = Workspace::new();
+        let mut a = ws.checkout_raw(8);
+        a.fill(7.0);
+        ws.recycle(a);
+        let b = ws.checkout_zeroed(8);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn distinct_sizes_use_distinct_pools() {
+        let mut ws = Workspace::new();
+        ws.recycle(vec![1.0; 4]);
+        ws.recycle(vec![2.0; 8]);
+        assert_eq!(ws.checkout_raw(8).len(), 8);
+        assert_eq!(ws.checkout_raw(4).len(), 4);
+        assert_eq!(ws.stats().1, 0);
+    }
+
+    #[test]
+    fn pool_growth_is_capped() {
+        let mut ws = Workspace::new();
+        for _ in 0..(2 * MAX_POOLED_PER_SIZE) {
+            ws.recycle(vec![0.0; 16]);
+        }
+        assert_eq!(
+            ws.pooled_bytes(),
+            MAX_POOLED_PER_SIZE * 16 * std::mem::size_of::<f32>()
+        );
+        ws.reset();
+        assert_eq!(ws.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn tensor_helpers_round_trip() {
+        let t = tensor_zeroed(&[3, 4]);
+        assert_eq!(t.shape(), &[3, 4]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        recycle_tensor(t);
+        let t = tensor_raw(&[3, 4]);
+        assert_eq!(t.len(), 12);
+        recycle_tensor(t);
+        recycle_opt(None);
+    }
+
+    #[test]
+    fn zero_length_buffers_are_not_pooled() {
+        let mut ws = Workspace::new();
+        ws.recycle(Vec::new());
+        assert_eq!(ws.pooled_bytes(), 0);
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_workspace.json: runs the criterion benches and records
+# the steady-state (workspace-arena) medians plus their speedups versus the
+# committed BENCH_baseline.json (the PR 1 allocate-per-call kernels).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CRITERION_JSON_DIR="$PWD/target/criterion-json-workspace"
+rm -rf "$CRITERION_JSON_DIR"
+
+# Every id the workspace report compares lives in the substrate bench;
+# keeping the timed window short makes the record robust against the
+# bursty host-level contention of the shared build machines.
+cargo bench --bench substrate
+
+cargo run --release -p deepmorph-bench --bin bench_compare -- \
+  "$CRITERION_JSON_DIR" BENCH_baseline.json --write BENCH_workspace.json \
+  --threshold "${BENCH_THRESHOLD:-0.15}"

@@ -1,0 +1,133 @@
+//! Allocation-regression guard for the workspace arena.
+//!
+//! The tensor workspace (`deepmorph_tensor::workspace`) promises a
+//! zero-allocation steady state: once a hot loop has warmed the
+//! thread-local arena, every kernel draws its buffers from free lists and
+//! recycles them back. This test pins that contract with a counting global
+//! allocator: after warm-up, a full conv forward+backward training step
+//! and a dispatching matmul must perform **zero** heap allocations.
+//!
+//! The whole file is a single `#[test]` so no sibling test can allocate
+//! concurrently; worker-pool threads only ever process borrowed chunks
+//! (they never allocate), so the global counter is quiet during the
+//! measured window on both feature configurations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use deepmorph_nn::prelude::*;
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::{workspace, Tensor};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`, only adding a counter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Deterministic activations in `[-1, 1]`, never exactly zero (mirrors the
+/// bench generator so the GEMM zero-skip branch stays cold).
+fn synth_tensor(shape: &[usize], salt: u64) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt);
+            ((h >> 40) as f32 / (1u64 << 24) as f32).mul_add(2.0, -1.0) + 1e-4
+        })
+        .collect();
+    Tensor::from_vec(data, shape).unwrap()
+}
+
+/// One full conv training step (forward in train mode + backward),
+/// recycling everything it retires — the shape a graph-driven step has.
+fn conv_step(layer: &mut Conv2d, x: &Tensor, grad: &Tensor) {
+    let y = layer.forward(&[x], Mode::Train).unwrap();
+    workspace::recycle_tensor(y);
+    let gx = layer.backward(grad).unwrap().into_first();
+    workspace::recycle_tensor(gx);
+}
+
+fn matmul_step(a: &Tensor, b: &Tensor) {
+    let c = a.matmul(b).unwrap();
+    workspace::recycle_tensor(c);
+}
+
+#[test]
+fn warm_conv_step_and_matmul_do_not_allocate() {
+    // Batch 64 exceeds every parallel grain, so with the `parallel`
+    // feature this exercises the worker-pool dispatch path too.
+    let mut rng = stream_rng(1, "alloc-regression");
+    let mut layer = Conv2d::new(8, 16, 16, 16, 3, 1, 1, &mut rng).unwrap();
+    let x = synth_tensor(&[64, 8, 16, 16], 3);
+    let grad = Tensor::ones(&[64, 16, 16, 16]);
+    let a = synth_tensor(&[128, 128], 5);
+    let b = synth_tensor(&[128, 128], 6);
+
+    // Warm-up: spawns the worker pool (parallel builds), sizes the arena's
+    // free lists, and settles optimizer-free layer caches. Two rounds so
+    // the cached-cols swap cycle reaches steady state.
+    for _ in 0..3 {
+        conv_step(&mut layer, &x, &grad);
+        matmul_step(&a, &b);
+    }
+
+    // Measured window: a warm conv forward+backward step.
+    let before = allocations();
+    conv_step(&mut layer, &x, &grad);
+    let after_conv = allocations();
+    assert_eq!(
+        after_conv - before,
+        0,
+        "warm conv forward+backward step allocated"
+    );
+
+    // Measured window: a warm dispatching matmul (includes the workspace
+    // packing buffers and the pooled result).
+    let c = a.matmul(&b).unwrap();
+    workspace::recycle_tensor(c);
+    let after_matmul = allocations();
+    assert_eq!(after_matmul - after_conv, 0, "warm matmul allocated");
+
+    // The serial reference entry point shares the same arena.
+    let c = a.matmul_serial(&b).unwrap();
+    workspace::recycle_tensor(c);
+    assert_eq!(
+        allocations() - after_matmul,
+        0,
+        "warm serial matmul allocated"
+    );
+
+    // Sanity: the counter itself works.
+    let v: Vec<u8> = Vec::with_capacity(1024);
+    assert!(allocations() > after_matmul, "allocation counter is dead");
+    drop(v);
+}

@@ -4,8 +4,12 @@
 //! path: every output element accumulates its terms in the same order; only
 //! the thread that computes it changes. These tests pin that contract:
 //!
-//! 1. kernel-level: the dispatching matmuls equal their pinned serial
-//!    reference kernels bit for bit,
+//! 1. kernel-level: the dispatching matmuls equal both their pinned serial
+//!    entry points and an independent naive per-element reference bit for
+//!    bit (the serial entry points share the unified GEMM kernel, so the
+//!    naive reference is what actually pins the accumulation order:
+//!    `p` ascending per element, zero-skip on the `A` coefficient for
+//!    NN/TN, no skip for NT),
 //! 2. scenario-level: a fixed-seed LeNet/Digits diagnosis is identical
 //!    run-to-run in one process, and
 //! 3. build-level: the report digest is recorded under `target/` and
@@ -40,6 +44,37 @@ fn with_zeros(t: &Tensor) -> Tensor {
     z
 }
 
+/// Independent per-element reference for the whole matmul family: `p`
+/// ascending, single dependent add chain per output element, zero-skip on
+/// the `A` coefficient for NN/TN (matching the historical reference
+/// kernels) and no skip for NT. This is deliberately *not* the production
+/// kernel — it pins the accumulation order the unified GEMM must keep.
+fn naive_matmul(op: &str, a: &Tensor, b: &Tensor, m: usize, k: usize, n: usize) -> Vec<f32> {
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = match op {
+                    "tn" => ad[p * m + i],
+                    _ => ad[i * k + p],
+                };
+                if op != "nt" && av == 0.0 {
+                    continue;
+                }
+                let bv = match op {
+                    "nt" => bd[j * k + p],
+                    _ => bd[p * n + j],
+                };
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
 #[test]
 fn matmul_family_bitwise_matches_serial_reference() {
     for &(m, k, n) in &[
@@ -49,6 +84,7 @@ fn matmul_family_bitwise_matches_serial_reference() {
         (64, 72, 16), // the batch-64 conv GEMM shape class
         (128, 128, 128),
         (130, 70, 9), // odd sizes exercise every unroll tail
+        (3, 20, 600), // wider than one GEMM cache panel
     ] {
         for salt in [1u64, 2] {
             let a0 = synth(&[m, k], salt);
@@ -57,27 +93,26 @@ fn matmul_family_bitwise_matches_serial_reference() {
                 let fast = a.matmul(&b).unwrap();
                 let slow = a.matmul_serial(&b).unwrap();
                 assert_eq!(fast.data(), slow.data(), "matmul {m}x{k}x{n}");
+                let naive = naive_matmul("nn", &a, &b, m, k, n);
+                assert_eq!(fast.data(), &naive[..], "matmul vs naive {m}x{k}x{n}");
 
                 let bt = synth(&[n, k], salt + 20);
                 let fast = a.matmul_nt(&bt).unwrap();
                 let slow = a.matmul_nt_serial(&bt).unwrap();
                 assert_eq!(fast.data(), slow.data(), "matmul_nt {m}x{k}x{n}");
+                let naive = naive_matmul("nt", &a, &bt, m, k, n);
+                assert_eq!(fast.data(), &naive[..], "matmul_nt vs naive {m}x{k}x{n}");
 
                 let at = synth(&[k, m], salt + 30);
                 let bk = synth(&[k, n], salt + 40);
                 let fast = at.matmul_tn(&bk).unwrap();
                 let slow = at.matmul_tn_serial(&bk).unwrap();
                 assert_eq!(fast.data(), slow.data(), "matmul_tn {m}x{k}x{n}");
+                let naive = naive_matmul("tn", &at, &bk, m, k, n);
+                assert_eq!(fast.data(), &naive[..], "matmul_tn vs naive {m}x{k}x{n}");
             }
         }
     }
-    // Direct fast-kernel calls must match too (benches call them directly).
-    let a = synth(&[40, 24], 5);
-    let b = synth(&[24, 40], 6);
-    assert_eq!(
-        a.matmul_fast(&b).unwrap().data(),
-        a.matmul_serial(&b).unwrap().data()
-    );
 }
 
 fn run_fixed_scenario() -> deepmorph::report::DefectReport {
