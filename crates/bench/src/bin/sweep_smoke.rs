@@ -1,0 +1,97 @@
+//! Cached-sweep smoke for CI: cold vs. warm artifact store.
+//!
+//! ```text
+//! cargo run --release -p deepmorph-bench --bin sweep_smoke
+//! ```
+//!
+//! Runs one tiny severity sweep twice against the same fresh artifact
+//! store and asserts the caching contract the staged engine promises:
+//!
+//! * the **cold** pass trains the shared base stage once (every cell's
+//!   baseline lookup after that is a hit),
+//! * the **warm** pass recomputes nothing (zero misses, zero writes), and
+//! * warm per-cell reports are **identical** to cold ones, bit for bit.
+//!
+//! Exits non-zero on any violation, so cache reuse is exercised on every
+//! CI run.
+
+use std::time::Instant;
+
+use deepmorph::prelude::*;
+
+fn tiny_plan() -> Result<ExperimentPlan, DeepMorphError> {
+    let base = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(5)
+        .train_per_class(24)
+        .test_per_class(10)
+        .train_config(TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        });
+    ExperimentPlan::from_defects(
+        base,
+        [0.4f32, 0.7, 0.9].map(|f| DefectSpec::unreliable_training_data(3, 5, f)),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("deepmorph-sweep-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = SweepRunner::new(ArtifactStore::open(&dir)?);
+    let plan = tiny_plan()?;
+
+    let start = Instant::now();
+    let cold = runner.run(&plan);
+    let cold_time = start.elapsed();
+    println!(
+        "cold sweep: {} cells ({} diagnosed) in {:.2}s — store {}",
+        plan.len(),
+        cold.succeeded(),
+        cold_time.as_secs_f32(),
+        cold.store
+    );
+    assert!(
+        cold.store.hits >= plan.len() as u64,
+        "cold sweep must reuse the shared base stage across cells ({})",
+        cold.store
+    );
+    assert!(
+        cold.store.writes > 0,
+        "cold sweep must persist stage artifacts ({})",
+        cold.store
+    );
+
+    let start = Instant::now();
+    let warm = runner.run(&plan);
+    let warm_time = start.elapsed();
+    println!(
+        "warm sweep: in {:.2}s — store {}",
+        warm_time.as_secs_f32(),
+        warm.store
+    );
+    assert_eq!(
+        warm.store.misses, 0,
+        "warm sweep must load every stage from the store ({})",
+        warm.store
+    );
+    assert_eq!(
+        warm.store.writes, 0,
+        "warm sweep must not rewrite artifacts ({})",
+        warm.store
+    );
+
+    // Per-cell results must be identical whether computed or loaded.
+    assert_eq!(cold.cells.len(), warm.cells.len());
+    for (a, b) in cold.cells.iter().zip(&warm.cells) {
+        assert_eq!(a, b, "cached cell diverged from computed cell");
+    }
+    println!(
+        "cache reuse OK: warm == cold bitwise, {:.1}x faster",
+        cold_time.as_secs_f32() / warm_time.as_secs_f32().max(1e-6)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -73,6 +73,12 @@ fn parse_args() -> (Table1Config, Option<String>, usize) {
     (config, json_path, num_seeds)
 }
 
+/// The persistent artifact store, when `DEEPMORPH_ARTIFACTS` opts in.
+fn env_store() -> Option<deepmorph::artifact::ArtifactStore> {
+    std::env::var_os(deepmorph::artifact::ARTIFACTS_ENV)?;
+    Some(deepmorph::artifact::ArtifactStore::from_env().expect("artifact store directory"))
+}
+
 fn main() {
     let (config, json_path, num_seeds) = parse_args();
     println!("Table I sweep: {config:?} ({num_seeds} seed(s))\n");
@@ -96,12 +102,25 @@ fn main() {
         );
     };
     let result = if num_seeds <= 1 {
-        run_table(&config, |cell| print_cell(config.seed, cell))
+        // With DEEPMORPH_ARTIFACTS set, stages persist across runs: a
+        // repeated sweep (or one that only tweaks the classifier) reloads
+        // every unchanged stage instead of retraining.
+        match env_store() {
+            Some(store) => deepmorph_bench::run_table_with_store(&config, store, |cell| {
+                print_cell(config.seed, cell)
+            }),
+            None => run_table(&config, |cell| print_cell(config.seed, cell)),
+        }
     } else {
         let seeds: Vec<u64> = (0..num_seeds as u64)
             .map(|i| config.seed + i * 101)
             .collect();
-        run_table_seeds(&config, &seeds, print_cell)
+        match env_store() {
+            Some(store) => {
+                deepmorph_bench::run_table_seeds_with_store(&config, &seeds, store, print_cell)
+            }
+            None => run_table_seeds(&config, &seeds, print_cell),
+        }
     }
     .unwrap_or_else(|e| {
         eprintln!("table sweep failed: {e}");

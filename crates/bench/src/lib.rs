@@ -13,5 +13,5 @@ pub mod table1;
 
 pub use table1::{
     aggregate_tables, default_defects, render_table, run_cell, run_table, run_table_seeds,
-    CellResult, Table1Config, TableResult,
+    run_table_seeds_with_store, run_table_with_store, CellResult, Table1Config, TableResult,
 };

@@ -142,6 +142,50 @@ pub fn dataset_for(family: ModelFamily) -> DatasetKind {
     }
 }
 
+/// Builds the scenario of one table cell at a given retry attempt.
+fn cell_scenario(
+    family: ModelFamily,
+    defect: &DefectSpec,
+    config: &Table1Config,
+    attempt: u64,
+) -> Result<Scenario, DeepMorphError> {
+    Scenario::builder(family, dataset_for(family))
+        .seed(config.seed + attempt * 1000)
+        .scale(config.scale)
+        .train_per_class(config.train_per_class)
+        .test_per_class(config.test_per_class)
+        .train_config(TrainConfig {
+            epochs: config.epochs_for(family),
+            batch_size: 32,
+            learning_rate: 0.05,
+            lr_decay: 0.9,
+            ..TrainConfig::default()
+        })
+        .inject(defect.clone())
+        .build()
+}
+
+/// Converts one sweep outcome into a table cell.
+fn cell_result(family: ModelFamily, defect: &DefectSpec, outcome: &ScenarioOutcome) -> CellResult {
+    let injected = defect.kind().map(|k| k.abbrev()).unwrap_or("none");
+    let reported = outcome
+        .report
+        .dominant()
+        .map(|k| k.abbrev().to_string())
+        .unwrap_or_else(|| "none".into());
+    CellResult {
+        model: family.name().to_string(),
+        dataset: dataset_for(family).name().to_string(),
+        injected: injected.to_string(),
+        ratios: outcome.report.ratios.as_array(),
+        correct: reported == injected,
+        reported,
+        test_accuracy: outcome.test_accuracy,
+        faulty_cases: outcome.faulty_count,
+        model_health: outcome.report.model_health,
+    }
+}
+
 /// Runs one cell: inject `defect` into `family`'s scenario and diagnose.
 ///
 /// A mild defect occasionally leaves the model perfect on the small test
@@ -156,59 +200,19 @@ pub fn run_cell(
     defect: &DefectSpec,
     config: &Table1Config,
 ) -> Result<CellResult, DeepMorphError> {
-    let dataset = dataset_for(family);
-    let mut outcome = None;
-    let mut last_err = DeepMorphError::NoFaultyCases;
     for attempt in 0..3 {
-        let scenario = Scenario::builder(family, dataset)
-            .seed(config.seed + attempt * 1000)
-            .scale(config.scale)
-            .train_per_class(config.train_per_class)
-            .test_per_class(config.test_per_class)
-            .train_config(TrainConfig {
-                epochs: config.epochs_for(family),
-                batch_size: 32,
-                learning_rate: 0.05,
-                lr_decay: 0.9,
-                ..TrainConfig::default()
-            })
-            .inject(defect.clone())
-            .build()?;
+        let scenario = cell_scenario(family, defect, config, attempt)?;
         match scenario.run() {
-            Ok(o) => {
-                outcome = Some(o);
-                break;
-            }
-            Err(DeepMorphError::NoFaultyCases) => {
-                last_err = DeepMorphError::NoFaultyCases;
-                continue;
-            }
+            Ok(o) => return Ok(cell_result(family, defect, &o)),
+            Err(DeepMorphError::NoFaultyCases) => continue,
             Err(e) => return Err(e),
         }
     }
-    let Some(outcome) = outcome else {
-        return Err(last_err);
-    };
-    let injected = defect.kind().map(|k| k.abbrev()).unwrap_or("none");
-    let reported = outcome
-        .report
-        .dominant()
-        .map(|k| k.abbrev().to_string())
-        .unwrap_or_else(|| "none".into());
-    Ok(CellResult {
-        model: family.name().to_string(),
-        dataset: dataset.name().to_string(),
-        injected: injected.to_string(),
-        ratios: outcome.report.ratios.as_array(),
-        correct: reported == injected,
-        reported,
-        test_accuracy: outcome.test_accuracy,
-        faulty_cases: outcome.faulty_count,
-        model_health: outcome.report.model_health,
-    })
+    Err(DeepMorphError::NoFaultyCases)
 }
 
-/// Runs the full 3×4 sweep (3 defects × 4 models).
+/// Runs the full 3×4 sweep (3 defects × 4 models) with a disabled
+/// artifact store (compute everything fresh).
 ///
 /// `progress` is called after each cell with the finished result.
 ///
@@ -217,17 +221,77 @@ pub fn run_cell(
 /// Propagates the first cell error.
 pub fn run_table(
     config: &Table1Config,
+    progress: impl FnMut(&CellResult),
+) -> Result<TableResult, DeepMorphError> {
+    run_table_with_store(config, ArtifactStore::disabled(), progress)
+}
+
+/// Runs the full 3×4 sweep through the staged engine: all cells of a
+/// retry round execute **concurrently** on the `deepmorph-parallel` pool,
+/// and every stage is persisted in (and reloaded from) `store` — a rerun
+/// against a warm store recomputes nothing. Cells whose model was perfect
+/// on the test set retry with a shifted seed (up to 3 rounds), exactly
+/// like [`run_cell`].
+///
+/// # Errors
+///
+/// Propagates the first non-retryable cell error;
+/// [`DeepMorphError::NoFaultyCases`] if a cell stayed perfect through
+/// every retry.
+pub fn run_table_with_store(
+    config: &Table1Config,
+    store: ArtifactStore,
+    progress: impl FnMut(&CellResult),
+) -> Result<TableResult, DeepMorphError> {
+    run_table_on(&SweepRunner::new(store), config, progress)
+}
+
+/// [`run_table_with_store`] against an existing runner, so several table
+/// runs (e.g. the multi-seed sweep) can share one store.
+fn run_table_on(
+    runner: &SweepRunner,
+    config: &Table1Config,
     mut progress: impl FnMut(&CellResult),
 ) -> Result<TableResult, DeepMorphError> {
-    let mut cells = Vec::new();
-    for defect in default_defects() {
-        for family in ModelFamily::all() {
-            let cell = run_cell(family, &defect, config)?;
-            progress(&cell);
-            cells.push(cell);
+    let grid: Vec<(DefectSpec, ModelFamily)> = default_defects()
+        .into_iter()
+        .flat_map(|defect| ModelFamily::all().map(|family| (defect.clone(), family)))
+        .collect();
+    let mut results: Vec<Option<CellResult>> = vec![None; grid.len()];
+    let mut pending: Vec<usize> = (0..grid.len()).collect();
+
+    for attempt in 0..3u64 {
+        if pending.is_empty() {
+            break;
         }
+        let mut plan = ExperimentPlan::new().with_baseline(false);
+        for &i in &pending {
+            plan = plan.with_cell(cell_scenario(grid[i].1, &grid[i].0, config, attempt)?);
+        }
+        let sweep = runner.run(&plan);
+        let mut still_pending = Vec::new();
+        for (&i, cell) in pending.iter().zip(&sweep.cells) {
+            match &cell.outcome {
+                Ok(outcome) => {
+                    let result = cell_result(grid[i].1, &grid[i].0, outcome);
+                    progress(&result);
+                    results[i] = Some(result);
+                }
+                Err(DeepMorphError::NoFaultyCases) => still_pending.push(i),
+                Err(e) => return Err(e.clone()),
+            }
+        }
+        pending = still_pending;
     }
-    Ok(TableResult { cells })
+    if !pending.is_empty() {
+        return Err(DeepMorphError::NoFaultyCases);
+    }
+    Ok(TableResult {
+        cells: results
+            .into_iter()
+            .map(|c| c.expect("every non-pending cell resolved"))
+            .collect(),
+    })
 }
 
 /// Runs the sweep across several seeds and averages the ratio cells —
@@ -242,12 +306,29 @@ pub fn run_table(
 pub fn run_table_seeds(
     config: &Table1Config,
     seeds: &[u64],
+    progress: impl FnMut(u64, &CellResult),
+) -> Result<TableResult, DeepMorphError> {
+    run_table_seeds_with_store(config, seeds, ArtifactStore::disabled(), progress)
+}
+
+/// [`run_table_seeds`] with every per-seed table sharing one artifact
+/// store, so rerunning the multi-seed sweep (or extending its seed list)
+/// reloads every already-computed cell.
+///
+/// # Errors
+///
+/// Propagates the first cell error.
+pub fn run_table_seeds_with_store(
+    config: &Table1Config,
+    seeds: &[u64],
+    store: ArtifactStore,
     mut progress: impl FnMut(u64, &CellResult),
 ) -> Result<TableResult, DeepMorphError> {
+    let runner = SweepRunner::new(store);
     let mut per_seed = Vec::new();
     for &seed in seeds {
         let cfg = Table1Config { seed, ..*config };
-        let result = run_table(&cfg, |cell| progress(seed, cell))?;
+        let result = run_table_on(&runner, &cfg, |cell| progress(seed, cell))?;
         per_seed.push(result);
     }
     Ok(aggregate_tables(&per_seed))

@@ -24,6 +24,12 @@ pub enum DeepMorphError {
         /// Description of the problem.
         reason: String,
     },
+    /// A stage artifact could not be decoded or reinstantiated (corrupt
+    /// store entry, incompatible format, mismatched model revision).
+    Artifact {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DeepMorphError {
@@ -41,6 +47,9 @@ impl fmt::Display for DeepMorphError {
             }
             DeepMorphError::InvalidScenario { reason } => {
                 write!(f, "invalid scenario: {reason}")
+            }
+            DeepMorphError::Artifact { reason } => {
+                write!(f, "artifact error: {reason}")
             }
         }
     }

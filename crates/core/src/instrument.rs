@@ -49,6 +49,11 @@ impl Default for ProbeTrainingConfig {
     }
 }
 
+/// Batch size used for probe-feature extraction and footprint batching.
+/// Fixed (not configurable) so cached artifacts and fresh runs always
+/// batch identically.
+pub(crate) const PROBE_BATCH: usize = 64;
+
 /// One trained auxiliary softmax layer.
 #[derive(Debug, Clone)]
 pub struct TrainedProbe {
@@ -63,9 +68,59 @@ pub struct TrainedProbe {
 }
 
 impl TrainedProbe {
+    /// Reassembles a probe from stored parts (artifact deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::Instrumentation`] if the tensors disagree
+    /// with the probe point's feature count.
+    pub fn from_parts(
+        point: ProbePoint,
+        weight: Tensor,
+        bias: Tensor,
+        train_accuracy: f32,
+    ) -> Result<Self> {
+        if weight.ndim() != 2 || weight.shape()[1] != point.features {
+            return Err(DeepMorphError::Instrumentation {
+                reason: format!(
+                    "probe `{}` weight shape {:?} disagrees with {} features",
+                    point.label,
+                    weight.shape(),
+                    point.features
+                ),
+            });
+        }
+        if bias.shape() != [weight.shape()[0]] {
+            return Err(DeepMorphError::Instrumentation {
+                reason: format!(
+                    "probe `{}` bias shape {:?} disagrees with weight {:?}",
+                    point.label,
+                    bias.shape(),
+                    weight.shape()
+                ),
+            });
+        }
+        Ok(TrainedProbe {
+            point,
+            weight,
+            bias,
+            train_accuracy,
+        })
+    }
+
     /// The probe's attachment point metadata.
     pub fn point(&self) -> &ProbePoint {
         &self.point
+    }
+
+    /// The `[classes, features]` softmax-regression weights.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The `[classes]` bias.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
     }
 
     /// Class-probability rows for a feature matrix `[n, features]`.
@@ -128,7 +183,7 @@ impl InstrumentedModel {
         let sub_images = deepmorph_nn::train::gather_batch(train_images, &order)?;
         let sub_labels: Vec<usize> = order.iter().map(|&i| train_labels[i]).collect();
 
-        let batch_size = 64;
+        let batch_size = PROBE_BATCH;
         let feature_mats = extract_probe_features(&mut model, &sub_images, batch_size)?;
 
         let probes = fit_probes(
@@ -143,6 +198,46 @@ impl InstrumentedModel {
             probes,
             num_classes,
             batch_size,
+        })
+    }
+
+    /// Reassembles an instrumented model from a backbone and its stored
+    /// probes (artifact deserialization). The probes must match the
+    /// model's probe points one-to-one, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::Instrumentation`] on any probe/point
+    /// disagreement.
+    pub fn from_parts(
+        model: ModelHandle,
+        probes: Vec<TrainedProbe>,
+        num_classes: usize,
+    ) -> Result<Self> {
+        if probes.len() != model.probes.len() {
+            return Err(DeepMorphError::Instrumentation {
+                reason: format!(
+                    "{} stored probes for a model with {} probe points",
+                    probes.len(),
+                    model.probes.len()
+                ),
+            });
+        }
+        for (probe, point) in probes.iter().zip(&model.probes) {
+            if probe.point != *point {
+                return Err(DeepMorphError::Instrumentation {
+                    reason: format!(
+                        "stored probe `{}` disagrees with model probe point `{}`",
+                        probe.point.label, point.label
+                    ),
+                });
+            }
+        }
+        Ok(InstrumentedModel {
+            model,
+            probes,
+            num_classes,
+            batch_size: PROBE_BATCH,
         })
     }
 

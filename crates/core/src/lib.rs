@@ -43,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod artifact;
 pub mod classify;
 mod error;
 pub mod explain;
@@ -54,6 +55,8 @@ pub mod repair;
 pub mod report;
 pub mod scenario;
 pub mod specifics;
+pub mod stage;
+pub mod sweep;
 
 pub use error::DeepMorphError;
 
@@ -63,6 +66,7 @@ pub type Result<T> = std::result::Result<T, DeepMorphError>;
 /// Convenience re-exports (includes the types from the substrate crates
 /// that appear in this crate's public API).
 pub mod prelude {
+    pub use crate::artifact::{ArtifactStore, Fingerprint, StoreStats};
     pub use crate::classify::{AlignmentMetric, ClassifierConfig, DefectClassifier};
     pub use crate::explain::{explain_case, explain_report};
     pub use crate::footprint::{Footprint, FootprintSet};
@@ -73,6 +77,10 @@ pub mod prelude {
     pub use crate::report::{CaseDiagnosis, DefectRatios, DefectReport};
     pub use crate::scenario::{RepairOutcome, Scenario, ScenarioBuilder, ScenarioOutcome};
     pub use crate::specifics::FootprintSpecifics;
+    pub use crate::stage::{
+        FootprintArtifact, InstrumentedArtifact, StagedEngine, TrainedModelArtifact,
+    };
+    pub use crate::sweep::{CellReport, ExperimentPlan, SweepReport, SweepRunner};
     pub use crate::{DeepMorphError, Result as DeepMorphResult};
     pub use deepmorph_data::prelude::*;
     pub use deepmorph_defects::prelude::*;

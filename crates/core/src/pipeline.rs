@@ -44,20 +44,47 @@ impl FaultyCases {
     ///
     /// Propagates network errors.
     pub fn collect(model: &mut ModelHandle, test: &Dataset) -> Result<Self> {
+        Ok(FaultyCases::collect_capped(model, test, 0)?.0)
+    }
+
+    /// Like [`FaultyCases::collect`], but keeps only the first `max`
+    /// misclassified samples (`0` = no cap). The cap is applied to the
+    /// *index list*, before any image is gathered, so a capped run never
+    /// materializes the full faulty batch only to truncate it. Returns the
+    /// capped cases together with the total (pre-cap) faulty count.
+    ///
+    /// The kept cases are the prefix of the test-order faulty list —
+    /// identical to `collect` + [`FaultyCases::truncate`], bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn collect_capped(
+        model: &mut ModelHandle,
+        test: &Dataset,
+        max: usize,
+    ) -> Result<(Self, usize)> {
         let preds = predict_all(&mut model.graph, test.images(), 64)?;
-        let faulty: Vec<usize> = preds
+        let mut faulty: Vec<usize> = preds
             .iter()
             .zip(test.labels())
             .enumerate()
             .filter(|(_, (p, l))| p != l)
             .map(|(i, _)| i)
             .collect();
+        let total = faulty.len();
+        if max > 0 {
+            faulty.truncate(max);
+        }
         let images = gather_batch(test.images(), &faulty)?;
-        Ok(FaultyCases {
-            images,
-            true_labels: faulty.iter().map(|&i| test.labels()[i]).collect(),
-            predicted: faulty.iter().map(|&i| preds[i]).collect(),
-        })
+        Ok((
+            FaultyCases {
+                images,
+                true_labels: faulty.iter().map(|&i| test.labels()[i]).collect(),
+                predicted: faulty.iter().map(|&i| preds[i]).collect(),
+            },
+            total,
+        ))
     }
 
     /// Number of faulty cases.

@@ -2,33 +2,38 @@
 //!
 //! A [`Scenario`] packages the paper's Section IV protocol: generate a
 //! dataset, inject a defect, train the (possibly defective) model, collect
-//! the faulty cases from the clean test set, and run DeepMorph. The
-//! examples and the Table I harness are thin wrappers around this type.
+//! the faulty cases from the clean test set, and run DeepMorph. Execution
+//! goes through the staged engine ([`crate::stage::StagedEngine`]): a
+//! plain [`Scenario::run`] drives the stages with a disabled artifact
+//! store, while sweeps ([`crate::sweep::SweepRunner`]) share a real store
+//! so unchanged stages are loaded instead of recomputed. The examples and
+//! the Table I harness are thin wrappers around this type.
 
 use deepmorph_data::{DataGenerator, Dataset, DatasetKind, SynthDigits, SynthObjects};
 use deepmorph_defects::DefectSpec;
 use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
-use deepmorph_nn::prelude::{evaluate_accuracy, TrainConfig, Trainer};
+use deepmorph_nn::prelude::{TrainConfig, Trainer};
 use deepmorph_tensor::init::stream_rng;
 
-use crate::instrument::InstrumentedModel;
-use crate::pipeline::{DeepMorph, DeepMorphConfig, FaultyCases};
-use crate::repair::{recommend, RepairPlan};
+use crate::artifact::Fingerprint;
+use crate::pipeline::DeepMorphConfig;
+use crate::repair::RepairPlan;
 use crate::report::DefectReport;
+use crate::stage::StagedEngine;
 use crate::{DeepMorphError, Result};
 
 /// Builder for [`Scenario`].
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
-    family: ModelFamily,
-    dataset: DatasetKind,
-    seed: u64,
-    scale: ModelScale,
-    defect: DefectSpec,
-    train_per_class: usize,
-    test_per_class: usize,
-    train_config: TrainConfig,
-    deepmorph: DeepMorphConfig,
+    pub(crate) family: ModelFamily,
+    pub(crate) dataset: DatasetKind,
+    pub(crate) seed: u64,
+    pub(crate) scale: ModelScale,
+    pub(crate) defect: DefectSpec,
+    pub(crate) train_per_class: usize,
+    pub(crate) test_per_class: usize,
+    pub(crate) train_config: TrainConfig,
+    pub(crate) deepmorph: DeepMorphConfig,
 }
 
 impl ScenarioBuilder {
@@ -115,11 +120,11 @@ impl ScenarioBuilder {
 /// A fully-specified experiment: dataset × model × defect × seeds.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    cfg: ScenarioBuilder,
+    pub(crate) cfg: ScenarioBuilder,
 }
 
 /// Everything a finished scenario produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
     /// The DeepMorph diagnosis.
     pub report: DefectReport,
@@ -146,6 +151,50 @@ impl Scenario {
         &self.cfg.defect
     }
 
+    /// The model family under test.
+    pub fn family(&self) -> ModelFamily {
+        self.cfg.family
+    }
+
+    /// The dataset kind under test.
+    pub fn dataset(&self) -> DatasetKind {
+        self.cfg.dataset
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// Human-readable subject line used in reports.
+    pub fn subject(&self) -> String {
+        let cfg = &self.cfg;
+        format!(
+            "{} on {}, defect {}",
+            cfg.family,
+            cfg.dataset,
+            cfg.defect.describe()
+        )
+    }
+
+    /// The same scenario with the defect replaced by
+    /// [`DefectSpec::Healthy`] — the shared "base" cell of a severity
+    /// sweep. Every severity point of a sweep has the same healthy twin,
+    /// so its training stage is fingerprint-shared across the whole sweep.
+    pub fn healthy_twin(&self) -> Scenario {
+        let mut cfg = self.cfg.clone();
+        cfg.defect = DefectSpec::Healthy;
+        Scenario { cfg }
+    }
+
+    /// Content fingerprint of *all* scenario inputs (family, scale,
+    /// dataset, seeds, defect spec, training and DeepMorph configuration).
+    /// Scenarios with equal fingerprints produce bitwise-identical
+    /// reports; this is the identity the artifact store caches under.
+    pub fn fingerprint(&self) -> Fingerprint {
+        StagedEngine::report_fingerprint(self)
+    }
+
     /// Generates the train/test datasets (pre-injection). Exposed so
     /// benches can reuse the data without rerunning training.
     pub fn generate_data(&self) -> (Dataset, Dataset) {
@@ -167,10 +216,30 @@ impl Scenario {
         }
     }
 
+    /// Generates the datasets and applies the data-side injection:
+    /// `(injected_train, clean_test)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::InvalidScenario`] if injection removed
+    /// the entire training set.
+    pub(crate) fn injected_data(&self) -> Result<(Dataset, Dataset)> {
+        let cfg = &self.cfg;
+        let (clean_train, test) = self.generate_data();
+        let mut inject_rng = stream_rng(cfg.seed, "scenario-inject");
+        let train = cfg.defect.apply_to_dataset(&clean_train, &mut inject_rng);
+        if train.is_empty() {
+            return Err(DeepMorphError::InvalidScenario {
+                reason: "injection removed the entire training set".into(),
+            });
+        }
+        Ok((train, test))
+    }
+
     /// Builds and trains a fresh model on `train`, optionally overriding
     /// the structure-defect severity, using seed streams suffixed with
     /// `stream` so repair retraining is independent of the original run.
-    fn train_fresh(
+    pub(crate) fn train_fresh(
         &self,
         train: &Dataset,
         removed_convs: usize,
@@ -205,62 +274,17 @@ impl Scenario {
     /// Runs the full protocol: generate → inject → train → collect faulty
     /// cases → diagnose.
     ///
+    /// Equivalent to driving the staged engine with a disabled artifact
+    /// store; use [`StagedEngine::run`] with a real store to cache and
+    /// reuse stages across scenarios.
+    ///
     /// # Errors
     ///
     /// Returns [`DeepMorphError::NoFaultyCases`] if the trained model is
     /// perfect on the test set (pick a harder defect or fewer epochs), and
     /// propagates all pipeline errors.
     pub fn run(&self) -> Result<ScenarioOutcome> {
-        self.execute().map(|e| e.outcome)
-    }
-
-    fn execute(&self) -> Result<Executed> {
-        let cfg = &self.cfg;
-        let (clean_train, test) = self.generate_data();
-
-        // Injection (data side).
-        let mut inject_rng = stream_rng(cfg.seed, "scenario-inject");
-        let train = cfg.defect.apply_to_dataset(&clean_train, &mut inject_rng);
-        if train.is_empty() {
-            return Err(DeepMorphError::InvalidScenario {
-                reason: "injection removed the entire training set".into(),
-            });
-        }
-
-        // Model (structure side) + training.
-        let removed = match &cfg.defect {
-            DefectSpec::Sd { removed_convs } => *removed_convs,
-            _ => 0,
-        };
-        let (mut model, train_accuracy) = self.train_fresh(&train, removed, "")?;
-        let test_accuracy = evaluate_accuracy(&mut model.graph, test.images(), test.labels(), 64)?;
-
-        // Faulty cases from the clean test set.
-        let faulty = FaultyCases::collect(&mut model, &test)?;
-        let faulty_count = faulty.len();
-
-        let subject = format!(
-            "{} on {}, defect {}",
-            cfg.family,
-            cfg.dataset,
-            cfg.defect.describe()
-        );
-        let tool = DeepMorph::new(cfg.deepmorph);
-        let (report, instrumented) = tool.diagnose(model, &train, &faulty, &subject)?;
-
-        Ok(Executed {
-            outcome: ScenarioOutcome {
-                report,
-                test_accuracy,
-                train_accuracy,
-                faulty_count,
-                defect: cfg.defect.clone(),
-                subject,
-            },
-            instrumented,
-            train,
-            test,
-        })
+        StagedEngine::ephemeral().run(self)
     }
 
     /// Runs the protocol, then applies DeepMorph's recommended repair and
@@ -273,60 +297,11 @@ impl Scenario {
     /// [`DeepMorphError::InvalidScenario`] when no repair can be derived
     /// from the report.
     pub fn run_with_repair(&self) -> Result<(ScenarioOutcome, RepairOutcome)> {
-        let cfg = &self.cfg;
-        let mut executed = self.execute()?;
-        let plan =
-            recommend(&executed.outcome.report).ok_or_else(|| DeepMorphError::InvalidScenario {
-                reason: "no repair plan can be derived from the report".into(),
-            })?;
-
-        let repaired_train: Dataset = match &plan {
-            RepairPlan::CollectMoreData { classes } => {
-                // Simulate collecting more data: draw fresh samples of the
-                // starved classes from the generator.
-                let mut rng = stream_rng(cfg.seed, "scenario-repair-data");
-                let extra = self.generate_for_classes(classes, cfg.train_per_class, &mut rng);
-                executed.train.concat(&extra)?
-            }
-            RepairPlan::CleanLabels {
-                suspect_label,
-                executes_as,
-            } => {
-                // Relabel training samples that carry the suspect label but
-                // execute as the other class of the pair.
-                let fps = executed.instrumented.footprints(executed.train.images())?;
-                let mut cleaned = executed.train.clone();
-                for (i, fp) in fps.iter().enumerate() {
-                    if cleaned.labels()[i] == *suspect_label {
-                        let probe_class = deepmorph_tensor::stats::argmax(fp.last());
-                        if probe_class == *executes_as {
-                            cleaned.set_label(i, *executes_as);
-                        }
-                    }
-                }
-                cleaned
-            }
-            RepairPlan::StrengthenStructure => executed.train.clone(),
-        };
-
-        let (mut repaired_model, _) = self.train_fresh(&repaired_train, 0, "-repair")?;
-        let accuracy_after = evaluate_accuracy(
-            &mut repaired_model.graph,
-            executed.test.images(),
-            executed.test.labels(),
-            64,
-        )?;
-        let repair = RepairOutcome {
-            plan,
-            accuracy_before: executed.outcome.test_accuracy,
-            accuracy_after,
-            repaired_train_size: repaired_train.len(),
-        };
-        Ok((executed.outcome, repair))
+        StagedEngine::ephemeral().run_with_repair(self)
     }
 
     /// Generates `per_class` fresh samples for each class in `classes`.
-    fn generate_for_classes(
+    pub(crate) fn generate_for_classes(
         &self,
         classes: &[usize],
         per_class: usize,
@@ -359,14 +334,6 @@ impl Scenario {
         )
         .expect("labels consistent")
     }
-}
-
-/// Internal result of a full pipeline execution.
-struct Executed {
-    outcome: ScenarioOutcome,
-    instrumented: InstrumentedModel,
-    train: Dataset,
-    test: Dataset,
 }
 
 /// The effect of applying DeepMorph's recommended repair.
@@ -415,6 +382,61 @@ mod tests {
         assert_eq!(train.image_shape(), [3, 16, 16]);
         assert_eq!(train.len(), 20);
         assert_eq!(test.len(), 10);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_input() {
+        let base = || {
+            Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+                .seed(3)
+                .train_per_class(10)
+                .test_per_class(5)
+        };
+        let a = base().build().unwrap();
+        assert_eq!(a.fingerprint(), base().build().unwrap().fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            base().seed(4).build().unwrap().fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            base()
+                .inject(DefectSpec::structure_defect(1))
+                .build()
+                .unwrap()
+                .fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            base().train_per_class(11).build().unwrap().fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            base()
+                .scale(ModelScale::Small)
+                .build()
+                .unwrap()
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn healthy_twin_is_severity_invariant() {
+        let mk = |fraction| {
+            Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+                .seed(5)
+                .inject(DefectSpec::unreliable_training_data(3, 5, fraction))
+                .build()
+                .unwrap()
+        };
+        let a = mk(0.2);
+        let b = mk(0.8);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.healthy_twin().fingerprint(),
+            b.healthy_twin().fingerprint()
+        );
+        assert!(matches!(a.healthy_twin().defect(), DefectSpec::Healthy));
     }
 
     // Full end-to-end runs live in tests/ (they train real models and are

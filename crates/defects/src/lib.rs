@@ -7,7 +7,7 @@
 //!   of some specific classes" → [`DefectSpec::insufficient_training_data`].
 //! * **UTD** (Unreliable Training Data) — "tag a part of the training data
 //!   of one class to the other" → [`DefectSpec::unreliable_training_data`].
-//! * **SD** (Structure Defect) — "manually removing … Convolution layer[s]
+//! * **SD** (Structure Defect) — "manually removing … Convolution layer\[s\]
 //!   from the original network structures" →
 //!   [`DefectSpec::structure_defect`], which flows into
 //!   [`deepmorph_models::ModelSpec::removed_convs`].

@@ -68,6 +68,14 @@ impl Json {
         Json::Num(v.into())
     }
 
+    /// Builds a number value from a `usize` (counts, indexes). `usize`
+    /// has no lossless `Into<f64>`, so the workspace's count-heavy
+    /// documents (sweep reports, store statistics) use this instead of
+    /// scattering `as f64` casts.
+    pub fn usize(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+
     /// Looks up a key in an object.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {

@@ -32,15 +32,18 @@
 mod alexnet;
 mod builder;
 mod densenet;
+pub mod io;
 mod lenet;
 mod resnet;
 mod spec;
 
 pub use builder::{check_forward, FeatShape, NetBuilder};
+pub use io::{decode_model, encode_model, load_model, save_model, ModelIoError};
 pub use spec::{build_model, ModelFamily, ModelHandle, ModelScale, ModelSpec, ProbePoint};
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::io::{decode_model, encode_model, load_model, save_model, ModelIoError};
     pub use crate::spec::{
         build_model, ModelFamily, ModelHandle, ModelScale, ModelSpec, ProbePoint,
     };

@@ -114,4 +114,64 @@ proptest! {
         });
         prop_assert!(any_grad, "no gradients flowed");
     }
+
+    // --- model codec (io module) --------------------------------------
+
+    #[test]
+    fn saved_model_reproduces_predictions_exactly(
+        family in family_strategy(),
+        removed in 0usize..4,
+        seed in 0u64..10,
+    ) {
+        let spec = ModelSpec::new(family, ModelScale::Tiny, input_shape(family), 10)
+            .with_removed_convs(removed);
+        let mut rng = stream_rng(seed, "prop-model-io");
+        let mut handle = build_model(&spec, &mut rng).unwrap();
+        let [c, h, w] = spec.input_shape;
+        let x = Tensor::from_vec(
+            (0..3 * c * h * w)
+                .map(|i| ((i as u64 * 131 + seed) % 251) as f32 / 251.0)
+                .collect(),
+            &[3, c, h, w],
+        ).unwrap();
+        let y_before = handle.graph.forward(&x, Mode::Eval).unwrap();
+
+        let bytes = encode_model(&mut handle);
+        let mut reloaded = decode_model(&bytes).unwrap();
+        prop_assert_eq!(reloaded.spec, spec);
+        let y_after = reloaded.graph.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(y_before.shape(), y_after.shape());
+        for (a, b) in y_before.data().iter().zip(y_after.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "logits diverged after reload");
+        }
+    }
+
+    #[test]
+    fn corrupted_model_bytes_never_panic(
+        family in family_strategy(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let spec = ModelSpec::new(family, ModelScale::Tiny, input_shape(family), 10);
+        let mut rng = stream_rng(3, "prop-model-io");
+        let mut handle = build_model(&spec, &mut rng).unwrap();
+        let mut bytes = encode_model(&mut handle);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        // Must be a typed error, never a panic or a silently wrong model.
+        prop_assert!(decode_model(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_model_bytes_never_panic(
+        family in family_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let spec = ModelSpec::new(family, ModelScale::Tiny, input_shape(family), 10);
+        let mut rng = stream_rng(4, "prop-model-io");
+        let mut handle = build_model(&spec, &mut rng).unwrap();
+        let bytes = encode_model(&mut handle);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(decode_model(&bytes[..cut]).is_err());
+    }
 }

@@ -42,6 +42,12 @@ pub enum NnError {
         /// Description of the problem.
         reason: String,
     },
+    /// A state dict disagrees with the graph it is being imported into
+    /// (wrong keys, shapes, or entry counts).
+    StateMismatch {
+        /// Description of the disagreement.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -63,6 +69,9 @@ impl fmt::Display for NnError {
             NnError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
             NnError::InvalidTrainConfig { reason } => {
                 write!(f, "invalid training configuration: {reason}")
+            }
+            NnError::StateMismatch { reason } => {
+                write!(f, "state dict mismatch: {reason}")
             }
         }
     }

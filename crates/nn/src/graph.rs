@@ -13,6 +13,7 @@
 use deepmorph_tensor::{workspace, Tensor};
 
 use crate::layer::{Layer, Mode, Param};
+use crate::state::{GraphTopology, StateDict, StateEntry, TopoNode};
 use crate::{NnError, Result};
 
 /// Identifier of a node in a [`Graph`] (or the graph input).
@@ -358,6 +359,175 @@ impl Graph {
             .collect()
     }
 
+    /// Snapshots the graph wiring (labels, input edges, terminal node) for
+    /// serialization alongside a [`StateDict`]. A loader compares this
+    /// against the freshly built graph's topology before importing state.
+    pub fn topology(&self) -> GraphTopology {
+        GraphTopology {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| TopoNode {
+                    label: n.label.clone(),
+                    inputs: n
+                        .inputs
+                        .iter()
+                        .map(|id| {
+                            if id.is_source() {
+                                u64::MAX
+                            } else {
+                                id.0 as u64
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+            output: self.output.0 as u64,
+        }
+    }
+
+    /// Exports every persistent tensor — trainable parameters and the
+    /// extra buffers layers report via
+    /// [`Layer::export_state`] — as an
+    /// ordered, keyed [`StateDict`]. The walk order is the node order, so
+    /// it is stable for a given architecture.
+    pub fn export_state(&mut self) -> StateDict {
+        let mut entries = Vec::new();
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            let label = node.label.clone();
+            let mut j = 0usize;
+            node.layer.visit_params(&mut |p| {
+                entries.push(StateEntry {
+                    key: format!("n{idx}.{label}.p{j}"),
+                    value: p.value.clone(),
+                });
+                j += 1;
+            });
+            for (name, values) in node.layer.export_state() {
+                let len = values.len();
+                entries.push(StateEntry {
+                    key: format!("n{idx}.{label}.{name}"),
+                    value: Tensor::from_vec(values, &[len]).expect("rank-1 buffer"),
+                });
+            }
+        }
+        StateDict { entries }
+    }
+
+    /// Imports a [`StateDict`] produced by [`Graph::export_state`] on a
+    /// structurally identical graph. Every key, shape, and buffer length
+    /// is verified before any tensor is copied, so a key/shape/count
+    /// mismatch leaves the graph's parameters untouched. (A layer whose
+    /// [`Layer::import_state`] rejects entries its own `export_state`
+    /// format accepts can still fail mid-copy; no such layer exists in
+    /// this workspace.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateMismatch`] on any key, shape, or count
+    /// disagreement.
+    pub fn import_state(&mut self, dict: &StateDict) -> Result<()> {
+        // Pass 1: verify the full walk against the dict.
+        let mut cursor = 0usize;
+        let mismatch = |reason: String| NnError::StateMismatch { reason };
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            let label = node.label.clone();
+            let mut j = 0usize;
+            let mut first_err: Option<NnError> = None;
+            node.layer.visit_params(&mut |p| {
+                let key = format!("n{idx}.{label}.p{j}");
+                match dict.entries.get(cursor) {
+                    Some(entry) if entry.key == key && entry.value.shape() == p.value.shape() => {}
+                    Some(entry) if entry.key == key => {
+                        first_err.get_or_insert(NnError::StateMismatch {
+                            reason: format!(
+                                "`{key}` has shape {:?}, graph expects {:?}",
+                                entry.value.shape(),
+                                p.value.shape()
+                            ),
+                        });
+                    }
+                    Some(entry) => {
+                        first_err.get_or_insert(NnError::StateMismatch {
+                            reason: format!("expected key `{key}`, found `{}`", entry.key),
+                        });
+                    }
+                    None => {
+                        first_err.get_or_insert(NnError::StateMismatch {
+                            reason: format!("state dict ends before `{key}`"),
+                        });
+                    }
+                }
+                cursor += 1;
+                j += 1;
+            });
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            for (name, values) in node.layer.export_state() {
+                let key = format!("n{idx}.{label}.{name}");
+                match dict.entries.get(cursor) {
+                    Some(entry) if entry.key == key && entry.value.len() == values.len() => {}
+                    Some(entry) if entry.key == key => {
+                        return Err(mismatch(format!(
+                            "`{key}` has {} values, layer expects {}",
+                            entry.value.len(),
+                            values.len()
+                        )));
+                    }
+                    Some(entry) => {
+                        return Err(mismatch(format!(
+                            "expected key `{key}`, found `{}`",
+                            entry.key
+                        )));
+                    }
+                    None => return Err(mismatch(format!("state dict ends before `{key}`"))),
+                }
+                cursor += 1;
+            }
+        }
+        if cursor != dict.entries.len() {
+            return Err(mismatch(format!(
+                "state dict has {} entries, graph consumes {cursor}",
+                dict.entries.len()
+            )));
+        }
+
+        // Pass 2: copy. Every entry is pre-verified against the walk, so
+        // this cannot fail halfway. Buffer names come from the layer's own
+        // `export_state` (the authority pass 1 verified the keys against),
+        // not from re-parsing the key strings — a label containing '.'
+        // cannot mangle them.
+        let mut cursor = 0usize;
+        for node in &mut self.nodes {
+            node.layer.visit_params(&mut |p| {
+                let entry = &dict.entries[cursor];
+                p.value
+                    .copy_from(&entry.value)
+                    .expect("shape verified in pass 1");
+                cursor += 1;
+            });
+            let buffer_names: Vec<String> = node
+                .layer
+                .export_state()
+                .into_iter()
+                .map(|(name, _)| name)
+                .collect();
+            if !buffer_names.is_empty() {
+                let extra: Vec<(String, Vec<f32>)> = buffer_names
+                    .into_iter()
+                    .zip(&dict.entries[cursor..])
+                    .map(|(name, e)| {
+                        cursor += 1;
+                        (name, e.value.data().to_vec())
+                    })
+                    .collect();
+                node.layer.import_state(&extra)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Drops cached activations in the graph and all layers (recycling
     /// them through the workspace arena).
     pub fn clear_caches(&mut self) {
@@ -536,6 +706,89 @@ mod tests {
                 "param {i}: numeric {num} analytic {ana}"
             );
         }
+    }
+
+    #[test]
+    fn state_dict_round_trips_through_a_fresh_graph() {
+        let mut g = linear_graph();
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.9, 0.4, 0.1, -0.6], &[2, 3]).unwrap();
+        let y_before = g.forward(&x, Mode::Eval).unwrap();
+        let dict = g.export_state();
+        assert_eq!(dict.len(), 4); // two dense layers × (weight, bias)
+
+        // A differently seeded twin must reproduce the original exactly
+        // after import.
+        let mut rng = stream_rng(99, "graph");
+        let mut gb = GraphBuilder::new();
+        let xin = gb.input();
+        let a = gb.add_layer(Dense::new(3, 4, &mut rng), &[xin]).unwrap();
+        let r = gb.add_layer(ReLU::new(), &[a]).unwrap();
+        let b = gb.add_layer(Dense::new(4, 2, &mut rng), &[r]).unwrap();
+        let mut twin = gb.build(b).unwrap();
+        twin.import_state(&dict).unwrap();
+        let y_after = twin.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y_before.data(), y_after.data());
+        assert_eq!(g.topology(), twin.topology());
+    }
+
+    #[test]
+    fn import_rejects_mismatched_dicts() {
+        let mut g = linear_graph();
+        let mut dict = g.export_state();
+
+        // Wrong shape.
+        let mut bad_shape = dict.clone();
+        bad_shape.entries[0].value = Tensor::zeros(&[2, 2]);
+        assert!(matches!(
+            g.import_state(&bad_shape).unwrap_err(),
+            NnError::StateMismatch { .. }
+        ));
+
+        // Wrong key.
+        let mut bad_key = dict.clone();
+        bad_key.entries[1].key = "n9.bogus.p0".into();
+        assert!(matches!(
+            g.import_state(&bad_key).unwrap_err(),
+            NnError::StateMismatch { .. }
+        ));
+
+        // Truncated dict.
+        dict.entries.pop();
+        assert!(matches!(
+            g.import_state(&dict).unwrap_err(),
+            NnError::StateMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn batchnorm_running_stats_round_trip() {
+        use crate::norm::BatchNorm2d;
+        let mut gb = GraphBuilder::new();
+        let x = gb.input();
+        let bn = gb.add_layer(BatchNorm2d::new(2), &[x]).unwrap();
+        let mut g = gb.build(bn).unwrap();
+
+        // Drive the running statistics away from their init values.
+        let input = Tensor::from_vec(
+            (0..16).map(|v| (v as f32 * 0.7).sin() * 3.0).collect(),
+            &[2, 2, 2, 2],
+        )
+        .unwrap();
+        for _ in 0..5 {
+            let _ = g.forward(&input, Mode::Train).unwrap();
+        }
+        let y_before = g.forward(&input, Mode::Eval).unwrap();
+        let dict = g.export_state();
+        // gamma, beta, running_mean, running_var.
+        assert_eq!(dict.len(), 4);
+
+        let mut gb = GraphBuilder::new();
+        let x = gb.input();
+        let bn = gb.add_layer(BatchNorm2d::new(2), &[x]).unwrap();
+        let mut twin = gb.build(bn).unwrap();
+        twin.import_state(&dict).unwrap();
+        let y_after = twin.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(y_before.data(), y_after.data());
     }
 
     #[test]

@@ -162,6 +162,36 @@ pub trait Layer {
     /// Drops cached activations to free memory (called between epochs for
     /// large sweeps). Layers with no cache need not override.
     fn clear_cache(&mut self) {}
+
+    /// Persistent non-trainable buffers that must travel with the
+    /// parameters for inference to round-trip exactly (batch-norm running
+    /// statistics). Activation caches, dropout masks, and optimizer state
+    /// are *not* state: they are rebuilt by the next forward/fit. Layers
+    /// with no such buffers need not override.
+    fn export_state(&self) -> Vec<(String, Vec<f32>)> {
+        Vec::new()
+    }
+
+    /// Restores buffers produced by [`Layer::export_state`], in the same
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::StateMismatch`] if the entries disagree
+    /// with what this layer exports (wrong names, counts, or lengths).
+    fn import_state(&mut self, entries: &[(String, Vec<f32>)]) -> Result<()> {
+        if entries.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::NnError::StateMismatch {
+                reason: format!(
+                    "layer `{}` holds no extra state but received {} entries",
+                    self.name(),
+                    entries.len()
+                ),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,10 @@
 //!   channel [`ConcatChannels`](merge::ConcatChannels) merges,
 //!   [`Dropout`](dropout::Dropout),
 //! * [`graph`] — a DAG executor with reverse-mode differentiation,
+//! * [`state`] — serializable graph state: keyed state dicts
+//!   ([`Graph::export_state`](graph::Graph::export_state) /
+//!   [`Graph::import_state`](graph::Graph::import_state)) and topology
+//!   snapshots for save/load verification,
 //! * [`loss`] — softmax cross-entropy,
 //! * [`optim`] — SGD (momentum, weight decay) and Adam,
 //! * [`train`] — mini-batch training loop, and
@@ -62,6 +66,7 @@ pub mod norm;
 pub mod optim;
 pub mod pool;
 pub mod shape_ops;
+pub mod state;
 pub mod train;
 
 pub use error::NnError;
@@ -84,6 +89,7 @@ pub mod prelude {
     pub use crate::optim::{Adam, Optimizer, Sgd};
     pub use crate::pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
     pub use crate::shape_ops::Flatten;
+    pub use crate::state::{GraphTopology, StateDict, StateEntry};
     pub use crate::train::{clip_gradients, evaluate_accuracy, TrainConfig, TrainReport, Trainer};
     pub use crate::{NnError, Result as NnResult};
 }

@@ -208,6 +208,43 @@ impl Layer for BatchNorm2d {
         workspace::recycle_opt(self.cached_x_hat.take());
         self.inv_std = Vec::new();
     }
+
+    fn export_state(&self) -> Vec<(String, Vec<f32>)> {
+        vec![
+            ("running_mean".to_string(), self.running_mean.clone()),
+            ("running_var".to_string(), self.running_var.clone()),
+        ]
+    }
+
+    fn import_state(&mut self, entries: &[(String, Vec<f32>)]) -> Result<()> {
+        let mismatch = |reason: String| NnError::StateMismatch { reason };
+        if entries.len() != 2 {
+            return Err(mismatch(format!(
+                "`{}` expects 2 state buffers, got {}",
+                self.name,
+                entries.len()
+            )));
+        }
+        for (entry, expected) in entries.iter().zip(["running_mean", "running_var"]) {
+            if entry.0 != expected {
+                return Err(mismatch(format!(
+                    "`{}` expected buffer `{expected}`, got `{}`",
+                    self.name, entry.0
+                )));
+            }
+            if entry.1.len() != self.channels {
+                return Err(mismatch(format!(
+                    "`{}` buffer `{expected}` has {} values for {} channels",
+                    self.name,
+                    entry.1.len(),
+                    self.channels
+                )));
+            }
+        }
+        self.running_mean.copy_from_slice(&entries[0].1);
+        self.running_var.copy_from_slice(&entries[1].1);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -136,7 +136,7 @@ const PAD: usize = usize::MAX;
 /// Precomputed gather indices for one convolution geometry.
 ///
 /// Entry `(p * patch_len + k)` holds the offset of patch slot `k` at output
-/// position `p` within one image's `c*h*w` buffer, or [`PAD`] when the slot
+/// position `p` within one image's `c*h*w` buffer, or the `PAD` sentinel when the slot
 /// falls in the zero padding. Layers cache one map per instance so the
 /// per-batch kernels do table lookups instead of recomputing receptive
 /// fields.

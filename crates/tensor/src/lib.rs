@@ -15,6 +15,8 @@
 //!   conv/matmul hot loop allocation-free after warm-up.
 //! * [`init`] — deterministic weight initialization (uniform, normal,
 //!   Xavier/Glorot, He).
+//! * [`io`] — the versioned, checksummed binary codec (tensor save/load
+//!   plus the byte primitives the higher-layer artifact formats build on).
 //! * [`stats`] — distribution/geometry helpers (entropy, KL/JS divergence,
 //!   cosine similarity) that the DeepMorph footprint analysis relies on.
 //!
@@ -40,6 +42,7 @@ pub mod conv;
 mod error;
 pub mod gemm;
 pub mod init;
+pub mod io;
 mod shape;
 pub mod stats;
 mod tensor;
@@ -54,6 +57,7 @@ pub mod prelude {
     pub use crate::conv::{self, Conv2dGeometry, Im2colMap, PoolGeometry};
     pub use crate::gemm::{gemm_into, GemmOp};
     pub use crate::init::{self, Init};
+    pub use crate::io::{self, CodecError};
     pub use crate::stats;
     pub use crate::{workspace, Tensor, TensorError};
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor substrate.
 
 use deepmorph_tensor::conv::{self, Conv2dGeometry, PoolGeometry};
-use deepmorph_tensor::{stats, Tensor};
+use deepmorph_tensor::{io, stats, Tensor};
 use proptest::prelude::*;
 
 fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
@@ -146,5 +146,64 @@ proptest! {
         prop_assert_eq!(s.shape()[0], 2);
         let row0 = s.row(0).unwrap();
         prop_assert_eq!(row0, flat.data());
+    }
+
+    // --- binary codec (io module) -------------------------------------
+
+    #[test]
+    fn codec_round_trips_any_tensor_bitwise(t in tensor_strategy(9)) {
+        let bytes = io::encode_tensor(&t);
+        let back = io::decode_tensor(&bytes).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.data().iter().zip(t.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_higher_ranks(
+        n in 1usize..4, c in 1usize..4, h in 1usize..5, w in 1usize..5, salt in 0u64..100,
+    ) {
+        let len = n * c * h * w;
+        let data: Vec<f32> = (0..len)
+            .map(|i| f32::from_bits(((i as u64 * 0x9E37 + salt * 0x1234_5677) % 0x7F7F_FFFF) as u32))
+            .collect();
+        let t = Tensor::from_vec(data, &[n, c, h, w]).unwrap();
+        let back = io::decode_tensor(&io::encode_tensor(&t)).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.data().iter().zip(t.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(t in tensor_strategy(5), cut_frac in 0.0f64..1.0) {
+        let bytes = io::encode_tensor(&t);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let err = io::decode_tensor(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                io::CodecError::Truncated { .. } | io::CodecError::ChecksumMismatch { .. }
+            ),
+            "unexpected error for cut {cut}: {err}"
+        );
+    }
+
+    #[test]
+    fn codec_rejects_any_single_bitflip(t in tensor_strategy(5), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = io::encode_tensor(&t);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        // Any corruption must surface as a typed error, never a wrong
+        // tensor: either the checksum catches it or a header field
+        // becomes invalid.
+        match io::decode_tensor(&bytes) {
+            Ok(_) => prop_assert!(false, "corrupted container decoded successfully"),
+            Err(e) => prop_assert!(
+                !format!("{e}").is_empty(),
+                "error must be displayable"
+            ),
+        }
     }
 }

@@ -5,40 +5,60 @@
 //! ```
 //!
 //! Sweeps the UTD mislabeling fraction from mild to severe on a LeNet /
-//! synth-digits scenario and prints accuracy plus the reported ratios for
-//! each severity. The UTD ratio should grow with severity while accuracy
-//! falls — the dose-response curve behind the paper's single-severity
-//! Table I cells.
+//! synth-digits scenario through the [`SweepRunner`]: the severity points
+//! run **concurrently**, the healthy *base* model they all share is
+//! trained **once** and reloaded from the artifact store for every cell,
+//! and re-running the example against a warm store (`DEEPMORPH_ARTIFACTS`,
+//! default `./artifacts`) recomputes nothing at all.
+//!
+//! The UTD ratio should grow with severity while accuracy falls — the
+//! dose-response curve behind the paper's single-severity Table I cells.
 
 use deepmorph_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("UTD severity sweep on LeNet / synth-digits\n");
-    println!(
-        "{:>9} | {:>8} | {:>7} | {:>5} {:>5} {:>5} | dominant",
-        "fraction", "test acc", "faulty", "ITD", "UTD", "SD"
-    );
-    println!("{}", "-".repeat(66));
+    let fractions = [0.2f32, 0.35, 0.5, 0.65, 0.8];
+    let base = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(21)
+        .train_per_class(100)
+        .test_per_class(40)
+        .train_config(TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            learning_rate: 0.05,
+            lr_decay: 0.9,
+            ..TrainConfig::default()
+        });
+    let plan = ExperimentPlan::from_defects(
+        base,
+        fractions
+            .iter()
+            .map(|&f| DefectSpec::unreliable_training_data(3, 5, f)),
+    )?;
 
-    for &fraction in &[0.2f32, 0.35, 0.5, 0.65, 0.8] {
-        let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
-            .seed(21)
-            .train_per_class(100)
-            .test_per_class(40)
-            .train_config(TrainConfig {
-                epochs: 8,
-                batch_size: 32,
-                learning_rate: 0.05,
-                lr_decay: 0.9,
-                ..TrainConfig::default()
-            })
-            .inject(DefectSpec::unreliable_training_data(3, 5, fraction))
-            .build()?;
-        match scenario.run() {
+    let runner = SweepRunner::new(ArtifactStore::from_env()?);
+    println!("UTD severity sweep on LeNet / synth-digits\n");
+    let sweep = runner.run(&plan);
+
+    println!(
+        "{:>9} | {:>8} | {:>8} | {:>6} | {:>7} | {:>5} {:>5} {:>5} | dominant",
+        "fraction", "base acc", "test acc", "drop", "faulty", "ITD", "UTD", "SD"
+    );
+    println!("{}", "-".repeat(84));
+    for (fraction, cell) in fractions.iter().zip(&sweep.cells) {
+        let base_acc = cell
+            .baseline_test_accuracy
+            .map(|a| format!("{a:>8.3}"))
+            .unwrap_or_else(|| "       -".into());
+        match &cell.outcome {
             Ok(outcome) => {
                 let r = outcome.report.ratios.as_array();
+                let drop = cell
+                    .accuracy_drop()
+                    .map(|d| format!("{d:>6.3}"))
+                    .unwrap_or_else(|| "     -".into());
                 println!(
-                    "{fraction:>9.2} | {:>8.3} | {:>7} | {:>5.2} {:>5.2} {:>5.2} | {}",
+                    "{fraction:>9.2} | {base_acc} | {:>8.3} | {drop} | {:>7} | {:>5.2} {:>5.2} {:>5.2} | {}",
                     outcome.test_accuracy,
                     outcome.faulty_count,
                     r[0],
@@ -54,8 +74,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(DeepMorphError::NoFaultyCases) => {
                 println!("{fraction:>9.2} | (model perfect on the test set — defect too mild)");
             }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(e.clone().into()),
         }
     }
+
+    println!("\nartifact store: {}", sweep.store);
+    // The shared base (healthy twin) stage is trained at most once per
+    // sweep: every severity point then *loads* it, so the store must
+    // report at least one hit per cell.
+    assert!(
+        sweep.store.hits >= fractions.len() as u64,
+        "base-training artifact was not reused across severity points ({})",
+        sweep.store
+    );
+    println!(
+        "base-training artifact reused across all {} severity points",
+        fractions.len()
+    );
     Ok(())
 }

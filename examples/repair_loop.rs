@@ -7,9 +7,12 @@
 //! cargo run --release --example repair_loop
 //! ```
 //!
-//! Runs one scenario per defect type. For each: the defective model's
-//! accuracy, the diagnosis, the recommended repair, and the accuracy after
-//! applying it.
+//! Runs one scenario per defect type through the [`SweepRunner`] with the
+//! repair evaluation enabled: the three cells execute concurrently, and
+//! the diagnosis stages are cached in the artifact store
+//! (`DEEPMORPH_ARTIFACTS`, default `./artifacts`) — rerunning the example
+//! retrains only the repair step's model, reusing every cached diagnosis
+//! stage.
 
 use deepmorph_repro::prelude::*;
 
@@ -32,24 +35,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    for (family, dataset, defect) in cases {
-        println!("=== {family} on {dataset}, injected {defect} ===");
-        let scenario = Scenario::builder(family, dataset)
-            .seed(7)
-            .train_per_class(120)
-            .test_per_class(40)
-            .train_config(TrainConfig {
-                epochs: 8,
-                batch_size: 32,
-                learning_rate: 0.05,
-                lr_decay: 0.9,
-                ..TrainConfig::default()
-            })
-            .inject(defect)
-            .build()?;
+    let mut plan = ExperimentPlan::new().with_repair(true).with_baseline(false);
+    for (family, dataset, defect) in &cases {
+        plan = plan.with_cell(
+            Scenario::builder(*family, *dataset)
+                .seed(7)
+                .train_per_class(120)
+                .test_per_class(40)
+                .train_config(TrainConfig {
+                    epochs: 8,
+                    batch_size: 32,
+                    learning_rate: 0.05,
+                    lr_decay: 0.9,
+                    ..TrainConfig::default()
+                })
+                .inject(defect.clone())
+                .build()?,
+        );
+    }
 
-        match scenario.run_with_repair() {
-            Ok((outcome, repair)) => {
+    let runner = SweepRunner::new(ArtifactStore::from_env()?);
+    let sweep = runner.run(&plan);
+
+    for cell in &sweep.cells {
+        println!("=== {} ===", cell.subject);
+        match (&cell.outcome, &cell.repair) {
+            (Ok(outcome), Some(repair)) => {
                 println!(
                     "  diagnosis : {} (ratios {})",
                     outcome
@@ -67,12 +78,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     repair.improvement()
                 );
             }
-            Err(DeepMorphError::NoFaultyCases) => {
+            (Err(DeepMorphError::NoFaultyCases), _) => {
                 println!("  model was perfect on the test set; nothing to repair");
             }
-            Err(e) => return Err(e.into()),
+            (Err(e), _) => return Err(e.clone().into()),
+            (Ok(_), None) => unreachable!("repair enabled for every cell"),
         }
         println!();
     }
+    println!("artifact store: {}", sweep.store);
     Ok(())
 }

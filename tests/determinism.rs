@@ -115,8 +115,8 @@ fn matmul_family_bitwise_matches_serial_reference() {
     }
 }
 
-fn run_fixed_scenario() -> deepmorph::report::DefectReport {
-    let scenario = Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+fn fixed_scenario() -> Scenario {
+    Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
         .seed(1234)
         .scale(ModelScale::Tiny)
         .train_per_class(40)
@@ -128,8 +128,11 @@ fn run_fixed_scenario() -> deepmorph::report::DefectReport {
         })
         .inject(DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98))
         .build()
-        .expect("scenario builds");
-    scenario.run().expect("scenario runs").report
+        .expect("scenario builds")
+}
+
+fn run_fixed_scenario() -> deepmorph::report::DefectReport {
+    fixed_scenario().run().expect("scenario runs").report
 }
 
 fn fnv64(text: &str) -> u64 {
@@ -173,4 +176,32 @@ fn fixed_seed_scenario_is_identical_across_runs_and_builds() {
         );
     }
     std::fs::write(dir.join(format!("{features}.digest")), &digest).expect("write digest");
+}
+
+#[test]
+fn artifact_store_round_trip_leaves_digest_unchanged() {
+    // The staged engine's save → load cycle (model codec, probe codec,
+    // footprint codec, report JSON) must be invisible: a scenario driven
+    // through a real store — cold, then entirely from cache — produces
+    // the exact report the plain in-process run does. The store directory
+    // is shared across feature configurations on purpose: the serial
+    // build reads artifacts the parallel build wrote, so the codec is
+    // also a cross-build determinism check.
+    let plain = run_fixed_scenario();
+
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("determinism-store");
+    std::fs::create_dir_all(&dir).expect("store dir");
+    let engine = deepmorph::stage::StagedEngine::new(
+        deepmorph::artifact::ArtifactStore::open(&dir).expect("store opens"),
+    );
+    let scenario = fixed_scenario();
+    let cold = engine.run(&scenario).expect("cold staged run").report;
+    let warm = engine.run(&scenario).expect("warm staged run").report;
+    assert_eq!(cold, plain, "staged (cold) run diverged from the plain run");
+    assert_eq!(warm, plain, "cache round-trip changed the report");
+    assert_eq!(
+        fnv64(&warm.to_json()),
+        fnv64(&plain.to_json()),
+        "fixed-seed scenario digest changed across the store round-trip"
+    );
 }

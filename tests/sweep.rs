@@ -1,0 +1,175 @@
+//! Acceptance tests for the staged scenario engine and the concurrent
+//! sweep runner: a severity sweep must train the shared base stages once
+//! (proven by store counters), run cells concurrently, and produce
+//! per-cell reports bitwise identical to running each scenario alone,
+//! serially, with no store at all.
+
+use deepmorph_repro::prelude::*;
+
+fn sweep_base() -> ScenarioBuilder {
+    Scenario::builder(ModelFamily::LeNet, DatasetKind::Digits)
+        .seed(31)
+        .train_per_class(30)
+        .test_per_class(10)
+        .train_config(TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            learning_rate: 0.05,
+            lr_decay: 0.9,
+            ..TrainConfig::default()
+        })
+}
+
+const FRACTIONS: [f32; 5] = [0.3, 0.45, 0.6, 0.75, 0.9];
+
+fn severity_plan() -> ExperimentPlan {
+    ExperimentPlan::from_defects(
+        sweep_base(),
+        FRACTIONS
+            .iter()
+            .map(|&f| DefectSpec::unreliable_training_data(3, 5, f)),
+    )
+    .expect("plan builds")
+}
+
+fn fresh_store(name: &str) -> ArtifactStore {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    ArtifactStore::open(dir).expect("store dir")
+}
+
+#[test]
+fn five_point_severity_sweep_shares_base_and_matches_solo_runs() {
+    let plan = severity_plan();
+    let runner = SweepRunner::new(fresh_store("sweep-acceptance"));
+    let cold = runner.run(&plan);
+
+    // --- base-training sharing, proven by the store counters ----------
+    // Cold sweep: the healthy twin (shared base) misses once and is then
+    // hit by every cell; each cell misses stage 1, and each *diagnosed*
+    // cell misses stages 2–4 as well. Nothing else touches the store.
+    let succeeded = cold.succeeded() as u64;
+    let cells = plan.len() as u64;
+    assert!(succeeded >= 3, "sweep too mild to be meaningful: {cold:?}");
+    assert_eq!(
+        cold.store.hits, cells,
+        "every cell must load (not retrain) the shared base: {}",
+        cold.store
+    );
+    assert_eq!(
+        cold.store.misses,
+        1 + cells + 3 * succeeded,
+        "one base training + per-cell cold stages: {}",
+        cold.store
+    );
+    assert_eq!(cold.store.writes, cold.store.misses);
+
+    // Every cell saw the same healthy baseline.
+    let baselines: Vec<f32> = cold
+        .cells
+        .iter()
+        .filter_map(|c| c.baseline_test_accuracy)
+        .collect();
+    assert_eq!(baselines.len(), plan.len());
+    assert!(baselines.windows(2).all(|w| w[0] == w[1]));
+
+    // --- bitwise identity with solo serial runs ------------------------
+    // Each scenario run alone (disabled store, no sweep concurrency)
+    // must produce the identical outcome, bit for bit.
+    for (cell, scenario) in cold.cells.iter().zip(plan.cells()) {
+        match (&cell.outcome, scenario.run()) {
+            (Ok(from_sweep), Ok(solo)) => {
+                assert_eq!(from_sweep.report, solo.report, "{}", cell.subject);
+                assert_eq!(
+                    from_sweep.test_accuracy.to_bits(),
+                    solo.test_accuracy.to_bits()
+                );
+                assert_eq!(
+                    from_sweep.train_accuracy.to_bits(),
+                    solo.train_accuracy.to_bits()
+                );
+                assert_eq!(from_sweep.faulty_count, solo.faulty_count);
+            }
+            (Err(DeepMorphError::NoFaultyCases), Err(DeepMorphError::NoFaultyCases)) => {}
+            (sweep_out, solo_out) => {
+                panic!(
+                    "sweep/solo disagree for {}: {sweep_out:?} vs {solo_out:?}",
+                    cell.subject
+                )
+            }
+        }
+    }
+
+    // --- warm rerun: pure cache, identical output ----------------------
+    let warm = runner.run(&plan);
+    assert_eq!(
+        warm.store.misses, 0,
+        "warm sweep recomputed: {}",
+        warm.store
+    );
+    assert_eq!(
+        warm.store.writes, 0,
+        "warm sweep rewrote artifacts: {}",
+        warm.store
+    );
+    assert_eq!(
+        warm.cells, cold.cells,
+        "cached cells diverged from computed cells"
+    );
+}
+
+#[test]
+fn engine_with_store_matches_ephemeral_engine() {
+    // A single scenario driven stage-by-stage through a real store (cold,
+    // then warm) must equal the plain `Scenario::run`.
+    let scenario = sweep_base()
+        .inject(DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98))
+        .build()
+        .unwrap();
+    let plain = scenario.run().expect("plain run");
+
+    let engine = StagedEngine::new(fresh_store("engine-vs-ephemeral"));
+    let cold = engine.run(&scenario).expect("cold staged run");
+    let warm = engine.run(&scenario).expect("warm staged run");
+    assert_eq!(cold, plain);
+    assert_eq!(warm, plain);
+
+    let stats = engine.store().stats();
+    assert_eq!(stats.misses, 4, "cold run misses each stage once: {stats}");
+    assert_eq!(stats.hits, 4, "warm run loads each stage: {stats}");
+}
+
+#[test]
+fn sweep_cells_are_schedule_independent() {
+    // Running the same plan twice against independent stores must agree
+    // exactly — per-cell seeding makes results independent of which
+    // worker ran which cell in which order.
+    let plan = ExperimentPlan::from_defects(
+        sweep_base(),
+        [0.5f32, 0.9].map(|f| DefectSpec::unreliable_training_data(3, 5, f)),
+    )
+    .unwrap();
+    let a = SweepRunner::new(fresh_store("sweep-sched-a")).run(&plan);
+    let b = SweepRunner::new(fresh_store("sweep-sched-b")).run(&plan);
+    assert_eq!(a.cells, b.cells);
+}
+
+#[test]
+fn repair_through_the_engine_matches_solo_repair() {
+    let scenario = sweep_base()
+        .inject(DefectSpec::insufficient_training_data(vec![0, 1, 2], 0.98))
+        .build()
+        .unwrap();
+    let (solo_outcome, solo_repair) = scenario.run_with_repair().expect("solo repair");
+
+    let plan = ExperimentPlan::new()
+        .with_cell(scenario.clone())
+        .with_repair(true)
+        .with_baseline(false);
+    let sweep = SweepRunner::new(fresh_store("sweep-repair")).run(&plan);
+    let cell = &sweep.cells[0];
+    let outcome = cell.outcome.as_ref().expect("cell diagnosed");
+    let repair = cell.repair.as_ref().expect("cell repaired");
+    assert_eq!(*outcome, solo_outcome);
+    assert_eq!(*repair, solo_repair);
+}

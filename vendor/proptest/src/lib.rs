@@ -1,7 +1,7 @@
 //! Minimal offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset this workspace's property tests use: the
-//! [`proptest!`] macro, numeric-range / tuple / [`Just`] / `prop_oneof!`
+//! [`proptest!`] macro, numeric-range / tuple / [`Just`](strategy::Just) / `prop_oneof!`
 //! strategies, `prop_map` / `prop_flat_map`, [`collection::vec`], and the
 //! `prop_assert*` / `prop_assume!` macros.
 //!
