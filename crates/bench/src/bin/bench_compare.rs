@@ -15,8 +15,15 @@
 //! Usage:
 //!   `bench_compare <criterion-json-dir> <baseline.json>
 //!        [--threshold 0.15] [--write <out.json>]`
+//!
+//! Exit codes: `0` ok, `1` bench regression, `2` usage/IO error (with the
+//! usage text on stderr — argument mistakes never panic).
 
 use deepmorph_json::Json;
+
+const USAGE: &str = "usage: bench_compare [<criterion-json-dir>] [<baseline.json>] \
+                     [--threshold <fraction>] [--write <out.json>]\n\
+                     defaults: target/criterion-json BENCH_baseline.json --threshold 0.15";
 
 /// Headline comparisons recorded by `--write`:
 /// `(label, fresh bench id, baseline bench id)`. The acceptance bar is
@@ -51,21 +58,25 @@ const HEADLINE: &[(&str, &str, &str)] = &[
     ),
 ];
 
-fn load_results(path: &std::path::Path, into: &mut Vec<(String, f64)>) {
+fn load_results(path: &std::path::Path, into: &mut Vec<(String, f64)>) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    let doc = Json::parse(&text).expect("parse bench json");
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
     collect_results(&doc, into);
+    Ok(())
 }
 
 /// Pulls `(id, median_ns)` pairs out of either a raw shim report
 /// (`{"results": [...]}`) or a merged baseline (`{"benches": {bin: {...}}}`).
+/// Entries without a string `id` and numeric `median_ns` are skipped.
 fn collect_results(doc: &Json, into: &mut Vec<(String, f64)>) {
     if let Some(results) = doc.get("results").and_then(Json::as_arr) {
         for r in results {
-            let id = r.req("id").unwrap().as_str().unwrap().to_string();
-            let median = r.req("median_ns").unwrap().as_f64().unwrap();
-            into.push((id, median));
+            let id = r.get("id").and_then(Json::as_str);
+            let median = r.get("median_ns").and_then(Json::as_f64);
+            if let (Some(id), Some(median)) = (id, median) {
+                into.push((id.to_string(), median));
+            }
         }
     }
     if let Some(Json::Obj(sections)) = doc.get("benches") {
@@ -76,6 +87,19 @@ fn collect_results(doc: &Json, into: &mut Vec<(String, f64)>) {
 }
 
 fn main() {
+    match run() {
+        Ok(regressions) if regressions => std::process::exit(1),
+        Ok(_) => {}
+        Err(message) => {
+            eprintln!("bench_compare: {message}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Runs the comparison; `Ok(true)` means regressions were found (exit 1),
+/// `Err` is a usage/IO problem (usage text + exit 2).
+fn run() -> Result<bool, String> {
     let mut dir = "target/criterion-json".to_string();
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut threshold = 0.15f64;
@@ -88,16 +112,22 @@ fn main() {
             "--threshold" => {
                 threshold = args
                     .next()
-                    .expect("--threshold needs a value")
+                    .ok_or("--threshold needs a value")?
                     .parse()
-                    .expect("threshold must be a float");
+                    .map_err(|e| format!("--threshold must be a float: {e}"))?;
             }
-            "--write" => write_path = Some(args.next().expect("--write needs a path")),
+            "--write" => {
+                write_path = Some(args.next().ok_or("--write needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(false);
+            }
             _ => {
                 match positional {
                     0 => dir = arg,
                     1 => baseline_path = arg,
-                    _ => panic!("unexpected argument {arg}"),
+                    _ => return Err(format!("unexpected argument `{arg}`")),
                 }
                 positional += 1;
             }
@@ -107,18 +137,20 @@ fn main() {
     // Fresh run: every *.json the criterion shim wrote.
     let mut fresh: Vec<(String, f64)> = Vec::new();
     let mut entries: Vec<_> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
-        .map(|e| e.expect("dir entry").path())
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .collect();
     entries.sort();
-    assert!(!entries.is_empty(), "no bench json found in {dir}");
+    if entries.is_empty() {
+        return Err(format!("no bench json found in {dir}"));
+    }
     for path in &entries {
-        load_results(path, &mut fresh);
+        load_results(path, &mut fresh)?;
     }
 
     let mut baseline: Vec<(String, f64)> = Vec::new();
-    load_results(std::path::Path::new(&baseline_path), &mut baseline);
+    load_results(std::path::Path::new(&baseline_path), &mut baseline)?;
 
     let lookup = |set: &[(String, f64)], id: &str| -> Option<f64> {
         set.iter().find(|(n, _)| n == id).map(|(_, v)| *v)
@@ -143,7 +175,9 @@ fn main() {
             regressions.push((id.clone(), ratio));
         }
     }
-    assert!(compared > 0, "no bench ids shared with {baseline_path}");
+    if compared == 0 {
+        return Err(format!("no bench ids shared with {baseline_path}"));
+    }
 
     if let Some(out_path) = write_path {
         let mut improvements: Vec<(String, Json)> = Vec::new();
@@ -184,7 +218,8 @@ fn main() {
             ("improvements", Json::Obj(improvements)),
             ("steady_ns", Json::Obj(steady)),
         ]);
-        std::fs::write(&out_path, doc.to_string_pretty()).expect("write workspace report");
+        std::fs::write(&out_path, doc.to_string_pretty())
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
         println!("wrote {out_path}");
     }
 
@@ -196,10 +231,11 @@ fn main() {
         for (id, ratio) in &regressions {
             eprintln!("  {id}: {ratio:.2}x");
         }
-        std::process::exit(1);
+        return Ok(true);
     }
     println!(
         "bench compare ok: {compared} ids within {:.0}%",
         threshold * 100.0
     );
+    Ok(false)
 }

@@ -49,7 +49,7 @@ fn analyze(family: ModelFamily, defect: &DefectSpec) -> Result<(), DeepMorphErro
     // Re-run the pipeline manually to get raw specifics.
     let (clean_train, test) = scenario.generate_data();
     let mut inject_rng = stream_rng(7, "scenario-inject");
-    let train = defect.apply_to_dataset(&clean_train, &mut inject_rng);
+    let train = defect.apply_to_dataset(&clean_train, &mut inject_rng)?;
     let input_shape = [dataset.channels(), dataset.side(), dataset.side()];
     let spec =
         defect.apply_to_model_spec(ModelSpec::new(family, ModelScale::Tiny, input_shape, 10));

@@ -1,0 +1,419 @@
+//! Load generator for `deepmorph-serve`: micro-batching on vs. off.
+//!
+//! ```text
+//! cargo run --release -p deepmorph-bench --bin serve_bench            # full, writes BENCH_serve.json
+//! cargo run --release -p deepmorph-bench --bin serve_bench -- --smoke # CI smoke (small, no file)
+//! ```
+//!
+//! For each mode — **batched** (`max_batch = 32`) and **solo** (the
+//! identical server with `max_batch = 1`, so only the batching knob
+//! differs) — the bench starts a fresh server on a loopback port,
+//! holds `C` single-row predict requests in flight (pipelined over
+//! `C / 4` connections), and records throughput, latency percentiles,
+//! and the realized mean batch size at several concurrency levels. A
+//! `solo_tuned` control additionally gives the batching-free server its
+//! best dispatcher count.
+//!
+//! It also verifies the scheduler's core promise end to end: logits
+//! returned under concurrent batched load are **bitwise identical** to
+//! the same rows served solo. Full mode asserts the acceptance bar
+//! (≥ 2× throughput from batching at concurrency 32) and writes
+//! `BENCH_serve.json`; smoke mode asserts every response is OK and
+//! throughput is positive.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use deepmorph_json::Json;
+use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
+use deepmorph_serve::prelude::*;
+use deepmorph_serve::protocol::{self, PredictRequest, Request, Response};
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+
+const MODEL: &str = "alexnet-paper";
+const ROW_ELEMS: usize = 256; // [1, 16, 16]
+
+fn registry() -> ModelRegistry {
+    // Paper-scale AlexNet: the regime micro-batching targets — per-row
+    // kernel cost drops ~3.4x from batch 1 to batch 32 on this
+    // substrate (dense-tail weight traffic and per-layer dispatch are
+    // amortized across the coalesced rows).
+    let spec = ModelSpec::new(ModelFamily::AlexNet, ModelScale::Paper, [1, 16, 16], 10);
+    let mut model = build_model(&spec, &mut stream_rng(42, "serve-bench")).unwrap();
+    let mut registry = ModelRegistry::new();
+    registry.register(MODEL, &mut model, None).unwrap();
+    registry
+}
+
+fn server(max_batch: usize, workers: usize) -> Server {
+    Server::start(
+        registry(),
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch,
+                // Pure load-adaptive batching: batches form from queue
+                // buildup while forwards run; no straggler timer (timed
+                // wakeups are milliseconds late on loaded machines).
+                max_wait: Duration::ZERO,
+                workers,
+                ..BatchConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Deterministic distinct input row (index arithmetic wraps: the warmup
+/// deliberately uses indexes near `usize::MAX`).
+fn input_row(i: usize) -> Tensor {
+    let data = (0..ROW_ELEMS)
+        .map(|j| {
+            let h = (i.wrapping_mul(ROW_ELEMS).wrapping_add(j) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32).fract()
+        })
+        .collect();
+    Tensor::from_vec(data, &[1, 1, 16, 16]).unwrap()
+}
+
+#[derive(Clone)]
+struct LoadResult {
+    workers: usize,
+    throughput_rows_per_s: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    avg_batch_rows: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// A pipelined load-generator connection: keeps `window` single-row
+/// predict requests in flight (responses matched by echoed id), the way
+/// a real high-throughput client drives an inference service. Pipelining
+/// holds the target concurrency with `concurrency / window` sockets, so
+/// the measurement exercises the server, not the load generator's own
+/// thread-scheduling overhead.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    window: usize,
+    requests: usize,
+    salt: usize,
+) -> Vec<f64> {
+    // Encode every request up front: the load generator shares cores
+    // with the server in this bench, so per-request hashing/encoding
+    // inside the timed loop would perturb what is being measured.
+    let wires: Vec<Vec<u8>> = (0..requests)
+        .map(|i| {
+            protocol::encode_request(
+                i as u64 + 1,
+                &Request::Predict(PredictRequest {
+                    model: MODEL.to_string(),
+                    rows: input_row(salt + i),
+                    want_logits: false,
+                    true_labels: Vec::new(),
+                }),
+            )
+        })
+        .collect();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut latencies = Vec::with_capacity(requests);
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let mut sent = 0usize;
+    let mut done = 0usize;
+    while done < requests {
+        while sent < requests && in_flight.len() < window {
+            in_flight.insert(sent as u64 + 1, Instant::now());
+            stream.write_all(&wires[sent]).expect("send");
+            sent += 1;
+        }
+        let mut prefix = [0u8; 4];
+        stream.read_exact(&mut prefix).expect("read prefix");
+        let mut frame = vec![0u8; u32::from_le_bytes(prefix) as usize];
+        stream.read_exact(&mut frame).expect("read frame");
+        let (id, response) = protocol::decode_response(&frame).expect("decode");
+        let started = in_flight.remove(&id).expect("known id");
+        latencies.push(started.elapsed().as_secs_f64() * 1e6);
+        match response {
+            Response::Predict(p) => assert_eq!(p.predictions.len(), 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+        done += 1;
+    }
+    latencies
+}
+
+/// Requests pipelined per connection. 4 in-flight per socket keeps the
+/// load generator light while sockets × window = target concurrency.
+const WINDOW: usize = 4;
+
+/// Fires `concurrency` in-flight single-row requests at `addr` (over
+/// `concurrency / WINDOW` pipelined connections) and aggregates.
+fn run_load(
+    addr: std::net::SocketAddr,
+    concurrency: usize,
+    total_requests: usize,
+    stats_before: StatsSnapshot,
+    stats_after: impl FnOnce() -> StatsSnapshot,
+) -> LoadResult {
+    let window = WINDOW.min(concurrency);
+    let connections = concurrency / window;
+    let requests_each = total_requests / connections;
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope
+                    .spawn(move || drive_connection(addr, window, requests_each, c * requests_each))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let total_rows = (connections * requests_each) as f64;
+    let mut sorted = latencies;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let after = stats_after();
+    let batches = after.batches.saturating_sub(stats_before.batches);
+    let rows = after.rows.saturating_sub(stats_before.rows);
+    LoadResult {
+        workers: 0,
+        throughput_rows_per_s: total_rows / wall,
+        p50_us: percentile(&sorted, 0.50),
+        p95_us: percentile(&sorted, 0.95),
+        p99_us: percentile(&sorted, 0.99),
+        avg_batch_rows: if batches == 0 {
+            0.0
+        } else {
+            rows as f64 / batches as f64
+        },
+    }
+}
+
+/// One warms-then-measures pass against a fresh server.
+fn measure(
+    max_batch: usize,
+    workers: usize,
+    concurrency: usize,
+    total_requests: usize,
+) -> LoadResult {
+    let srv = server(max_batch, workers);
+    let addr = srv.local_addr();
+    // Warm up: replica construction, pool spin-up, page faults.
+    {
+        let mut client = Client::connect(addr).unwrap();
+        for i in 0..8 {
+            let _ = client.predict(MODEL, &input_row(usize::MAX - i)).unwrap();
+        }
+    }
+    let before = srv.stats();
+    let mut result = run_load(addr, concurrency, total_requests, before, || srv.stats());
+    srv.shutdown();
+    result.workers = workers;
+    result
+}
+
+/// The higher-throughput of two runs (used to give the solo control its
+/// best dispatcher count).
+fn best(a: LoadResult, b: LoadResult) -> LoadResult {
+    if a.throughput_rows_per_s >= b.throughput_rows_per_s {
+        a
+    } else {
+        b
+    }
+}
+
+/// Verifies batched-under-concurrency responses equal solo responses
+/// bitwise; returns the number of rows checked.
+fn verify_bitwise(workers: usize) -> usize {
+    let n = 16;
+    let solo_srv = server(1, 1);
+    let mut solo_client = Client::connect(solo_srv.local_addr()).unwrap();
+    let solo: Vec<Tensor> = (0..n)
+        .map(|i| {
+            solo_client
+                .predict_full(MODEL, &input_row(i), true, &[])
+                .unwrap()
+                .logits
+                .unwrap()
+        })
+        .collect();
+    solo_srv.shutdown();
+
+    let batched_srv = server(n, workers);
+    let addr = batched_srv.local_addr();
+    let batched: Vec<Tensor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .predict_full(MODEL, &input_row(i), true, &[])
+                        .unwrap()
+                        .logits
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    batched_srv.shutdown();
+
+    for (i, (a, b)) in solo.iter().zip(&batched).enumerate() {
+        assert_eq!(a.shape(), b.shape());
+        for (va, vb) in a.data().iter().zip(b.data()) {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "row {i}: batched response diverged from solo — batching must be invisible"
+            );
+        }
+    }
+    n
+}
+
+fn result_json(r: &LoadResult) -> Json {
+    Json::obj([
+        ("workers", Json::usize(r.workers)),
+        ("throughput_rows_per_s", Json::num(r.throughput_rows_per_s)),
+        ("p50_us", Json::num(r.p50_us)),
+        ("p95_us", Json::num(r.p95_us)),
+        ("p99_us", Json::num(r.p99_us)),
+        ("avg_batch_rows", Json::num(r.avg_batch_rows)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    // Batched servers run ONE dispatcher: micro-batching converts
+    // request-level parallelism into data-level parallelism inside the
+    // forward (the kernel pool fans a big batch over every core), so a
+    // second dispatcher would only race the first to the queue and
+    // shrink batches. The solo control gets whichever worker count
+    // serves it best (measured per level).
+    let batched_workers = 1;
+
+    // The invisibility check runs in every mode: a bench that reports a
+    // speedup from wrong answers would be worse than useless.
+    let checked = verify_bitwise(2);
+    println!("bitwise identity: {checked} batched rows == solo rows");
+
+    if smoke {
+        let result = measure(32, batched_workers, 4, 40);
+        println!(
+            "smoke: 40 requests ok, {:.0} rows/s (p50 {:.0} µs, avg batch {:.1})",
+            result.throughput_rows_per_s, result.p50_us, result.avg_batch_rows
+        );
+        assert!(
+            result.throughput_rows_per_s > 0.0,
+            "serve smoke produced no throughput"
+        );
+        println!("serve smoke OK");
+        return;
+    }
+
+    // (concurrency, total requests per mode).
+    let levels: &[(usize, usize)] = &[(1, 100), (8, 400), (32, 1280)];
+    let mut level_entries: Vec<(String, Json)> = Vec::new();
+    let mut speedup_c32 = 0.0;
+    for &(concurrency, total_requests) in levels {
+        // `solo` is the acceptance-criterion control: the identical
+        // server with max_batch = 1 — only the batching knob differs.
+        // `solo_tuned` additionally hands the control a second
+        // dispatcher (the best a batching-free server can do here),
+        // reported for honesty about where the win comes from.
+        let solo = measure(1, batched_workers, concurrency, total_requests);
+        let solo_tuned = best(
+            measure(1, 2, concurrency, total_requests),
+            measure(1, 4, concurrency, total_requests),
+        );
+        let solo_tuned = best(solo_tuned, solo.clone());
+        let batched = measure(32, batched_workers, concurrency, total_requests);
+        let speedup = batched.throughput_rows_per_s / solo.throughput_rows_per_s;
+        let speedup_tuned = batched.throughput_rows_per_s / solo_tuned.throughput_rows_per_s;
+        if concurrency == 32 {
+            speedup_c32 = speedup;
+        }
+        println!(
+            "c={concurrency:>2}: solo {:>8.0} rows/s (p50 {:>6.0} µs) | batched {:>8.0} rows/s \
+             (p50 {:>6.0} µs, avg batch {:>4.1}) | {speedup:.2}x ({speedup_tuned:.2}x vs tuned \
+             w={})",
+            solo.throughput_rows_per_s,
+            solo.p50_us,
+            batched.throughput_rows_per_s,
+            batched.p50_us,
+            batched.avg_batch_rows,
+            solo_tuned.workers,
+        );
+        level_entries.push((
+            format!("c{concurrency}"),
+            Json::obj([
+                ("solo", result_json(&solo)),
+                ("solo_tuned", result_json(&solo_tuned)),
+                ("batched", result_json(&batched)),
+                ("speedup", Json::num(speedup)),
+                ("speedup_vs_tuned", Json::num(speedup_tuned)),
+            ]),
+        ));
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let doc = Json::obj([
+        (
+            "note",
+            Json::str(
+                "deepmorph-serve load test: pipelined single-row predict requests \
+                 against a paper-scale AlexNet replica server. `batched` coalesces up \
+                 to max_batch rows per forward; `solo` is the identical server with \
+                 max_batch=1 (only the batching knob differs); `solo_tuned` \
+                 additionally gives the control its best dispatcher count. Batched \
+                 responses verified bitwise identical to solo before measuring. \
+                 Regenerate with `cargo run --release -p deepmorph-bench --bin \
+                 serve_bench`.",
+            ),
+        ),
+        ("threads", Json::usize(threads)),
+        (
+            "config",
+            Json::obj([
+                ("model", Json::str(MODEL)),
+                ("max_batch", Json::usize(32)),
+                ("max_wait_us", Json::num(0.0)),
+                ("batched_workers", Json::usize(batched_workers)),
+            ]),
+        ),
+        ("bitwise_identical_rows", Json::usize(checked)),
+        ("levels", Json::Obj(level_entries)),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+
+    assert!(
+        speedup_c32 >= 2.0,
+        "micro-batching speedup at concurrency 32 is {speedup_c32:.2}x, expected >= 2x \
+         (is the machine heavily loaded?)"
+    );
+    println!("acceptance OK: {speedup_c32:.2}x at concurrency 32");
+}

@@ -70,6 +70,14 @@ impl From<NnError> for DeepMorphError {
     }
 }
 
+impl From<deepmorph_defects::DefectError> for DeepMorphError {
+    fn from(e: deepmorph_defects::DefectError) -> Self {
+        DeepMorphError::InvalidScenario {
+            reason: format!("defect injection rejected: {e}"),
+        }
+    }
+}
+
 impl From<TensorError> for DeepMorphError {
     fn from(e: TensorError) -> Self {
         DeepMorphError::Nn(NnError::Tensor(e))

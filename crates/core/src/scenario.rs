@@ -227,7 +227,7 @@ impl Scenario {
         let cfg = &self.cfg;
         let (clean_train, test) = self.generate_data();
         let mut inject_rng = stream_rng(cfg.seed, "scenario-inject");
-        let train = cfg.defect.apply_to_dataset(&clean_train, &mut inject_rng);
+        let train = cfg.defect.apply_to_dataset(&clean_train, &mut inject_rng)?;
         if train.is_empty() {
             return Err(DeepMorphError::InvalidScenario {
                 reason: "injection removed the entire training set".into(),

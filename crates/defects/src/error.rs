@@ -1,0 +1,55 @@
+//! Typed errors for defect injection.
+
+use std::fmt;
+
+/// Errors produced when applying a [`crate::DefectSpec`] to a dataset.
+///
+/// Injection used to `panic!` on an out-of-range class; a long-running
+/// process (the serving layer diagnoses live traffic against operator
+/// supplied specs) must instead receive a typed error it can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DefectError {
+    /// A defect spec referenced a class the dataset does not have.
+    ClassOutOfRange {
+        /// Which part of the spec referenced the class.
+        role: &'static str,
+        /// The offending class index.
+        class: usize,
+        /// Number of classes the dataset actually has.
+        num_classes: usize,
+    },
+}
+
+impl fmt::Display for DefectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefectError::ClassOutOfRange {
+                role,
+                class,
+                num_classes,
+            } => write!(
+                f,
+                "{role} class {class} out of range for a dataset with {num_classes} classes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DefectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_role() {
+        let e = DefectError::ClassOutOfRange {
+            role: "ITD",
+            class: 9,
+            num_classes: 4,
+        };
+        assert!(e.to_string().contains("ITD class 9"));
+        assert!(e.to_string().contains("4 classes"));
+    }
+}

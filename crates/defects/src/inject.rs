@@ -5,6 +5,7 @@ use deepmorph_models::ModelSpec;
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 
+use crate::error::DefectError;
 use crate::kind::DefectKind;
 
 /// A concrete, parameterized defect to inject into a scenario.
@@ -82,35 +83,50 @@ impl DefectSpec {
     /// Applies the data-side injection, returning the (possibly) modified
     /// training set. SD and Healthy return the dataset unchanged.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a referenced class is out of range for the dataset.
-    pub fn apply_to_dataset(&self, train: &Dataset, rng: &mut ChaCha8Rng) -> Dataset {
+    /// Returns [`DefectError::ClassOutOfRange`] if the spec references a
+    /// class the dataset does not have; the dataset is left untouched.
+    pub fn apply_to_dataset(
+        &self,
+        train: &Dataset,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Dataset, DefectError> {
+        let check = |role: &'static str, class: usize| {
+            if class < train.num_classes() {
+                Ok(())
+            } else {
+                Err(DefectError::ClassOutOfRange {
+                    role,
+                    class,
+                    num_classes: train.num_classes(),
+                })
+            }
+        };
         match self {
-            DefectSpec::Healthy | DefectSpec::Sd { .. } => train.clone(),
+            DefectSpec::Healthy | DefectSpec::Sd { .. } => Ok(train.clone()),
             DefectSpec::Itd { classes, fraction } => {
+                // Validate every class before drawing from the RNG so a
+                // rejected spec cannot perturb the injection stream.
+                for &class in classes {
+                    check("ITD", class)?;
+                }
                 let mut remove = Vec::new();
                 for &class in classes {
-                    assert!(
-                        class < train.num_classes(),
-                        "ITD class {class} out of range"
-                    );
                     let mut idx = train.class_indices(class);
                     idx.shuffle(rng);
                     let take = ((idx.len() as f32) * fraction).round() as usize;
                     remove.extend_from_slice(&idx[..take.min(idx.len())]);
                 }
-                train.without_indices(&remove)
+                Ok(train.without_indices(&remove))
             }
             DefectSpec::Utd {
                 source_class,
                 target_class,
                 fraction,
             } => {
-                assert!(
-                    *source_class < train.num_classes() && *target_class < train.num_classes(),
-                    "UTD class out of range"
-                );
+                check("UTD source", *source_class)?;
+                check("UTD target", *target_class)?;
                 let mut corrupted = train.clone();
                 let mut idx = train.class_indices(*source_class);
                 idx.shuffle(rng);
@@ -118,7 +134,7 @@ impl DefectSpec {
                 for &i in idx.iter().take(take) {
                     corrupted.set_label(i, *target_class);
                 }
-                corrupted
+                Ok(corrupted)
             }
         }
     }
@@ -173,7 +189,7 @@ mod tests {
         let ds = toy_dataset(20, 4);
         let spec = DefectSpec::insufficient_training_data(vec![1, 2], 0.75);
         let mut rng = stream_rng(1, "defect");
-        let injected = spec.apply_to_dataset(&ds, &mut rng);
+        let injected = spec.apply_to_dataset(&ds, &mut rng).unwrap();
         let hist = injected.class_histogram();
         assert_eq!(hist[0], 20);
         assert_eq!(hist[1], 5);
@@ -186,7 +202,7 @@ mod tests {
         let ds = toy_dataset(20, 3);
         let spec = DefectSpec::unreliable_training_data(0, 2, 0.5);
         let mut rng = stream_rng(2, "defect");
-        let injected = spec.apply_to_dataset(&ds, &mut rng);
+        let injected = spec.apply_to_dataset(&ds, &mut rng).unwrap();
         let hist = injected.class_histogram();
         assert_eq!(hist[0], 10);
         assert_eq!(hist[1], 20);
@@ -199,7 +215,7 @@ mod tests {
         let ds = toy_dataset(5, 2);
         let spec = DefectSpec::structure_defect(2);
         let mut rng = stream_rng(3, "defect");
-        let injected = spec.apply_to_dataset(&ds, &mut rng);
+        let injected = spec.apply_to_dataset(&ds, &mut rng).unwrap();
         assert_eq!(injected, ds);
         let mspec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
         assert_eq!(spec.apply_to_model_spec(mspec).removed_convs, 2);
@@ -213,9 +229,40 @@ mod tests {
     fn injection_is_deterministic() {
         let ds = toy_dataset(30, 3);
         let spec = DefectSpec::insufficient_training_data(vec![0], 0.5);
-        let a = spec.apply_to_dataset(&ds, &mut stream_rng(7, "defect"));
-        let b = spec.apply_to_dataset(&ds, &mut stream_rng(7, "defect"));
+        let a = spec
+            .apply_to_dataset(&ds, &mut stream_rng(7, "defect"))
+            .unwrap();
+        let b = spec
+            .apply_to_dataset(&ds, &mut stream_rng(7, "defect"))
+            .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_classes_are_typed_errors() {
+        let ds = toy_dataset(5, 3);
+        let mut rng = stream_rng(9, "defect");
+        let err = DefectSpec::insufficient_training_data(vec![0, 7], 0.5)
+            .apply_to_dataset(&ds, &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DefectError::ClassOutOfRange {
+                role: "ITD",
+                class: 7,
+                num_classes: 3,
+            }
+        );
+        let err = DefectSpec::unreliable_training_data(1, 3, 0.5)
+            .apply_to_dataset(&ds, &mut rng)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DefectError::ClassOutOfRange {
+                role: "UTD target",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -229,12 +276,9 @@ mod tests {
 
     #[test]
     fn fractions_are_clamped() {
+        // A single pattern assertion: no panicking fallback arm needed.
         let spec = DefectSpec::insufficient_training_data(vec![0], 7.0);
-        if let DefectSpec::Itd { fraction, .. } = spec {
-            assert_eq!(fraction, 1.0);
-        } else {
-            panic!("wrong variant");
-        }
+        assert!(matches!(spec, DefectSpec::Itd { fraction, .. } if fraction == 1.0));
     }
 
     #[test]

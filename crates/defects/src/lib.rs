@@ -17,14 +17,17 @@
 //! [`ModelSpec`](deepmorph_models::ModelSpec) (SD); healthy specs leave
 //! both untouched.
 
+mod error;
 mod inject;
 mod kind;
 
+pub use error::DefectError;
 pub use inject::DefectSpec;
 pub use kind::DefectKind;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::error::DefectError;
     pub use crate::inject::DefectSpec;
     pub use crate::kind::DefectKind;
 }

@@ -2,6 +2,7 @@
 
 use deepmorph_nn::prelude::*;
 use deepmorph_nn::NnError;
+use deepmorph_tensor::init::stream_rng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::{alexnet, densenet, lenet, resnet};
@@ -104,6 +105,38 @@ impl ModelSpec {
         self.removed_convs = removed;
         self
     }
+
+    /// Checks the spec for internal consistency before any layer is built.
+    ///
+    /// [`build_model`] calls this first, so a corrupt spec (decoded from a
+    /// damaged file, or assembled by a remote caller) surfaces as a typed
+    /// [`NnError::InvalidSpec`] instead of a panic deep inside a builder —
+    /// a server loading operator-supplied models must never abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] for zero-sized inputs or a
+    /// class-free output.
+    pub fn validate(&self) -> Result<(), NnError> {
+        let invalid = |reason: String| Err(NnError::InvalidSpec { reason });
+        let [c, h, w] = self.input_shape;
+        if c == 0 || h == 0 || w == 0 {
+            return invalid(format!("input shape [{c}, {h}, {w}] has a zero dimension"));
+        }
+        if self.num_classes == 0 {
+            return invalid("num_classes must be positive".to_string());
+        }
+        // Each family tolerates a bounded number of removed conv units;
+        // the builders reject deeper removal themselves, but an absurd
+        // value from a corrupt file is cheaper to reject here.
+        if self.removed_convs > 64 {
+            return invalid(format!(
+                "removed_convs {} is beyond any supported architecture",
+                self.removed_convs
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A probe attachment point reported by a model builder.
@@ -139,15 +172,38 @@ impl ModelHandle {
     pub fn param_count(&mut self) -> usize {
         self.graph.param_count()
     }
+
+    /// Builds an independent replica: same architecture (rebuilt from the
+    /// spec), same parameters and buffers (state-dict import). Replicas
+    /// share no storage, so each serving worker can own one and run
+    /// forwards concurrently; eval-mode outputs are bitwise identical to
+    /// the original's.
+    ///
+    /// Takes `&mut` because exporting the state dict walks the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build errors; a state mismatch is impossible for a graph
+    /// rebuilt from the same spec.
+    pub fn replicate(&mut self) -> Result<ModelHandle, NnError> {
+        // The RNG only feeds weight init that the import overwrites; a
+        // fixed stream keeps replica construction deterministic.
+        let mut rng = stream_rng(0, "model-replica");
+        let mut twin = build_model(&self.spec, &mut rng)?;
+        twin.graph.import_state(&self.graph.export_state())?;
+        Ok(twin)
+    }
 }
 
 /// Builds a model from its spec using the given RNG for weight init.
 ///
 /// # Errors
 ///
-/// Returns an error if the spec is inconsistent (input too small for the
-/// architecture, all conv units removed, …).
+/// Returns [`NnError::InvalidSpec`] for a spec that fails
+/// [`ModelSpec::validate`], and other errors if the spec is inconsistent
+/// with the architecture (input too small, all conv units removed, …).
 pub fn build_model(spec: &ModelSpec, rng: &mut ChaCha8Rng) -> Result<ModelHandle, NnError> {
+    spec.validate()?;
     let (graph, probes) = match spec.family {
         ModelFamily::LeNet => lenet::build(spec, rng)?,
         ModelFamily::AlexNet => alexnet::build(spec, rng)?,
@@ -175,18 +231,61 @@ mod tests {
     }
 
     #[test]
-    fn all_families_build_and_forward() {
+    fn all_families_build_and_forward() -> Result<(), String> {
+        // Failures propagate as Results (with family context) rather than
+        // panicking mid-loop.
         for family in ModelFamily::all() {
             let spec = ModelSpec::new(family, ModelScale::Tiny, dataset_shape(family), 10);
             let mut rng = stream_rng(1, "spec");
-            let mut handle = build_model(&spec, &mut rng).unwrap();
+            let mut handle = build_model(&spec, &mut rng).map_err(|e| format!("{family}: {e}"))?;
             check_forward(&mut handle.graph, spec.input_shape, 2, 10)
-                .unwrap_or_else(|e| panic!("{family}: {e}"));
+                .map_err(|e| format!("{family}: {e}"))?;
             assert!(
                 handle.probes.len() >= 3,
                 "{family} should expose >=3 probes"
             );
             assert!(handle.param_count() > 100, "{family} suspiciously small");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn corrupt_specs_are_typed_errors() {
+        let mut rng = stream_rng(7, "spec");
+        for bad in [
+            ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [0, 16, 16], 10),
+            ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 0),
+            ModelSpec::new(ModelFamily::ResNet, ModelScale::Tiny, [3, 16, 16], 10)
+                .with_removed_convs(1000),
+        ] {
+            assert!(bad.validate().is_err());
+            assert!(matches!(
+                build_model(&bad, &mut rng).unwrap_err(),
+                NnError::InvalidSpec { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn replicas_predict_bitwise_identically() {
+        use deepmorph_tensor::Tensor;
+        let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+        let mut rng = stream_rng(11, "spec");
+        let mut original = build_model(&spec, &mut rng).unwrap();
+        let mut replica = original.replicate().unwrap();
+        assert_eq!(replica.spec, original.spec);
+        assert_eq!(replica.probes, original.probes);
+        let x = Tensor::from_vec(
+            (0..2 * 256)
+                .map(|i| ((i * 37) % 97) as f32 / 97.0)
+                .collect(),
+            &[2, 1, 16, 16],
+        )
+        .unwrap();
+        let a = original.graph.forward(&x, Mode::Eval).unwrap();
+        let b = replica.graph.forward(&x, Mode::Eval).unwrap();
+        for (va, vb) in a.data().iter().zip(b.data()) {
+            assert_eq!(va.to_bits(), vb.to_bits());
         }
     }
 

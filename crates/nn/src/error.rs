@@ -48,6 +48,14 @@ pub enum NnError {
         /// Description of the disagreement.
         reason: String,
     },
+    /// A model specification is internally inconsistent (zero-sized input,
+    /// no classes, …) and cannot be built. Surfaced as a typed error so a
+    /// long-running process fed a corrupt spec reports it instead of
+    /// aborting.
+    InvalidSpec {
+        /// Description of the inconsistency.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -72,6 +80,9 @@ impl fmt::Display for NnError {
             }
             NnError::StateMismatch { reason } => {
                 write!(f, "state dict mismatch: {reason}")
+            }
+            NnError::InvalidSpec { reason } => {
+                write!(f, "invalid model spec: {reason}")
             }
         }
     }

@@ -183,6 +183,27 @@ impl Graph {
         Ok(out)
     }
 
+    /// Inference entry point for serving replicas: an eval-mode forward
+    /// that is guaranteed to leave no backward state behind.
+    ///
+    /// Numerically identical (bitwise) to `forward(x, Mode::Eval)` — and,
+    /// because every layer computes each batch row independently in eval
+    /// mode, the rows of a coalesced batch are bitwise identical to the
+    /// same inputs run one at a time. On top of the eval forward this
+    /// clears the `ready` latch a previous *training* forward may have
+    /// left set, so a stray [`Graph::backward`] on a serving replica is a
+    /// typed [`NnError::MissingActivation`] instead of silently consuming
+    /// stale caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_inference(&mut self, x: &Tensor) -> Result<Tensor> {
+        let out = self.forward(x, Mode::Eval)?;
+        self.ready = false;
+        Ok(out)
+    }
+
     /// Runs the graph, additionally returning the activations of `collect`
     /// (in the same order). This is the footprint-extraction entry point.
     ///
@@ -631,6 +652,44 @@ mod tests {
         let mut g = linear_graph();
         let grad = Tensor::ones(&[1, 2]);
         assert!(g.backward(&grad).is_err());
+    }
+
+    #[test]
+    fn forward_inference_matches_eval_and_disarms_backward() {
+        let mut g = linear_graph();
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.9, 0.4, 0.1, -0.6], &[2, 3]).unwrap();
+        let eval = g.forward(&x, Mode::Eval).unwrap();
+        let inf = g.forward_inference(&x).unwrap();
+        for (a, b) in eval.data().iter().zip(inf.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A training forward arms backward; an interleaved inference
+        // forward must disarm it again (serving replicas never train).
+        let _ = g.forward(&x, Mode::Train).unwrap();
+        let _ = g.forward_inference(&x).unwrap();
+        assert!(matches!(
+            g.backward(&Tensor::ones(&[2, 2])).unwrap_err(),
+            NnError::MissingActivation { .. }
+        ));
+    }
+
+    #[test]
+    fn batched_inference_rows_match_solo_rows_bitwise() {
+        // The scheduler's micro-batching contract at the graph level: row
+        // i of a batched eval forward equals the same input run alone.
+        let mut g = linear_graph();
+        let data: Vec<f32> = (0..4 * 3)
+            .map(|i| ((i * 29) % 13) as f32 * 0.11 - 0.7)
+            .collect();
+        let batch = Tensor::from_vec(data.clone(), &[4, 3]).unwrap();
+        let batched = g.forward_inference(&batch).unwrap();
+        for i in 0..4 {
+            let solo_in = Tensor::from_vec(data[i * 3..(i + 1) * 3].to_vec(), &[1, 3]).unwrap();
+            let solo = g.forward_inference(&solo_in).unwrap();
+            for (a, b) in batched.row(i).unwrap().iter().zip(solo.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged");
+            }
+        }
     }
 
     #[test]

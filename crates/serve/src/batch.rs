@@ -1,0 +1,520 @@
+//! The dynamic micro-batching scheduler.
+//!
+//! Concurrent predict requests land in one bounded queue. Worker threads
+//! — each owning its own model *replica* per registered model — pop the
+//! head request and *coalesce*: consecutive queued requests for the same
+//! model are folded in until the batch reaches `max_batch` rows or the
+//! queue runs dry (plus at most one bounded `max_wait` straggler wait
+//! when it does). Batch size is therefore **load-adaptive**: while one
+//! forward runs, new requests pile up in the queue, and the next dispatch
+//! drains them all — heavy traffic yields big batches with zero added
+//! waiting, light traffic dispatches almost immediately. The coalesced
+//! rows run as **one** eval-mode `Graph::forward` (which fans out over
+//! the `deepmorph-parallel` pool internally), and the per-row outputs are
+//! scattered back to each caller.
+//!
+//! Because every layer computes eval-mode rows independently (see
+//! `Graph::forward_inference`), a coalesced response is **bitwise
+//! identical** to the response the same request would get alone — the
+//! scheduler changes latency and throughput, never answers.
+//!
+//! Two batching-economics notes, both measured on this project's build
+//! machines (see `crates/parallel`): a condvar wakeup costs ~100 µs, so
+//! one dispatch serving 32 requests amortizes what per-request dispatch
+//! would pay 32 times; and a batched GEMM is far more cache-efficient
+//! than 32 single-row GEMMs. Both effects are what `serve_bench`'s
+//! batched-vs-solo comparison quantifies.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use deepmorph_models::ModelHandle;
+use deepmorph_tensor::{workspace, Tensor};
+
+use crate::error::{ServeError, ServeResult};
+use crate::registry::ModelRegistry;
+
+/// Knobs of the micro-batching scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum rows coalesced into one forward. `1` disables batching
+    /// (every request dispatches alone — the `serve_bench` control).
+    pub max_batch: usize,
+    /// Upper bound on the *single* straggler wait a worker takes when it
+    /// popped a request and the queue is empty. This is the whole latency
+    /// cost batching can add to a lone request; under load batches form
+    /// from queue buildup instead and the wait is skipped. `0` disables
+    /// the wait entirely (pure drain batching).
+    pub max_wait: Duration,
+    /// Worker threads (each owns one replica per model).
+    pub workers: usize,
+    /// Queue capacity in requests; submissions beyond it are rejected
+    /// with a typed busy error instead of growing without bound.
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+            workers: 2,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Shared serving counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Predict requests accepted into the queue.
+    pub requests: AtomicU64,
+    /// Input rows run through a model.
+    pub rows: AtomicU64,
+    /// Dispatched batches (forward calls).
+    pub batches: AtomicU64,
+    /// Batches that coalesced more than one request.
+    pub coalesced_batches: AtomicU64,
+    /// Error frames sent to clients.
+    pub errors: AtomicU64,
+    /// Requests rejected because the queue was full.
+    pub busy_rejections: AtomicU64,
+}
+
+impl ServeStats {
+    /// A consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> crate::protocol::StatsSnapshot {
+        crate::protocol::StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Result rows scattered back to one caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Argmax class per input row.
+    pub predictions: Vec<usize>,
+    /// Raw logits `[n, classes]` when requested.
+    pub logits: Option<Tensor>,
+}
+
+/// Where a job's result goes.
+pub(crate) enum Responder {
+    /// In-process caller ([`Scheduler::submit_rows`], tests, benches).
+    Channel(SyncSender<ServeResult<JobOutput>>),
+    /// A connection: the worker encodes and writes the response frame
+    /// itself, so no cross-thread wakeup sits on the reply path.
+    Stream {
+        /// Shared write half of the connection.
+        writer: Arc<Mutex<std::net::TcpStream>>,
+        /// Request id to echo.
+        id: u64,
+    },
+}
+
+/// One queued predict request.
+pub(crate) struct Job {
+    /// Registry index of the target model.
+    pub model: usize,
+    /// Input rows `[n, c, h, w]`.
+    pub rows: Tensor,
+    /// Return logits alongside predictions.
+    pub want_logits: bool,
+    /// Ground-truth labels (empty = unlabeled traffic).
+    pub true_labels: Vec<usize>,
+    /// Misclassification sink for labeled traffic.
+    pub cases: Option<Arc<Mutex<crate::cases::LiveCases>>>,
+    /// Result destination.
+    pub responder: Responder,
+}
+
+impl Job {
+    fn row_count(&self) -> usize {
+        self.rows.shape()[0]
+    }
+}
+
+/// Validates a predict submission against the registry entry.
+pub(crate) fn validate_job(
+    registry: &ModelRegistry,
+    model: usize,
+    rows: &Tensor,
+    true_labels: &[usize],
+) -> ServeResult<()> {
+    let bad = |reason: String| Err(ServeError::BadInput { reason });
+    let spec = &registry.entry(model).spec;
+    if rows.ndim() != 4 {
+        return bad(format!(
+            "input must be [n, c, h, w]; got rank {}",
+            rows.ndim()
+        ));
+    }
+    let shape = rows.shape();
+    if shape[0] == 0 {
+        return bad("empty batch".into());
+    }
+    if [shape[1], shape[2], shape[3]] != spec.input_shape {
+        return bad(format!(
+            "input rows are {:?}, model expects {:?}",
+            &shape[1..],
+            spec.input_shape
+        ));
+    }
+    if !true_labels.is_empty() {
+        if true_labels.len() != shape[0] {
+            return bad(format!(
+                "{} labels for {} rows",
+                true_labels.len(),
+                shape[0]
+            ));
+        }
+        if let Some(&l) = true_labels.iter().find(|&&l| l >= spec.num_classes) {
+            return bad(format!(
+                "label {l} out of range for {} classes",
+                spec.num_classes
+            ));
+        }
+    }
+    Ok(())
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    cfg: BatchConfig,
+    stats: Arc<ServeStats>,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The micro-batching scheduler: a bounded queue plus worker threads.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("cfg", &self.shared.cfg)
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Starts `cfg.workers` worker threads over `registry`.
+    pub fn new(registry: Arc<ModelRegistry>, cfg: BatchConfig, stats: Arc<ServeStats>) -> Self {
+        let shared = Arc::new(Shared {
+            registry,
+            cfg,
+            stats,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("deepmorph-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.shared.cfg
+    }
+
+    /// Enqueues a job (validated by the caller via [`validate_job`]).
+    pub(crate) fn submit(&self, job: Job) -> ServeResult<()> {
+        let mut queue = self.shared.queue.lock().expect("serve queue");
+        // Checked under the queue lock — the lock workers drain under —
+        // so a job can never be enqueued after the workers have exited.
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if queue.len() >= self.shared.cfg.queue_capacity {
+            self.shared
+                .stats
+                .busy_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Busy {
+                queue_depth: queue.len(),
+            });
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Validates and enqueues rows for the model at registry index
+    /// `model`, returning the channel the result arrives on. This is the
+    /// in-process entry point (tests, benches, embedded callers); the TCP
+    /// server submits jobs whose responses are written straight to the
+    /// connection by the worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] for shape/label problems,
+    /// [`ServeError::Busy`] when the queue is full, and
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit_rows(
+        &self,
+        model: usize,
+        rows: Tensor,
+        want_logits: bool,
+    ) -> ServeResult<Receiver<ServeResult<JobOutput>>> {
+        validate_job(&self.shared.registry, model, &rows, &[])?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit(Job {
+            model,
+            rows,
+            want_logits,
+            true_labels: Vec::new(),
+            cases: None,
+            responder: Responder::Channel(tx),
+        })?;
+        Ok(rx)
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        let mut workers = self.workers.lock().expect("serve workers");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut replicas: HashMap<usize, ModelHandle> = HashMap::new();
+    loop {
+        let mut queue = shared.queue.lock().expect("serve queue");
+        let first = loop {
+            if let Some(job) = queue.pop_front() {
+                break job;
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            queue = shared.cv.wait(queue).expect("serve queue wait");
+        };
+
+        let max_batch = shared.cfg.max_batch.max(1);
+        let mut total = first.row_count();
+        let mut jobs = vec![first];
+        if max_batch > 1 {
+            drain(&mut queue, &mut jobs, &mut total, max_batch);
+            // One bounded straggler wait, only when the queue is empty
+            // and the batch still has room. Never re-armed: on loaded
+            // machines a timed wake arrives late (scheduler latency is
+            // millisecond-class here), so a worker re-arming timers
+            // would idle while requests pile up. The steady-state
+            // batching signal is queue buildup during the *previous*
+            // forward, which the drain above collects without waiting.
+            if total < max_batch
+                && !shared.cfg.max_wait.is_zero()
+                && queue.is_empty()
+                && !shared.shutdown.load(Ordering::Acquire)
+            {
+                let (guard, _timeout) = shared
+                    .cv
+                    .wait_timeout(queue, shared.cfg.max_wait)
+                    .expect("serve queue wait");
+                queue = guard;
+                drain(&mut queue, &mut jobs, &mut total, max_batch);
+            }
+        }
+        drop(queue);
+        run_jobs(shared, &mut replicas, jobs, total);
+    }
+}
+
+/// Folds consecutive same-model queued requests into the batch while
+/// they fit under `max_batch` rows.
+fn drain(queue: &mut VecDeque<Job>, jobs: &mut Vec<Job>, total: &mut usize, max_batch: usize) {
+    while *total < max_batch {
+        match queue.front() {
+            Some(f) if f.model == jobs[0].model && *total + f.row_count() <= max_batch => {
+                let job = queue.pop_front().expect("front checked");
+                *total += job.row_count();
+                jobs.push(job);
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Runs one coalesced batch and scatters the per-row outputs.
+fn run_jobs(
+    shared: &Shared,
+    replicas: &mut HashMap<usize, ModelHandle>,
+    jobs: Vec<Job>,
+    total_rows: usize,
+) {
+    let stats = &shared.stats;
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.rows.fetch_add(total_rows as u64, Ordering::Relaxed);
+    if jobs.len() > 1 {
+        stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let model_idx = jobs[0].model;
+    let replica = match replicas.entry(model_idx) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            match shared.registry.instantiate(model_idx) {
+                Ok(model) => slot.insert(model),
+                Err(e) => {
+                    for job in jobs {
+                        deliver(stats, job, Err(e.clone()));
+                    }
+                    return;
+                }
+            }
+        }
+    };
+
+    // One forward for the whole batch. The single-request case borrows
+    // the job's tensor directly; a coalesced batch gathers rows into one
+    // contiguous input (row order = queue order).
+    let forward = |g: &mut deepmorph_nn::graph::Graph, x: &Tensor| g.forward_inference(x);
+    let logits = if jobs.len() == 1 {
+        forward(&mut replica.graph, &jobs[0].rows)
+    } else {
+        let row_len: usize = jobs[0].rows.shape()[1..].iter().product();
+        let mut gathered = Vec::with_capacity(total_rows * row_len);
+        for job in &jobs {
+            gathered.extend_from_slice(job.rows.data());
+        }
+        let shape = jobs[0].rows.shape();
+        match Tensor::from_vec(gathered, &[total_rows, shape[1], shape[2], shape[3]]) {
+            Ok(batch) => forward(&mut replica.graph, &batch),
+            Err(e) => Err(e.into()),
+        }
+    };
+    let logits = match logits.and_then(|l| {
+        // [n, classes] is what every model in the zoo outputs; anything
+        // else is a registry/model bug surfaced as a typed error.
+        l.expect_rank(2, "serve logits")?;
+        Ok(l)
+    }) {
+        Ok(logits) => logits,
+        Err(e) => {
+            let err = ServeError::from(e);
+            for job in jobs {
+                deliver(stats, job, Err(err.clone()));
+            }
+            return;
+        }
+    };
+    let predictions = match logits.argmax_rows() {
+        Ok(p) => p,
+        Err(e) => {
+            let err = ServeError::from(e);
+            for job in jobs {
+                deliver(stats, job, Err(err.clone()));
+            }
+            return;
+        }
+    };
+
+    let classes = logits.shape()[1];
+    let mut offset = 0;
+    for job in jobs {
+        let n = job.row_count();
+        let job_preds = predictions[offset..offset + n].to_vec();
+        let job_logits = job.want_logits.then(|| {
+            Tensor::from_vec(
+                logits.data()[offset * classes..(offset + n) * classes].to_vec(),
+                &[n, classes],
+            )
+            .expect("slice of verified logits")
+        });
+        offset += n;
+
+        // Accumulate labeled misses for the diagnose endpoint before the
+        // job (and its input rows) is consumed by delivery.
+        if let (false, Some(cases)) = (job.true_labels.is_empty(), job.cases.as_ref()) {
+            let row_len: usize = job.rows.shape()[1..].iter().product();
+            let mut sink = cases.lock().expect("live cases");
+            for (i, (&truth, &pred)) in job.true_labels.iter().zip(&job_preds).enumerate() {
+                if truth != pred {
+                    sink.record(
+                        &job.rows.data()[i * row_len..(i + 1) * row_len],
+                        truth,
+                        pred,
+                    );
+                }
+            }
+        }
+
+        deliver(
+            stats,
+            job,
+            Ok(JobOutput {
+                predictions: job_preds,
+                logits: job_logits,
+            }),
+        );
+    }
+    workspace::recycle_tensor(logits);
+}
+
+/// Sends a result to its caller: channel send, or an encoded frame
+/// written straight to the connection.
+fn deliver(stats: &ServeStats, job: Job, result: ServeResult<JobOutput>) {
+    match job.responder {
+        Responder::Channel(tx) => {
+            // A disconnected receiver means the caller gave up; fine.
+            let _ = tx.send(result);
+        }
+        Responder::Stream { writer, id } => {
+            let response = match result {
+                Ok(out) => crate::protocol::Response::Predict(crate::protocol::PredictResponse {
+                    predictions: out.predictions,
+                    logits: out.logits,
+                }),
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    crate::protocol::Response::Error(crate::protocol::ErrorFrame {
+                        code: e.code(),
+                        message: e.to_string(),
+                    })
+                }
+            };
+            let wire = crate::protocol::encode_response(id, &response);
+            // A failed write means the client hung up mid-flight; there
+            // is nothing to deliver to and no error *frame* was sent, so
+            // the errors counter (error frames) is not bumped here.
+            let _ = crate::server::write_wire(&writer, &wire);
+        }
+    }
+}

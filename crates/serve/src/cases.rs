@@ -1,0 +1,112 @@
+//! Accumulation of misclassified live traffic for the diagnose endpoint.
+
+use deepmorph::prelude::FaultyCases;
+use deepmorph_tensor::Tensor;
+
+use crate::error::{ServeError, ServeResult};
+
+/// A capped, per-model buffer of misclassified requests.
+///
+/// Labeled predict requests whose prediction disagrees with the supplied
+/// ground truth are recorded here (first `cap` cases kept, later ones
+/// counted); a diagnose request turns the buffer into the
+/// [`FaultyCases`] the DeepMorph pipeline analyzes — the serving
+/// equivalent of the offline protocol's "collect the faulty cases from
+/// the test set" step.
+#[derive(Debug)]
+pub struct LiveCases {
+    shape: [usize; 3],
+    cap: usize,
+    rows: Vec<f32>,
+    true_labels: Vec<usize>,
+    predicted: Vec<usize>,
+    /// Total misclassifications observed, including those beyond the cap.
+    pub seen: u64,
+}
+
+impl LiveCases {
+    /// An empty buffer for inputs of shape `[c, h, w]`, keeping at most
+    /// `cap` cases (`cap` is clamped to at least 1).
+    pub fn new(shape: [usize; 3], cap: usize) -> Self {
+        LiveCases {
+            shape,
+            cap: cap.max(1),
+            rows: Vec::new(),
+            true_labels: Vec::new(),
+            predicted: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// Records one misclassified row (`row` is the flattened `c*h*w`
+    /// image). Rows beyond the cap only bump [`LiveCases::seen`].
+    pub fn record(&mut self, row: &[f32], true_label: usize, predicted: usize) {
+        debug_assert_eq!(row.len(), self.shape.iter().product::<usize>());
+        self.seen += 1;
+        if self.len() >= self.cap {
+            return;
+        }
+        self.rows.extend_from_slice(row);
+        self.true_labels.push(true_label);
+        self.predicted.push(predicted);
+    }
+
+    /// Number of retained cases.
+    pub fn len(&self) -> usize {
+        self.true_labels.len()
+    }
+
+    /// `true` when no case has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.true_labels.is_empty()
+    }
+
+    /// Drops every retained case and resets the counter.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.true_labels.clear();
+        self.predicted.clear();
+        self.seen = 0;
+    }
+
+    /// Materializes the buffer as [`FaultyCases`] for diagnosis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Diagnosis`] when the buffer is empty.
+    pub fn to_faulty_cases(&self) -> ServeResult<FaultyCases> {
+        if self.is_empty() {
+            return Err(ServeError::Diagnosis {
+                reason: "no misclassified labeled traffic accumulated yet".into(),
+            });
+        }
+        let [c, h, w] = self.shape;
+        let images = Tensor::from_vec(self.rows.clone(), &[self.len(), c, h, w])?;
+        Ok(FaultyCases {
+            images,
+            true_labels: self.true_labels.clone(),
+            predicted: self.predicted.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_but_keeps_counting() {
+        let mut cases = LiveCases::new([1, 2, 2], 2);
+        for i in 0..5 {
+            cases.record(&[i as f32; 4], i, (i + 1) % 3);
+        }
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases.seen, 5);
+        let faulty = cases.to_faulty_cases().unwrap();
+        assert_eq!(faulty.images.shape(), &[2, 1, 2, 2]);
+        assert_eq!(faulty.true_labels, vec![0, 1]);
+        cases.clear();
+        assert!(cases.to_faulty_cases().is_err());
+        assert_eq!(cases.seen, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Blocking client for the serve protocol.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use deepmorph_tensor::Tensor;
+
+use crate::error::{ServeError, ServeResult};
+use crate::protocol::{
+    decode_response, encode_request, DiagnoseResponse, ModelInfo, PredictRequest, PredictResponse,
+    Request, Response, StatsSnapshot, MAX_FRAME_BYTES,
+};
+
+/// How long a client waits for one response before giving up. Diagnosis
+/// trains probes server-side, so the bound is generous.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// A synchronous connection to a serve instance: one request in flight
+/// at a time, responses matched by echoed id.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] on connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> ServeResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn call(&mut self, request: &Request) -> ServeResult<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&encode_request(id, request))?;
+        self.stream.flush()?;
+
+        let mut prefix = [0u8; 4];
+        self.stream.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(ServeError::Protocol {
+                reason: format!("server frame claims {len} bytes"),
+            });
+        }
+        let mut frame = vec![0u8; len];
+        self.stream.read_exact(&mut frame)?;
+        let (echoed, response) = decode_response(&frame)?;
+        // Error frames for undecodable requests carry id 0.
+        if echoed != id && echoed != 0 {
+            return Err(ServeError::Protocol {
+                reason: format!("response id {echoed} does not match request id {id}"),
+            });
+        }
+        match response {
+            Response::Error(e) => Err(ServeError::Remote {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Ok(other),
+        }
+    }
+
+    fn unexpected<T>(what: &str) -> ServeResult<T> {
+        Err(ServeError::Protocol {
+            reason: format!("unexpected response kind to {what}"),
+        })
+    }
+
+    /// Liveness check; returns the registered model count.
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed.
+    pub fn ping(&mut self) -> ServeResult<u64> {
+        match self.call(&Request::Ping)? {
+            Response::Pong { models } => Ok(models),
+            _ => Self::unexpected("ping"),
+        }
+    }
+
+    /// Lists the registry.
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed.
+    pub fn models(&mut self) -> ServeResult<Vec<ModelInfo>> {
+        match self.call(&Request::ListModels)? {
+            Response::Models(models) => Ok(models),
+            _ => Self::unexpected("list-models"),
+        }
+    }
+
+    /// Runs inference on `rows` (`[n, c, h, w]`), returning argmax
+    /// predictions.
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed.
+    pub fn predict(&mut self, model: &str, rows: &Tensor) -> ServeResult<PredictResponse> {
+        self.predict_full(model, rows, false, &[])
+    }
+
+    /// Full-control inference: optionally request raw logits and/or
+    /// supply ground-truth labels so the server can accumulate
+    /// misclassified cases for [`Client::diagnose`].
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed.
+    pub fn predict_full(
+        &mut self,
+        model: &str,
+        rows: &Tensor,
+        want_logits: bool,
+        true_labels: &[usize],
+    ) -> ServeResult<PredictResponse> {
+        let request = Request::Predict(PredictRequest {
+            model: model.to_string(),
+            rows: rows.clone(),
+            want_logits,
+            true_labels: true_labels.to_vec(),
+        });
+        match self.call(&request)? {
+            Response::Predict(p) => Ok(p),
+            _ => Self::unexpected("predict"),
+        }
+    }
+
+    /// Runs live defect diagnosis over the traffic this server has
+    /// accumulated for `model`.
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed — including
+    /// [`crate::ErrorCode::Diagnosis`] when no labeled misclassified
+    /// traffic exists yet.
+    pub fn diagnose(&mut self, model: &str) -> ServeResult<DiagnoseResponse> {
+        match self.call(&Request::Diagnose {
+            model: model.to_string(),
+        })? {
+            Response::Diagnose(d) => Ok(d),
+            _ => Self::unexpected("diagnose"),
+        }
+    }
+
+    /// Fetches the serving counters.
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed.
+    pub fn stats(&mut self) -> ServeResult<StatsSnapshot> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Self::unexpected("stats"),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Typed errors for the serving layer.
+//!
+//! Every failure a client can provoke — malformed frames, unknown models,
+//! bad input shapes, an overloaded queue — maps to a wire [`ErrorCode`] so
+//! the server can answer with a typed error frame instead of dying, and a
+//! client can tell operator mistakes from server faults.
+
+use std::fmt;
+
+use deepmorph::DeepMorphError;
+use deepmorph_models::ModelIoError;
+use deepmorph_nn::NnError;
+use deepmorph_tensor::io::CodecError;
+use deepmorph_tensor::TensorError;
+
+/// Wire-level error category carried by an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request frame could not be decoded (truncated, corrupt, or an
+    /// unknown message kind).
+    Protocol,
+    /// The named model is not in the registry.
+    UnknownModel,
+    /// The request decoded but its contents are unusable (wrong input
+    /// shape, label/row count mismatch, empty batch, …).
+    BadInput,
+    /// The request queue is full; retry later.
+    Busy,
+    /// The server failed internally (replica build or forward error).
+    Internal,
+    /// Diagnosis is unavailable for this model (no dataset context, or no
+    /// misclassified traffic accumulated yet).
+    Diagnosis,
+}
+
+impl ErrorCode {
+    /// Wire tag of the code.
+    pub fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::UnknownModel => 2,
+            ErrorCode::BadInput => 3,
+            ErrorCode::Busy => 4,
+            ErrorCode::Internal => 5,
+            ErrorCode::Diagnosis => 6,
+        }
+    }
+
+    /// Decodes a wire tag (unknown tags fall back to `Internal`, so a
+    /// newer server never makes an older client's decode fail).
+    pub fn from_tag(tag: u8) -> ErrorCode {
+        match tag {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::UnknownModel,
+            3 => ErrorCode::BadInput,
+            4 => ErrorCode::Busy,
+            6 => ErrorCode::Diagnosis,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::UnknownModel => "unknown-model",
+            ErrorCode::BadInput => "bad-input",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Diagnosis => "diagnosis",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Errors produced by the serving layer (server- and client-side).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A frame failed byte-level decoding.
+    Codec(CodecError),
+    /// A socket operation failed.
+    Io {
+        /// Stringified `std::io::Error` (kept as text so the error stays
+        /// `Clone + PartialEq`).
+        message: String,
+    },
+    /// The peer violated the framing protocol (oversized frame, stream
+    /// desync, unexpected message kind).
+    Protocol {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// The named model is not registered.
+    UnknownModel {
+        /// The name the request carried.
+        name: String,
+    },
+    /// The request contents are unusable.
+    BadInput {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The request queue is at capacity.
+    Busy {
+        /// Queue depth at rejection time.
+        queue_depth: usize,
+    },
+    /// A model replica could not be built or run.
+    Model {
+        /// Description of the failure.
+        reason: String,
+    },
+    /// Live diagnosis could not run.
+    Diagnosis {
+        /// Description of the failure.
+        reason: String,
+    },
+    /// The server answered with an error frame (client-side view).
+    Remote {
+        /// Wire error category.
+        code: ErrorCode,
+        /// Server-provided message.
+        message: String,
+    },
+    /// The server is shutting down and dropped the request.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// The wire code this error is reported under.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::Codec(_) | ServeError::Protocol { .. } => ErrorCode::Protocol,
+            ServeError::UnknownModel { .. } => ErrorCode::UnknownModel,
+            ServeError::BadInput { .. } => ErrorCode::BadInput,
+            ServeError::Busy { .. } => ErrorCode::Busy,
+            ServeError::Diagnosis { .. } => ErrorCode::Diagnosis,
+            ServeError::Remote { code, .. } => *code,
+            ServeError::Io { .. } | ServeError::Model { .. } | ServeError::ShuttingDown => {
+                ErrorCode::Internal
+            }
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Codec(e) => write!(f, "frame codec error: {e}"),
+            ServeError::Io { message } => write!(f, "io error: {message}"),
+            ServeError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            ServeError::UnknownModel { name } => write!(f, "unknown model `{name}`"),
+            ServeError::BadInput { reason } => write!(f, "bad input: {reason}"),
+            ServeError::Busy { queue_depth } => {
+                write!(f, "server busy (queue depth {queue_depth})")
+            }
+            ServeError::Model { reason } => write!(f, "model error: {reason}"),
+            ServeError::Diagnosis { reason } => write!(f, "diagnosis error: {reason}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ServeError {
+    fn from(e: CodecError) -> Self {
+        ServeError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Model {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<TensorError> for ServeError {
+    fn from(e: TensorError) -> Self {
+        ServeError::Model {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<ModelIoError> for ServeError {
+    fn from(e: ModelIoError) -> Self {
+        ServeError::Model {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<DeepMorphError> for ServeError {
+    fn from(e: DeepMorphError) -> Self {
+        ServeError::Diagnosis {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Result alias for the serving layer.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for code in [
+            ErrorCode::Protocol,
+            ErrorCode::UnknownModel,
+            ErrorCode::BadInput,
+            ErrorCode::Busy,
+            ErrorCode::Internal,
+            ErrorCode::Diagnosis,
+        ] {
+            assert_eq!(ErrorCode::from_tag(code.tag()), code);
+        }
+        assert_eq!(ErrorCode::from_tag(200), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn every_variant_maps_to_a_code() {
+        assert_eq!(ServeError::Busy { queue_depth: 3 }.code(), ErrorCode::Busy);
+        assert_eq!(
+            ServeError::UnknownModel { name: "x".into() }.code(),
+            ErrorCode::UnknownModel
+        );
+        assert_eq!(ServeError::ShuttingDown.code(), ErrorCode::Internal);
+    }
+}

@@ -1,0 +1,79 @@
+//! **deepmorph-serve** — online inference and live defect diagnosis.
+//!
+//! After three PRs of offline machinery, this crate turns the DeepMorph
+//! reproduction into a *service*: a threaded TCP server that loads
+//! trained models from the `deepmorph-models` save format, answers
+//! inference requests over a length-prefixed binary protocol, coalesces
+//! concurrent requests into micro-batches, and — true to the paper's
+//! framing of defect diagnosis as something operators run against
+//! *deployed* models — diagnoses a model's live misclassified traffic
+//! with the full DeepMorph pipeline on demand.
+//!
+//! The pieces:
+//!
+//! * [`protocol`] — the wire format: `u32` length prefix + a checksummed
+//!   `deepmorph_tensor::io` container per frame. Malformed input becomes
+//!   a typed error frame; the server never dies on client bytes.
+//! * [`registry`] — named models, loaded from `*.dmmd` files or
+//!   registered in process, each stamped with a 128-bit content
+//!   fingerprint. Serving workers instantiate independent *replicas*
+//!   (rebuild from spec + exact state import), which predict bitwise
+//!   identically to the saved model.
+//! * [`batch`] — the dynamic micro-batching scheduler: a bounded queue,
+//!   worker-owned replicas, coalescing up to `max_batch` rows or
+//!   `max_wait`, one `Graph::forward_inference` per batch, per-row
+//!   scatter. Batched responses are **bitwise identical** to solo
+//!   responses (eval-mode rows are computed independently — pinned by
+//!   tests at the GEMM, graph, scheduler, and protocol levels).
+//! * [`server`] / [`client`] — the TCP endpoints.
+//! * [`cases`] — per-model accumulation of labeled misclassified
+//!   traffic, the input to the diagnose endpoint.
+//!
+//! # Example (in-process round trip)
+//!
+//! ```no_run
+//! use deepmorph_serve::prelude::*;
+//! use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
+//! use deepmorph_tensor::{init::stream_rng, Tensor};
+//!
+//! # fn main() -> Result<(), ServeError> {
+//! let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+//! let mut model = build_model(&spec, &mut stream_rng(0, "doc"))?;
+//! let mut registry = ModelRegistry::new();
+//! registry.register("lenet", &mut model, None)?;
+//!
+//! let server = Server::start(registry, ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let rows = Tensor::zeros(&[1, 1, 16, 16]);
+//! let response = client.predict("lenet", &rows)?;
+//! assert_eq!(response.predictions.len(), 1);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+pub mod cases;
+mod error;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub mod client;
+
+pub use batch::{BatchConfig, JobOutput, Scheduler, ServeStats};
+pub use client::Client;
+pub use error::{ErrorCode, ServeError, ServeResult};
+pub use registry::{DiagnosisContext, ModelRegistry};
+pub use server::{Server, ServerConfig};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::batch::{BatchConfig, JobOutput, Scheduler, ServeStats};
+    pub use crate::cases::LiveCases;
+    pub use crate::client::Client;
+    pub use crate::error::{ErrorCode, ServeError, ServeResult};
+    pub use crate::protocol::{DiagnoseResponse, ModelInfo, PredictResponse, StatsSnapshot};
+    pub use crate::registry::{DiagnosisContext, ModelRegistry};
+    pub use crate::server::{Server, ServerConfig};
+}

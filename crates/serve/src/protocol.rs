@@ -1,0 +1,514 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! frame_len  u32        little-endian byte length of what follows
+//! container  [u8; len]  a `deepmorph_tensor::io` sealed container:
+//!   magic     b"DMSV"
+//!   version   u16       codec version
+//!   len       u64       body length
+//!   body      [u8; len] message (below)
+//!   checksum  u64       FNV-64 over magic..body
+//! ```
+//!
+//! The `u32` prefix tells the socket reader how many bytes to pull; the
+//! container's own magic/version/length/checksum then validate them, so a
+//! truncated, corrupted, or desynchronized stream always surfaces as a
+//! typed [`CodecError`] — the server answers with an error frame and never
+//! dies.
+//!
+//! A body is `kind: u8`, `id: u64` (echoed verbatim in the response),
+//! then kind-specific fields built from the same [`ByteWriter`] /
+//! [`ByteReader`] primitives every other format in this workspace uses.
+//! Request kinds occupy `0x00..=0x7E`; a response reuses the request's
+//! kind with the high bit set, and `0x7F` is the error frame.
+
+use deepmorph_tensor::io::{
+    open_container, read_tensor, seal_container, write_tensor, ByteReader, ByteWriter, CodecError,
+    CodecResult,
+};
+use deepmorph_tensor::Tensor;
+
+use crate::error::ErrorCode;
+
+/// Magic tag of a serve frame container.
+pub const FRAME_MAGIC: [u8; 4] = *b"DMSV";
+
+/// Upper bound on a frame's container length. A peer claiming more is
+/// answered with a protocol error before anything is allocated.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+const KIND_PING: u8 = 0;
+const KIND_LIST_MODELS: u8 = 1;
+const KIND_PREDICT: u8 = 2;
+const KIND_DIAGNOSE: u8 = 3;
+const KIND_STATS: u8 = 4;
+const RESPONSE_BIT: u8 = 0x80;
+const KIND_ERROR: u8 = 0x7F;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; answered with [`Response::Pong`].
+    Ping,
+    /// Registry listing; answered with [`Response::Models`].
+    ListModels,
+    /// Batched inference; answered with [`Response::Predict`].
+    Predict(PredictRequest),
+    /// Live defect diagnosis over accumulated misclassified traffic;
+    /// answered with [`Response::Diagnose`].
+    Diagnose {
+        /// Registered model name.
+        model: String,
+    },
+    /// Serving counters; answered with [`Response::Stats`].
+    Stats,
+}
+
+/// Payload of [`Request::Predict`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Input rows, `[n, c, h, w]` matching the model's input shape.
+    pub rows: Tensor,
+    /// Return the raw logits alongside the argmax predictions.
+    pub want_logits: bool,
+    /// Ground-truth labels (one per row) for live defect accumulation;
+    /// empty for unlabeled traffic.
+    pub true_labels: Vec<usize>,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Number of registered models.
+        models: u64,
+    },
+    /// Answer to [`Request::ListModels`].
+    Models(Vec<ModelInfo>),
+    /// Answer to [`Request::Predict`].
+    Predict(PredictResponse),
+    /// Answer to [`Request::Diagnose`].
+    Diagnose(DiagnoseResponse),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Typed failure; may answer any request.
+    Error(ErrorFrame),
+}
+
+/// One registry entry as reported by [`Response::Models`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registered name (the file stem for directory-loaded registries).
+    pub name: String,
+    /// 128-bit content fingerprint of the model container, as hex.
+    pub fingerprint: String,
+    /// Expected input shape `[c, h, w]`.
+    pub input_shape: [usize; 3],
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Trainable parameter count.
+    pub param_count: u64,
+}
+
+/// Payload of [`Response::Predict`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictResponse {
+    /// Argmax class per input row.
+    pub predictions: Vec<usize>,
+    /// Raw logits `[n, classes]` when the request set `want_logits`.
+    pub logits: Option<Tensor>,
+}
+
+/// Payload of [`Response::Diagnose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnoseResponse {
+    /// The `DefectReport` as JSON (parse with
+    /// `deepmorph::report::DefectReport::from_json`).
+    pub report_json: String,
+    /// Number of accumulated misclassified cases the report covers.
+    pub cases: u64,
+}
+
+/// Serving counters reported by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Predict requests accepted into the queue.
+    pub requests: u64,
+    /// Input rows run through a model.
+    pub rows: u64,
+    /// `Graph::forward` calls (dispatched batches).
+    pub batches: u64,
+    /// Batches that coalesced more than one request.
+    pub coalesced_batches: u64,
+    /// Error frames sent.
+    pub errors: u64,
+    /// Requests rejected because the queue was full.
+    pub busy_rejections: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean rows per dispatched batch (0 when nothing ran yet).
+    pub fn avg_batch_rows(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Payload of [`Response::Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Error category.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn finish(kind: u8, id: u64, body: ByteWriter) -> Vec<u8> {
+    let mut full = ByteWriter::new();
+    full.put_u8(kind);
+    full.put_u64(id);
+    full.put_bytes(body.as_slice());
+    let container = seal_container(FRAME_MAGIC, full.as_slice());
+    let mut wire = Vec::with_capacity(4 + container.len());
+    wire.extend_from_slice(&(container.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&container);
+    wire
+}
+
+/// Encodes a request as wire bytes (length prefix included).
+pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let kind = match request {
+        Request::Ping => KIND_PING,
+        Request::ListModels => KIND_LIST_MODELS,
+        Request::Predict(p) => {
+            w.put_str(&p.model);
+            w.put_u8(u8::from(p.want_logits));
+            write_tensor(&mut w, &p.rows);
+            w.put_usizes(&p.true_labels);
+            KIND_PREDICT
+        }
+        Request::Diagnose { model } => {
+            w.put_str(model);
+            KIND_DIAGNOSE
+        }
+        Request::Stats => KIND_STATS,
+    };
+    finish(kind, id, w)
+}
+
+/// Encodes a response as wire bytes (length prefix included).
+pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let kind = match response {
+        Response::Pong { models } => {
+            w.put_u64(*models);
+            RESPONSE_BIT | KIND_PING
+        }
+        Response::Models(models) => {
+            w.put_u64(models.len() as u64);
+            for m in models {
+                w.put_str(&m.name);
+                w.put_str(&m.fingerprint);
+                for &d in &m.input_shape {
+                    w.put_u64(d as u64);
+                }
+                w.put_u64(m.num_classes as u64);
+                w.put_u64(m.param_count);
+            }
+            RESPONSE_BIT | KIND_LIST_MODELS
+        }
+        Response::Predict(p) => {
+            w.put_usizes(&p.predictions);
+            w.put_u8(u8::from(p.logits.is_some()));
+            if let Some(logits) = &p.logits {
+                write_tensor(&mut w, logits);
+            }
+            RESPONSE_BIT | KIND_PREDICT
+        }
+        Response::Diagnose(d) => {
+            w.put_str(&d.report_json);
+            w.put_u64(d.cases);
+            RESPONSE_BIT | KIND_DIAGNOSE
+        }
+        Response::Stats(s) => {
+            for v in [
+                s.requests,
+                s.rows,
+                s.batches,
+                s.coalesced_batches,
+                s.errors,
+                s.busy_rejections,
+            ] {
+                w.put_u64(v);
+            }
+            RESPONSE_BIT | KIND_STATS
+        }
+        Response::Error(e) => {
+            w.put_u8(e.code.tag());
+            w.put_str(&e.message);
+            KIND_ERROR
+        }
+    };
+    finish(kind, id, w)
+}
+
+fn open_body(frame: &[u8]) -> CodecResult<(u8, u64, ByteReader<'_>)> {
+    let payload = open_container(FRAME_MAGIC, frame)?;
+    let mut r = ByteReader::new(payload);
+    let kind = r.get_u8("frame kind")?;
+    let id = r.get_u64("frame id")?;
+    Ok((kind, id, r))
+}
+
+fn expect_exhausted(r: &ByteReader<'_>, what: &str) -> CodecResult<()> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(CodecError::Invalid {
+            context: format!("{} trailing bytes after {what}", r.remaining()),
+        })
+    }
+}
+
+/// Decodes a request frame (container bytes, without the `u32` prefix).
+///
+/// # Errors
+///
+/// Returns the typed [`CodecError`] for truncation, corruption, version
+/// skew, or an unknown request kind.
+pub fn decode_request(frame: &[u8]) -> CodecResult<(u64, Request)> {
+    let (kind, id, mut r) = open_body(frame)?;
+    let request = match kind {
+        KIND_PING => Request::Ping,
+        KIND_LIST_MODELS => Request::ListModels,
+        KIND_PREDICT => {
+            let model = r.get_str("predict model")?;
+            let want_logits = r.get_u8("predict flags")? != 0;
+            let rows = read_tensor(&mut r)?;
+            let true_labels = r.get_usizes("predict labels")?;
+            Request::Predict(PredictRequest {
+                model,
+                rows,
+                want_logits,
+                true_labels,
+            })
+        }
+        KIND_DIAGNOSE => Request::Diagnose {
+            model: r.get_str("diagnose model")?,
+        },
+        KIND_STATS => Request::Stats,
+        other => {
+            return Err(CodecError::Invalid {
+                context: format!("unknown request kind {other:#04x}"),
+            })
+        }
+    };
+    expect_exhausted(&r, "request")?;
+    Ok((id, request))
+}
+
+/// Decodes a response frame (container bytes, without the `u32` prefix).
+///
+/// # Errors
+///
+/// Same conditions as [`decode_request`].
+pub fn decode_response(frame: &[u8]) -> CodecResult<(u64, Response)> {
+    let (kind, id, mut r) = open_body(frame)?;
+    let response = match kind {
+        k if k == RESPONSE_BIT | KIND_PING => Response::Pong {
+            models: r.get_u64("pong models")?,
+        },
+        k if k == RESPONSE_BIT | KIND_LIST_MODELS => {
+            let n = r.get_len("model count")?;
+            let mut models = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                models.push(ModelInfo {
+                    name: r.get_str("model name")?,
+                    fingerprint: r.get_str("model fingerprint")?,
+                    input_shape: [
+                        r.get_len("model shape")?,
+                        r.get_len("model shape")?,
+                        r.get_len("model shape")?,
+                    ],
+                    num_classes: r.get_len("model classes")?,
+                    param_count: r.get_u64("model params")?,
+                });
+            }
+            Response::Models(models)
+        }
+        k if k == RESPONSE_BIT | KIND_PREDICT => {
+            let predictions = r.get_usizes("predictions")?;
+            let logits = if r.get_u8("logits flag")? != 0 {
+                Some(read_tensor(&mut r)?)
+            } else {
+                None
+            };
+            Response::Predict(PredictResponse {
+                predictions,
+                logits,
+            })
+        }
+        k if k == RESPONSE_BIT | KIND_DIAGNOSE => Response::Diagnose(DiagnoseResponse {
+            report_json: r.get_str("report json")?,
+            cases: r.get_u64("report cases")?,
+        }),
+        k if k == RESPONSE_BIT | KIND_STATS => Response::Stats(StatsSnapshot {
+            requests: r.get_u64("stats")?,
+            rows: r.get_u64("stats")?,
+            batches: r.get_u64("stats")?,
+            coalesced_batches: r.get_u64("stats")?,
+            errors: r.get_u64("stats")?,
+            busy_rejections: r.get_u64("stats")?,
+        }),
+        KIND_ERROR => Response::Error(ErrorFrame {
+            code: ErrorCode::from_tag(r.get_u8("error code")?),
+            message: r.get_str("error message")?,
+        }),
+        other => {
+            return Err(CodecError::Invalid {
+                context: format!("unknown response kind {other:#04x}"),
+            })
+        }
+    };
+    expect_exhausted(&r, "response")?;
+    Ok((id, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_prefix(wire: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert_eq!(wire.len(), 4 + len);
+        &wire[4..]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let rows =
+            Tensor::from_vec((0..8).map(|v| v as f32 * 0.5).collect(), &[2, 1, 2, 2]).unwrap();
+        let cases = [
+            Request::Ping,
+            Request::ListModels,
+            Request::Predict(PredictRequest {
+                model: "lenet".into(),
+                rows,
+                want_logits: true,
+                true_labels: vec![3, 7],
+            }),
+            Request::Diagnose {
+                model: "lenet".into(),
+            },
+            Request::Stats,
+        ];
+        for (i, request) in cases.iter().enumerate() {
+            let wire = encode_request(i as u64 + 10, request);
+            let (id, back) = decode_request(strip_prefix(&wire)).unwrap();
+            assert_eq!(id, i as u64 + 10);
+            assert_eq!(&back, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let logits = Tensor::from_vec(vec![0.25, -1.5, f32::NEG_INFINITY, 3.0], &[2, 2]).unwrap();
+        let cases = [
+            Response::Pong { models: 2 },
+            Response::Models(vec![ModelInfo {
+                name: "lenet".into(),
+                fingerprint: "ab".repeat(16),
+                input_shape: [1, 16, 16],
+                num_classes: 10,
+                param_count: 12345,
+            }]),
+            Response::Predict(PredictResponse {
+                predictions: vec![1, 0],
+                logits: Some(logits),
+            }),
+            Response::Predict(PredictResponse {
+                predictions: vec![9],
+                logits: None,
+            }),
+            Response::Diagnose(DiagnoseResponse {
+                report_json: "{\"ratios\":{}}".into(),
+                cases: 4,
+            }),
+            Response::Stats(StatsSnapshot {
+                requests: 1,
+                rows: 2,
+                batches: 3,
+                coalesced_batches: 1,
+                errors: 0,
+                busy_rejections: 5,
+            }),
+            Response::Error(ErrorFrame {
+                code: ErrorCode::Busy,
+                message: "queue full".into(),
+            }),
+        ];
+        for (i, response) in cases.iter().enumerate() {
+            let wire = encode_response(i as u64, response);
+            let (id, back) = decode_response(strip_prefix(&wire)).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&back, response);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed() {
+        let wire = encode_request(1, &Request::Ping);
+        let frame = strip_prefix(&wire);
+
+        // Truncations at every boundary.
+        for cut in [0, 3, frame.len() / 2, frame.len() - 1] {
+            assert!(decode_request(&frame[..cut]).is_err(), "cut {cut}");
+        }
+
+        // Bit flip → checksum mismatch.
+        let mut bad = frame.to_vec();
+        let mid = bad.len() - 9; // inside the body, before the checksum
+        bad[mid] ^= 0x20;
+        assert!(matches!(
+            decode_request(&bad).unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+
+        // Unknown kind decodes the container but rejects the body.
+        let mut w = ByteWriter::new();
+        w.put_u8(0x6E);
+        w.put_u64(0);
+        let container = seal_container(FRAME_MAGIC, w.as_slice());
+        assert!(matches!(
+            decode_request(&container).unwrap_err(),
+            CodecError::Invalid { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(KIND_PING);
+        w.put_u64(4);
+        w.put_u8(99); // stray byte
+        let container = seal_container(FRAME_MAGIC, w.as_slice());
+        assert!(matches!(
+            decode_request(&container).unwrap_err(),
+            CodecError::Invalid { .. }
+        ));
+    }
+
+    #[test]
+    fn avg_batch_rows_is_safe_on_zero() {
+        assert_eq!(StatsSnapshot::default().avg_batch_rows(), 0.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The model registry: named, fingerprinted, instantiable models.
+//!
+//! A registry maps names to encoded model containers (the
+//! `deepmorph-models` save format: spec + topology + state dict). Each
+//! entry is decoded once at registration to validate it and extract its
+//! spec, then kept as bytes; serving workers instantiate *replicas* on
+//! demand — decoding rebuilds the architecture from the spec and imports
+//! the exact state, so every replica predicts bitwise identically to the
+//! model that was saved.
+//!
+//! Registries load from a directory of `<name>.dmmd` files
+//! ([`ModelRegistry::open`]) or take live models in process
+//! ([`ModelRegistry::register`]). Each entry is stamped with a 128-bit
+//! content fingerprint of its container bytes (same FNV-1a construction
+//! as the artifact store), reported to clients so they can pin the exact
+//! model revision they are talking to.
+//!
+//! An optional sidecar `<name>.meta.json` supplies the
+//! [`DiagnosisContext`] the live diagnosis endpoint needs — which
+//! deterministic dataset (and seed) the model was trained on, so the
+//! server can regenerate the training set without shipping it.
+
+use std::path::Path;
+
+use deepmorph_data::DatasetKind;
+use deepmorph_json::Json;
+use deepmorph_models::{decode_model, encode_model, ModelHandle, ModelSpec};
+use deepmorph_tensor::io::{fnv64, fnv64_seeded};
+
+use crate::error::{ServeError, ServeResult};
+use crate::protocol::ModelInfo;
+
+/// File extension of a registry model container.
+pub const MODEL_EXT: &str = "dmmd";
+
+/// File suffix of a registry diagnosis sidecar.
+pub const META_SUFFIX: &str = ".meta.json";
+
+/// Second FNV basis for the high fingerprint half (the artifact store's
+/// construction: two independent 64-bit digests over the same bytes).
+const FP_HI_BASIS: u64 = 0x6c62_272e_07bb_0142;
+
+/// 128-bit content fingerprint of a model container, as 32 hex chars.
+pub fn content_fingerprint(bytes: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv64_seeded(FP_HI_BASIS, bytes),
+        fnv64(bytes)
+    )
+}
+
+/// What the live-diagnosis endpoint needs to know about a model's
+/// provenance: the deterministic training data it was fitted on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagnosisContext {
+    /// Synthetic dataset family the model was trained on.
+    pub dataset: DatasetKind,
+    /// Seed of the scenario data stream.
+    pub seed: u64,
+    /// Training samples generated per class.
+    pub train_per_class: usize,
+}
+
+impl DiagnosisContext {
+    /// Serializes the context as the sidecar JSON document.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("dataset", Json::str(self.dataset.name())),
+            ("seed", Json::num(self.seed as f64)),
+            ("train_per_class", Json::usize(self.train_per_class)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses a sidecar JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] for unparseable JSON, missing
+    /// keys, or an unknown dataset name.
+    pub fn from_json(text: &str) -> ServeResult<Self> {
+        let bad = |reason: String| ServeError::BadInput { reason };
+        let doc = Json::parse(text).map_err(|e| bad(format!("diagnosis sidecar: {e}")))?;
+        let dataset = match doc.get("dataset").and_then(Json::as_str) {
+            Some("synth-digits") | Some("digits") => DatasetKind::Digits,
+            Some("synth-objects") | Some("objects") => DatasetKind::Objects,
+            Some(other) => return Err(bad(format!("unknown dataset `{other}`"))),
+            None => return Err(bad("diagnosis sidecar lacks `dataset`".into())),
+        };
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_f64)
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .ok_or_else(|| bad("diagnosis sidecar lacks an integral `seed`".into()))?
+            as u64;
+        let train_per_class = doc
+            .get("train_per_class")
+            .and_then(Json::as_usize)
+            .filter(|&n| n > 0)
+            .ok_or_else(|| bad("diagnosis sidecar lacks a positive `train_per_class`".into()))?;
+        Ok(DiagnosisContext {
+            dataset,
+            seed,
+            train_per_class,
+        })
+    }
+}
+
+/// One registered model.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// Registered name.
+    pub name: String,
+    /// Content fingerprint of the container bytes (32 hex chars).
+    pub fingerprint: String,
+    /// The spec the model was built from.
+    pub spec: ModelSpec,
+    /// Trainable parameter count.
+    pub param_count: usize,
+    /// Training-data provenance for live diagnosis, when known.
+    pub diagnosis: Option<DiagnosisContext>,
+    /// The encoded model container.
+    bytes: Vec<u8>,
+}
+
+impl ModelEntry {
+    /// The entry as wire metadata.
+    pub fn info(&self) -> ModelInfo {
+        ModelInfo {
+            name: self.name.clone(),
+            fingerprint: self.fingerprint.clone(),
+            input_shape: self.spec.input_shape,
+            num_classes: self.spec.num_classes,
+            param_count: self.param_count as u64,
+        }
+    }
+}
+
+/// A named collection of models the server answers for.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Loads every `*.dmmd` file in `dir` (sorted by name; the file stem
+    /// becomes the model name), picking up `<stem>.meta.json` sidecars.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for filesystem failures and
+    /// [`ServeError::Model`] for a container that fails to decode —
+    /// a corrupt model is rejected at startup, not at first request.
+    pub fn open(dir: impl AsRef<Path>) -> ServeResult<Self> {
+        let dir = dir.as_ref();
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == MODEL_EXT))
+            .collect();
+        paths.sort();
+        let mut registry = ModelRegistry::new();
+        for path in paths {
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let bytes = std::fs::read(&path)?;
+            let meta_path = dir.join(format!("{stem}{META_SUFFIX}"));
+            let diagnosis = if meta_path.exists() {
+                Some(DiagnosisContext::from_json(&std::fs::read_to_string(
+                    meta_path,
+                )?)?)
+            } else {
+                None
+            };
+            registry
+                .add_bytes(stem.to_string(), bytes, diagnosis)
+                .map_err(|e| ServeError::Model {
+                    reason: format!("{}: {e}", path.display()),
+                })?;
+        }
+        Ok(registry)
+    }
+
+    /// Registers a live model under `name` (encodes it; takes `&mut`
+    /// because walking the parameters does). Returns the entry index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] for a duplicate name.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        model: &mut ModelHandle,
+        diagnosis: Option<DiagnosisContext>,
+    ) -> ServeResult<usize> {
+        self.add_bytes(name.into(), encode_model(model), diagnosis)
+    }
+
+    fn add_bytes(
+        &mut self,
+        name: String,
+        bytes: Vec<u8>,
+        diagnosis: Option<DiagnosisContext>,
+    ) -> ServeResult<usize> {
+        if self.find(&name).is_some() {
+            return Err(ServeError::BadInput {
+                reason: format!("model `{name}` is already registered"),
+            });
+        }
+        // Decode once up front: validates the container and yields the
+        // spec + parameter count without keeping the live graph around.
+        let mut probe = decode_model(&bytes)?;
+        let entry = ModelEntry {
+            name,
+            fingerprint: content_fingerprint(&bytes),
+            spec: probe.spec,
+            param_count: probe.param_count(),
+            diagnosis,
+            bytes,
+        };
+        self.entries.push(entry);
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Index of the entry registered under `name`.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// The entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (indices come from
+    /// [`ModelRegistry::find`]).
+    pub fn entry(&self, index: usize) -> &ModelEntry {
+        &self.entries[index]
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Wire metadata for every entry.
+    pub fn infos(&self) -> Vec<ModelInfo> {
+        self.entries.iter().map(ModelEntry::info).collect()
+    }
+
+    /// Builds an independent replica of the entry at `index`: the spec
+    /// rebuilds the architecture, the stored state dict restores the
+    /// exact parameters. Replicas share no storage, so each serving
+    /// worker owns its own and forwards concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] if the stored bytes no longer decode
+    /// against the current architecture code.
+    pub fn instantiate(&self, index: usize) -> ServeResult<ModelHandle> {
+        Ok(decode_model(&self.entries[index].bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmorph_models::{build_model, ModelFamily, ModelScale};
+    use deepmorph_nn::layer::Mode;
+    use deepmorph_tensor::init::stream_rng;
+    use deepmorph_tensor::Tensor;
+
+    fn tiny_model() -> ModelHandle {
+        let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+        build_model(&spec, &mut stream_rng(3, "registry-test")).unwrap()
+    }
+
+    #[test]
+    fn register_find_instantiate() {
+        let mut registry = ModelRegistry::new();
+        let mut model = tiny_model();
+        let idx = registry.register("lenet", &mut model, None).unwrap();
+        assert_eq!(registry.find("lenet"), Some(idx));
+        assert_eq!(registry.find("missing"), None);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.entry(idx).fingerprint.len(), 32);
+
+        let x = Tensor::from_vec(
+            (0..256).map(|i| (i % 7) as f32 / 7.0).collect(),
+            &[1, 1, 16, 16],
+        )
+        .unwrap();
+        let expect = model.graph.forward(&x, Mode::Eval).unwrap();
+        let mut replica = registry.instantiate(idx).unwrap();
+        let got = replica.graph.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in expect.data().iter().zip(got.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut registry = ModelRegistry::new();
+        let mut model = tiny_model();
+        registry.register("m", &mut model, None).unwrap();
+        assert!(matches!(
+            registry.register("m", &mut model, None),
+            Err(ServeError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn diagnosis_context_round_trips() {
+        let ctx = DiagnosisContext {
+            dataset: DatasetKind::Objects,
+            seed: 42,
+            train_per_class: 100,
+        };
+        assert_eq!(DiagnosisContext::from_json(&ctx.to_json()).unwrap(), ctx);
+        assert!(DiagnosisContext::from_json("{}").is_err());
+        assert!(DiagnosisContext::from_json("not json").is_err());
+        assert!(DiagnosisContext::from_json(
+            "{\"dataset\": \"mars\", \"seed\": 1, \"train_per_class\": 5}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fingerprints_track_content() {
+        let a = content_fingerprint(b"abc");
+        let b = content_fingerprint(b"abd");
+        assert_ne!(a, b);
+        assert_eq!(a, content_fingerprint(b"abc"));
+        assert_eq!(a.len(), 32);
+    }
+}

@@ -1,0 +1,438 @@
+//! The threaded TCP inference server.
+//!
+//! One accept-loop thread spawns a thread per connection; connection
+//! threads read frames, validate them, and either answer directly (ping,
+//! listing, stats, diagnosis) or enqueue the request with the
+//! [`Scheduler`] — whose worker then writes the predict response straight
+//! to the connection, so the reply path of the hottest request type pays
+//! no cross-thread wakeup.
+//!
+//! Failure policy: **the server never dies on client input.** A frame
+//! that fails to decode is answered with a typed error frame; a stream
+//! whose framing is lost (corrupt length prefix, mid-frame disconnect)
+//! gets a best-effort error frame and the connection — only the
+//! connection — is closed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use deepmorph::pipeline::{DeepMorph, DeepMorphConfig};
+use deepmorph_data::{DataGenerator, Dataset, DatasetKind, SynthDigits, SynthObjects};
+use deepmorph_tensor::init::stream_rng;
+
+use crate::batch::{validate_job, BatchConfig, Job, Responder, Scheduler, ServeStats};
+use crate::cases::LiveCases;
+use crate::error::{ServeError, ServeResult};
+use crate::protocol::{
+    decode_request, encode_response, DiagnoseResponse, ErrorFrame, Request, Response,
+    MAX_FRAME_BYTES,
+};
+use crate::registry::{DiagnosisContext, ModelRegistry};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Micro-batching configuration.
+    pub batch: BatchConfig,
+    /// Per-model cap on retained misclassified cases for live diagnosis.
+    pub max_live_cases: usize,
+    /// DeepMorph configuration used by the diagnose endpoint.
+    pub deepmorph: DeepMorphConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batch: BatchConfig::default(),
+            max_live_cases: 256,
+            deepmorph: DeepMorphConfig {
+                max_faulty_cases: 256,
+                ..DeepMorphConfig::default()
+            },
+        }
+    }
+}
+
+struct ServerShared {
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServeStats>,
+    scheduler: Arc<Scheduler>,
+    /// Per-model misclassification buffers, parallel to the registry.
+    cases: Vec<Arc<Mutex<LiveCases>>>,
+    deepmorph: DeepMorphConfig,
+    shutdown: AtomicBool,
+    connections: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A running inference server. Dropping it shuts it down.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("models", &self.shared.registry.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the scheduler workers and the accept loop, and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the address cannot be bound and
+    /// [`ServeError::BadInput`] for an empty registry.
+    pub fn start(registry: ModelRegistry, config: ServerConfig) -> ServeResult<Server> {
+        if registry.is_empty() {
+            return Err(ServeError::BadInput {
+                reason: "refusing to serve an empty model registry".into(),
+            });
+        }
+        let registry = Arc::new(registry);
+        let stats = Arc::new(ServeStats::default());
+        let scheduler = Arc::new(Scheduler::new(
+            Arc::clone(&registry),
+            config.batch,
+            Arc::clone(&stats),
+        ));
+        let cases = registry
+            .entries()
+            .iter()
+            .map(|e| {
+                Arc::new(Mutex::new(LiveCases::new(
+                    e.spec.input_shape,
+                    config.max_live_cases,
+                )))
+            })
+            .collect();
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            registry,
+            stats,
+            scheduler,
+            cases,
+            deepmorph: config.deepmorph,
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("deepmorph-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .map_err(|e| ServeError::Io {
+                message: format!("cannot spawn accept thread: {e}"),
+            })?;
+        Ok(Server {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            stopped: false,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live serving counters.
+    pub fn stats(&self) -> crate::protocol::StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting connections, drains in-flight work, and joins
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let mut connections = self.shared.connections.lock().expect("serve connections");
+        for handle in connections.drain(..) {
+            let _ = handle.join();
+        }
+        drop(connections);
+        self.shared.scheduler.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Cap on simultaneously live connection threads; connections beyond it
+/// are dropped at accept (the client sees a closed socket and retries).
+const MAX_CONNECTIONS: usize = 1024;
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else {
+            // Accept errors (fd exhaustion, transient network failures)
+            // tend to repeat immediately; don't busy-spin on them.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let mut connections = shared.connections.lock().expect("serve connections");
+        // Reap finished connections so a long-lived server doesn't
+        // accumulate a handle per connection it ever served.
+        connections.retain(|h| !h.is_finished());
+        if connections.len() >= MAX_CONNECTIONS {
+            drop(stream);
+            continue;
+        }
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("deepmorph-serve-conn".into())
+            .spawn(move || handle_connection(&conn_shared, stream));
+        if let Ok(handle) = handle {
+            connections.push(handle);
+        }
+    }
+}
+
+/// Outcome of pulling one frame off a connection.
+enum FrameRead {
+    /// A complete container (the `u32` prefix stripped).
+    Frame(Vec<u8>),
+    /// Peer closed cleanly between frames.
+    Eof,
+    /// Server shutdown was requested.
+    Shutdown,
+    /// Framing is unrecoverable (oversized claim, mid-frame disconnect).
+    Corrupt(String),
+}
+
+/// Fills `buf` from the stream, tolerating read timeouts (used to poll
+/// the shutdown flag). `Ok(false)` = clean EOF before the first byte.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> Result<bool, FrameRead> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Acquire) {
+            return Err(FrameRead::Shutdown);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(FrameRead::Corrupt(format!(
+                        "peer closed mid-frame ({filled}/{} bytes)",
+                        buf.len()
+                    )))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(FrameRead::Corrupt(format!("read error: {e}"))),
+        }
+    }
+    Ok(true)
+}
+
+fn read_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> FrameRead {
+    let mut prefix = [0u8; 4];
+    match read_full(stream, &mut prefix, shutdown) {
+        Ok(true) => {}
+        Ok(false) => return FrameRead::Eof,
+        Err(outcome) => return outcome,
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return FrameRead::Corrupt(format!(
+            "frame claims {len} bytes (limit {MAX_FRAME_BYTES})"
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    match read_full(stream, &mut frame, shutdown) {
+        Ok(true) => FrameRead::Frame(frame),
+        // EOF exactly between prefix and body is still mid-frame.
+        Ok(false) => FrameRead::Corrupt("peer closed after length prefix".into()),
+        Err(outcome) => outcome,
+    }
+}
+
+/// Writes one wire frame under the connection's write lock. Used by both
+/// connection threads and scheduler workers.
+pub(crate) fn write_wire(writer: &Arc<Mutex<TcpStream>>, wire: &[u8]) -> std::io::Result<()> {
+    let mut stream = writer.lock().expect("serve writer");
+    stream.write_all(wire)?;
+    stream.flush()
+}
+
+fn send_error(shared: &ServerShared, writer: &Arc<Mutex<TcpStream>>, id: u64, error: &ServeError) {
+    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+    let wire = encode_response(
+        id,
+        &Response::Error(ErrorFrame {
+            code: error.code(),
+            message: error.to_string(),
+        }),
+    );
+    let _ = write_wire(writer, &wire);
+}
+
+fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+    // Nagle would add milliseconds to every small frame exchange.
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets the loop poll the shutdown flag.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = stream;
+
+    loop {
+        match read_frame(&mut reader, &shared.shutdown) {
+            FrameRead::Eof | FrameRead::Shutdown => return,
+            FrameRead::Corrupt(reason) => {
+                // Framing is lost: answer once (the peer may still be
+                // reading) and drop the connection.
+                send_error(shared, &writer, 0, &ServeError::Protocol { reason });
+                return;
+            }
+            FrameRead::Frame(frame) => match decode_request(&frame) {
+                // The length prefix was honored, so the stream is still
+                // in sync: report the bad frame and keep serving.
+                Err(e) => send_error(shared, &writer, 0, &ServeError::Codec(e)),
+                Ok((id, request)) => handle_request(shared, &writer, id, request),
+            },
+        }
+    }
+}
+
+fn handle_request(
+    shared: &Arc<ServerShared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    id: u64,
+    request: Request,
+) {
+    let response = match request {
+        Request::Ping => Response::Pong {
+            models: shared.registry.len() as u64,
+        },
+        Request::ListModels => Response::Models(shared.registry.infos()),
+        Request::Stats => Response::Stats(shared.stats.snapshot()),
+        Request::Diagnose { model } => match diagnose(shared, &model) {
+            Ok(d) => Response::Diagnose(d),
+            Err(e) => return send_error(shared, writer, id, &e),
+        },
+        Request::Predict(p) => {
+            let submitted = shared
+                .registry
+                .find(&p.model)
+                .ok_or(ServeError::UnknownModel { name: p.model })
+                .and_then(|model| {
+                    validate_job(&shared.registry, model, &p.rows, &p.true_labels)?;
+                    shared.scheduler.submit(Job {
+                        model,
+                        rows: p.rows,
+                        want_logits: p.want_logits,
+                        cases: (!p.true_labels.is_empty())
+                            .then(|| Arc::clone(&shared.cases[model])),
+                        true_labels: p.true_labels,
+                        responder: Responder::Stream {
+                            writer: Arc::clone(writer),
+                            id,
+                        },
+                    })
+                });
+            match submitted {
+                // The worker owns the reply now.
+                Ok(()) => return,
+                Err(e) => return send_error(shared, writer, id, &e),
+            }
+        }
+    };
+    let _ = write_wire(writer, &encode_response(id, &response));
+}
+
+/// Regenerates the deterministic training set the model's
+/// [`DiagnosisContext`] names — the same stream a
+/// `deepmorph::scenario::Scenario` with that seed would generate, so a
+/// scenario-trained model is diagnosed against its actual training data.
+fn regenerate_train(ctx: &DiagnosisContext) -> Dataset {
+    let mut rng = stream_rng(ctx.seed, "scenario-data");
+    match ctx.dataset {
+        DatasetKind::Digits => SynthDigits::new().generate(ctx.train_per_class, &mut rng),
+        DatasetKind::Objects => SynthObjects::new().generate(ctx.train_per_class, &mut rng),
+    }
+}
+
+/// The diagnose endpoint: feeds the accumulated misclassified traffic
+/// through the DeepMorph pipeline (probe instrumentation → execution
+/// patterns → footprints → defect classification — the same code path
+/// the staged engine's stages 2–4 drive) and returns the report.
+fn diagnose(shared: &ServerShared, model: &str) -> ServeResult<DiagnoseResponse> {
+    let index = shared
+        .registry
+        .find(model)
+        .ok_or_else(|| ServeError::UnknownModel {
+            name: model.to_string(),
+        })?;
+    let entry = shared.registry.entry(index);
+    let ctx = entry
+        .diagnosis
+        .as_ref()
+        .ok_or_else(|| ServeError::Diagnosis {
+            reason: format!("model `{model}` has no training-data context (sidecar missing)"),
+        })?;
+    let faulty = shared.cases[index]
+        .lock()
+        .expect("live cases")
+        .to_faulty_cases()?;
+    let train = regenerate_train(ctx);
+    let replica = shared.registry.instantiate(index)?;
+    let subject = format!(
+        "{model}@{} live traffic ({} misclassified)",
+        &entry.fingerprint[..8],
+        faulty.len()
+    );
+    let tool = DeepMorph::new(shared.deepmorph);
+    let (report, _instrumented) = tool.diagnose(replica, &train, &faulty, &subject)?;
+    // The pipeline caps its analysis at `max_faulty_cases`; report what
+    // the diagnosis actually covered.
+    Ok(DiagnoseResponse {
+        cases: report.num_cases as u64,
+        report_json: report.to_json(),
+    })
+}

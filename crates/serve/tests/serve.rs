@@ -1,0 +1,447 @@
+//! End-to-end tests of the serving layer.
+//!
+//! The load-bearing guarantees pinned here:
+//!
+//! * **batching is invisible**: responses produced by a coalesced batch
+//!   are bitwise identical to solo (max-batch = 1) responses, at both
+//!   the scheduler and the TCP level;
+//! * **the server never dies on client bytes**: garbage, truncated, and
+//!   oversized frames produce typed error frames (or a clean connection
+//!   drop) and later clients still get service;
+//! * **the diagnose endpoint works live**: labeled misclassified
+//!   traffic accumulates and yields a well-formed `DefectReport`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use deepmorph::prelude::DefectReport;
+use deepmorph_data::{DataGenerator, DatasetKind, SynthDigits};
+use deepmorph_models::{build_model, save_model, ModelFamily, ModelHandle, ModelScale, ModelSpec};
+use deepmorph_serve::prelude::*;
+use deepmorph_serve::protocol;
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+
+fn lenet(seed: u64) -> ModelHandle {
+    let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+    build_model(&spec, &mut stream_rng(seed, "serve-test")).unwrap()
+}
+
+fn registry_with(name: &str, seed: u64) -> ModelRegistry {
+    let mut registry = ModelRegistry::new();
+    registry.register(name, &mut lenet(seed), None).unwrap();
+    registry
+}
+
+/// Deterministic input rows (each distinct).
+fn rows(n: usize, salt: u64) -> Tensor {
+    let data = (0..n * 256)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt);
+            ((h >> 40) as f32 / (1u64 << 24) as f32).fract()
+        })
+        .collect();
+    Tensor::from_vec(data, &[n, 1, 16, 16]).unwrap()
+}
+
+fn row(all: &Tensor, i: usize) -> Tensor {
+    Tensor::from_vec(all.data()[i * 256..(i + 1) * 256].to_vec(), &[1, 1, 16, 16]).unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Scheduler level: coalescing is deterministic and bitwise invisible
+// ---------------------------------------------------------------------
+
+#[test]
+fn scheduler_batched_outputs_equal_solo_outputs_bitwise() {
+    let registry = Arc::new(registry_with("m", 5));
+    let stats = Arc::new(ServeStats::default());
+    let n = 8;
+    let inputs = rows(n, 99);
+
+    // Solo reference: max_batch = 1 forces one forward per request.
+    let solo = Scheduler::new(
+        Arc::clone(&registry),
+        BatchConfig {
+            max_batch: 1,
+            workers: 1,
+            ..BatchConfig::default()
+        },
+        Arc::new(ServeStats::default()),
+    );
+    let solo_logits: Vec<Tensor> = (0..n)
+        .map(|i| {
+            let rx = solo.submit_rows(0, row(&inputs, i), true).unwrap();
+            rx.recv().unwrap().unwrap().logits.unwrap()
+        })
+        .collect();
+    solo.shutdown();
+
+    // Batched: one worker, a wait long enough that all n single-row
+    // requests land in its window. The worker pops the first request,
+    // then waits for stragglers; every later submission folds in, so
+    // this coalesces deterministically.
+    let batched = Scheduler::new(
+        Arc::clone(&registry),
+        BatchConfig {
+            max_batch: n,
+            max_wait: Duration::from_millis(500),
+            workers: 1,
+            ..BatchConfig::default()
+        },
+        Arc::clone(&stats),
+    );
+    let receivers: Vec<_> = (0..n)
+        .map(|i| batched.submit_rows(0, row(&inputs, i), true).unwrap())
+        .collect();
+    let batched_logits: Vec<Tensor> = receivers
+        .into_iter()
+        .map(|rx| rx.recv().unwrap().unwrap().logits.unwrap())
+        .collect();
+    batched.shutdown();
+
+    let snapshot = stats.snapshot();
+    assert_eq!(snapshot.rows, n as u64);
+    assert!(
+        snapshot.coalesced_batches >= 1,
+        "expected at least one coalesced batch, got {snapshot:?}"
+    );
+    assert!(
+        snapshot.batches < n as u64,
+        "batching dispatched one forward per request: {snapshot:?}"
+    );
+
+    for (i, (a, b)) in solo_logits.iter().zip(&batched_logits).enumerate() {
+        assert_eq!(a.shape(), b.shape());
+        for (va, vb) in a.data().iter().zip(b.data()) {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "row {i}: batched logits diverged from solo"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_rejects_bad_input_and_fills_up() {
+    let registry = Arc::new(registry_with("m", 6));
+    let scheduler = Scheduler::new(
+        registry,
+        BatchConfig {
+            workers: 1,
+            ..BatchConfig::default()
+        },
+        Arc::new(ServeStats::default()),
+    );
+    // Wrong shape.
+    assert!(matches!(
+        scheduler.submit_rows(0, Tensor::zeros(&[1, 3, 16, 16]), false),
+        Err(ServeError::BadInput { .. })
+    ));
+    // Wrong rank.
+    assert!(matches!(
+        scheduler.submit_rows(0, Tensor::zeros(&[256]), false),
+        Err(ServeError::BadInput { .. })
+    ));
+    // Empty batch.
+    assert!(matches!(
+        scheduler.submit_rows(0, Tensor::zeros(&[0, 1, 16, 16]), false),
+        Err(ServeError::BadInput { .. })
+    ));
+    scheduler.shutdown();
+    assert!(matches!(
+        scheduler.submit_rows(0, Tensor::zeros(&[1, 1, 16, 16]), false),
+        Err(ServeError::ShuttingDown)
+    ));
+}
+
+// ---------------------------------------------------------------------
+// TCP level
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_round_trip_predict_listing_stats() {
+    let server = Server::start(registry_with("lenet", 7), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    assert_eq!(client.ping().unwrap(), 1);
+    let models = client.models().unwrap();
+    assert_eq!(models.len(), 1);
+    assert_eq!(models[0].name, "lenet");
+    assert_eq!(models[0].input_shape, [1, 16, 16]);
+    assert_eq!(models[0].fingerprint.len(), 32);
+    assert!(models[0].param_count > 100);
+
+    let inputs = rows(4, 3);
+    let response = client.predict_full("lenet", &inputs, true, &[]).unwrap();
+    assert_eq!(response.predictions.len(), 4);
+    let logits = response.logits.unwrap();
+    assert_eq!(logits.shape(), &[4, 10]);
+    // Served predictions equal a local eval forward, bitwise.
+    let mut local = lenet(7);
+    let expect = local.graph.forward_inference(&inputs).unwrap();
+    for (a, b) in expect.data().iter().zip(logits.data()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // Typed remote errors.
+    assert!(matches!(
+        client.predict("nope", &inputs),
+        Err(ServeError::Remote {
+            code: ErrorCode::UnknownModel,
+            ..
+        })
+    ));
+    assert!(matches!(
+        client.predict("lenet", &Tensor::zeros(&[1, 3, 16, 16])),
+        Err(ServeError::Remote {
+            code: ErrorCode::BadInput,
+            ..
+        })
+    ));
+    assert!(matches!(
+        client.predict_full("lenet", &row(&inputs, 0), false, &[1, 2]),
+        Err(ServeError::Remote {
+            code: ErrorCode::BadInput,
+            ..
+        })
+    ));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.rows, 4);
+    assert!(stats.errors >= 3);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_batched_responses_equal_solo_responses_bitwise() {
+    let n = 6;
+    let inputs = rows(n, 17);
+
+    // Solo server: batching disabled.
+    let solo_server = Server::start(
+        registry_with("m", 11),
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch: 1,
+                workers: 1,
+                ..BatchConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut solo_client = Client::connect(solo_server.local_addr()).unwrap();
+    let solo: Vec<Tensor> = (0..n)
+        .map(|i| {
+            solo_client
+                .predict_full("m", &row(&inputs, i), true, &[])
+                .unwrap()
+                .logits
+                .unwrap()
+        })
+        .collect();
+    solo_server.shutdown();
+
+    // Batched server under concurrent clients.
+    let batched_server = Server::start(
+        registry_with("m", 11),
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch: n,
+                max_wait: Duration::from_millis(50),
+                workers: 2,
+                ..BatchConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = batched_server.local_addr();
+    let results: Vec<Tensor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let input = row(&inputs, i);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .predict_full("m", &input, true, &[])
+                        .unwrap()
+                        .logits
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    batched_server.shutdown();
+
+    for (i, (a, b)) in solo.iter().zip(&results).enumerate() {
+        for (va, vb) in a.data().iter().zip(b.data()) {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "row {i}: TCP batched response diverged from solo"
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_never_kill_the_server() {
+    let server = Server::start(registry_with("m", 13), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // 1. Pure garbage bytes with a plausible length prefix: the frame
+    //    reads but fails container validation → typed error frame.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let junk = [0xDEu8; 64];
+        raw.write_all(&(junk.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&junk).unwrap();
+        let mut prefix = [0u8; 4];
+        raw.read_exact(&mut prefix).unwrap();
+        let mut frame = vec![0u8; u32::from_le_bytes(prefix) as usize];
+        raw.read_exact(&mut frame).unwrap();
+        let (id, response) = protocol::decode_response(&frame).unwrap();
+        assert_eq!(id, 0);
+        match response {
+            protocol::Response::Error(e) => assert_eq!(e.code, ErrorCode::Protocol),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    // 2. Oversized length claim → error frame, connection closed.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let mut prefix = [0u8; 4];
+        raw.read_exact(&mut prefix).unwrap();
+        let mut frame = vec![0u8; u32::from_le_bytes(prefix) as usize];
+        raw.read_exact(&mut frame).unwrap();
+        let (_, response) = protocol::decode_response(&frame).unwrap();
+        assert!(matches!(response, protocol::Response::Error(_)));
+        // The server hangs up after a framing violation.
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(raw.read(&mut prefix).unwrap_or(0), 0);
+    }
+
+    // 3. Truncated frame then disconnect: server must just drop it.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[1, 2, 3]).unwrap();
+        drop(raw);
+    }
+
+    // 4. A bad frame then a good one on the SAME connection: framing was
+    //    honored, so the server keeps serving the connection.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let junk = [7u8; 32];
+        raw.write_all(&(junk.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&junk).unwrap();
+        let mut prefix = [0u8; 4];
+        raw.read_exact(&mut prefix).unwrap();
+        let mut frame = vec![0u8; u32::from_le_bytes(prefix) as usize];
+        raw.read_exact(&mut frame).unwrap();
+        assert!(matches!(
+            protocol::decode_response(&frame).unwrap().1,
+            protocol::Response::Error(_)
+        ));
+        raw.write_all(&protocol::encode_request(9, &protocol::Request::Ping))
+            .unwrap();
+        raw.read_exact(&mut prefix).unwrap();
+        let mut frame = vec![0u8; u32::from_le_bytes(prefix) as usize];
+        raw.read_exact(&mut frame).unwrap();
+        let (id, response) = protocol::decode_response(&frame).unwrap();
+        assert_eq!(id, 9);
+        assert!(matches!(response, protocol::Response::Pong { .. }));
+    }
+
+    // After all the abuse, a fresh well-behaved client still gets
+    // service.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.ping().unwrap(), 1);
+    let out = client.predict("m", &rows(2, 1)).unwrap();
+    assert_eq!(out.predictions.len(), 2);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Registry from disk + live diagnosis
+// ---------------------------------------------------------------------
+
+#[test]
+fn registry_dir_round_trip_and_live_diagnosis() {
+    let dir = std::env::temp_dir().join(format!("deepmorph-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // An *untrained* model misclassifies plenty — exactly what the
+    // diagnosis path needs to exercise.
+    let seed = 21u64;
+    let mut model = lenet(seed);
+    save_model(dir.join("digits.dmmd"), &mut model).unwrap();
+    let ctx = DiagnosisContext {
+        dataset: DatasetKind::Digits,
+        seed,
+        train_per_class: 12,
+    };
+    std::fs::write(dir.join("digits.meta.json"), ctx.to_json()).unwrap();
+
+    let registry = ModelRegistry::open(&dir).unwrap();
+    assert_eq!(registry.len(), 1);
+    assert_eq!(registry.entry(0).diagnosis, Some(ctx));
+
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            deepmorph: deepmorph::pipeline::DeepMorphConfig {
+                probe: deepmorph::instrument::ProbeTrainingConfig {
+                    epochs: 4,
+                    ..Default::default()
+                },
+                max_faulty_cases: 32,
+                ..Default::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Diagnosis before any traffic: typed refusal, not a crash.
+    assert!(matches!(
+        client.diagnose("digits"),
+        Err(ServeError::Remote {
+            code: ErrorCode::Diagnosis,
+            ..
+        })
+    ));
+
+    // Send labeled traffic drawn from the model's own dataset family.
+    let mut rng = stream_rng(77, "serve-test-traffic");
+    let traffic = SynthDigits::new().generate(6, &mut rng);
+    let response = client
+        .predict_full("digits", traffic.images(), false, traffic.labels())
+        .unwrap();
+    assert_eq!(response.predictions.len(), traffic.len());
+
+    let diagnosis = client.diagnose("digits").unwrap();
+    assert!(diagnosis.cases > 0, "untrained model should misclassify");
+    let report = DefectReport::from_json(&diagnosis.report_json).unwrap();
+    assert_eq!(report.num_cases as u64, diagnosis.cases);
+    let ratio_sum: f32 = report.ratios.as_array().iter().sum();
+    assert!((ratio_sum - 1.0).abs() < 1e-4, "ratios sum to {ratio_sum}");
+    assert!(report.subject.contains("digits@"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

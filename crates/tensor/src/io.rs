@@ -194,8 +194,19 @@ impl ByteWriter {
     /// Appends a length-prefixed `f32` slice.
     pub fn put_f32s(&mut self, vs: &[f32]) {
         self.put_u64(vs.len() as u64);
-        for &v in vs {
-            self.put_f32(v);
+        self.put_f32_payload(vs);
+    }
+
+    /// Appends raw `f32` bits with no length prefix (the caller's format
+    /// implies the count, e.g. a tensor's shape). One bulk conversion
+    /// rather than a per-element call: f32 payloads dominate every
+    /// container this workspace writes, and the serving hot path encodes
+    /// tensors per request.
+    pub fn put_f32_payload(&mut self, vs: &[f32]) {
+        let start = self.buf.len();
+        self.buf.resize(start + vs.len() * 4, 0);
+        for (dst, v) in self.buf[start..].chunks_exact_mut(4).zip(vs) {
+            dst.copy_from_slice(&v.to_bits().to_le_bytes());
         }
     }
 
@@ -295,14 +306,21 @@ impl<'a> ByteReader<'a> {
     /// Reads a length-prefixed `f32` slice.
     pub fn get_f32s(&mut self, context: &'static str) -> CodecResult<Vec<f32>> {
         let len = self.get_len(context)?;
-        if self.remaining() < len.saturating_mul(4) {
-            return Err(CodecError::Truncated { context });
-        }
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(self.get_f32(context)?);
-        }
-        Ok(out)
+        self.get_f32_payload(len, context)
+    }
+
+    /// Reads `n` raw `f32`s (no length prefix), converting in bulk. The
+    /// truncation check happens once for the whole payload, so a corrupt
+    /// count cannot trigger a huge allocation.
+    pub fn get_f32_payload(&mut self, n: usize, context: &'static str) -> CodecResult<Vec<f32>> {
+        let byte_len = n.checked_mul(4).ok_or(CodecError::Invalid {
+            context: format!("{context}: f32 count {n} overflows"),
+        })?;
+        let bytes = self.take(byte_len, context)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4 bytes"))))
+            .collect())
     }
 
     /// Reads a length-prefixed `usize` slice.
@@ -329,9 +347,7 @@ pub fn write_tensor(w: &mut ByteWriter, t: &Tensor) {
     for &d in t.shape() {
         w.put_u64(d as u64);
     }
-    for &v in t.data() {
-        w.put_f32(v);
-    }
+    w.put_f32_payload(t.data());
 }
 
 /// Reads a tensor written by [`write_tensor`].
@@ -354,20 +370,13 @@ pub fn read_tensor(r: &mut ByteReader<'_>) -> CodecResult<Tensor> {
         *slot = d;
         elems = elems.saturating_mul(d as u128);
     }
-    // Bound element counts by what the remaining bytes can actually hold,
-    // so a corrupted dim cannot trigger a huge allocation.
+    // `get_f32_payload` bounds the element count by the bytes actually
+    // present before allocating, so a corrupted dim cannot trigger a
+    // huge allocation.
     let n = usize::try_from(elems).map_err(|_| CodecError::Invalid {
         context: "tensor element count overflows usize".into(),
     })?;
-    if r.remaining() < n.saturating_mul(4) {
-        return Err(CodecError::Truncated {
-            context: "tensor data",
-        });
-    }
-    let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        data.push(r.get_f32("tensor data")?);
-    }
+    let data = r.get_f32_payload(n, "tensor data")?;
     Tensor::from_vec(data, &shape[..rank]).map_err(|e| CodecError::Invalid {
         context: format!("tensor shape rejected: {e}"),
     })

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // footprints (Scenario::run would hide them behind the report).
     let (clean_train, test) = scenario.generate_data();
     let mut inject_rng = stream_rng(5, "scenario-inject");
-    let train = defect.apply_to_dataset(&clean_train, &mut inject_rng);
+    let train = defect.apply_to_dataset(&clean_train, &mut inject_rng)?;
 
     let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
     let mut model_rng = stream_rng(5, "scenario-model");

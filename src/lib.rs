@@ -11,6 +11,7 @@
 //! * [`deepmorph_models`] — LeNet / AlexNet / ResNet / DenseNet builders
 //! * [`deepmorph_defects`] — defect injection
 //! * [`deepmorph`] — the DeepMorph diagnosis pipeline itself
+//! * [`deepmorph_serve`] — the online inference + diagnosis service
 //!
 //! # Quickstart
 //!
@@ -36,6 +37,7 @@ pub use deepmorph_data;
 pub use deepmorph_defects;
 pub use deepmorph_models;
 pub use deepmorph_nn;
+pub use deepmorph_serve;
 pub use deepmorph_tensor;
 
 /// Convenience re-exports used by the examples and integration tests.

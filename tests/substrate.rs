@@ -90,7 +90,7 @@ fn defect_injection_composes_with_training() {
         DefectSpec::structure_defect(2),
     ] {
         let mut rng = stream_rng(6, "test-inject");
-        let injected = defect.apply_to_dataset(&data, &mut rng);
+        let injected = defect.apply_to_dataset(&data, &mut rng).unwrap();
         let spec = defect.apply_to_model_spec(ModelSpec::new(
             ModelFamily::LeNet,
             ModelScale::Tiny,
