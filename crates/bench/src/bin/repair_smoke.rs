@@ -1,0 +1,69 @@
+//! CI smoke for the online diagnose → repair → hot-swap loop.
+//!
+//! ```text
+//! cargo run --release -p deepmorph-bench --bin repair_smoke
+//! ```
+//!
+//! Reproduces the paper's closed loop against a *running server*: train a
+//! model on a defect-injected training set, deploy it (model container +
+//! provenance sidecar), accumulate labeled traffic, diagnose it live,
+//! repair, and assert the hot-swapped version measurably improves
+//! held-out accuracy and survives a registry restart. Everything is
+//! seeded, so the asserted outcome is deterministic.
+
+use deepmorph::prelude::{DefectKind, DefectReport};
+use deepmorph_bench::repair_fixture::{self, MODEL};
+use deepmorph_serve::prelude::*;
+
+fn main() {
+    // Deploy: train on the injected data, persist container + sidecar.
+    let (dir, deployed_accuracy) = repair_fixture::deploy("repair-smoke");
+    println!("deployed defective model: test accuracy {deployed_accuracy:.3}");
+
+    // Serve it and accumulate labeled traffic.
+    let server = repair_fixture::serve(&dir);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    repair_fixture::send_labeled_traffic(&mut client);
+
+    // Diagnose live.
+    let diagnosis = client.diagnose(MODEL).expect("diagnose");
+    let report = DefectReport::from_json(&diagnosis.report_json).expect("report json");
+    println!(
+        "live diagnosis over {} cases: {}",
+        diagnosis.cases, report.ratios
+    );
+    assert_eq!(
+        report.dominant(),
+        Some(DefectKind::InsufficientTrainingData),
+        "live diagnosis must attribute the injected ITD defect"
+    );
+
+    // Repair + hot-swap.
+    let started = std::time::Instant::now();
+    let repair = client.repair(MODEL).expect("repair");
+    println!(
+        "repair `{}`: {:.3} -> {:.3}, swapped={} (v{}, swap {} µs, loop {:.1} s)",
+        repair.plan,
+        repair.accuracy_before,
+        repair.accuracy_after,
+        repair.swapped,
+        repair.version,
+        repair.swap_micros,
+        started.elapsed().as_secs_f64()
+    );
+    assert!(repair.swapped, "gate rejected the repair");
+    assert!(
+        repair.accuracy_after > repair.accuracy_before,
+        "repair must improve held-out accuracy"
+    );
+    assert_eq!(repair.version, 2);
+    server.shutdown();
+
+    // Restart resumes the repaired chain.
+    let reopened = ModelRegistry::open(&dir).expect("reopen registry");
+    let id = reopened.find(MODEL).expect("model survives restart");
+    assert_eq!(reopened.current(id).version, 2);
+    assert_eq!(reopened.current(id).fingerprint, repair.fingerprint);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("repair smoke OK");
+}

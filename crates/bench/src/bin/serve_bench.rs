@@ -20,12 +20,21 @@
 //! (≥ 2× throughput from batching at concurrency 32) and writes
 //! `BENCH_serve.json`; smoke mode asserts every response is OK and
 //! throughput is positive.
+//!
+//! Both modes additionally run a **swap-under-load** phase: a
+//! defect-injected model is served, diagnosed from labeled traffic, and
+//! repaired while a predict load hammers it — the phase records the
+//! repair wall time and the swap latency (publish + buffer reset), and
+//! asserts that not a single concurrent request errored or was dropped.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use deepmorph_bench::repair_fixture;
 use deepmorph_json::Json;
 use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
 use deepmorph_serve::prelude::*;
@@ -286,6 +295,72 @@ fn verify_bitwise(workers: usize) -> usize {
     n
 }
 
+struct SwapResult {
+    repair_wall_ms: f64,
+    swap_micros: u64,
+    responses_during_repair: usize,
+    accuracy_before: f32,
+    accuracy_after: f32,
+}
+
+/// The swap-under-load phase: serve a defect-injected model, accumulate
+/// labeled traffic, then hot-swap a repair in while predict loaders
+/// hammer the same model. Loader threads `expect` every response, so a
+/// single dropped or errored request fails the bench.
+fn swap_under_load(loaders: usize) -> SwapResult {
+    let (dir, _accuracy) = repair_fixture::deploy("serve-swap");
+    let srv = repair_fixture::serve(&dir);
+    let addr = srv.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    repair_fixture::send_labeled_traffic(&mut client);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..loaders)
+        .map(|l| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("loader connect");
+                let mut finished: Vec<Instant> = Vec::new();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let out = client
+                        .predict(repair_fixture::MODEL, &input_row(l * 1_000_000 + i))
+                        .expect("predict during swap");
+                    assert_eq!(out.predictions.len(), 1);
+                    finished.push(Instant::now());
+                    i += 1;
+                }
+                finished
+            })
+        })
+        .collect();
+
+    let repair_started = Instant::now();
+    let repair = client.repair(repair_fixture::MODEL).expect("repair");
+    let repair_wall_ms = repair_started.elapsed().as_secs_f64() * 1e3;
+    stop.store(true, Ordering::Release);
+    let responses_during_repair = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("loader thread"))
+        .filter(|t| *t >= repair_started)
+        .count();
+    assert!(repair.swapped, "swap-under-load repair lost the gate");
+    assert!(
+        responses_during_repair > 0,
+        "predict traffic stalled during the repair"
+    );
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    SwapResult {
+        repair_wall_ms,
+        swap_micros: repair.swap_micros,
+        responses_during_repair,
+        accuracy_before: repair.accuracy_before,
+        accuracy_after: repair.accuracy_after,
+    }
+}
+
 fn result_json(r: &LoadResult) -> Json {
     Json::obj([
         ("workers", Json::usize(r.workers)),
@@ -327,6 +402,16 @@ fn main() {
         assert!(
             result.throughput_rows_per_s > 0.0,
             "serve smoke produced no throughput"
+        );
+        let swap = swap_under_load(2);
+        println!(
+            "swap under load: repair {:.0} ms, swap {} µs, {} responses during repair, \
+             zero dropped ({:.3} -> {:.3})",
+            swap.repair_wall_ms,
+            swap.swap_micros,
+            swap.responses_during_repair,
+            swap.accuracy_before,
+            swap.accuracy_after
         );
         println!("serve smoke OK");
         return;
@@ -377,6 +462,17 @@ fn main() {
         ));
     }
 
+    let swap = swap_under_load(4);
+    println!(
+        "swap under load: repair {:.0} ms, swap {} µs, {} responses during repair, zero dropped \
+         ({:.3} -> {:.3})",
+        swap.repair_wall_ms,
+        swap.swap_micros,
+        swap.responses_during_repair,
+        swap.accuracy_before,
+        swap.accuracy_after
+    );
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -406,6 +502,23 @@ fn main() {
         ),
         ("bitwise_identical_rows", Json::usize(checked)),
         ("levels", Json::Obj(level_entries)),
+        (
+            "swap_under_load",
+            Json::obj([
+                ("repair_wall_ms", Json::num(swap.repair_wall_ms)),
+                ("swap_micros", Json::usize(swap.swap_micros as usize)),
+                (
+                    "responses_during_repair",
+                    Json::usize(swap.responses_during_repair),
+                ),
+                (
+                    "accuracy_before",
+                    Json::num(f64::from(swap.accuracy_before)),
+                ),
+                ("accuracy_after", Json::num(f64::from(swap.accuracy_after))),
+                ("dropped_requests", Json::usize(0)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_serve.json");
     println!("wrote {out_path}");

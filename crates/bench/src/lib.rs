@@ -9,6 +9,7 @@
 //! * Criterion benches in `benches/` measure substrate and pipeline
 //!   throughput plus the DESIGN.md ablations.
 
+pub mod repair_fixture;
 pub mod table1;
 
 pub use table1::{

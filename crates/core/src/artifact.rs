@@ -36,6 +36,23 @@ use deepmorph_tensor::io::ByteWriter;
 /// Environment variable overriding the default on-disk store location.
 pub const ARTIFACTS_ENV: &str = "DEEPMORPH_ARTIFACTS";
 
+/// Second FNV basis for the high fingerprint half (two independent
+/// 64-bit digests over the same bytes form the 128-bit identity).
+const FP_HI_BASIS: u64 = 0x6c62_272e_07bb_0142;
+
+/// 128-bit content fingerprint of an opaque byte blob, as 32 hex chars —
+/// the identity under which model containers are tracked (the serving
+/// registry stamps every model version with it, and the repair stage keys
+/// its cache by it).
+pub fn content_fingerprint(bytes: &[u8]) -> String {
+    use deepmorph_tensor::io::{fnv64, fnv64_seeded};
+    format!(
+        "{:016x}{:016x}",
+        fnv64_seeded(FP_HI_BASIS, bytes),
+        fnv64(bytes)
+    )
+}
+
 /// Default on-disk store directory (relative to the working directory).
 pub const DEFAULT_ARTIFACTS_DIR: &str = "artifacts";
 
@@ -116,7 +133,7 @@ impl Fingerprinter {
         let bytes = self.w.as_slice();
         Fingerprint {
             lo: fnv64(bytes),
-            hi: fnv64_seeded(0x6c62_272e_07bb_0142, bytes),
+            hi: fnv64_seeded(FP_HI_BASIS, bytes),
         }
     }
 }

@@ -66,19 +66,20 @@ pub type Result<T> = std::result::Result<T, DeepMorphError>;
 /// Convenience re-exports (includes the types from the substrate crates
 /// that appear in this crate's public API).
 pub mod prelude {
-    pub use crate::artifact::{ArtifactStore, Fingerprint, StoreStats};
+    pub use crate::artifact::{content_fingerprint, ArtifactStore, Fingerprint, StoreStats};
     pub use crate::classify::{AlignmentMetric, ClassifierConfig, DefectClassifier};
     pub use crate::explain::{explain_case, explain_report};
     pub use crate::footprint::{Footprint, FootprintSet};
     pub use crate::instrument::{InstrumentedModel, ProbeTrainingConfig, TrainedProbe};
     pub use crate::pattern::ClassPatterns;
-    pub use crate::pipeline::{DeepMorph, DeepMorphConfig, FaultyCases};
+    pub use crate::pipeline::{DeepMorph, DeepMorphConfig, DiagnosisSession, FaultyCases};
     pub use crate::repair::{recommend, RepairPlan};
     pub use crate::report::{CaseDiagnosis, DefectRatios, DefectReport};
     pub use crate::scenario::{RepairOutcome, Scenario, ScenarioBuilder, ScenarioOutcome};
     pub use crate::specifics::FootprintSpecifics;
     pub use crate::stage::{
-        FootprintArtifact, InstrumentedArtifact, StagedEngine, TrainedModelArtifact,
+        FootprintArtifact, InstrumentedArtifact, RepairedModelArtifact, StagedEngine,
+        TrainedModelArtifact,
     };
     pub use crate::sweep::{CellReport, ExperimentPlan, SweepReport, SweepRunner};
     pub use crate::{DeepMorphError, Result as DeepMorphResult};

@@ -134,28 +134,17 @@ impl DeepMorph {
         &self.config
     }
 
-    /// Runs the full diagnosis pipeline.
-    ///
-    /// Consumes the model (instrumentation wraps it); returns the report
-    /// and the instrumented model for further queries.
+    /// The expensive, faulty-case-independent half of diagnosis: builds
+    /// the softmax-instrumented model and learns the class execution
+    /// patterns from the training set. The returned [`DiagnosisSession`]
+    /// can then diagnose any number of faulty-case sets against the same
+    /// model cheaply — this is what lets a serving process instrument a
+    /// deployed model once and re-diagnose fresh traffic on every request.
     ///
     /// # Errors
     ///
-    /// Returns [`DeepMorphError::NoFaultyCases`] if `faulty` is empty, and
-    /// propagates instrumentation/network errors.
-    pub fn diagnose(
-        &self,
-        model: ModelHandle,
-        train: &Dataset,
-        faulty: &FaultyCases,
-        subject: &str,
-    ) -> Result<(DefectReport, InstrumentedModel)> {
-        if faulty.is_empty() {
-            return Err(DeepMorphError::NoFaultyCases);
-        }
-        let mut faulty = faulty.clone();
-        faulty.truncate(self.config.max_faulty_cases)?;
-
+    /// Propagates instrumentation/network errors.
+    pub fn prepare(&self, model: ModelHandle, train: &Dataset) -> Result<DiagnosisSession> {
         // Stratified fit/holdout split: probes are fitted on `fit`, while
         // the label-noise statistics come from `holdout` so backbone
         // memorization cannot erase the UTD fingerprint (see
@@ -195,19 +184,82 @@ impl DeepMorph {
             ClassPatterns::learn(&train_fps, fit.labels(), instrumented.probe_accuracies())?
         };
 
+        Ok(DiagnosisSession {
+            instrumented,
+            patterns,
+            probe_labels: train_fps.probe_labels().to_vec(),
+            config: self.config,
+        })
+    }
+
+    /// Runs the full diagnosis pipeline.
+    ///
+    /// Consumes the model (instrumentation wraps it); returns the report
+    /// and the instrumented model for further queries. Equivalent to
+    /// [`DeepMorph::prepare`] followed by one
+    /// [`DiagnosisSession::diagnose`], bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::NoFaultyCases`] if `faulty` is empty, and
+    /// propagates instrumentation/network errors.
+    pub fn diagnose(
+        &self,
+        model: ModelHandle,
+        train: &Dataset,
+        faulty: &FaultyCases,
+        subject: &str,
+    ) -> Result<(DefectReport, InstrumentedModel)> {
+        if faulty.is_empty() {
+            return Err(DeepMorphError::NoFaultyCases);
+        }
+        let mut session = self.prepare(model, train)?;
+        let report = session.diagnose(faulty, subject)?;
+        Ok((report, session.into_instrumented()))
+    }
+}
+
+/// A prepared diagnosis: an instrumented model plus its learned class
+/// patterns. Created by [`DeepMorph::prepare`]; each
+/// [`DiagnosisSession::diagnose`] call then only extracts the faulty
+/// cases' footprints and classifies them — orders of magnitude cheaper
+/// than re-training probes, which is what makes repeated live diagnosis
+/// of the same deployed model practical.
+#[derive(Debug)]
+pub struct DiagnosisSession {
+    instrumented: InstrumentedModel,
+    patterns: ClassPatterns,
+    probe_labels: Vec<String>,
+    config: DeepMorphConfig,
+}
+
+impl DiagnosisSession {
+    /// Diagnoses one set of faulty cases against the prepared patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::NoFaultyCases`] if `faulty` is empty, and
+    /// propagates network errors.
+    pub fn diagnose(&mut self, faulty: &FaultyCases, subject: &str) -> Result<DefectReport> {
+        if faulty.is_empty() {
+            return Err(DeepMorphError::NoFaultyCases);
+        }
+        let mut faulty = faulty.clone();
+        faulty.truncate(self.config.max_faulty_cases)?;
+
         // 3. Faulty-case footprints → specifics.
-        let faulty_fps = instrumented.footprints(&faulty.images)?;
+        let faulty_fps = self.instrumented.footprints(&faulty.images)?;
         let specifics: Vec<FootprintSpecifics> = faulty_fps
             .iter()
             .zip(faulty.true_labels.iter().zip(&faulty.predicted))
             .map(|(fp, (&t, &p))| {
-                FootprintSpecifics::compute(fp, t, p, &patterns, self.config.classifier.metric)
+                FootprintSpecifics::compute(fp, t, p, &self.patterns, self.config.classifier.metric)
             })
             .collect();
 
         // 4. Defect reasoning.
         let classifier = DefectClassifier::new(self.config.classifier);
-        let (scores, ratios) = classifier.classify(&specifics, &patterns);
+        let (scores, ratios) = classifier.classify(&specifics, &self.patterns);
 
         let cases = scores
             .iter()
@@ -221,16 +273,25 @@ impl DeepMorph {
             })
             .collect();
 
-        let report = DefectReport {
+        Ok(DefectReport {
             ratios: DefectRatios::new(ratios),
             num_cases: specifics.len(),
-            probe_labels: train_fps.probe_labels().to_vec(),
-            probe_accuracies: instrumented.probe_accuracies(),
-            model_health: patterns.health(),
+            probe_labels: self.probe_labels.clone(),
+            probe_accuracies: self.instrumented.probe_accuracies(),
+            model_health: self.patterns.health(),
             cases,
             subject: subject.to_string(),
-        };
-        Ok((report, instrumented))
+        })
+    }
+
+    /// The instrumented model (e.g. for UTD label-cleaning footprints).
+    pub fn instrumented_mut(&mut self) -> &mut InstrumentedModel {
+        &mut self.instrumented
+    }
+
+    /// Unwraps the session into its instrumented model.
+    pub fn into_instrumented(self) -> InstrumentedModel {
+        self.instrumented
     }
 }
 

@@ -103,6 +103,13 @@ pub fn recommend(report: &DefectReport) -> Option<RepairPlan> {
             // The contaminated pair = the modal (true, predicted) pair of
             // the UTD-assigned cases. Mislabeled training samples carry
             // the *predicted* label and execute as the *true* class.
+            //
+            // Tie-break (pinned): when several pairs share the top count,
+            // the lexicographically largest `(true, predicted)` pair wins.
+            // The key `(n, pair)` is a total order, so the winner is
+            // independent of `HashMap` iteration order — repair plans are
+            // reproducible across runs, which the repair stage's artifact
+            // cache (keyed by the plan) relies on.
             let mut pairs: HashMap<(usize, usize), usize> = HashMap::new();
             for case in &report.cases {
                 if case.assigned == "UTD" {
@@ -174,6 +181,37 @@ mod tests {
             RepairPlan::CleanLabels {
                 suspect_label: 5,
                 executes_as: 3
+            }
+        );
+    }
+
+    #[test]
+    fn utd_tie_break_is_pinned_and_order_independent() {
+        // Four pairs, each seen once: the tie must resolve to the
+        // lexicographically largest (true, predicted) pair — (7, 2) —
+        // no matter how the counting map iterates.
+        let tied = [(1, 9), (7, 2), (3, 8), (0, 4)];
+        let expect = RepairPlan::CleanLabels {
+            suspect_label: 2,
+            executes_as: 7,
+        };
+        // Feed the cases in several orders; the plan must never change.
+        for rotation in 0..tied.len() {
+            let mut cases: Vec<CaseDiagnosis> = Vec::new();
+            for i in 0..tied.len() {
+                let (t, p) = tied[(i + rotation) % tied.len()];
+                cases.push(case("UTD", t, p));
+            }
+            let plan = recommend(&report_with([0.0, 1.0, 0.0], cases)).unwrap();
+            assert_eq!(plan, expect, "rotation {rotation} changed the tie-break");
+        }
+        // A strictly larger count still beats the largest pair.
+        let cases = vec![case("UTD", 1, 9), case("UTD", 1, 9), case("UTD", 7, 2)];
+        assert_eq!(
+            recommend(&report_with([0.0, 1.0, 0.0], cases)).unwrap(),
+            RepairPlan::CleanLabels {
+                suspect_label: 9,
+                executes_as: 1
             }
         );
     }

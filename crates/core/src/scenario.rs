@@ -217,13 +217,16 @@ impl Scenario {
     }
 
     /// Generates the datasets and applies the data-side injection:
-    /// `(injected_train, clean_test)`.
+    /// `(injected_train, clean_test)`. The injected train set is the
+    /// model's *actual* training data — what live diagnosis learns
+    /// patterns from and what a repair modifies; the clean test set
+    /// doubles as the held-out set repair gating evaluates on.
     ///
     /// # Errors
     ///
     /// Returns [`DeepMorphError::InvalidScenario`] if injection removed
     /// the entire training set.
-    pub(crate) fn injected_data(&self) -> Result<(Dataset, Dataset)> {
+    pub fn injected_data(&self) -> Result<(Dataset, Dataset)> {
         let cfg = &self.cfg;
         let (clean_train, test) = self.generate_data();
         let mut inject_rng = stream_rng(cfg.seed, "scenario-inject");

@@ -38,7 +38,7 @@ use deepmorph_tensor::io::{
 };
 use deepmorph_tensor::Tensor;
 
-use crate::artifact::{ArtifactStore, Fingerprint, Fingerprinter};
+use crate::artifact::{content_fingerprint, ArtifactStore, Fingerprint, Fingerprinter};
 use crate::classify::{AlignmentMetric, ClassifierConfig, DefectClassifier};
 use crate::footprint::{Footprint, FootprintSet};
 use crate::instrument::{InstrumentedModel, ProbeTrainingConfig, TrainedProbe};
@@ -54,6 +54,7 @@ const TRAINED_MAGIC: [u8; 4] = *b"DMS1";
 const INSTRUMENTED_MAGIC: [u8; 4] = *b"DMS2";
 const FOOTPRINT_MAGIC: [u8; 4] = *b"DMS3";
 const REPORT_MAGIC: [u8; 4] = *b"DMS4";
+const REPAIRED_MAGIC: [u8; 4] = *b"DMS5";
 
 // ---------------------------------------------------------------------
 // Stage 1: trained model
@@ -379,6 +380,63 @@ impl FootprintArtifact {
 }
 
 // ---------------------------------------------------------------------
+// Stage 5 (on demand): repaired model
+// ---------------------------------------------------------------------
+
+/// Output of executing a [`RepairPlan`]: the retrained model and how it
+/// fared on the clean test set. Keyed by the scenario, the *content
+/// fingerprint of the model being repaired*, and the plan — so repairing
+/// the same model the same way twice retrains nothing, while a repaired
+/// (hence different) model never aliases its ancestor's cache entry.
+#[derive(Debug, Clone)]
+pub struct RepairedModelArtifact {
+    /// The repaired model as a `deepmorph-models` container.
+    model_bytes: Vec<u8>,
+    /// Clean-test accuracy of the repaired model.
+    pub accuracy_after: f32,
+    /// Training-set size after the repair.
+    pub repaired_train_size: usize,
+}
+
+impl RepairedModelArtifact {
+    /// Rebuilds the live repaired model (spec → architecture, exact state
+    /// import; eval behavior is bitwise identical to the retrained model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepMorphError::Artifact`] if the stored bytes no longer
+    /// decode against the current architecture code.
+    pub fn instantiate(&self) -> Result<ModelHandle> {
+        decode_model(&self.model_bytes).map_err(|e| DeepMorphError::Artifact {
+            reason: format!("repaired-model artifact: {e}"),
+        })
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.model_bytes.len() as u64);
+        w.put_bytes(&self.model_bytes);
+        w.put_f32(self.accuracy_after);
+        w.put_u64(self.repaired_train_size as u64);
+        seal_container(REPAIRED_MAGIC, w.as_slice())
+    }
+
+    fn decode(bytes: &[u8]) -> CodecResult<Self> {
+        let payload = open_container(REPAIRED_MAGIC, bytes)?;
+        let mut r = ByteReader::new(payload);
+        let model_len = r.get_len("repaired model bytes")?;
+        let model_bytes = r.get_bytes(model_len, "repaired model bytes")?.to_vec();
+        let accuracy_after = r.get_f32("repaired accuracy")?;
+        let repaired_train_size = r.get_len("repaired train size")?;
+        Ok(RepairedModelArtifact {
+            model_bytes,
+            accuracy_after,
+            repaired_train_size,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // The engine
 // ---------------------------------------------------------------------
 
@@ -533,6 +591,45 @@ impl StagedEngine {
         let mut fp = Fingerprinter::new("deepmorph/stage/report/v1");
         fp.push_fingerprint(&Self::footprint_fingerprint(scenario));
         Self::push_classifier_config(&mut fp, &scenario.cfg.deepmorph.classifier);
+        fp.finish()
+    }
+
+    fn push_plan(fp: &mut Fingerprinter, plan: &RepairPlan) {
+        match plan {
+            RepairPlan::CollectMoreData { classes } => {
+                fp.push_u64(1);
+                fp.push_usize(classes.len());
+                for &c in classes {
+                    fp.push_usize(c);
+                }
+            }
+            RepairPlan::CleanLabels {
+                suspect_label,
+                executes_as,
+            } => {
+                fp.push_u64(2);
+                fp.push_usize(*suspect_label);
+                fp.push_usize(*executes_as);
+            }
+            RepairPlan::StrengthenStructure => fp.push_u64(3),
+        }
+    }
+
+    /// Fingerprint of a repair execution: the full scenario identity
+    /// (data, training and DeepMorph configuration), the content
+    /// fingerprint of the model being repaired, and the plan. The model
+    /// fingerprint matters because UTD label cleaning relabels by the
+    /// *model's* footprints — two different models repaired under the same
+    /// scenario and plan can produce different repaired training sets.
+    pub fn repair_fingerprint(
+        scenario: &Scenario,
+        model_fingerprint: &str,
+        plan: &RepairPlan,
+    ) -> Fingerprint {
+        let mut fp = Fingerprinter::new("deepmorph/stage/repaired/v1");
+        fp.push_fingerprint(&Self::report_fingerprint(scenario));
+        fp.push_str(model_fingerprint);
+        Self::push_plan(&mut fp, plan);
         fp.finish()
     }
 
@@ -789,22 +886,31 @@ impl StagedEngine {
         Ok(self.run_stages(scenario)?.0)
     }
 
-    /// Runs the staged pipeline, then applies DeepMorph's recommended
-    /// repair and retrains, measuring the improvement.
+    /// Executes a repair plan against a concrete model: applies the plan
+    /// to the scenario's (injected) training set, retrains from scratch,
+    /// and evaluates the result on the clean test set. Cached in the
+    /// store under [`StagedEngine::repair_fingerprint`], so re-repairing
+    /// an unchanged model with an unchanged plan loads instead of
+    /// retraining. `instrumented` must wrap the model identified by
+    /// `model_fingerprint`; only UTD label cleaning consults it (relabels
+    /// samples whose last-probe class executes as the clean pair's class).
     ///
     /// # Errors
     ///
-    /// Same conditions as [`StagedEngine::run`], plus
-    /// [`DeepMorphError::InvalidScenario`] when no repair can be derived
-    /// from the report.
-    pub fn run_with_repair(&self, scenario: &Scenario) -> Result<(ScenarioOutcome, RepairOutcome)> {
-        let (outcome, trained, instrumented) = self.run_stages(scenario)?;
-
-        let plan = recommend(&outcome.report).ok_or_else(|| DeepMorphError::InvalidScenario {
-            reason: "no repair plan can be derived from the report".into(),
-        })?;
+    /// Propagates data, training, and network errors.
+    pub fn repaired(
+        &self,
+        scenario: &Scenario,
+        model_fingerprint: &str,
+        plan: &RepairPlan,
+        instrumented: &mut InstrumentedModel,
+    ) -> Result<RepairedModelArtifact> {
+        let key = Self::repair_fingerprint(scenario, model_fingerprint, plan);
+        if let Some(artifact) = self.cached(&key, RepairedModelArtifact::decode) {
+            return Ok(artifact);
+        }
         let (train, test) = scenario.injected_data()?;
-        let repaired_train: Dataset = match &plan {
+        let repaired_train: Dataset = match plan {
             RepairPlan::CollectMoreData { classes } => {
                 // Simulate collecting more data: draw fresh samples of the
                 // starved classes from the generator.
@@ -820,9 +926,7 @@ impl StagedEngine {
             } => {
                 // Relabel training samples that carry the suspect label but
                 // execute as the other class of the pair.
-                let model = trained.instantiate()?;
-                let mut inst = instrumented.instantiate(model)?;
-                let fps = inst.footprints(train.images())?;
+                let fps = instrumented.footprints(train.images())?;
                 let mut cleaned = train.clone();
                 for (i, fp) in fps.iter().enumerate() {
                     if cleaned.labels()[i] == *suspect_label {
@@ -840,11 +944,41 @@ impl StagedEngine {
         let (mut repaired_model, _) = scenario.train_fresh(&repaired_train, 0, "-repair")?;
         let accuracy_after =
             evaluate_accuracy(&mut repaired_model.graph, test.images(), test.labels(), 64)?;
+        let artifact = RepairedModelArtifact {
+            model_bytes: encode_model(&mut repaired_model),
+            accuracy_after,
+            repaired_train_size: repaired_train.len(),
+        };
+        self.store.put(&key, &artifact.encode());
+        Ok(artifact)
+    }
+
+    /// Runs the staged pipeline, then applies DeepMorph's recommended
+    /// repair and retrains, measuring the improvement.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StagedEngine::run`], plus
+    /// [`DeepMorphError::InvalidScenario`] when no repair can be derived
+    /// from the report.
+    pub fn run_with_repair(&self, scenario: &Scenario) -> Result<(ScenarioOutcome, RepairOutcome)> {
+        let (outcome, trained, instrumented) = self.run_stages(scenario)?;
+
+        let plan = recommend(&outcome.report).ok_or_else(|| DeepMorphError::InvalidScenario {
+            reason: "no repair plan can be derived from the report".into(),
+        })?;
+        let mut inst = instrumented.instantiate(trained.instantiate()?)?;
+        let repaired = self.repaired(
+            scenario,
+            &content_fingerprint(&trained.model_bytes),
+            &plan,
+            &mut inst,
+        )?;
         let repair = RepairOutcome {
             plan,
             accuracy_before: outcome.test_accuracy,
-            accuracy_after,
-            repaired_train_size: repaired_train.len(),
+            accuracy_after: repaired.accuracy_after,
+            repaired_train_size: repaired.repaired_train_size,
         };
         Ok((outcome, repair))
     }
@@ -886,6 +1020,56 @@ mod tests {
                 assert_ne!(fps[i], fps[j]);
             }
         }
+    }
+
+    #[test]
+    fn repaired_stage_caches_by_model_and_plan() {
+        let s = tiny_scenario();
+        let engine = StagedEngine::new(ArtifactStore::in_memory());
+        let trained = engine.trained(&s).unwrap();
+        let instrumented = engine.instrumented(&s, &trained).unwrap();
+        let model_fp = content_fingerprint(&trained.model_bytes);
+        let plan = RepairPlan::CollectMoreData {
+            classes: vec![0, 1],
+        };
+
+        let mut inst = instrumented
+            .instantiate(trained.instantiate().unwrap())
+            .unwrap();
+        let before = engine.store().stats();
+        let first = engine.repaired(&s, &model_fp, &plan, &mut inst).unwrap();
+        let mid = engine.store().stats();
+        assert_eq!(mid.since(&before).writes, 1);
+
+        // The second identical repair loads instead of retraining, and the
+        // cached artifact is bitwise identical to the computed one.
+        let second = engine.repaired(&s, &model_fp, &plan, &mut inst).unwrap();
+        let after = engine.store().stats();
+        assert_eq!(after.since(&mid).hits, 1);
+        assert_eq!(after.since(&mid).writes, 0);
+        assert_eq!(second.model_bytes, first.model_bytes);
+        assert_eq!(
+            second.accuracy_after.to_bits(),
+            first.accuracy_after.to_bits()
+        );
+        assert_eq!(second.repaired_train_size, first.repaired_train_size);
+
+        // A different plan or a different model never aliases the cache.
+        let key = StagedEngine::repair_fingerprint(&s, &model_fp, &plan);
+        assert_ne!(
+            key,
+            StagedEngine::repair_fingerprint(&s, &model_fp, &RepairPlan::StrengthenStructure)
+        );
+        assert_ne!(
+            key,
+            StagedEngine::repair_fingerprint(&s, "another-model-fp", &plan)
+        );
+
+        // The artifact codec round-trips and rejects corruption.
+        let bytes = first.encode();
+        let back = RepairedModelArtifact::decode(&bytes).unwrap();
+        assert_eq!(back.model_bytes, first.model_bytes);
+        assert!(RepairedModelArtifact::decode(&bytes[..bytes.len() / 2]).is_err());
     }
 
     #[test]

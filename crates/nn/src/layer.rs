@@ -117,7 +117,12 @@ impl IntoIterator for Grads {
 ///
 /// Implementors report trainable parameters through [`Layer::visit_params`];
 /// the optimizer relies on the visit order being stable across calls.
-pub trait Layer {
+///
+/// Layers are `Send`: they own plain tensor data, so a built graph can
+/// move between threads — serving workers build replicas on their own
+/// threads, and the serving layer keeps prepared (instrumented) models
+/// inside shared state that connection threads access under a lock.
+pub trait Layer: Send {
     /// Short human-readable layer name (used in errors and reports).
     fn name(&self) -> &str;
 

@@ -35,7 +35,7 @@ use deepmorph_models::ModelHandle;
 use deepmorph_tensor::{workspace, Tensor};
 
 use crate::error::{ServeError, ServeResult};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelId, ModelRegistry};
 
 /// Knobs of the micro-batching scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,16 @@ pub struct ServeStats {
     pub errors: AtomicU64,
     /// Requests rejected because the queue was full.
     pub busy_rejections: AtomicU64,
+    /// Diagnose calls answered (repairs include one).
+    pub diagnoses: AtomicU64,
+    /// Diagnosis sessions prepared (probe-training passes). Memoization
+    /// per model fingerprint keeps this at one per served version no
+    /// matter how many diagnoses run.
+    pub probe_trainings: AtomicU64,
+    /// Repair calls answered.
+    pub repairs: AtomicU64,
+    /// Hot-swaps performed.
+    pub swaps: AtomicU64,
 }
 
 impl ServeStats {
@@ -94,6 +104,10 @@ impl ServeStats {
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            diagnoses: self.diagnoses.load(Ordering::Relaxed),
+            probe_trainings: self.probe_trainings.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,8 +137,8 @@ pub(crate) enum Responder {
 
 /// One queued predict request.
 pub(crate) struct Job {
-    /// Registry index of the target model.
-    pub model: usize,
+    /// Registry handle of the target model.
+    pub model: ModelId,
     /// Input rows `[n, c, h, w]`.
     pub rows: Tensor,
     /// Return logits alongside predictions.
@@ -146,12 +160,16 @@ impl Job {
 /// Validates a predict submission against the registry entry.
 pub(crate) fn validate_job(
     registry: &ModelRegistry,
-    model: usize,
+    model: ModelId,
     rows: &Tensor,
     true_labels: &[usize],
 ) -> ServeResult<()> {
     let bad = |reason: String| Err(ServeError::BadInput { reason });
-    let spec = &registry.entry(model).spec;
+    // Validation reads the *current* version's spec; input shape and
+    // class count are invariant across published versions (enforced by
+    // `ModelRegistry::publish`), so a swap between validation and
+    // dispatch cannot invalidate an accepted job.
+    let spec = registry.current(model).spec;
     if rows.ndim() != 4 {
         return bad(format!(
             "input must be [n, c, h, w]; got rank {}",
@@ -278,7 +296,7 @@ impl Scheduler {
     /// [`ServeError::ShuttingDown`] after shutdown began.
     pub fn submit_rows(
         &self,
-        model: usize,
+        model: ModelId,
         rows: Tensor,
         want_logits: bool,
     ) -> ServeResult<Receiver<ServeResult<JobOutput>>> {
@@ -313,8 +331,15 @@ impl Drop for Scheduler {
     }
 }
 
+/// A worker's private instance of one model, pinned to the registry
+/// epoch it was instantiated at.
+struct Replica {
+    epoch: u64,
+    model: ModelHandle,
+}
+
 fn worker_loop(shared: &Shared) {
-    let mut replicas: HashMap<usize, ModelHandle> = HashMap::new();
+    let mut replicas: HashMap<ModelId, Replica> = HashMap::new();
     loop {
         let mut queue = shared.queue.lock().expect("serve queue");
         let first = loop {
@@ -375,7 +400,7 @@ fn drain(queue: &mut VecDeque<Job>, jobs: &mut Vec<Job>, total: &mut usize, max_
 /// Runs one coalesced batch and scatters the per-row outputs.
 fn run_jobs(
     shared: &Shared,
-    replicas: &mut HashMap<usize, ModelHandle>,
+    replicas: &mut HashMap<ModelId, Replica>,
     jobs: Vec<Job>,
     total_rows: usize,
 ) {
@@ -386,21 +411,49 @@ fn run_jobs(
         stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
     }
 
-    let model_idx = jobs[0].model;
-    let replica = match replicas.entry(model_idx) {
-        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-        std::collections::hash_map::Entry::Vacant(slot) => {
-            match shared.registry.instantiate(model_idx) {
-                Ok(model) => slot.insert(model),
-                Err(e) => {
-                    for job in jobs {
-                        deliver(stats, job, Err(e.clone()));
+    // Batch-boundary version check: one atomic load per batch. A replica
+    // built at a superseded epoch is replaced *before* the forward, so
+    // every request in this batch is answered by exactly one version —
+    // batches already running when a swap lands simply finish on the old
+    // replica (the swapped-out entry stays alive behind its Arc).
+    let model_id = jobs[0].model;
+    let hint = shared.registry.epoch(model_id);
+    let entry = replicas.entry(model_id);
+    let stale = match &entry {
+        std::collections::hash_map::Entry::Occupied(e) => e.get().epoch != hint,
+        std::collections::hash_map::Entry::Vacant(_) => true,
+    };
+    let replica = if stale {
+        // `current_with_epoch` reads the (epoch, entry) pair under one
+        // lock, so the cached epoch always matches the instantiated
+        // version even if another swap raced the hint read above.
+        let (epoch, current) = shared.registry.current_with_epoch(model_id);
+        match current.instantiate() {
+            Ok(model) => {
+                let slot = Replica { epoch, model };
+                match entry {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        *e.get_mut() = slot;
+                        e.into_mut()
                     }
-                    return;
+                    std::collections::hash_map::Entry::Vacant(v) => v.insert(slot),
                 }
             }
+            Err(e) => {
+                for job in jobs {
+                    deliver(stats, job, Err(e.clone()));
+                }
+                return;
+            }
+        }
+    } else {
+        match entry {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(_) => unreachable!("stale covers vacant"),
         }
     };
+    let replica_epoch = replica.epoch;
+    let replica = &mut replica.model;
 
     // One forward for the whole batch. The single-request case borrows
     // the job's tensor directly; a coalesced batch gathers rows into one
@@ -467,7 +520,11 @@ fn run_jobs(
             let mut sink = cases.lock().expect("live cases");
             for (i, (&truth, &pred)) in job.true_labels.iter().zip(&job_preds).enumerate() {
                 if truth != pred {
-                    sink.record(
+                    // Row length was validated at submit time, so the only
+                    // thing `record` can still do besides accept is drop
+                    // the case as stale after a concurrent hot-swap.
+                    let _ = sink.record(
+                        replica_epoch,
                         &job.rows.data()[i * row_len..(i + 1) * row_len],
                         truth,
                         pred,

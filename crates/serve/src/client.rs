@@ -9,7 +9,7 @@ use deepmorph_tensor::Tensor;
 use crate::error::{ServeError, ServeResult};
 use crate::protocol::{
     decode_response, encode_request, DiagnoseResponse, ModelInfo, PredictRequest, PredictResponse,
-    Request, Response, StatsSnapshot, MAX_FRAME_BYTES,
+    RepairResponse, Request, Response, StatsSnapshot, VersionInfo, MAX_FRAME_BYTES,
 };
 
 /// How long a client waits for one response before giving up. Diagnosis
@@ -149,6 +149,40 @@ impl Client {
         })? {
             Response::Diagnose(d) => Ok(d),
             _ => Self::unexpected("diagnose"),
+        }
+    }
+
+    /// Runs the online repair loop for `model`: diagnose the accumulated
+    /// traffic, execute the recommended repair, and — when the retrained
+    /// model is at least as accurate on the held-out set — hot-swap it in
+    /// as a new version. Blocks for the retraining; concurrent predict
+    /// traffic (on other connections) is not affected.
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed — including
+    /// [`crate::ErrorCode::Repair`] when no actionable plan exists or a
+    /// repair of the model is already running.
+    pub fn repair(&mut self, model: &str) -> ServeResult<RepairResponse> {
+        match self.call(&Request::Repair {
+            model: model.to_string(),
+        })? {
+            Response::Repair(r) => Ok(r),
+            _ => Self::unexpected("repair"),
+        }
+    }
+
+    /// Lists `model`'s version chain, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed.
+    pub fn versions(&mut self, model: &str) -> ServeResult<Vec<VersionInfo>> {
+        match self.call(&Request::ListVersions {
+            model: model.to_string(),
+        })? {
+            Response::Versions(v) => Ok(v),
+            _ => Self::unexpected("list-versions"),
         }
     }
 

@@ -32,6 +32,9 @@ pub enum ErrorCode {
     /// Diagnosis is unavailable for this model (no dataset context, or no
     /// misclassified traffic accumulated yet).
     Diagnosis,
+    /// A repair could not run (no actionable plan, repair already in
+    /// progress, or the retrain failed).
+    Repair,
 }
 
 impl ErrorCode {
@@ -44,6 +47,7 @@ impl ErrorCode {
             ErrorCode::Busy => 4,
             ErrorCode::Internal => 5,
             ErrorCode::Diagnosis => 6,
+            ErrorCode::Repair => 7,
         }
     }
 
@@ -56,6 +60,7 @@ impl ErrorCode {
             3 => ErrorCode::BadInput,
             4 => ErrorCode::Busy,
             6 => ErrorCode::Diagnosis,
+            7 => ErrorCode::Repair,
             _ => ErrorCode::Internal,
         }
     }
@@ -70,6 +75,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::Internal => "internal",
             ErrorCode::Diagnosis => "diagnosis",
+            ErrorCode::Repair => "repair",
         };
         f.write_str(name)
     }
@@ -118,6 +124,11 @@ pub enum ServeError {
         /// Description of the failure.
         reason: String,
     },
+    /// Online repair could not run or complete.
+    Repair {
+        /// Description of the failure.
+        reason: String,
+    },
     /// The server answered with an error frame (client-side view).
     Remote {
         /// Wire error category.
@@ -138,6 +149,7 @@ impl ServeError {
             ServeError::BadInput { .. } => ErrorCode::BadInput,
             ServeError::Busy { .. } => ErrorCode::Busy,
             ServeError::Diagnosis { .. } => ErrorCode::Diagnosis,
+            ServeError::Repair { .. } => ErrorCode::Repair,
             ServeError::Remote { code, .. } => *code,
             ServeError::Io { .. } | ServeError::Model { .. } | ServeError::ShuttingDown => {
                 ErrorCode::Internal
@@ -159,6 +171,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Model { reason } => write!(f, "model error: {reason}"),
             ServeError::Diagnosis { reason } => write!(f, "diagnosis error: {reason}"),
+            ServeError::Repair { reason } => write!(f, "repair error: {reason}"),
             ServeError::Remote { code, message } => {
                 write!(f, "server error [{code}]: {message}")
             }
@@ -238,6 +251,7 @@ mod tests {
             ErrorCode::Busy,
             ErrorCode::Internal,
             ErrorCode::Diagnosis,
+            ErrorCode::Repair,
         ] {
             assert_eq!(ErrorCode::from_tag(code.tag()), code);
         }

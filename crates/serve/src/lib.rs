@@ -14,11 +14,15 @@
 //! * [`protocol`] — the wire format: `u32` length prefix + a checksummed
 //!   `deepmorph_tensor::io` container per frame. Malformed input becomes
 //!   a typed error frame; the server never dies on client bytes.
-//! * [`registry`] — named models, loaded from `*.dmmd` files or
-//!   registered in process, each stamped with a 128-bit content
-//!   fingerprint. Serving workers instantiate independent *replicas*
+//! * [`registry`] — named, *versioned* models, loaded from `*.dmmd` /
+//!   `*@vN.dmmd` files or registered in process, each version stamped
+//!   with a 128-bit content fingerprint. Every name is a hot-swappable
+//!   version chain: publishing a repaired model atomically replaces the
+//!   serving version without dropping or perturbing a single predict
+//!   request. Serving workers instantiate independent *replicas*
 //!   (rebuild from spec + exact state import), which predict bitwise
-//!   identically to the saved model.
+//!   identically to the saved model, and refresh them at batch
+//!   boundaries when the version epoch moves.
 //! * [`batch`] — the dynamic micro-batching scheduler: a bounded queue,
 //!   worker-owned replicas, coalescing up to `max_batch` rows or
 //!   `max_wait`, one `Graph::forward_inference` per batch, per-row
@@ -27,7 +31,13 @@
 //!   tests at the GEMM, graph, scheduler, and protocol levels).
 //! * [`server`] / [`client`] — the TCP endpoints.
 //! * [`cases`] — per-model accumulation of labeled misclassified
-//!   traffic, the input to the diagnose endpoint.
+//!   traffic, the input to the diagnose endpoint; version-scoped, so a
+//!   hot-swap can never leak pre-repair mistakes into the next
+//!   diagnosis.
+//! * [`repair`] — the online diagnose → repair → hot-swap loop: a
+//!   memoized per-version diagnosis session, plan execution through the
+//!   staged engine (cached in an artifact store), a held-out accuracy
+//!   gate, and the atomic version swap.
 //!
 //! # Example (in-process round trip)
 //!
@@ -57,6 +67,7 @@ pub mod cases;
 mod error;
 pub mod protocol;
 pub mod registry;
+pub mod repair;
 pub mod server;
 
 pub mod client;
@@ -64,7 +75,8 @@ pub mod client;
 pub use batch::{BatchConfig, JobOutput, Scheduler, ServeStats};
 pub use client::Client;
 pub use error::{ErrorCode, ServeError, ServeResult};
-pub use registry::{DiagnosisContext, ModelRegistry};
+pub use registry::{DiagnosisContext, ModelId, ModelRegistry};
+pub use repair::ArtifactBackend;
 pub use server::{Server, ServerConfig};
 
 /// Convenience re-exports.
@@ -73,7 +85,10 @@ pub mod prelude {
     pub use crate::cases::LiveCases;
     pub use crate::client::Client;
     pub use crate::error::{ErrorCode, ServeError, ServeResult};
-    pub use crate::protocol::{DiagnoseResponse, ModelInfo, PredictResponse, StatsSnapshot};
-    pub use crate::registry::{DiagnosisContext, ModelRegistry};
+    pub use crate::protocol::{
+        DiagnoseResponse, ModelInfo, PredictResponse, RepairResponse, StatsSnapshot, VersionInfo,
+    };
+    pub use crate::registry::{DiagnosisContext, ModelId, ModelRegistry};
+    pub use crate::repair::ArtifactBackend;
     pub use crate::server::{Server, ServerConfig};
 }

@@ -44,6 +44,8 @@ const KIND_LIST_MODELS: u8 = 1;
 const KIND_PREDICT: u8 = 2;
 const KIND_DIAGNOSE: u8 = 3;
 const KIND_STATS: u8 = 4;
+const KIND_REPAIR: u8 = 5;
+const KIND_LIST_VERSIONS: u8 = 6;
 const RESPONSE_BIT: u8 = 0x80;
 const KIND_ERROR: u8 = 0x7F;
 
@@ -64,6 +66,20 @@ pub enum Request {
     },
     /// Serving counters; answered with [`Response::Stats`].
     Stats,
+    /// Close the loop: diagnose the accumulated traffic, derive and
+    /// execute the repair, and — if the retrained model holds up on the
+    /// held-out set — hot-swap it in as a new version. Answered with
+    /// [`Response::Repair`].
+    Repair {
+        /// Registered model name.
+        model: String,
+    },
+    /// Version-chain listing for one model; answered with
+    /// [`Response::Versions`].
+    ListVersions {
+        /// Registered model name.
+        model: String,
+    },
 }
 
 /// Payload of [`Request::Predict`].
@@ -96,6 +112,10 @@ pub enum Response {
     Diagnose(DiagnoseResponse),
     /// Answer to [`Request::Stats`].
     Stats(StatsSnapshot),
+    /// Answer to [`Request::Repair`].
+    Repair(RepairResponse),
+    /// Answer to [`Request::ListVersions`].
+    Versions(Vec<VersionInfo>),
     /// Typed failure; may answer any request.
     Error(ErrorFrame),
 }
@@ -105,6 +125,9 @@ pub enum Response {
 pub struct ModelInfo {
     /// Registered name (the file stem for directory-loaded registries).
     pub name: String,
+    /// Version currently serving under this name (starts at 1; bumped by
+    /// every hot-swapped repair).
+    pub version: u32,
     /// 128-bit content fingerprint of the model container, as hex.
     pub fingerprint: String,
     /// Expected input shape `[c, h, w]`.
@@ -149,6 +172,16 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Requests rejected because the queue was full.
     pub busy_rejections: u64,
+    /// Diagnose calls answered (repair calls include one).
+    pub diagnoses: u64,
+    /// Diagnosis sessions prepared — each is one probe-training pass. A
+    /// second diagnose of an unchanged model must not move this counter:
+    /// sessions are memoized per model content fingerprint.
+    pub probe_trainings: u64,
+    /// Repair calls answered.
+    pub repairs: u64,
+    /// Hot-swaps performed (repairs whose gate passed).
+    pub swaps: u64,
 }
 
 impl StatsSnapshot {
@@ -160,6 +193,43 @@ impl StatsSnapshot {
             self.rows as f64 / self.batches as f64
         }
     }
+}
+
+/// One version of a model's chain as reported by
+/// [`Response::Versions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// Version number (starts at 1).
+    pub version: u32,
+    /// Content fingerprint of that version's container.
+    pub fingerprint: String,
+    /// `true` for the version currently serving.
+    pub active: bool,
+}
+
+/// Payload of [`Response::Repair`]: what the diagnose → repair →
+/// hot-swap loop did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairResponse {
+    /// Human-readable repair plan that was executed.
+    pub plan: String,
+    /// Accumulated misclassified cases the diagnosis covered.
+    pub cases: u64,
+    /// Held-out accuracy of the version that was serving when the repair
+    /// started.
+    pub accuracy_before: f32,
+    /// Held-out accuracy of the repaired, retrained model.
+    pub accuracy_after: f32,
+    /// Whether the repaired model was swapped in (`false` when the gate
+    /// rejected it because it was no better than the serving version).
+    pub swapped: bool,
+    /// Version serving after this call (unchanged when not swapped).
+    pub version: u32,
+    /// Fingerprint of the version serving after this call.
+    pub fingerprint: String,
+    /// Wall time of the atomic swap itself — publish + traffic-buffer
+    /// reset, not the retraining — in microseconds (0 when not swapped).
+    pub swap_micros: u64,
 }
 
 /// Payload of [`Response::Error`].
@@ -201,6 +271,14 @@ pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
             KIND_DIAGNOSE
         }
         Request::Stats => KIND_STATS,
+        Request::Repair { model } => {
+            w.put_str(model);
+            KIND_REPAIR
+        }
+        Request::ListVersions { model } => {
+            w.put_str(model);
+            KIND_LIST_VERSIONS
+        }
     };
     finish(kind, id, w)
 }
@@ -217,6 +295,7 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
             w.put_u64(models.len() as u64);
             for m in models {
                 w.put_str(&m.name);
+                w.put_u64(u64::from(m.version));
                 w.put_str(&m.fingerprint);
                 for &d in &m.input_shape {
                     w.put_u64(d as u64);
@@ -247,10 +326,34 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
                 s.coalesced_batches,
                 s.errors,
                 s.busy_rejections,
+                s.diagnoses,
+                s.probe_trainings,
+                s.repairs,
+                s.swaps,
             ] {
                 w.put_u64(v);
             }
             RESPONSE_BIT | KIND_STATS
+        }
+        Response::Repair(r) => {
+            w.put_str(&r.plan);
+            w.put_u64(r.cases);
+            w.put_f32(r.accuracy_before);
+            w.put_f32(r.accuracy_after);
+            w.put_u8(u8::from(r.swapped));
+            w.put_u64(u64::from(r.version));
+            w.put_str(&r.fingerprint);
+            w.put_u64(r.swap_micros);
+            RESPONSE_BIT | KIND_REPAIR
+        }
+        Response::Versions(versions) => {
+            w.put_u64(versions.len() as u64);
+            for v in versions {
+                w.put_u64(u64::from(v.version));
+                w.put_str(&v.fingerprint);
+                w.put_u8(u8::from(v.active));
+            }
+            RESPONSE_BIT | KIND_LIST_VERSIONS
         }
         Response::Error(e) => {
             w.put_u8(e.code.tag());
@@ -306,6 +409,12 @@ pub fn decode_request(frame: &[u8]) -> CodecResult<(u64, Request)> {
             model: r.get_str("diagnose model")?,
         },
         KIND_STATS => Request::Stats,
+        KIND_REPAIR => Request::Repair {
+            model: r.get_str("repair model")?,
+        },
+        KIND_LIST_VERSIONS => Request::ListVersions {
+            model: r.get_str("list-versions model")?,
+        },
         other => {
             return Err(CodecError::Invalid {
                 context: format!("unknown request kind {other:#04x}"),
@@ -333,6 +442,11 @@ pub fn decode_response(frame: &[u8]) -> CodecResult<(u64, Response)> {
             for _ in 0..n {
                 models.push(ModelInfo {
                     name: r.get_str("model name")?,
+                    version: u32::try_from(r.get_u64("model version")?).map_err(|_| {
+                        CodecError::Invalid {
+                            context: "model version exceeds u32".into(),
+                        }
+                    })?,
                     fingerprint: r.get_str("model fingerprint")?,
                     input_shape: [
                         r.get_len("model shape")?,
@@ -368,7 +482,48 @@ pub fn decode_response(frame: &[u8]) -> CodecResult<(u64, Response)> {
             coalesced_batches: r.get_u64("stats")?,
             errors: r.get_u64("stats")?,
             busy_rejections: r.get_u64("stats")?,
+            diagnoses: r.get_u64("stats")?,
+            probe_trainings: r.get_u64("stats")?,
+            repairs: r.get_u64("stats")?,
+            swaps: r.get_u64("stats")?,
         }),
+        k if k == RESPONSE_BIT | KIND_REPAIR => {
+            let plan = r.get_str("repair plan")?;
+            let cases = r.get_u64("repair cases")?;
+            let accuracy_before = r.get_f32("repair accuracy")?;
+            let accuracy_after = r.get_f32("repair accuracy")?;
+            let swapped = r.get_u8("repair swapped")? != 0;
+            let version =
+                u32::try_from(r.get_u64("repair version")?).map_err(|_| CodecError::Invalid {
+                    context: "repair version exceeds u32".into(),
+                })?;
+            Response::Repair(RepairResponse {
+                plan,
+                cases,
+                accuracy_before,
+                accuracy_after,
+                swapped,
+                version,
+                fingerprint: r.get_str("repair fingerprint")?,
+                swap_micros: r.get_u64("repair swap micros")?,
+            })
+        }
+        k if k == RESPONSE_BIT | KIND_LIST_VERSIONS => {
+            let n = r.get_len("version count")?;
+            let mut versions = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                versions.push(VersionInfo {
+                    version: u32::try_from(r.get_u64("version number")?).map_err(|_| {
+                        CodecError::Invalid {
+                            context: "version number exceeds u32".into(),
+                        }
+                    })?,
+                    fingerprint: r.get_str("version fingerprint")?,
+                    active: r.get_u8("version active")? != 0,
+                });
+            }
+            Response::Versions(versions)
+        }
         KIND_ERROR => Response::Error(ErrorFrame {
             code: ErrorCode::from_tag(r.get_u8("error code")?),
             message: r.get_str("error message")?,
@@ -410,6 +565,12 @@ mod tests {
                 model: "lenet".into(),
             },
             Request::Stats,
+            Request::Repair {
+                model: "lenet".into(),
+            },
+            Request::ListVersions {
+                model: "lenet".into(),
+            },
         ];
         for (i, request) in cases.iter().enumerate() {
             let wire = encode_request(i as u64 + 10, request);
@@ -426,6 +587,7 @@ mod tests {
             Response::Pong { models: 2 },
             Response::Models(vec![ModelInfo {
                 name: "lenet".into(),
+                version: 3,
                 fingerprint: "ab".repeat(16),
                 input_shape: [1, 16, 16],
                 num_classes: 10,
@@ -450,7 +612,33 @@ mod tests {
                 coalesced_batches: 1,
                 errors: 0,
                 busy_rejections: 5,
+                diagnoses: 2,
+                probe_trainings: 1,
+                repairs: 1,
+                swaps: 1,
             }),
+            Response::Repair(RepairResponse {
+                plan: "collect more training data for classes [0, 1]".into(),
+                cases: 17,
+                accuracy_before: 0.62,
+                accuracy_after: 0.84,
+                swapped: true,
+                version: 2,
+                fingerprint: "cd".repeat(16),
+                swap_micros: 412,
+            }),
+            Response::Versions(vec![
+                VersionInfo {
+                    version: 1,
+                    fingerprint: "ab".repeat(16),
+                    active: false,
+                },
+                VersionInfo {
+                    version: 2,
+                    fingerprint: "cd".repeat(16),
+                    active: true,
+                },
+            ]),
             Response::Error(ErrorFrame {
                 code: ErrorCode::Busy,
                 message: "queue full".into(),

@@ -1,34 +1,52 @@
-//! The model registry: named, fingerprinted, instantiable models.
+//! The model registry: named, versioned, hot-swappable models.
 //!
-//! A registry maps names to encoded model containers (the
-//! `deepmorph-models` save format: spec + topology + state dict). Each
-//! entry is decoded once at registration to validate it and extract its
-//! spec, then kept as bytes; serving workers instantiate *replicas* on
-//! demand — decoding rebuilds the architecture from the spec and imports
-//! the exact state, so every replica predicts bitwise identically to the
-//! model that was saved.
+//! A registry maps names to *version chains*. Each name owns a slot whose
+//! current version sits behind an atomically swappable pointer
+//! (`RwLock<Arc<ModelEntry>>` plus a monotonically increasing *epoch*):
+//! [`ModelRegistry::publish`] installs a new version without ever making
+//! predict traffic wait on anything slower than one uncontended read
+//! lock. Scheduler workers cache the epoch alongside their replica and
+//! refresh at batch boundaries when it moves, so an in-flight batch
+//! always finishes on the version it started with — a swap can never
+//! error a request or change a response mid-batch.
 //!
-//! Registries load from a directory of `<name>.dmmd` files
-//! ([`ModelRegistry::open`]) or take live models in process
-//! ([`ModelRegistry::register`]). Each entry is stamped with a 128-bit
-//! content fingerprint of its container bytes (same FNV-1a construction
-//! as the artifact store), reported to clients so they can pin the exact
-//! model revision they are talking to.
+//! Each version is decoded once at registration to validate it and
+//! extract its spec, then kept as bytes; serving workers instantiate
+//! *replicas* on demand — decoding rebuilds the architecture from the
+//! spec and imports the exact state, so every replica predicts bitwise
+//! identically to the model that was saved. Every version is stamped with
+//! a 128-bit content fingerprint of its container bytes (the same FNV-1a
+//! construction as the artifact store), reported to clients so they can
+//! pin the exact model revision they are talking to.
 //!
-//! An optional sidecar `<name>.meta.json` supplies the
-//! [`DiagnosisContext`] the live diagnosis endpoint needs — which
-//! deterministic dataset (and seed) the model was trained on, so the
-//! server can regenerate the training set without shipping it.
+//! Registries load from a directory of `<name>.dmmd` /
+//! `<name>@vN.dmmd` files ([`ModelRegistry::open`]) or take live models
+//! in process ([`ModelRegistry::register`]). A directory-backed registry
+//! persists published versions as `<name>@vN.dmmd` plus a
+//! `<name>@vN.meta.json` sidecar, so a restart resumes serving the
+//! repaired version.
+//!
+//! The `<name>.meta.json` sidecar supplies the [`DiagnosisContext`] the
+//! live diagnosis and repair endpoints need — which deterministic dataset
+//! (and seed), what defect was injected into the training set, and the
+//! training hyper-parameters, so the server can regenerate the model's
+//! actual training data and retrain without shipping either.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
+use deepmorph::prelude::DefectSpec;
 use deepmorph_data::DatasetKind;
 use deepmorph_json::Json;
 use deepmorph_models::{decode_model, encode_model, ModelHandle, ModelSpec};
-use deepmorph_tensor::io::{fnv64, fnv64_seeded};
+use deepmorph_nn::prelude::TrainConfig;
+use deepmorph_nn::train::OptimizerKind;
+
+pub use deepmorph::artifact::content_fingerprint;
 
 use crate::error::{ServeError, ServeResult};
-use crate::protocol::ModelInfo;
+use crate::protocol::{ModelInfo, VersionInfo};
 
 /// File extension of a registry model container.
 pub const MODEL_EXT: &str = "dmmd";
@@ -36,48 +54,197 @@ pub const MODEL_EXT: &str = "dmmd";
 /// File suffix of a registry diagnosis sidecar.
 pub const META_SUFFIX: &str = ".meta.json";
 
-/// Second FNV basis for the high fingerprint half (the artifact store's
-/// construction: two independent 64-bit digests over the same bytes).
-const FP_HI_BASIS: u64 = 0x6c62_272e_07bb_0142;
-
-/// 128-bit content fingerprint of a model container, as 32 hex chars.
-pub fn content_fingerprint(bytes: &[u8]) -> String {
-    format!(
-        "{:016x}{:016x}",
-        fnv64_seeded(FP_HI_BASIS, bytes),
-        fnv64(bytes)
-    )
-}
-
-/// What the live-diagnosis endpoint needs to know about a model's
-/// provenance: the deterministic training data it was fitted on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What the live-diagnosis and repair endpoints need to know about a
+/// model's provenance: the deterministic training data it was fitted on
+/// (including the defect injected into it — the paper's scenarios train
+/// on *defective* data, and a repair has to modify that actual training
+/// set), the held-out set size, and the training hyper-parameters a
+/// repair retrains with.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiagnosisContext {
     /// Synthetic dataset family the model was trained on.
     pub dataset: DatasetKind,
     /// Seed of the scenario data stream.
     pub seed: u64,
-    /// Training samples generated per class.
+    /// Training samples generated per class (before injection).
     pub train_per_class: usize,
+    /// Held-out samples generated per class (the clean test set repair
+    /// gating evaluates on).
+    pub test_per_class: usize,
+    /// The defect injected into the training set ([`DefectSpec::Healthy`]
+    /// when the data is clean).
+    pub defect: DefectSpec,
+    /// Training hyper-parameters a repair retrains with.
+    pub train: TrainConfig,
 }
 
 impl DiagnosisContext {
+    /// A context with the scenario defaults: clean data, 30 held-out
+    /// samples per class, and the stock scenario training configuration
+    /// (4 epochs, batch 32, lr 0.05).
+    pub fn new(dataset: DatasetKind, seed: u64, train_per_class: usize) -> Self {
+        DiagnosisContext {
+            dataset,
+            seed,
+            train_per_class,
+            test_per_class: 30,
+            defect: DefectSpec::Healthy,
+            train: TrainConfig {
+                epochs: 4,
+                batch_size: 32,
+                learning_rate: 0.05,
+                ..TrainConfig::default()
+            },
+        }
+    }
+
+    /// Sets the injected defect.
+    pub fn with_defect(mut self, defect: DefectSpec) -> Self {
+        self.defect = defect;
+        self
+    }
+
+    /// Sets the held-out samples per class.
+    pub fn with_test_per_class(mut self, n: usize) -> Self {
+        self.test_per_class = n;
+        self
+    }
+
+    /// Sets the training configuration.
+    pub fn with_train_config(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    fn defect_json(&self) -> Json {
+        match &self.defect {
+            DefectSpec::Healthy => Json::obj([("kind", Json::str("healthy"))]),
+            DefectSpec::Itd { classes, fraction } => Json::obj([
+                ("kind", Json::str("itd")),
+                (
+                    "classes",
+                    Json::arr(classes.iter().map(|&c| Json::usize(c))),
+                ),
+                ("fraction", Json::num(f64::from(*fraction))),
+            ]),
+            DefectSpec::Utd {
+                source_class,
+                target_class,
+                fraction,
+            } => Json::obj([
+                ("kind", Json::str("utd")),
+                ("source", Json::usize(*source_class)),
+                ("target", Json::usize(*target_class)),
+                ("fraction", Json::num(f64::from(*fraction))),
+            ]),
+            DefectSpec::Sd { removed_convs } => Json::obj([
+                ("kind", Json::str("sd")),
+                ("removed_convs", Json::usize(*removed_convs)),
+            ]),
+        }
+    }
+
+    fn train_json(&self) -> Json {
+        let optimizer = match self.train.optimizer {
+            OptimizerKind::Sgd {
+                momentum,
+                weight_decay,
+            } => Json::obj([
+                ("kind", Json::str("sgd")),
+                ("momentum", Json::num(f64::from(momentum))),
+                ("weight_decay", Json::num(f64::from(weight_decay))),
+            ]),
+            OptimizerKind::Adam => Json::obj([("kind", Json::str("adam"))]),
+        };
+        let mut fields = vec![
+            ("epochs", Json::usize(self.train.epochs)),
+            ("batch_size", Json::usize(self.train.batch_size)),
+            (
+                "learning_rate",
+                Json::num(f64::from(self.train.learning_rate)),
+            ),
+            ("lr_decay", Json::num(f64::from(self.train.lr_decay))),
+            ("optimizer", optimizer),
+            ("shuffle", Json::Bool(self.train.shuffle)),
+        ];
+        if let Some(clip) = self.train.clip_grad_norm {
+            fields.push(("clip_grad_norm", Json::num(f64::from(clip))));
+        }
+        Json::obj(fields)
+    }
+
     /// Serializes the context as the sidecar JSON document.
     pub fn to_json(&self) -> String {
         Json::obj([
             ("dataset", Json::str(self.dataset.name())),
             ("seed", Json::num(self.seed as f64)),
             ("train_per_class", Json::usize(self.train_per_class)),
+            ("test_per_class", Json::usize(self.test_per_class)),
+            ("defect", self.defect_json()),
+            ("train", self.train_json()),
         ])
         .to_string_pretty()
     }
 
-    /// Parses a sidecar JSON document.
+    fn parse_defect(doc: &Json) -> ServeResult<DefectSpec> {
+        let bad = |reason: String| ServeError::BadInput { reason };
+        let Some(defect) = doc.get("defect") else {
+            // Pre-versioning sidecars carry no defect: clean data.
+            return Ok(DefectSpec::Healthy);
+        };
+        let fraction = |d: &Json| {
+            d.get("fraction")
+                .and_then(Json::as_f64)
+                .filter(|f| (0.0..=1.0).contains(f))
+                .map(|f| f as f32)
+                .ok_or_else(|| bad("defect lacks a `fraction` in [0, 1]".into()))
+        };
+        match defect.get("kind").and_then(Json::as_str) {
+            Some("healthy") => Ok(DefectSpec::Healthy),
+            Some("itd") => {
+                let classes = defect
+                    .get("classes")
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().map(Json::as_usize).collect::<Option<Vec<_>>>())
+                    .ok_or_else(|| bad("ITD defect lacks `classes`".into()))?
+                    .ok_or_else(|| bad("ITD defect classes must be integers".into()))?;
+                Ok(DefectSpec::insufficient_training_data(
+                    classes,
+                    fraction(defect)?,
+                ))
+            }
+            Some("utd") => {
+                let field = |k: &str| {
+                    defect
+                        .get(k)
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| bad(format!("UTD defect lacks `{k}`")))
+                };
+                Ok(DefectSpec::unreliable_training_data(
+                    field("source")?,
+                    field("target")?,
+                    fraction(defect)?,
+                ))
+            }
+            Some("sd") => Ok(DefectSpec::structure_defect(
+                defect
+                    .get("removed_convs")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| bad("SD defect lacks `removed_convs`".into()))?,
+            )),
+            Some(other) => Err(bad(format!("unknown defect kind `{other}`"))),
+            None => Err(bad("defect lacks `kind`".into())),
+        }
+    }
+
+    /// Parses a sidecar JSON document. Fields added since the first
+    /// sidecar revision (defect, held-out size, training config) fall back
+    /// to the scenario defaults, so old sidecars keep working.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::BadInput`] for unparseable JSON, missing
-    /// keys, or an unknown dataset name.
+    /// required keys, or an unknown dataset/defect.
     pub fn from_json(text: &str) -> ServeResult<Self> {
         let bad = |reason: String| ServeError::BadInput { reason };
         let doc = Json::parse(text).map_err(|e| bad(format!("diagnosis sidecar: {e}")))?;
@@ -98,19 +265,79 @@ impl DiagnosisContext {
             .and_then(Json::as_usize)
             .filter(|&n| n > 0)
             .ok_or_else(|| bad("diagnosis sidecar lacks a positive `train_per_class`".into()))?;
-        Ok(DiagnosisContext {
-            dataset,
-            seed,
-            train_per_class,
-        })
+        let mut ctx = DiagnosisContext::new(dataset, seed, train_per_class);
+        if let Some(n) = doc.get("test_per_class").and_then(Json::as_usize) {
+            if n == 0 {
+                return Err(bad("`test_per_class` must be positive".into()));
+            }
+            ctx.test_per_class = n;
+        }
+        ctx.defect = Self::parse_defect(&doc)?;
+        if let Some(train) = doc.get("train") {
+            if let Some(epochs) = train.get("epochs").and_then(Json::as_usize) {
+                ctx.train.epochs = epochs;
+            }
+            if let Some(batch) = train.get("batch_size").and_then(Json::as_usize) {
+                ctx.train.batch_size = batch;
+            }
+            if let Some(lr) = train.get("learning_rate").and_then(Json::as_f64) {
+                ctx.train.learning_rate = lr as f32;
+            }
+            if let Some(decay) = train.get("lr_decay").and_then(Json::as_f64) {
+                ctx.train.lr_decay = decay as f32;
+            }
+            if let Some(shuffle) = train.get("shuffle").and_then(Json::as_bool) {
+                ctx.train.shuffle = shuffle;
+            }
+            ctx.train.clip_grad_norm = train
+                .get("clip_grad_norm")
+                .and_then(Json::as_f64)
+                .map(|c| c as f32);
+            if let Some(optimizer) = train.get("optimizer") {
+                ctx.train.optimizer = match optimizer.get("kind").and_then(Json::as_str) {
+                    Some("sgd") => {
+                        let field = |k: &str| {
+                            optimizer
+                                .get(k)
+                                .and_then(Json::as_f64)
+                                .map(|v| v as f32)
+                                .ok_or_else(|| bad(format!("sgd optimizer lacks `{k}`")))
+                        };
+                        OptimizerKind::Sgd {
+                            momentum: field("momentum")?,
+                            weight_decay: field("weight_decay")?,
+                        }
+                    }
+                    Some("adam") => OptimizerKind::Adam,
+                    Some(other) => return Err(bad(format!("unknown optimizer `{other}`"))),
+                    None => return Err(bad("optimizer lacks `kind`".into())),
+                };
+            }
+        }
+        Ok(ctx)
     }
 }
 
-/// One registered model.
+/// A stable handle to one registered model name. Handles index the
+/// registry's slot table, which only grows before serving starts —
+/// they stay valid across any number of version swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(pub(crate) usize);
+
+impl ModelId {
+    /// Slot index for registry-parallel server tables.
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One concrete model version.
 #[derive(Debug, Clone)]
 pub struct ModelEntry {
-    /// Registered name.
+    /// Registered name (without the `@vN` version suffix).
     pub name: String,
+    /// Version number within the name's chain (starts at 1).
+    pub version: u32,
     /// Content fingerprint of the container bytes (32 hex chars).
     pub fingerprint: String,
     /// The spec the model was built from.
@@ -128,34 +355,99 @@ impl ModelEntry {
     pub fn info(&self) -> ModelInfo {
         ModelInfo {
             name: self.name.clone(),
+            version: self.version,
             fingerprint: self.fingerprint.clone(),
             input_shape: self.spec.input_shape,
             num_classes: self.spec.num_classes,
             param_count: self.param_count as u64,
         }
     }
+
+    /// Builds an independent replica of this version: the spec rebuilds
+    /// the architecture, the stored state dict restores the exact
+    /// parameters. Replicas share no storage, so each serving worker owns
+    /// its own and forwards concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] if the stored bytes no longer decode
+    /// against the current architecture code.
+    pub fn instantiate(&self) -> ServeResult<ModelHandle> {
+        Ok(decode_model(&self.bytes)?)
+    }
 }
 
-/// A named collection of models the server answers for.
+/// Metadata of one (possibly superseded) version in a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VersionMeta {
+    version: u32,
+    fingerprint: String,
+}
+
+/// One name's version chain: the swappable current version plus the
+/// chain's history.
+#[derive(Debug)]
+struct ModelSlot {
+    name: String,
+    /// `(epoch, current version)` — kept together under one lock so a
+    /// reader can never pair a new epoch with an old entry or vice versa.
+    current: RwLock<(u64, Arc<ModelEntry>)>,
+    /// Lock-free mirror of the epoch for the scheduler's per-batch
+    /// staleness check (one atomic load on the hot path; the read lock is
+    /// only taken when the epoch actually moved).
+    epoch_hint: AtomicU64,
+    /// Every version ever registered under this name, oldest first.
+    history: Mutex<Vec<VersionMeta>>,
+}
+
+/// A named collection of versioned models the server answers for.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    entries: Vec<ModelEntry>,
+    slots: Vec<ModelSlot>,
+    /// Directory published versions persist into (`None` = memory-only).
+    dir: Option<PathBuf>,
+}
+
+/// Splits a file stem into `(base name, version)`: `"m@v3"` → `("m", 3)`,
+/// `"m"` → `("m", 1)`. The `@vN` suffix (N ≥ 1) is *reserved* as the
+/// version marker; any other stem — including ones that merely resemble
+/// it, like `m@vnext` or `m@v0` — is a plain model name at version 1,
+/// so no file is ever silently skipped.
+fn parse_stem(stem: &str) -> (&str, u32) {
+    if let Some((base, v)) = stem.rsplit_once("@v") {
+        if !base.is_empty() {
+            if let Some(v) = v.parse().ok().filter(|&v| v >= 1) {
+                return (base, v);
+            }
+        }
+    }
+    (stem, 1)
 }
 
 impl ModelRegistry {
-    /// An empty registry.
+    /// An empty, memory-only registry.
     pub fn new() -> Self {
         ModelRegistry::default()
     }
 
-    /// Loads every `*.dmmd` file in `dir` (sorted by name; the file stem
-    /// becomes the model name), picking up `<stem>.meta.json` sidecars.
+    /// Loads every `*.dmmd` file in `dir`, grouping `<name>.dmmd`
+    /// (version 1) and `<name>@vN.dmmd` files into version chains; each
+    /// name serves its highest version. Sidecars are looked up per
+    /// version (`<name>@vN.meta.json`), falling back to the base
+    /// `<name>.meta.json`. Versions published later persist back into
+    /// `dir`, so a restarted server resumes from the repaired chain.
+    ///
+    /// Only the version that will serve is decode-validated (a corrupt
+    /// serving model is rejected at startup, not at first request);
+    /// superseded versions are read just far enough to fingerprint them
+    /// for the history, so restart cost does not grow with every repair
+    /// the chain has ever absorbed.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Io`] for filesystem failures and
-    /// [`ServeError::Model`] for a container that fails to decode —
-    /// a corrupt model is rejected at startup, not at first request.
+    /// [`ServeError::Model`] for a serving container that fails to
+    /// decode.
     pub fn open(dir: impl AsRef<Path>) -> ServeResult<Self> {
         let dir = dir.as_ref();
         let mut paths: Vec<_> = std::fs::read_dir(dir)?
@@ -163,13 +455,54 @@ impl ModelRegistry {
             .filter(|p| p.extension().is_some_and(|x| x == MODEL_EXT))
             .collect();
         paths.sort();
-        let mut registry = ModelRegistry::new();
+        // (base, version, path), grouped by base in first-seen order.
+        let mut chains: Vec<(String, Vec<(u32, PathBuf)>)> = Vec::new();
         for path in paths {
             let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
                 continue;
             };
-            let bytes = std::fs::read(&path)?;
-            let meta_path = dir.join(format!("{stem}{META_SUFFIX}"));
+            let (base, version) = parse_stem(stem);
+            match chains.iter_mut().find(|(b, _)| b == base) {
+                Some((_, versions)) => versions.push((version, path.clone())),
+                None => chains.push((base.to_string(), vec![(version, path.clone())])),
+            }
+        }
+        let mut registry = ModelRegistry::new();
+        registry.dir = Some(dir.to_path_buf());
+        for (base, mut versions) in chains {
+            versions.sort_by_key(|&(v, _)| v);
+            if let Some(pair) = versions.windows(2).find(|w| w[0].0 == w[1].0) {
+                // E.g. `m.dmmd` (implicit v1) next to an explicit
+                // `m@v1.dmmd`: refusing beats serving an ambiguous chain
+                // whose history would flag two fingerprints as active.
+                return Err(ServeError::Model {
+                    reason: format!(
+                        "model `{base}` has two files claiming version {} ({} and {})",
+                        pair[0].0,
+                        pair[0].1.display(),
+                        pair[1].1.display()
+                    ),
+                });
+            }
+            let mut history = Vec::with_capacity(versions.len());
+            let (last_version, last_path) = versions.last().expect("chain is non-empty").clone();
+            for (version, path) in &versions[..versions.len() - 1] {
+                // Superseded version: fingerprint only.
+                history.push(VersionMeta {
+                    version: *version,
+                    fingerprint: content_fingerprint(&std::fs::read(path)?),
+                });
+            }
+            let bytes = std::fs::read(&last_path)?;
+            let stem = last_path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(&base)
+                .to_string();
+            let mut meta_path = dir.join(format!("{stem}{META_SUFFIX}"));
+            if !meta_path.exists() {
+                meta_path = dir.join(format!("{base}{META_SUFFIX}"));
+            }
             let diagnosis = if meta_path.exists() {
                 Some(DiagnosisContext::from_json(&std::fs::read_to_string(
                     meta_path,
@@ -177,17 +510,19 @@ impl ModelRegistry {
             } else {
                 None
             };
-            registry
-                .add_bytes(stem.to_string(), bytes, diagnosis)
+            let entry = Self::validate_bytes(base.clone(), last_version, bytes, diagnosis)
                 .map_err(|e| ServeError::Model {
-                    reason: format!("{}: {e}", path.display()),
+                    reason: format!("{}: {e}", last_path.display()),
                 })?;
+            registry.push_slot_with_history(entry, history);
         }
         Ok(registry)
     }
 
-    /// Registers a live model under `name` (encodes it; takes `&mut`
-    /// because walking the parameters does). Returns the entry index.
+    /// Registers a live model under `name` as version 1 (encodes it; takes
+    /// `&mut` because walking the parameters does). Call before
+    /// `Server::start`; later versions arrive via
+    /// [`ModelRegistry::publish`].
     ///
     /// # Errors
     ///
@@ -197,82 +532,240 @@ impl ModelRegistry {
         name: impl Into<String>,
         model: &mut ModelHandle,
         diagnosis: Option<DiagnosisContext>,
-    ) -> ServeResult<usize> {
-        self.add_bytes(name.into(), encode_model(model), diagnosis)
-    }
-
-    fn add_bytes(
-        &mut self,
-        name: String,
-        bytes: Vec<u8>,
-        diagnosis: Option<DiagnosisContext>,
-    ) -> ServeResult<usize> {
+    ) -> ServeResult<ModelId> {
+        let name = name.into();
         if self.find(&name).is_some() {
             return Err(ServeError::BadInput {
                 reason: format!("model `{name}` is already registered"),
             });
         }
+        let entry = Self::validate_bytes(name, 1, encode_model(model), diagnosis)?;
+        Ok(ModelId(self.push_slot(entry)))
+    }
+
+    /// Decode-validates a container and assembles the entry.
+    fn validate_bytes(
+        name: String,
+        version: u32,
+        bytes: Vec<u8>,
+        diagnosis: Option<DiagnosisContext>,
+    ) -> ServeResult<ModelEntry> {
         // Decode once up front: validates the container and yields the
         // spec + parameter count without keeping the live graph around.
         let mut probe = decode_model(&bytes)?;
-        let entry = ModelEntry {
+        Ok(ModelEntry {
             name,
+            version,
             fingerprint: content_fingerprint(&bytes),
             spec: probe.spec,
             param_count: probe.param_count(),
             diagnosis,
             bytes,
-        };
-        self.entries.push(entry);
-        Ok(self.entries.len() - 1)
+        })
     }
 
-    /// Index of the entry registered under `name`.
-    pub fn find(&self, name: &str) -> Option<usize> {
-        self.entries.iter().position(|e| e.name == name)
+    fn push_slot(&mut self, entry: ModelEntry) -> usize {
+        self.push_slot_with_history(entry, Vec::new())
     }
 
-    /// All entries, in registration order.
-    pub fn entries(&self) -> &[ModelEntry] {
-        &self.entries
+    /// Adds a slot serving `entry`, seeded with the (older) versions in
+    /// `prior` — the chain a directory-backed registry resumes from.
+    fn push_slot_with_history(&mut self, entry: ModelEntry, mut prior: Vec<VersionMeta>) -> usize {
+        prior.push(VersionMeta {
+            version: entry.version,
+            fingerprint: entry.fingerprint.clone(),
+        });
+        self.slots.push(ModelSlot {
+            name: entry.name.clone(),
+            current: RwLock::new((0, Arc::new(entry))),
+            epoch_hint: AtomicU64::new(0),
+            history: Mutex::new(prior),
+        });
+        self.slots.len() - 1
     }
 
-    /// The entry at `index`.
+    /// Handle of the model registered under `name`.
+    pub fn find(&self, name: &str) -> Option<ModelId> {
+        self.slots.iter().position(|s| s.name == name).map(ModelId)
+    }
+
+    /// The current version of the model at `id`.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range (indices come from
-    /// [`ModelRegistry::find`]).
-    pub fn entry(&self, index: usize) -> &ModelEntry {
-        &self.entries[index]
+    /// Panics if `id` did not come from this registry's
+    /// [`ModelRegistry::find`]/[`ModelRegistry::register`].
+    pub fn current(&self, id: ModelId) -> Arc<ModelEntry> {
+        Arc::clone(&self.slots[id.0].current.read().expect("registry slot").1)
     }
 
-    /// Number of registered models.
+    /// The swap epoch of the slot at `id`: bumped once per published
+    /// version. Workers compare it against the epoch their cached replica
+    /// was built at; equality means the replica is current.
+    pub fn epoch(&self, id: ModelId) -> u64 {
+        self.slots[id.0].epoch_hint.load(Ordering::Acquire)
+    }
+
+    /// The current version together with the epoch it was installed at —
+    /// read under one lock, so the pair is always consistent.
+    pub fn current_with_epoch(&self, id: ModelId) -> (u64, Arc<ModelEntry>) {
+        let guard = self.slots[id.0].current.read().expect("registry slot");
+        (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// Atomically installs a new version of the model at `id`: validates
+    /// the encoded model, requires its input shape and class count to
+    /// match the serving version (predict traffic must stay valid across
+    /// the swap), persists it as `<name>@vN.dmmd` (+ sidecar) when the
+    /// registry is directory-backed, then swaps the current pointer and
+    /// bumps the epoch. In-flight batches keep the old `Arc` alive and
+    /// finish on it. Concurrent publishes of one model serialize (the
+    /// slot's history lock doubles as the publish lock), so version
+    /// numbers are unique and the on-disk chain is never clobbered.
+    ///
+    /// The published sidecar carries the provenance the caller supplies —
+    /// for a repair, the *original* scenario. Diagnosing a repaired
+    /// version therefore learns patterns from the pre-repair training
+    /// distribution; recording the plan chain so vN regenerates its
+    /// actual (repaired) training set is an open roadmap item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] for an undecodable model,
+    /// [`ServeError::BadInput`] for a shape/class mismatch, and
+    /// [`ServeError::Io`] when persistence fails (nothing is swapped).
+    pub fn publish(
+        &self,
+        id: ModelId,
+        model: &mut ModelHandle,
+        diagnosis: Option<DiagnosisContext>,
+    ) -> ServeResult<Arc<ModelEntry>> {
+        let slot = &self.slots[id.0];
+        // Serialize publishers for this slot: two concurrent publishes
+        // must not both read the same old version, race the version
+        // number, and overwrite each other's `@vN` file.
+        let mut history = slot.history.lock().expect("registry history");
+        let (old_version, old_spec) = {
+            let guard = slot.current.read().expect("registry slot");
+            (guard.1.version, guard.1.spec)
+        };
+        let entry = Self::validate_bytes(
+            slot.name.clone(),
+            old_version + 1,
+            encode_model(model),
+            diagnosis,
+        )?;
+        if entry.spec.input_shape != old_spec.input_shape
+            || entry.spec.num_classes != old_spec.num_classes
+        {
+            return Err(ServeError::BadInput {
+                reason: format!(
+                    "published model expects {:?} → {} classes; serving version expects {:?} → {}",
+                    entry.spec.input_shape,
+                    entry.spec.num_classes,
+                    old_spec.input_shape,
+                    old_spec.num_classes
+                ),
+            });
+        }
+        // Persist before swapping, sidecar first: the model file's rename
+        // is the commit point (`open` keys chains off `*.dmmd` files; an
+        // orphan sidecar is ignored), so a crash at any step leaves the
+        // old version serving and either no trace or an inert sidecar —
+        // never a half-published chain and never a version on disk whose
+        // publish was reported failed. Both writes go through tmp+rename
+        // so a restart can never see a truncated file.
+        if let Some(dir) = &self.dir {
+            let stem = format!("{}@v{}", slot.name, entry.version);
+            if let Some(ctx) = &entry.diagnosis {
+                let tmp = dir.join(format!(".{stem}.meta.tmp"));
+                std::fs::write(&tmp, ctx.to_json())?;
+                if let Err(e) = std::fs::rename(&tmp, dir.join(format!("{stem}{META_SUFFIX}"))) {
+                    let _ = std::fs::remove_file(&tmp);
+                    return Err(e.into());
+                }
+            }
+            let tmp = dir.join(format!(".{stem}.tmp"));
+            std::fs::write(&tmp, &entry.bytes)?;
+            if let Err(e) = std::fs::rename(&tmp, dir.join(format!("{stem}.{MODEL_EXT}"))) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e.into());
+            }
+        }
+        Ok(slot.install_locked(entry, &mut history))
+    }
+
+    /// The version history of the model at `id`, oldest first, with the
+    /// current version flagged active.
+    pub fn versions(&self, id: ModelId) -> Vec<VersionInfo> {
+        let slot = &self.slots[id.0];
+        // History first, then current — the same order publish uses; a
+        // publish cannot interleave between the two reads.
+        let history = slot.history.lock().expect("registry history");
+        let active = slot.current.read().expect("registry slot").1.version;
+        history
+            .iter()
+            .map(|m| VersionInfo {
+                version: m.version,
+                fingerprint: m.fingerprint.clone(),
+                active: m.version == active,
+            })
+            .collect()
+    }
+
+    /// Number of registered model names.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slots.len()
     }
 
     /// `true` when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Wire metadata for every entry.
+    /// Handles of every slot, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ModelId> + '_ {
+        (0..self.slots.len()).map(ModelId)
+    }
+
+    /// Wire metadata for every model's current version.
     pub fn infos(&self) -> Vec<ModelInfo> {
-        self.entries.iter().map(ModelEntry::info).collect()
+        self.ids().map(|id| self.current(id).info()).collect()
     }
 
-    /// Builds an independent replica of the entry at `index`: the spec
-    /// rebuilds the architecture, the stored state dict restores the
-    /// exact parameters. Replicas share no storage, so each serving
-    /// worker owns its own and forwards concurrently.
+    /// Builds an independent replica of the model at `id`'s *current*
+    /// version (see [`ModelEntry::instantiate`]).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Model`] if the stored bytes no longer decode
     /// against the current architecture code.
-    pub fn instantiate(&self, index: usize) -> ServeResult<ModelHandle> {
-        Ok(decode_model(&self.entries[index].bytes)?)
+    pub fn instantiate(&self, id: ModelId) -> ServeResult<ModelHandle> {
+        self.current(id).instantiate()
+    }
+}
+
+impl ModelSlot {
+    /// Swaps `entry` in as the current version and bumps the epoch. The
+    /// caller holds the history lock (which serializes publishers); the
+    /// history entry is appended *before* the swap, so a concurrent
+    /// `versions()` may list the incoming version as inactive for an
+    /// instant but can never miss the active version.
+    fn install_locked(&self, entry: ModelEntry, history: &mut Vec<VersionMeta>) -> Arc<ModelEntry> {
+        history.push(VersionMeta {
+            version: entry.version,
+            fingerprint: entry.fingerprint.clone(),
+        });
+        let entry = Arc::new(entry);
+        let mut guard = self.current.write().expect("registry slot");
+        guard.0 += 1;
+        guard.1 = Arc::clone(&entry);
+        let epoch = guard.0;
+        // Publish the hint only after the pair is installed: a worker that
+        // sees the new epoch is guaranteed to read the new entry.
+        self.epoch_hint.store(epoch, Ordering::Release);
+        drop(guard);
+        entry
     }
 }
 
@@ -284,20 +777,22 @@ mod tests {
     use deepmorph_tensor::init::stream_rng;
     use deepmorph_tensor::Tensor;
 
-    fn tiny_model() -> ModelHandle {
+    fn tiny_model(seed: u64) -> ModelHandle {
         let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
-        build_model(&spec, &mut stream_rng(3, "registry-test")).unwrap()
+        build_model(&spec, &mut stream_rng(seed, "registry-test")).unwrap()
     }
 
     #[test]
     fn register_find_instantiate() {
         let mut registry = ModelRegistry::new();
-        let mut model = tiny_model();
-        let idx = registry.register("lenet", &mut model, None).unwrap();
-        assert_eq!(registry.find("lenet"), Some(idx));
+        let mut model = tiny_model(3);
+        let id = registry.register("lenet", &mut model, None).unwrap();
+        assert_eq!(registry.find("lenet"), Some(id));
         assert_eq!(registry.find("missing"), None);
         assert_eq!(registry.len(), 1);
-        assert_eq!(registry.entry(idx).fingerprint.len(), 32);
+        assert_eq!(registry.current(id).fingerprint.len(), 32);
+        assert_eq!(registry.current(id).version, 1);
+        assert_eq!(registry.epoch(id), 0);
 
         let x = Tensor::from_vec(
             (0..256).map(|i| (i % 7) as f32 / 7.0).collect(),
@@ -305,7 +800,7 @@ mod tests {
         )
         .unwrap();
         let expect = model.graph.forward(&x, Mode::Eval).unwrap();
-        let mut replica = registry.instantiate(idx).unwrap();
+        let mut replica = registry.instantiate(id).unwrap();
         let got = replica.graph.forward(&x, Mode::Eval).unwrap();
         for (a, b) in expect.data().iter().zip(got.data()) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -315,7 +810,7 @@ mod tests {
     #[test]
     fn duplicate_names_are_rejected() {
         let mut registry = ModelRegistry::new();
-        let mut model = tiny_model();
+        let mut model = tiny_model(4);
         registry.register("m", &mut model, None).unwrap();
         assert!(matches!(
             registry.register("m", &mut model, None),
@@ -324,19 +819,158 @@ mod tests {
     }
 
     #[test]
+    fn publish_swaps_atomically_and_versions_track() {
+        let mut registry = ModelRegistry::new();
+        let id = registry.register("m", &mut tiny_model(5), None).unwrap();
+        let v1 = registry.current(id);
+
+        let published = registry.publish(id, &mut tiny_model(6), None).unwrap();
+        assert_eq!(published.version, 2);
+        assert_eq!(registry.epoch(id), 1);
+        let current = registry.current(id);
+        assert_eq!(current.version, 2);
+        assert_ne!(current.fingerprint, v1.fingerprint);
+        // The old Arc stays alive for in-flight batches.
+        assert_eq!(v1.version, 1);
+
+        let versions = registry.versions(id);
+        assert_eq!(versions.len(), 2);
+        assert!(!versions[0].active && versions[0].version == 1);
+        assert!(versions[1].active && versions[1].version == 2);
+
+        let (epoch, entry) = registry.current_with_epoch(id);
+        assert_eq!((epoch, entry.version), (1, 2));
+    }
+
+    #[test]
+    fn publish_rejects_incompatible_shapes() {
+        let mut registry = ModelRegistry::new();
+        let id = registry.register("m", &mut tiny_model(7), None).unwrap();
+        let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 7);
+        let mut other = build_model(&spec, &mut stream_rng(1, "registry-test")).unwrap();
+        assert!(matches!(
+            registry.publish(id, &mut other, None),
+            Err(ServeError::BadInput { .. })
+        ));
+        assert_eq!(
+            registry.current(id).version,
+            1,
+            "failed publish must not swap"
+        );
+        assert_eq!(registry.epoch(id), 0);
+    }
+
+    #[test]
+    fn stem_parsing() {
+        assert_eq!(parse_stem("m"), ("m", 1));
+        assert_eq!(parse_stem("m@v3"), ("m", 3));
+        assert_eq!(parse_stem("a@b@v12"), ("a@b", 12));
+        // Only a numeric `@vN` (N >= 1) is the reserved version suffix;
+        // anything else is a plain name, never dropped.
+        assert_eq!(parse_stem("m@vX"), ("m@vX", 1));
+        assert_eq!(parse_stem("m@v0"), ("m@v0", 1));
+        assert_eq!(parse_stem("@v2"), ("@v2", 1));
+    }
+
+    #[test]
+    fn duplicate_versions_on_disk_are_rejected() {
+        let dir =
+            std::env::temp_dir().join(format!("deepmorph-registry-dup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // `m.dmmd` is implicitly version 1; an explicit `m@v1.dmmd` next
+        // to it makes the chain ambiguous and must refuse to load.
+        deepmorph_models::save_model(dir.join("m.dmmd"), &mut tiny_model(10)).unwrap();
+        deepmorph_models::save_model(dir.join("m@v1.dmmd"), &mut tiny_model(11)).unwrap();
+        match ModelRegistry::open(&dir) {
+            Err(ServeError::Model { reason }) => {
+                assert!(reason.contains("version 1"), "reason: {reason}");
+            }
+            other => panic!("expected a duplicate-version error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_chains_resume_highest_version() {
+        let dir =
+            std::env::temp_dir().join(format!("deepmorph-registry-chain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut registry = ModelRegistry::new();
+        let id = registry.register("m", &mut tiny_model(8), None).unwrap();
+        // Persist v1 by hand the way an operator would deploy it.
+        deepmorph_models::save_model(dir.join("m.dmmd"), &mut tiny_model(8)).unwrap();
+        // Publish v2 through a directory-backed registry.
+        let on_disk = ModelRegistry::open(&dir).unwrap();
+        let disk_id = on_disk.find("m").unwrap();
+        assert_eq!(on_disk.current(disk_id).version, 1);
+        on_disk.publish(disk_id, &mut tiny_model(9), None).unwrap();
+        drop(on_disk);
+        drop(registry);
+        let _ = id;
+
+        // A fresh open resumes at v2 with the full history.
+        let reopened = ModelRegistry::open(&dir).unwrap();
+        let rid = reopened.find("m").unwrap();
+        assert_eq!(reopened.current(rid).version, 2);
+        let versions = reopened.versions(rid);
+        assert_eq!(versions.len(), 2);
+        assert!(versions[1].active);
+        assert_eq!(
+            versions[1].fingerprint,
+            content_fingerprint(&std::fs::read(dir.join("m@v2.dmmd")).unwrap())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn diagnosis_context_round_trips() {
-        let ctx = DiagnosisContext {
-            dataset: DatasetKind::Objects,
-            seed: 42,
-            train_per_class: 100,
-        };
+        let ctx = DiagnosisContext::new(DatasetKind::Objects, 42, 100)
+            .with_defect(DefectSpec::insufficient_training_data(vec![0, 3], 0.75))
+            .with_test_per_class(25)
+            .with_train_config(TrainConfig {
+                epochs: 6,
+                batch_size: 16,
+                learning_rate: 0.1,
+                lr_decay: 0.9,
+                optimizer: OptimizerKind::Sgd {
+                    momentum: 0.9,
+                    weight_decay: 1e-4,
+                },
+                shuffle: false,
+                clip_grad_norm: Some(5.0),
+            });
         assert_eq!(DiagnosisContext::from_json(&ctx.to_json()).unwrap(), ctx);
+
+        let utd = DiagnosisContext::new(DatasetKind::Digits, 7, 80)
+            .with_defect(DefectSpec::unreliable_training_data(3, 5, 0.5))
+            .with_train_config(TrainConfig {
+                optimizer: OptimizerKind::Adam,
+                ..TrainConfig::default()
+            });
+        assert_eq!(DiagnosisContext::from_json(&utd.to_json()).unwrap(), utd);
+        let sd = DiagnosisContext::new(DatasetKind::Digits, 7, 80)
+            .with_defect(DefectSpec::structure_defect(6));
+        assert_eq!(DiagnosisContext::from_json(&sd.to_json()).unwrap(), sd);
+
         assert!(DiagnosisContext::from_json("{}").is_err());
         assert!(DiagnosisContext::from_json("not json").is_err());
         assert!(DiagnosisContext::from_json(
             "{\"dataset\": \"mars\", \"seed\": 1, \"train_per_class\": 5}"
         )
         .is_err());
+
+        // A pre-versioning sidecar (no defect/test/train keys) parses with
+        // the scenario defaults.
+        let legacy = DiagnosisContext::from_json(
+            "{\"dataset\": \"synth-digits\", \"seed\": 3, \"train_per_class\": 12}",
+        )
+        .unwrap();
+        assert_eq!(legacy.defect, DefectSpec::Healthy);
+        assert_eq!(legacy.test_per_class, 30);
+        assert_eq!(legacy.train.epochs, 4);
     }
 
     #[test]

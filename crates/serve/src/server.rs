@@ -19,18 +19,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use deepmorph::pipeline::{DeepMorph, DeepMorphConfig};
-use deepmorph_data::{DataGenerator, Dataset, DatasetKind, SynthDigits, SynthObjects};
-use deepmorph_tensor::init::stream_rng;
+use deepmorph::pipeline::DeepMorphConfig;
 
 use crate::batch::{validate_job, BatchConfig, Job, Responder, Scheduler, ServeStats};
 use crate::cases::LiveCases;
 use crate::error::{ServeError, ServeResult};
 use crate::protocol::{
-    decode_request, encode_response, DiagnoseResponse, ErrorFrame, Request, Response,
-    MAX_FRAME_BYTES,
+    decode_request, encode_response, ErrorFrame, Request, Response, MAX_FRAME_BYTES,
 };
-use crate::registry::{DiagnosisContext, ModelRegistry};
+use crate::registry::ModelRegistry;
+use crate::repair::{self, ArtifactBackend, RepairState};
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -42,8 +40,11 @@ pub struct ServerConfig {
     pub batch: BatchConfig,
     /// Per-model cap on retained misclassified cases for live diagnosis.
     pub max_live_cases: usize,
-    /// DeepMorph configuration used by the diagnose endpoint.
+    /// DeepMorph configuration used by the diagnose and repair endpoints.
     pub deepmorph: DeepMorphConfig,
+    /// Where repair executions are cached (default: in-memory, so an
+    /// identical repair of an unchanged model retrains nothing).
+    pub artifacts: ArtifactBackend,
 }
 
 impl Default for ServerConfig {
@@ -56,17 +57,21 @@ impl Default for ServerConfig {
                 max_faulty_cases: 256,
                 ..DeepMorphConfig::default()
             },
+            artifacts: ArtifactBackend::default(),
         }
     }
 }
 
-struct ServerShared {
-    registry: Arc<ModelRegistry>,
-    stats: Arc<ServeStats>,
+pub(crate) struct ServerShared {
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) stats: Arc<ServeStats>,
     scheduler: Arc<Scheduler>,
-    /// Per-model misclassification buffers, parallel to the registry.
-    cases: Vec<Arc<Mutex<LiveCases>>>,
-    deepmorph: DeepMorphConfig,
+    /// Per-model misclassification buffers, parallel to the registry
+    /// slots (versions of one name share a buffer; a hot-swap advances
+    /// its epoch and clears it).
+    pub(crate) cases: Vec<Arc<Mutex<LiveCases>>>,
+    pub(crate) deepmorph: DeepMorphConfig,
+    pub(crate) repair: RepairState,
     shutdown: AtomicBool,
     connections: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -110,15 +115,19 @@ impl Server {
             Arc::clone(&stats),
         ));
         let cases = registry
-            .entries()
-            .iter()
-            .map(|e| {
-                Arc::new(Mutex::new(LiveCases::new(
-                    e.spec.input_shape,
-                    config.max_live_cases,
-                )))
+            .ids()
+            .map(|id| {
+                let mut cases =
+                    LiveCases::new(registry.current(id).spec.input_shape, config.max_live_cases);
+                // Align the buffer with the slot's current epoch. Today
+                // every slot starts at epoch 0 (epochs are per-process,
+                // not persisted), so this is a no-op kept so the pairing
+                // survives any future change to slot construction.
+                cases.advance_epoch(registry.epoch(id));
+                Arc::new(Mutex::new(cases))
             })
             .collect();
+        let repair = RepairState::new(registry.len(), &config.artifacts);
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -127,6 +136,7 @@ impl Server {
             scheduler,
             cases,
             deepmorph: config.deepmorph,
+            repair,
             shutdown: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
         });
@@ -352,9 +362,40 @@ fn handle_request(
         },
         Request::ListModels => Response::Models(shared.registry.infos()),
         Request::Stats => Response::Stats(shared.stats.snapshot()),
-        Request::Diagnose { model } => match diagnose(shared, &model) {
-            Ok(d) => Response::Diagnose(d),
-            Err(e) => return send_error(shared, writer, id, &e),
+        Request::Diagnose { model } => {
+            let diagnosed = shared
+                .registry
+                .find(&model)
+                .ok_or(ServeError::UnknownModel { name: model })
+                .and_then(|mid| repair::diagnose_live(shared, mid));
+            match diagnosed {
+                Ok(d) => Response::Diagnose(d),
+                Err(e) => return send_error(shared, writer, id, &e),
+            }
+        }
+        Request::Repair { model } => {
+            // Runs on the connection thread: the caller blocks for the
+            // retrain, predict traffic does not.
+            let repaired = shared
+                .registry
+                .find(&model)
+                .ok_or(ServeError::UnknownModel { name: model })
+                .and_then(|mid| repair::repair_live(shared, mid));
+            match repaired {
+                Ok(r) => Response::Repair(r),
+                Err(e) => return send_error(shared, writer, id, &e),
+            }
+        }
+        Request::ListVersions { model } => match shared.registry.find(&model) {
+            Some(mid) => Response::Versions(shared.registry.versions(mid)),
+            None => {
+                return send_error(
+                    shared,
+                    writer,
+                    id,
+                    &ServeError::UnknownModel { name: model },
+                )
+            }
         },
         Request::Predict(p) => {
             let submitted = shared
@@ -368,7 +409,7 @@ fn handle_request(
                         rows: p.rows,
                         want_logits: p.want_logits,
                         cases: (!p.true_labels.is_empty())
-                            .then(|| Arc::clone(&shared.cases[model])),
+                            .then(|| Arc::clone(&shared.cases[model.index()])),
                         true_labels: p.true_labels,
                         responder: Responder::Stream {
                             writer: Arc::clone(writer),
@@ -384,55 +425,4 @@ fn handle_request(
         }
     };
     let _ = write_wire(writer, &encode_response(id, &response));
-}
-
-/// Regenerates the deterministic training set the model's
-/// [`DiagnosisContext`] names — the same stream a
-/// `deepmorph::scenario::Scenario` with that seed would generate, so a
-/// scenario-trained model is diagnosed against its actual training data.
-fn regenerate_train(ctx: &DiagnosisContext) -> Dataset {
-    let mut rng = stream_rng(ctx.seed, "scenario-data");
-    match ctx.dataset {
-        DatasetKind::Digits => SynthDigits::new().generate(ctx.train_per_class, &mut rng),
-        DatasetKind::Objects => SynthObjects::new().generate(ctx.train_per_class, &mut rng),
-    }
-}
-
-/// The diagnose endpoint: feeds the accumulated misclassified traffic
-/// through the DeepMorph pipeline (probe instrumentation → execution
-/// patterns → footprints → defect classification — the same code path
-/// the staged engine's stages 2–4 drive) and returns the report.
-fn diagnose(shared: &ServerShared, model: &str) -> ServeResult<DiagnoseResponse> {
-    let index = shared
-        .registry
-        .find(model)
-        .ok_or_else(|| ServeError::UnknownModel {
-            name: model.to_string(),
-        })?;
-    let entry = shared.registry.entry(index);
-    let ctx = entry
-        .diagnosis
-        .as_ref()
-        .ok_or_else(|| ServeError::Diagnosis {
-            reason: format!("model `{model}` has no training-data context (sidecar missing)"),
-        })?;
-    let faulty = shared.cases[index]
-        .lock()
-        .expect("live cases")
-        .to_faulty_cases()?;
-    let train = regenerate_train(ctx);
-    let replica = shared.registry.instantiate(index)?;
-    let subject = format!(
-        "{model}@{} live traffic ({} misclassified)",
-        &entry.fingerprint[..8],
-        faulty.len()
-    );
-    let tool = DeepMorph::new(shared.deepmorph);
-    let (report, _instrumented) = tool.diagnose(replica, &train, &faulty, &subject)?;
-    // The pipeline caps its analysis at `max_faulty_cases`; report what
-    // the diagnosis actually covered.
-    Ok(DiagnoseResponse {
-        cases: report.num_cases as u64,
-        report_json: report.to_json(),
-    })
 }

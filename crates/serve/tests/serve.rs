@@ -59,6 +59,7 @@ fn row(all: &Tensor, i: usize) -> Tensor {
 #[test]
 fn scheduler_batched_outputs_equal_solo_outputs_bitwise() {
     let registry = Arc::new(registry_with("m", 5));
+    let m = registry.find("m").unwrap();
     let stats = Arc::new(ServeStats::default());
     let n = 8;
     let inputs = rows(n, 99);
@@ -75,7 +76,7 @@ fn scheduler_batched_outputs_equal_solo_outputs_bitwise() {
     );
     let solo_logits: Vec<Tensor> = (0..n)
         .map(|i| {
-            let rx = solo.submit_rows(0, row(&inputs, i), true).unwrap();
+            let rx = solo.submit_rows(m, row(&inputs, i), true).unwrap();
             rx.recv().unwrap().unwrap().logits.unwrap()
         })
         .collect();
@@ -96,7 +97,7 @@ fn scheduler_batched_outputs_equal_solo_outputs_bitwise() {
         Arc::clone(&stats),
     );
     let receivers: Vec<_> = (0..n)
-        .map(|i| batched.submit_rows(0, row(&inputs, i), true).unwrap())
+        .map(|i| batched.submit_rows(m, row(&inputs, i), true).unwrap())
         .collect();
     let batched_logits: Vec<Tensor> = receivers
         .into_iter()
@@ -130,8 +131,9 @@ fn scheduler_batched_outputs_equal_solo_outputs_bitwise() {
 #[test]
 fn scheduler_rejects_bad_input_and_fills_up() {
     let registry = Arc::new(registry_with("m", 6));
+    let m = registry.find("m").unwrap();
     let scheduler = Scheduler::new(
-        registry,
+        Arc::clone(&registry),
         BatchConfig {
             workers: 1,
             ..BatchConfig::default()
@@ -140,22 +142,22 @@ fn scheduler_rejects_bad_input_and_fills_up() {
     );
     // Wrong shape.
     assert!(matches!(
-        scheduler.submit_rows(0, Tensor::zeros(&[1, 3, 16, 16]), false),
+        scheduler.submit_rows(m, Tensor::zeros(&[1, 3, 16, 16]), false),
         Err(ServeError::BadInput { .. })
     ));
     // Wrong rank.
     assert!(matches!(
-        scheduler.submit_rows(0, Tensor::zeros(&[256]), false),
+        scheduler.submit_rows(m, Tensor::zeros(&[256]), false),
         Err(ServeError::BadInput { .. })
     ));
     // Empty batch.
     assert!(matches!(
-        scheduler.submit_rows(0, Tensor::zeros(&[0, 1, 16, 16]), false),
+        scheduler.submit_rows(m, Tensor::zeros(&[0, 1, 16, 16]), false),
         Err(ServeError::BadInput { .. })
     ));
     scheduler.shutdown();
     assert!(matches!(
-        scheduler.submit_rows(0, Tensor::zeros(&[1, 1, 16, 16]), false),
+        scheduler.submit_rows(m, Tensor::zeros(&[1, 1, 16, 16]), false),
         Err(ServeError::ShuttingDown)
     ));
 }
@@ -389,16 +391,14 @@ fn registry_dir_round_trip_and_live_diagnosis() {
     let seed = 21u64;
     let mut model = lenet(seed);
     save_model(dir.join("digits.dmmd"), &mut model).unwrap();
-    let ctx = DiagnosisContext {
-        dataset: DatasetKind::Digits,
-        seed,
-        train_per_class: 12,
-    };
+    let ctx = DiagnosisContext::new(DatasetKind::Digits, seed, 12);
     std::fs::write(dir.join("digits.meta.json"), ctx.to_json()).unwrap();
 
     let registry = ModelRegistry::open(&dir).unwrap();
     assert_eq!(registry.len(), 1);
-    assert_eq!(registry.entry(0).diagnosis, Some(ctx));
+    let id = registry.find("digits").unwrap();
+    assert_eq!(registry.current(id).diagnosis, Some(ctx));
+    assert_eq!(registry.current(id).version, 1);
 
     let server = Server::start(
         registry,
