@@ -1,0 +1,189 @@
+//! SIMD-vs-scalar GEMM comparison on warm conv/dense-shaped kernels.
+//!
+//! ```text
+//! cargo run --release -p deepmorph-bench --features simd --bin gemm_bench           # merge into BENCH_workspace.json
+//! cargo run --release -p deepmorph-bench --features simd --bin gemm_bench -- --smoke # CI smoke, no file
+//! ```
+//!
+//! The shapes are the real products the serve hot path runs — the
+//! im2col'd convolutions and dense tails of the paper-scale AlexNet at
+//! serving batch sizes — measured warm (workspace arena primed) with the
+//! same fan-out hint for both backends. Full mode merges a `simd_gemm`
+//! section into `BENCH_workspace.json` (other sections untouched) and
+//! asserts the acceptance bar: ≥ 2× on every conv/dense shape.
+
+use std::time::Instant;
+
+use deepmorph_json::Json;
+use deepmorph_tensor::backend::{self, tune, BackendHandle, GemmSpec};
+
+/// One benchmarked product. Dims are the `GemmSpec` `m/k/n` of real
+/// layer products from `alexnet-paper` on `[1, 16, 16]` inputs.
+struct Shape {
+    key: &'static str,
+    what: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+const SHAPES: &[Shape] = &[
+    Shape {
+        key: "conv2_b32",
+        what: "alexnet-paper conv2 im2col (batch 32): [32*64, 24*3*3] @ [48, 216]^T",
+        m: 32 * 64,
+        k: 216,
+        n: 48,
+    },
+    Shape {
+        key: "conv3_b32",
+        what: "alexnet-paper conv3 im2col (batch 32): [32*16, 48*3*3] @ [64, 432]^T",
+        m: 32 * 16,
+        k: 432,
+        n: 64,
+    },
+    Shape {
+        key: "dense_fc1_b256",
+        what: "alexnet-paper fc1 (batch 256): [256, 192] @ [256, 192]^T",
+        m: 256,
+        k: 192,
+        n: 256,
+    },
+    Shape {
+        key: "dense_fc2_b256",
+        what: "alexnet-paper fc2 (batch 256): [256, 256] @ [128, 256]^T",
+        m: 256,
+        k: 256,
+        n: 128,
+    },
+];
+
+fn synth(len: usize, salt: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            ((h >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Median wall time of `reps` warm runs of `spec` on `be`.
+fn median_ns(be: &BackendHandle, spec: &GemmSpec, a: &[f32], b: &[f32], reps: usize) -> f64 {
+    let mut out = vec![0.0f32; spec.out_len()];
+    // Warm: page-fault the buffers, prime the workspace pack pools.
+    for _ in 0..3 {
+        out.fill(0.0);
+        be.gemm(spec, a, b, &mut out);
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            out.fill(0.0);
+            let t = Instant::now();
+            be.gemm(spec, a, b, &mut out);
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|x, y| x.partial_cmp(y).expect("finite time"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_workspace.json".to_string());
+
+    let scalar = backend::scalar();
+    let simd = backend::simd_or_scalar();
+    assert_ne!(
+        simd.name(),
+        "scalar",
+        "gemm_bench needs the SIMD backend: build with --features simd on an AVX2+FMA machine"
+    );
+    println!(
+        "backends: {} vs {} (tuning: {})",
+        scalar.name(),
+        simd.name(),
+        tune::load().unwrap_or_default()
+    );
+
+    let reps = if smoke { 5 } else { 41 };
+    let mut entries: Vec<(String, Json)> = Vec::new();
+    let mut worst = f64::INFINITY;
+    for s in SHAPES {
+        // Serial specs: this entry compares raw kernel speed. (With
+        // fan-out on, a host with fewer cores than DEEPMORPH_THREADS
+        // measures chunk-dispatch thrash, not the kernels.)
+        let spec = GemmSpec::nt(s.m, s.k, s.n);
+        let a = synth(spec.lhs_len(), 1);
+        let b = synth(spec.rhs_len(), 2);
+        let scalar_ns = median_ns(&scalar, &spec, &a, &b, reps);
+        let simd_ns = median_ns(&simd, &spec, &a, &b, reps);
+        let speedup = scalar_ns / simd_ns;
+        worst = worst.min(speedup);
+        println!(
+            "{:<16} {:>10.0} ns scalar | {:>10.0} ns simd | {speedup:.2}x  ({})",
+            s.key, scalar_ns, simd_ns, s.what
+        );
+        entries.push((
+            s.key.to_string(),
+            Json::obj([
+                ("what", Json::str(s.what)),
+                ("m", Json::usize(s.m)),
+                ("k", Json::usize(s.k)),
+                ("n", Json::usize(s.n)),
+                ("scalar_ns", Json::num(scalar_ns)),
+                ("simd_ns", Json::num(simd_ns)),
+                ("speedup", Json::num(speedup)),
+            ]),
+        ));
+    }
+
+    if smoke {
+        assert!(
+            worst > 0.0,
+            "gemm smoke produced a non-positive speedup measurement"
+        );
+        println!("gemm smoke OK (worst speedup {worst:.2}x)");
+        return;
+    }
+
+    let section = Json::obj([
+        (
+            "note",
+            Json::str(
+                "Warm single-product medians: the scalar bitwise-reference kernel vs \
+                 the AVX2/FMA microkernel on the same serial GemmSpec (fan-out off — \
+                 this entry compares raw kernel speed; workspace primed). Shapes are \
+                 real alexnet-paper serving products. Regenerate with `cargo run \
+                 --release -p deepmorph-bench --features simd --bin gemm_bench`.",
+            ),
+        ),
+        ("cpu", Json::str(tune::cpu_key())),
+        ("threads", Json::usize(1)),
+        ("shapes", Json::Obj(entries)),
+    ]);
+
+    // Merge into BENCH_workspace.json without disturbing other sections.
+    let existing = std::fs::read_to_string(&out_path).expect("read BENCH_workspace.json");
+    let mut doc = match Json::parse(&existing).expect("parse BENCH_workspace.json") {
+        Json::Obj(fields) => fields,
+        other => panic!("unexpected BENCH_workspace.json root: {other:?}"),
+    };
+    doc.retain(|(k, _)| k != "simd_gemm");
+    doc.push(("simd_gemm".to_string(), section));
+    std::fs::write(&out_path, Json::Obj(doc).to_string_pretty()).expect("write bench file");
+    println!("merged simd_gemm into {out_path}");
+
+    assert!(
+        worst >= 2.0,
+        "SIMD GEMM speedup is {worst:.2}x on the slowest shape, expected >= 2x \
+         (is the machine heavily loaded?)"
+    );
+    println!("acceptance OK: >= {worst:.2}x on every shape");
+}

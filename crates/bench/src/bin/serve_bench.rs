@@ -26,6 +26,14 @@
 //! repaired while a predict load hammers it — the phase records the
 //! repair wall time and the swap latency (publish + buffer reset), and
 //! asserts that not a single concurrent request errored or was dropped.
+//!
+//! Finally a **quantized-serving** phase promotes the healthy fixture
+//! deployment to i8 through the gated production path
+//! (`Server::promote_quantized` must clear the held-out accuracy gate),
+//! then measures the paper-scale AlexNet server at f32 vs the i8
+//! replica mode; full mode records the p50 cut in `BENCH_serve.json`
+//! (and asserts it is positive when the SIMD backend is active — build
+//! with `--features simd` for the representative numbers).
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -58,8 +66,26 @@ fn registry() -> ModelRegistry {
 }
 
 fn server(max_batch: usize, workers: usize) -> Server {
+    server_with_mode(max_batch, workers, None)
+}
+
+/// Same server, optionally with the model's serving entry switched to a
+/// reduced-precision replica mode before workers spin up (the registry
+/// door the gated `Server::promote_quantized` path also goes through).
+fn server_with_mode(
+    max_batch: usize,
+    workers: usize,
+    mode: Option<(Precision, BackendKind)>,
+) -> Server {
+    let registry = registry();
+    if let Some((precision, backend)) = mode {
+        let id = registry.find(MODEL).expect("registered model");
+        registry
+            .set_serving_mode(id, precision, backend)
+            .expect("serving mode");
+    }
     Server::start(
-        registry(),
+        registry,
         ServerConfig {
             batch: BatchConfig {
                 max_batch,
@@ -115,6 +141,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// thread-scheduling overhead.
 fn drive_connection(
     addr: std::net::SocketAddr,
+    model: &str,
     window: usize,
     requests: usize,
     salt: usize,
@@ -127,7 +154,7 @@ fn drive_connection(
             protocol::encode_request(
                 i as u64 + 1,
                 &Request::Predict(PredictRequest {
-                    model: MODEL.to_string(),
+                    model: model.to_string(),
                     rows: input_row(salt + i),
                     want_logits: false,
                     true_labels: Vec::new(),
@@ -171,6 +198,7 @@ const WINDOW: usize = 4;
 /// `concurrency / WINDOW` pipelined connections) and aggregates.
 fn run_load(
     addr: std::net::SocketAddr,
+    model: &str,
     concurrency: usize,
     total_requests: usize,
     stats_before: StatsSnapshot,
@@ -183,8 +211,9 @@ fn run_load(
     let latencies: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
-                scope
-                    .spawn(move || drive_connection(addr, window, requests_each, c * requests_each))
+                scope.spawn(move || {
+                    drive_connection(addr, model, window, requests_each, c * requests_each)
+                })
             })
             .collect();
         handles
@@ -220,7 +249,18 @@ fn measure(
     concurrency: usize,
     total_requests: usize,
 ) -> LoadResult {
-    let srv = server(max_batch, workers);
+    measure_mode(max_batch, workers, concurrency, total_requests, None)
+}
+
+/// [`measure`] with an explicit serving mode for the model entry.
+fn measure_mode(
+    max_batch: usize,
+    workers: usize,
+    concurrency: usize,
+    total_requests: usize,
+    mode: Option<(Precision, BackendKind)>,
+) -> LoadResult {
+    let srv = server_with_mode(max_batch, workers, mode);
     let addr = srv.local_addr();
     // Warm up: replica construction, pool spin-up, page faults.
     {
@@ -230,7 +270,9 @@ fn measure(
         }
     }
     let before = srv.stats();
-    let mut result = run_load(addr, concurrency, total_requests, before, || srv.stats());
+    let mut result = run_load(addr, MODEL, concurrency, total_requests, before, || {
+        srv.stats()
+    });
     srv.shutdown();
     result.workers = workers;
     result
@@ -361,6 +403,60 @@ fn swap_under_load(loaders: usize) -> SwapResult {
     }
 }
 
+struct QuantResult {
+    accuracy_f32: f32,
+    accuracy_quantized: f32,
+    f32_run: LoadResult,
+    quant_run: LoadResult,
+    /// Fractional p50 latency cut: `1 − p50_i8 / p50_f32`.
+    p50_cut: f64,
+}
+
+/// The quantized-serving phase, in two parts.
+///
+/// **Gate** — the healthy fixture deployment (provenance sidecar
+/// included) is promoted to i8 through the production path
+/// (`Server::promote_quantized`): the quantized replica must not lose
+/// held-out accuracy against its f32 serving model, and the bench
+/// asserts it cleared.
+///
+/// **Measure** — the paper-scale AlexNet server every other level uses,
+/// measured twice at the same concurrency: default (bitwise f32) serving
+/// vs the same registry switched to the i8 replica mode. The dense tail
+/// dominates this model — the regime the integer kernel targets; the
+/// tiny fixture LeNet would mostly measure per-row activation
+/// quantization overhead instead.
+fn quantized_serving(concurrency: usize, total_requests: usize) -> QuantResult {
+    let (dir, _) = repair_fixture::deploy_healthy("serve-quant");
+    let srv = repair_fixture::serve(&dir);
+    let promoted = srv
+        .promote_quantized(repair_fixture::MODEL, Precision::I8)
+        .expect("promote to i8");
+    assert!(
+        promoted.promoted,
+        "i8 must clear the held-out gate on the healthy fixture: f32 {:.3} vs quantized {:.3}",
+        promoted.accuracy_f32, promoted.accuracy_quantized
+    );
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let f32_run = measure_mode(32, 1, concurrency, total_requests, None);
+    let quant_run = measure_mode(
+        32,
+        1,
+        concurrency,
+        total_requests,
+        Some((Precision::I8, BackendKind::Auto)),
+    );
+    QuantResult {
+        accuracy_f32: promoted.accuracy_f32,
+        accuracy_quantized: promoted.accuracy_quantized,
+        p50_cut: 1.0 - quant_run.p50_us / f32_run.p50_us,
+        f32_run,
+        quant_run,
+    }
+}
+
 fn result_json(r: &LoadResult) -> Json {
     Json::obj([
         ("workers", Json::usize(r.workers)),
@@ -412,6 +508,18 @@ fn main() {
             swap.responses_during_repair,
             swap.accuracy_before,
             swap.accuracy_after
+        );
+        let quant = quantized_serving(4, 40);
+        println!(
+            "quantized smoke: gate {:.3} -> {:.3}, p50 {:.0} µs (f32) -> {:.0} µs (i8)",
+            quant.accuracy_f32,
+            quant.accuracy_quantized,
+            quant.f32_run.p50_us,
+            quant.quant_run.p50_us
+        );
+        assert!(
+            quant.quant_run.throughput_rows_per_s > 0.0,
+            "quantized serving produced no throughput"
         );
         println!("serve smoke OK");
         return;
@@ -473,6 +581,18 @@ fn main() {
         swap.accuracy_after
     );
 
+    let quant = quantized_serving(8, 400);
+    println!(
+        "quantized serving: gate {:.3} -> {:.3} | f32 p50 {:.0} µs, i8 p50 {:.0} µs \
+         ({:.1}% p50 cut, {:.2}x throughput)",
+        quant.accuracy_f32,
+        quant.accuracy_quantized,
+        quant.f32_run.p50_us,
+        quant.quant_run.p50_us,
+        quant.p50_cut * 100.0,
+        quant.quant_run.throughput_rows_per_s / quant.f32_run.throughput_rows_per_s,
+    );
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -519,6 +639,30 @@ fn main() {
                 ("dropped_requests", Json::usize(0)),
             ]),
         ),
+        (
+            "quantized",
+            Json::obj([
+                ("model", Json::str(MODEL)),
+                ("gate_model", Json::str(repair_fixture::MODEL)),
+                ("precision", Json::str("i8")),
+                (
+                    "backend",
+                    Json::str(if deepmorph_tensor::backend::simd_available() {
+                        "simd"
+                    } else {
+                        "scalar"
+                    }),
+                ),
+                ("accuracy_f32", Json::num(f64::from(quant.accuracy_f32))),
+                (
+                    "accuracy_quantized",
+                    Json::num(f64::from(quant.accuracy_quantized)),
+                ),
+                ("f32", result_json(&quant.f32_run)),
+                ("i8", result_json(&quant.quant_run)),
+                ("p50_cut_fraction", Json::num(quant.p50_cut)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_serve.json");
     println!("wrote {out_path}");
@@ -528,5 +672,16 @@ fn main() {
         "micro-batching speedup at concurrency 32 is {speedup_c32:.2}x, expected >= 2x \
          (is the machine heavily loaded?)"
     );
+    // The i8 replica only has hardware to win on when the SIMD backend
+    // is compiled in and the CPU supports it; on a scalar build the
+    // phase still runs (and records), but the cut is not asserted.
+    if deepmorph_tensor::backend::simd_available() {
+        assert!(
+            quant.p50_cut > 0.0,
+            "quantized serving did not cut p50 ({:.0} µs f32 vs {:.0} µs i8)",
+            quant.f32_run.p50_us,
+            quant.quant_run.p50_us
+        );
+    }
     println!("acceptance OK: {speedup_c32:.2}x at concurrency 32");
 }

@@ -173,6 +173,24 @@ impl ModelHandle {
         self.graph.param_count()
     }
 
+    /// Installs `ctx` as the compute context of the underlying graph (see
+    /// [`Graph::bind_compute`]): serving replicas select their backend
+    /// here, per model version.
+    pub fn bind_compute(&mut self, ctx: &ComputeCtx) {
+        self.graph.bind_compute(ctx);
+    }
+
+    /// Re-expresses the model's parameters at a serving precision (see
+    /// [`Graph::apply_precision`]). Lossy — only inference replicas do
+    /// this; training and diagnosis always run f32.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer rejections (no provided layer rejects).
+    pub fn apply_precision(&mut self, precision: Precision) -> Result<(), NnError> {
+        self.graph.apply_precision(precision)
+    }
+
     /// Builds an independent replica: same architecture (rebuilt from the
     /// spec), same parameters and buffers (state-dict import). Replicas
     /// share no storage, so each serving worker can own one and run

@@ -1,5 +1,7 @@
 //! 2-D convolution layer (im2col-lowered).
 
+use deepmorph_tensor::backend::quant::{self, Precision, QuantizedMat};
+use deepmorph_tensor::backend::ComputeCtx;
 use deepmorph_tensor::conv::{col2im_mapped_into, im2col_mapped_into, Conv2dGeometry, Im2colMap};
 use deepmorph_tensor::{init::Init, workspace, Tensor};
 use rand::Rng;
@@ -25,6 +27,8 @@ pub struct Conv2d {
     bias: Param,
     cached_cols: Option<Tensor>,
     cached_batch: usize,
+    ctx: ComputeCtx,
+    qweight: Option<QuantizedMat>,
 }
 
 impl Conv2d {
@@ -79,6 +83,8 @@ impl Conv2d {
             bias,
             cached_cols: None,
             cached_batch: 0,
+            ctx: ComputeCtx::default(),
+            qweight: None,
         })
     }
 
@@ -151,7 +157,16 @@ impl Layer for Conv2d {
         let mut cols = workspace::tensor_raw(&[n * self.geo.out_positions(), self.geo.patch_len()]);
         im2col_mapped_into(x, &self.map, cols.data_mut())?;
         // [n*positions, patch] @ [out_c, patch]^T -> [n*positions, out_c]
-        let mut y = cols.matmul_nt(&self.weight.value)?;
+        let quantized = self.qweight.as_ref().filter(|_| mode == Mode::Eval);
+        let mut y = match quantized {
+            Some(q) => {
+                let m = n * self.geo.out_positions();
+                let mut y = workspace::tensor_raw(&[m, self.geo.out_channels]);
+                quant::qgemm_nt(cols.data(), q, y.data_mut(), m);
+                y
+            }
+            None => self.ctx.matmul_nt(&cols, &self.weight.value)?,
+        };
         y.add_row_broadcast(&self.bias.value)?;
         let out = self.cols_to_nchw(&y, n);
         workspace::recycle_tensor(y);
@@ -175,14 +190,14 @@ impl Layer for Conv2d {
         let g_cols = self.nchw_to_cols(grad, n); // [n*pos, out_c]
 
         // dW = g_cols^T @ cols : [out_c, patch]
-        let dw = g_cols.matmul_tn(cols)?;
+        let dw = self.ctx.matmul_tn(&g_cols, cols)?;
         self.weight.grad.add_assign_tensor(&dw)?;
         workspace::recycle_tensor(dw);
         let db = g_cols.sum_axis0()?;
         self.bias.grad.add_assign_tensor(&db)?;
         workspace::recycle_tensor(db);
         // d_cols = g_cols @ W : [n*pos, patch]
-        let d_cols = g_cols.matmul(&self.weight.value)?;
+        let d_cols = self.ctx.matmul(&g_cols, &self.weight.value)?;
         workspace::recycle_tensor(g_cols);
         let mut dx =
             workspace::tensor_raw(&[n, self.geo.in_channels, self.geo.in_h, self.geo.in_w]);
@@ -198,6 +213,30 @@ impl Layer for Conv2d {
 
     fn clear_cache(&mut self) {
         workspace::recycle_opt(self.cached_cols.take());
+    }
+
+    fn bind_compute(&mut self, ctx: &ComputeCtx) {
+        self.ctx = ctx.clone();
+    }
+
+    fn apply_precision(&mut self, precision: Precision) -> Result<()> {
+        match precision {
+            Precision::F32 => self.qweight = None,
+            Precision::F16 => {
+                quant::f16_round_slice(self.weight.value.data_mut());
+                quant::f16_round_slice(self.bias.value.data_mut());
+                self.qweight = None;
+            }
+            Precision::I8 => {
+                self.qweight = Some(QuantizedMat::from_rows(
+                    self.weight.value.data(),
+                    self.geo.out_channels,
+                    self.geo.patch_len(),
+                ));
+                quant::f16_round_slice(self.bias.value.data_mut());
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! Fully-connected layer.
 
+use deepmorph_tensor::backend::quant::{self, Precision, QuantizedMat};
+use deepmorph_tensor::backend::ComputeCtx;
 use deepmorph_tensor::{init::Init, workspace, Tensor};
 use rand::Rng;
 
@@ -10,6 +12,11 @@ use crate::{NnError, Result};
 ///
 /// `x` is `[n, in_features]`, `W` is `[out_features, in_features]`, `b` is
 /// `[out_features]`.
+///
+/// Every product dispatches through the layer's [`ComputeCtx`] (scalar by
+/// default; see [`Layer::bind_compute`]). An [`Layer::apply_precision`]
+/// call with [`Precision::I8`] builds an integer weight path the eval-mode
+/// forward uses instead of the f32 GEMM.
 #[derive(Debug)]
 pub struct Dense {
     name: String,
@@ -18,6 +25,8 @@ pub struct Dense {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    ctx: ComputeCtx,
+    qweight: Option<QuantizedMat>,
 }
 
 impl Dense {
@@ -47,6 +56,8 @@ impl Dense {
             weight,
             bias,
             cached_input: None,
+            ctx: ComputeCtx::default(),
+            qweight: None,
         }
     }
 
@@ -74,7 +85,19 @@ impl Layer for Dense {
     fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Result<Tensor> {
         let x = single_input(inputs, &self.name)?;
         x.expect_rank(2, "dense forward")?;
-        let mut y = x.matmul_nt(&self.weight.value)?;
+        let quantized = self
+            .qweight
+            .as_ref()
+            .filter(|q| mode == Mode::Eval && x.shape()[1] == q.cols());
+        let mut y = match quantized {
+            Some(q) => {
+                let m = x.shape()[0];
+                let mut y = workspace::tensor_raw(&[m, self.out_features]);
+                quant::qgemm_nt(x.data(), q, y.data_mut(), m);
+                y
+            }
+            None => self.ctx.matmul_nt(x, &self.weight.value)?,
+        };
         y.add_row_broadcast(&self.bias.value)?;
         if mode == Mode::Train {
             // Pooled copy for the backward pass; the previous batch's copy
@@ -92,7 +115,7 @@ impl Layer for Dense {
                 layer: self.name.clone(),
             })?;
         // dW = g^T x : [out, n] @ [n, in] -> [out, in]
-        let dw = grad.matmul_tn(x)?;
+        let dw = self.ctx.matmul_tn(grad, x)?;
         self.weight.grad.add_assign_tensor(&dw)?;
         workspace::recycle_tensor(dw);
         // db = column sums of g.
@@ -100,7 +123,7 @@ impl Layer for Dense {
         self.bias.grad.add_assign_tensor(&db)?;
         workspace::recycle_tensor(db);
         // dx = g W : [n, out] @ [out, in] -> [n, in]
-        let dx = grad.matmul(&self.weight.value)?;
+        let dx = self.ctx.matmul(grad, &self.weight.value)?;
         Ok(Grads::one(dx))
     }
 
@@ -111,6 +134,30 @@ impl Layer for Dense {
 
     fn clear_cache(&mut self) {
         workspace::recycle_opt(self.cached_input.take());
+    }
+
+    fn bind_compute(&mut self, ctx: &ComputeCtx) {
+        self.ctx = ctx.clone();
+    }
+
+    fn apply_precision(&mut self, precision: Precision) -> Result<()> {
+        match precision {
+            Precision::F32 => self.qweight = None,
+            Precision::F16 => {
+                quant::f16_round_slice(self.weight.value.data_mut());
+                quant::f16_round_slice(self.bias.value.data_mut());
+                self.qweight = None;
+            }
+            Precision::I8 => {
+                self.qweight = Some(QuantizedMat::from_rows(
+                    self.weight.value.data(),
+                    self.out_features,
+                    self.in_features,
+                ));
+                quant::f16_round_slice(self.bias.value.data_mut());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -213,5 +260,53 @@ mod tests {
         let mut rng = stream_rng(4, "dense");
         let mut layer = Dense::new(10, 5, &mut rng);
         assert_eq!(layer.param_count(), 10 * 5 + 5);
+    }
+
+    #[test]
+    fn bound_context_is_bitwise_identical() {
+        let mut rng = stream_rng(5, "dense");
+        let mut layer = Dense::new(4, 3, &mut rng);
+        let x = Tensor::from_vec((0..8).map(|v| v as f32 * 0.3 - 1.0).collect(), &[2, 4]).unwrap();
+        let before = layer.forward(&[&x], Mode::Eval).unwrap();
+        layer.bind_compute(&ComputeCtx::scalar());
+        let after = layer.forward(&[&x], Mode::Eval).unwrap();
+        assert_eq!(before.data(), after.data());
+    }
+
+    #[test]
+    fn i8_precision_quantizes_eval_forward_only() {
+        let mut rng = stream_rng(6, "dense");
+        let mut layer = Dense::new(5, 4, &mut rng);
+        let x =
+            Tensor::from_vec((0..10).map(|v| (v as f32 * 0.7).sin()).collect(), &[2, 5]).unwrap();
+        let f32_out = layer.forward(&[&x], Mode::Eval).unwrap();
+        layer.apply_precision(Precision::I8).unwrap();
+        let q = layer.qweight.as_ref().expect("i8 weight path");
+        assert_eq!((q.rows(), q.cols()), (4, 5));
+        let q_out = layer.forward(&[&x], Mode::Eval).unwrap();
+        // Quantized result tracks f32 within the i8 step budget but is a
+        // genuinely different kernel, while the train-mode forward keeps
+        // running the f32 path against the stored weights.
+        for (a, b) in q_out.data().iter().zip(f32_out.data()) {
+            assert!((a - b).abs() < 0.1, "quantized {a} vs f32 {b}");
+        }
+        let t_out = layer.forward(&[&x], Mode::Train).unwrap();
+        let deq = layer.qweight.as_ref().unwrap().dequantize();
+        assert_ne!(deq, layer.weight.value.data());
+        assert_eq!(t_out.shape(), &[2, 4]);
+        // Demoting back to f32 drops the integer path (weights stay as-is).
+        layer.apply_precision(Precision::F32).unwrap();
+        assert!(layer.qweight.is_none());
+    }
+
+    #[test]
+    fn f16_precision_rounds_parameters() {
+        let mut rng = stream_rng(7, "dense");
+        let mut layer = Dense::new(3, 2, &mut rng);
+        layer.apply_precision(Precision::F16).unwrap();
+        for &w in layer.weight.value.data() {
+            assert_eq!(quant::f16_round(w), w, "weight not f16-representable");
+        }
+        assert!(layer.qweight.is_none());
     }
 }

@@ -10,6 +10,8 @@
 //! uses this to extract the *data flow footprints* (intermediate outputs of
 //! hidden layers) that the paper's analysis is built on.
 
+use deepmorph_tensor::backend::quant::Precision;
+use deepmorph_tensor::backend::ComputeCtx;
 use deepmorph_tensor::{workspace, Tensor};
 
 use crate::layer::{Layer, Mode, Param};
@@ -149,6 +151,8 @@ impl GraphBuilder {
             slots: Vec::new(),
             grad_slots: Vec::new(),
             ready: false,
+            ctx: ComputeCtx::default(),
+            precision: Precision::F32,
         })
     }
 }
@@ -170,6 +174,11 @@ pub struct Graph {
     grad_slots: Vec<Option<Tensor>>,
     /// Set by a training-mode forward; gates [`Graph::backward`].
     ready: bool,
+    /// Compute context every layer kernel dispatches through (scalar by
+    /// default; installed into the layers by [`Graph::bind_compute`]).
+    ctx: ComputeCtx,
+    /// Serving precision the parameters were last re-expressed at.
+    precision: Precision,
 }
 
 impl Graph {
@@ -330,6 +339,46 @@ impl Graph {
             }
         }
         Ok(())
+    }
+
+    /// Installs `ctx` as the compute context of this graph and every layer
+    /// in it — the explicit seam a caller (trainer, serving scheduler)
+    /// uses to pick a backend instead of kernels consulting globals. A
+    /// freshly built graph runs on the scalar (bitwise-reference) context.
+    pub fn bind_compute(&mut self, ctx: &ComputeCtx) {
+        self.ctx = ctx.clone();
+        for node in &mut self.nodes {
+            node.layer.bind_compute(ctx);
+        }
+    }
+
+    /// The compute context installed by [`Graph::bind_compute`] (the
+    /// default scalar context otherwise).
+    pub fn compute_ctx(&self) -> &ComputeCtx {
+        &self.ctx
+    }
+
+    /// Re-expresses every layer's parameters at `precision` (see
+    /// [`Layer::apply_precision`]). Lossy and irreversible: serving
+    /// replicas call this once after instantiation; training and diagnosis
+    /// graphs never do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer rejection (no provided layer rejects).
+    pub fn apply_precision(&mut self, precision: Precision) -> Result<()> {
+        for node in &mut self.nodes {
+            node.layer.apply_precision(precision)?;
+        }
+        self.precision = precision;
+        Ok(())
+    }
+
+    /// The precision the parameters were last re-expressed at
+    /// ([`Precision::F32`] for a graph never touched by
+    /// [`Graph::apply_precision`]).
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Visits every trainable parameter in a stable order.
@@ -848,6 +897,42 @@ mod tests {
         twin.import_state(&dict).unwrap();
         let y_after = twin.forward(&input, Mode::Eval).unwrap();
         assert_eq!(y_before.data(), y_after.data());
+    }
+
+    #[test]
+    fn bind_compute_propagates_and_stays_bitwise() {
+        let mut g = linear_graph();
+        let x = Tensor::from_vec(vec![0.4, -0.8, 0.2, 0.9, -0.1, 0.5], &[2, 3]).unwrap();
+        let before = g.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(g.compute_ctx().backend_name(), "scalar");
+        // Auto resolves to scalar on default builds and to the SIMD
+        // backend under --features simd; either way the graph must accept
+        // the context and keep producing valid outputs. The scalar-vs-
+        // scalar case (default build) is additionally bitwise.
+        g.bind_compute(&ComputeCtx::auto());
+        let after = g.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(after.shape(), before.shape());
+        if g.compute_ctx().backend_name() == "scalar" {
+            assert_eq!(before.data(), after.data());
+        }
+        g.bind_compute(&ComputeCtx::scalar());
+        let back = g.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(before.data(), back.data());
+    }
+
+    #[test]
+    fn apply_precision_round_trips_the_flag_and_degrades_gracefully() {
+        use deepmorph_tensor::backend::quant::Precision;
+        let mut g = linear_graph();
+        assert_eq!(g.precision(), Precision::F32);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.9, 0.4, 0.1, -0.6], &[2, 3]).unwrap();
+        let exact = g.forward(&x, Mode::Eval).unwrap();
+        g.apply_precision(Precision::I8).unwrap();
+        assert_eq!(g.precision(), Precision::I8);
+        let lossy = g.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in lossy.data().iter().zip(exact.data()) {
+            assert!((a - b).abs() < 0.1, "i8 output {a} strayed from f32 {b}");
+        }
     }
 
     #[test]

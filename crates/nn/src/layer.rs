@@ -1,6 +1,8 @@
 //! The [`Layer`] trait, trainable [`Param`]s, and the inline [`Grads`]
 //! container backward passes return.
 
+use deepmorph_tensor::backend::quant::{f16_round_slice, Precision};
+use deepmorph_tensor::backend::ComputeCtx;
 use deepmorph_tensor::Tensor;
 
 use crate::Result;
@@ -167,6 +169,36 @@ pub trait Layer: Send {
     /// Drops cached activations to free memory (called between epochs for
     /// large sweeps). Layers with no cache need not override.
     fn clear_cache(&mut self) {}
+
+    /// Installs the compute context this layer runs its kernels on.
+    ///
+    /// [`Graph::bind_compute`](crate::graph::Graph::bind_compute) calls
+    /// this on every node; layers with no dense products (activations,
+    /// pooling, reshapes) need not override — their elementwise work is
+    /// backend-independent by construction.
+    fn bind_compute(&mut self, ctx: &ComputeCtx) {
+        let _ = ctx;
+    }
+
+    /// Re-expresses this layer's parameters at a serving precision.
+    ///
+    /// Lossy and irreversible — call it only on inference replicas
+    /// (training and diagnosis stay f32). The default rounds every
+    /// trainable parameter through IEEE binary16 for [`Precision::F16`]
+    /// and [`Precision::I8`] (layers with a hot `x·Wᵀ` product override to
+    /// build an integer weight path for `I8`); [`Precision::F32`] restores
+    /// nothing and is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject precisions they cannot represent; the
+    /// provided implementations always succeed.
+    fn apply_precision(&mut self, precision: Precision) -> Result<()> {
+        if precision != Precision::F32 {
+            self.visit_params(&mut |p| f16_round_slice(p.value.data_mut()));
+        }
+        Ok(())
+    }
 
     /// Persistent non-trainable buffers that must travel with the
     /// parameters for inference to round-trip exactly (batch-norm running

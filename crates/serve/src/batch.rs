@@ -428,7 +428,7 @@ fn run_jobs(
         // lock, so the cached epoch always matches the instantiated
         // version even if another swap raced the hint read above.
         let (epoch, current) = shared.registry.current_with_epoch(model_id);
-        match current.instantiate() {
+        match current.instantiate_for_serving() {
             Ok(model) => {
                 let slot = Replica { epoch, model };
                 match entry {

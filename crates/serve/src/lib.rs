@@ -76,7 +76,7 @@ pub use batch::{BatchConfig, JobOutput, Scheduler, ServeStats};
 pub use client::Client;
 pub use error::{ErrorCode, ServeError, ServeResult};
 pub use registry::{DiagnosisContext, ModelId, ModelRegistry};
-pub use repair::ArtifactBackend;
+pub use repair::{ArtifactBackend, PromoteResponse};
 pub use server::{Server, ServerConfig};
 
 /// Convenience re-exports.
@@ -89,6 +89,7 @@ pub mod prelude {
         DiagnoseResponse, ModelInfo, PredictResponse, RepairResponse, StatsSnapshot, VersionInfo,
     };
     pub use crate::registry::{DiagnosisContext, ModelId, ModelRegistry};
-    pub use crate::repair::ArtifactBackend;
+    pub use crate::repair::{ArtifactBackend, PromoteResponse};
     pub use crate::server::{Server, ServerConfig};
+    pub use deepmorph_nn::prelude::{BackendKind, ComputeCtx, Precision};
 }

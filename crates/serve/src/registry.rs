@@ -40,7 +40,7 @@ use deepmorph::prelude::DefectSpec;
 use deepmorph_data::DatasetKind;
 use deepmorph_json::Json;
 use deepmorph_models::{decode_model, encode_model, ModelHandle, ModelSpec};
-use deepmorph_nn::prelude::TrainConfig;
+use deepmorph_nn::prelude::{BackendKind, ComputeCtx, Precision, TrainConfig};
 use deepmorph_nn::train::OptimizerKind;
 
 pub use deepmorph::artifact::content_fingerprint;
@@ -346,6 +346,14 @@ pub struct ModelEntry {
     pub param_count: usize,
     /// Training-data provenance for live diagnosis, when known.
     pub diagnosis: Option<DiagnosisContext>,
+    /// Inference precision serving replicas of this version run at.
+    /// Always [`Precision::F32`] for freshly registered/published
+    /// versions; [`ModelRegistry::set_serving_mode`] installs quantized
+    /// serving variants. Diagnosis and repair always work on the f32
+    /// parameters ([`ModelEntry::instantiate`]), never the quantized view.
+    pub precision: Precision,
+    /// Compute backend serving replicas of this version bind.
+    pub backend: BackendKind,
     /// The encoded model container.
     bytes: Vec<u8>,
 }
@@ -374,6 +382,42 @@ impl ModelEntry {
     /// against the current architecture code.
     pub fn instantiate(&self) -> ServeResult<ModelHandle> {
         Ok(decode_model(&self.bytes)?)
+    }
+
+    /// A clone of this version with a different serving mode. Same bytes,
+    /// same fingerprint, same version number — only how serving replicas
+    /// are prepared changes. Constructed here because the container bytes
+    /// are private to the registry.
+    pub fn with_serving_mode(&self, precision: Precision, backend: BackendKind) -> ModelEntry {
+        let mut entry = self.clone();
+        entry.precision = precision;
+        entry.backend = backend;
+        entry
+    }
+
+    /// Builds a replica prepared for *serving*: instantiates the f32
+    /// model, binds the entry's compute backend, and applies its serving
+    /// precision (f16 parameter rounding or i8 weight quantization).
+    /// For the default mode (f32 + scalar) this is exactly
+    /// [`ModelEntry::instantiate`] — bitwise-identical serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] if the bytes no longer decode or the
+    /// precision cannot be applied.
+    pub fn instantiate_for_serving(&self) -> ServeResult<ModelHandle> {
+        let mut model = self.instantiate()?;
+        if self.backend != BackendKind::Scalar {
+            model.bind_compute(&ComputeCtx::for_kind(self.backend));
+        }
+        if self.precision != Precision::F32 {
+            model
+                .apply_precision(self.precision)
+                .map_err(|e| ServeError::Model {
+                    reason: format!("applying {} serving precision: {e}", self.precision),
+                })?;
+        }
+        Ok(model)
     }
 }
 
@@ -560,6 +604,8 @@ impl ModelRegistry {
             spec: probe.spec,
             param_count: probe.param_count(),
             diagnosis,
+            precision: Precision::F32,
+            backend: BackendKind::Scalar,
             bytes,
         })
     }
@@ -742,6 +788,46 @@ impl ModelRegistry {
     /// against the current architecture code.
     pub fn instantiate(&self, id: ModelId) -> ServeResult<ModelHandle> {
         self.current(id).instantiate()
+    }
+
+    /// Switches the serving mode of the model at `id`: the current
+    /// version's bytes stay exactly as published, but workers rebuild
+    /// their replicas (the epoch bumps) with the new precision and
+    /// backend. No history entry is appended — the version and
+    /// fingerprint are unchanged, so diagnosis sessions keyed by
+    /// fingerprint stay valid and `versions()` keeps listing the same
+    /// chain. The candidate replica is built once up front, so an
+    /// un-instantiable mode is rejected before anything swaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] when the mode cannot be applied to
+    /// the current version.
+    pub fn set_serving_mode(
+        &self,
+        id: ModelId,
+        precision: Precision,
+        backend: BackendKind,
+    ) -> ServeResult<Arc<ModelEntry>> {
+        let slot = &self.slots[id.0];
+        // The history lock doubles as the publish lock: mode swaps
+        // serialize against publishes, so the entry read here is the one
+        // replaced below.
+        let history = slot.history.lock().expect("registry history");
+        let entry = {
+            let guard = slot.current.read().expect("registry slot");
+            guard.1.with_serving_mode(precision, backend)
+        };
+        entry.instantiate_for_serving()?;
+        let entry = Arc::new(entry);
+        let mut guard = slot.current.write().expect("registry slot");
+        guard.0 += 1;
+        guard.1 = Arc::clone(&entry);
+        let epoch = guard.0;
+        slot.epoch_hint.store(epoch, Ordering::Release);
+        drop(guard);
+        drop(history);
+        Ok(entry)
     }
 }
 

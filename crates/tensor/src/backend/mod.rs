@@ -1,0 +1,596 @@
+//! Pluggable compute backends behind one typed kernel API.
+//!
+//! Every dense product in the workspace — the matmul family, the im2col'd
+//! convolution, and the elementwise activation/bias kernels — dispatches
+//! through the [`Backend`] trait. The descriptor every backend consumes is
+//! a [`GemmSpec`]: dimensions plus per-operand [`MatLayout`]s and a
+//! fan-out hint, replacing the historical `(a_transposed, b_transposed)`
+//! boolean-flag call surface. The raw kernel entry points are private to
+//! this crate; [`Tensor`]'s `matmul*` methods and
+//! [`ComputeCtx`] are the only ways in.
+//!
+//! Three implementations exist:
+//!
+//! * [`ScalarBackend`] — the default and the **bitwise reference**. It is
+//!   the PR 2 cache-blocked, B-panel-packed kernel with the pinned
+//!   per-element accumulation order; every determinism digest in
+//!   `tests/determinism.rs` is defined against it, and it is selected
+//!   everywhere unless a caller explicitly asks for something else.
+//! * `SimdBackend` (feature `simd`, x86_64 only) — an AVX2/FMA
+//!   register-blocked microkernel with runtime CPU-feature detection and
+//!   scalar fallback. Same inputs, *different accumulation order* (8-lane
+//!   FMA with per-tile partial sums), so results match the scalar backend
+//!   to documented ULP bounds, not bitwise — see
+//!   `crates/tensor/tests/backend_conformance.rs`.
+//! * Elementwise ops (`relu_inplace`, `bias_add_rows`) are pure per-element
+//!   maps: every backend produces bitwise-identical results for them by
+//!   construction.
+//!
+//! # Selection
+//!
+//! Nothing is implicit: [`ComputeCtx`] carries the chosen backend handle
+//! (plus workspace access) and is threaded explicitly through
+//! `Graph`/`Trainer`/the serve scheduler. [`ComputeCtx::default`] is the
+//! scalar backend, so a build with `--features simd` is still
+//! bitwise-unchanged until a caller opts a context in via
+//! [`ComputeCtx::auto`], [`select`], or `DEEPMORPH_BACKEND`.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use crate::workspace::{self, Workspace};
+use crate::{Tensor, TensorError};
+
+pub mod quant;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod simd;
+pub mod tune;
+
+/// Storage layout of one GEMM operand, relative to the logical matrix the
+/// product is defined over.
+///
+/// `RowMajor` means the operand slice stores the logical matrix directly;
+/// `Transposed` means the slice stores its transpose (so the kernel packs
+/// or strides it). For `out = A·B` with `A: [m, k]` and `B: [k, n]`:
+///
+/// | operand | `RowMajor` slice shape | `Transposed` slice shape |
+/// |---------|------------------------|--------------------------|
+/// | lhs `A` | `[m, k]`               | `[k, m]`                 |
+/// | rhs `B` | `[k, n]`               | `[n, k]`                 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatLayout {
+    /// The slice stores the logical matrix row-major.
+    RowMajor,
+    /// The slice stores the logical matrix's transpose row-major.
+    Transposed,
+}
+
+/// Typed descriptor of one GEMM: `out[m, n] += A[m, k] · B[k, n]`, with
+/// the storage layout of each operand and a parallelism hint.
+///
+/// This is the single call surface every [`Backend`] consumes — it
+/// replaces the historical boolean-flag (`a_transposed`, `b_transposed`)
+/// kernel entry points. Constructors cover the three products the
+/// networks use (`nn`, `nt`, `tn`); [`GemmSpec::with_layouts`] spells any
+/// combination, including the (never hot) double-transposed product.
+///
+/// # Accumulation semantics
+///
+/// The output **accumulates**: callers zero `out` for a plain product.
+/// Zero-skip semantics are part of the reference contract and follow the
+/// rhs layout: products with a `RowMajor` rhs skip `A` coefficients that
+/// are exactly `0.0` (matching the historical `NN`/`TN` kernels, which
+/// affects `-0.0`/`NaN`/`inf` propagation); products with a `Transposed`
+/// rhs never skip (the historical `NT` dot-product kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmSpec {
+    /// Output rows.
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Layout of the lhs operand.
+    pub lhs: MatLayout,
+    /// Layout of the rhs operand.
+    pub rhs: MatLayout,
+    /// Request fan-out over output rows. A hint: backends may run inline
+    /// when the product is too small to pay for dispatch or when no
+    /// worker threads exist.
+    pub parallel: bool,
+}
+
+impl GemmSpec {
+    /// `out += A[m,k] · B[k,n]`, both operands row-major.
+    pub fn nn(m: usize, k: usize, n: usize) -> Self {
+        GemmSpec::with_layouts(m, k, n, MatLayout::RowMajor, MatLayout::RowMajor)
+    }
+
+    /// `out += A[m,k] · B[n,k]ᵀ` (rhs stored transposed — the dense/conv
+    /// forward product).
+    pub fn nt(m: usize, k: usize, n: usize) -> Self {
+        GemmSpec::with_layouts(m, k, n, MatLayout::RowMajor, MatLayout::Transposed)
+    }
+
+    /// `out += A[k,m]ᵀ · B[k,n]` (lhs stored transposed — the weight
+    /// gradient product).
+    pub fn tn(m: usize, k: usize, n: usize) -> Self {
+        GemmSpec::with_layouts(m, k, n, MatLayout::Transposed, MatLayout::RowMajor)
+    }
+
+    /// A spec with explicit operand layouts.
+    pub fn with_layouts(m: usize, k: usize, n: usize, lhs: MatLayout, rhs: MatLayout) -> Self {
+        GemmSpec {
+            m,
+            k,
+            n,
+            lhs,
+            rhs,
+            parallel: false,
+        }
+    }
+
+    /// Returns the spec with the fan-out hint set.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Returns the spec with the fan-out hint sized by the product: on
+    /// when the `parallel` feature is active and the multiply-accumulate
+    /// count clears the dispatch-cost grain.
+    pub fn parallel_worthwhile(self) -> Self {
+        let worthwhile = cfg!(feature = "parallel")
+            && self.m * self.k * self.n >= crate::chunks::PAR_GRAIN_FLOPS;
+        self.parallel(worthwhile)
+    }
+
+    /// Required lhs slice length.
+    pub fn lhs_len(&self) -> usize {
+        self.m * self.k
+    }
+
+    /// Required rhs slice length.
+    pub fn rhs_len(&self) -> usize {
+        self.k * self.n
+    }
+
+    /// Required output slice length.
+    pub fn out_len(&self) -> usize {
+        self.m * self.n
+    }
+
+    /// `true` when the reference contract skips exactly-zero lhs
+    /// coefficients (see the type-level docs).
+    pub fn skips_zero_lhs(&self) -> bool {
+        self.rhs == MatLayout::RowMajor
+    }
+
+    /// Panics unless the slices match the spec (backends call this before
+    /// touching any data, so a shape bug is a loud assert at the seam, not
+    /// UB or silent corruption inside a kernel).
+    pub fn check(&self, a: &[f32], b: &[f32], out: &[f32]) {
+        assert_eq!(a.len(), self.lhs_len(), "gemm: lhs length");
+        assert_eq!(b.len(), self.rhs_len(), "gemm: rhs length");
+        assert_eq!(out.len(), self.out_len(), "gemm: out length");
+    }
+}
+
+/// A compute backend: the kernels behind every layer forward/backward.
+///
+/// Implementations must be `Send + Sync` — one handle is shared across
+/// serving workers and training threads. See the module docs for the
+/// determinism contract each implementation offers.
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Stable identifier (used in logs, benches, and tuning-file keys).
+    fn name(&self) -> &'static str;
+
+    /// Accumulates the product described by `spec` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the spec.
+    fn gemm(&self, spec: &GemmSpec, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// The im2col'd convolution product: `cols[m, k] @ weight[n, k]ᵀ`,
+    /// where `m = batch · output positions`, `k` is the patch length, and
+    /// `n` the output channels. Default: exactly [`Backend::gemm`] with an
+    /// `nt` spec — the lowering *is* a GEMM; a backend only overrides this
+    /// to fuse packing with the gather.
+    fn conv_cols_gemm(&self, spec: &GemmSpec, cols: &[f32], weight: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(
+            spec.rhs,
+            MatLayout::Transposed,
+            "conv weight is [out_c, patch]"
+        );
+        self.gemm(spec, cols, weight, out);
+    }
+
+    /// Elementwise `x[i] = max(x[i], 0)`. Pure per-element map: every
+    /// backend is bitwise-identical here.
+    fn relu_inplace(&self, x: &mut [f32]) {
+        for v in x.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Adds `bias` to every `bias.len()`-sized row of `x`. Pure
+    /// per-element map: every backend is bitwise-identical here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of `bias.len()`.
+    fn bias_add_rows(&self, x: &mut [f32], bias: &[f32]) {
+        if bias.is_empty() {
+            return;
+        }
+        assert_eq!(x.len() % bias.len(), 0, "bias_add_rows: ragged rows");
+        for row in x.chunks_exact_mut(bias.len()) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+}
+
+/// Shared, cheaply clonable handle to a backend.
+pub type BackendHandle = Arc<dyn Backend>;
+
+/// The default backend: the PR 2 cache-blocked scalar kernel with the
+/// pinned per-element accumulation order. This is the bitwise reference
+/// every digest and cross-build test is defined against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn gemm(&self, spec: &GemmSpec, a: &[f32], b: &[f32], out: &mut [f32]) {
+        spec.check(a, b, out);
+        use crate::gemm::{gemm_into, GemmOp};
+        match (spec.lhs, spec.rhs) {
+            (MatLayout::RowMajor, MatLayout::RowMajor) => {
+                gemm_into(GemmOp::NN, a, b, out, spec.m, spec.k, spec.n, spec.parallel);
+            }
+            (MatLayout::RowMajor, MatLayout::Transposed) => {
+                gemm_into(GemmOp::NT, a, b, out, spec.m, spec.k, spec.n, spec.parallel);
+            }
+            (MatLayout::Transposed, MatLayout::RowMajor) => {
+                gemm_into(GemmOp::TN, a, b, out, spec.m, spec.k, spec.n, spec.parallel);
+            }
+            (MatLayout::Transposed, MatLayout::Transposed) => {
+                // Never on a hot path (no layer emits it); define it by
+                // materializing the lhs row-major, then running the NT
+                // reference kernel — semantics documented on `GemmSpec`.
+                let packed = crate::gemm::pack_a_transposed(a, spec.m, spec.k);
+                gemm_into(
+                    GemmOp::NT,
+                    &packed,
+                    b,
+                    out,
+                    spec.m,
+                    spec.k,
+                    spec.n,
+                    spec.parallel,
+                );
+                workspace::recycle(packed);
+            }
+        }
+    }
+}
+
+static SCALAR: OnceLock<BackendHandle> = OnceLock::new();
+
+/// The shared [`ScalarBackend`] handle.
+pub fn scalar() -> BackendHandle {
+    Arc::clone(SCALAR.get_or_init(|| Arc::new(ScalarBackend)))
+}
+
+/// Which backend a caller asks for; resolved by [`select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The bitwise-reference scalar kernel (the default everywhere).
+    #[default]
+    Scalar,
+    /// The SIMD microkernel if this build carries it *and* the CPU
+    /// supports it; the scalar backend otherwise.
+    Simd,
+    /// The fastest backend available: SIMD when compiled + detected,
+    /// scalar otherwise.
+    Auto,
+}
+
+impl BackendKind {
+    /// Parses `"scalar"` / `"simd"` / `"auto"` (used by
+    /// `DEEPMORPH_BACKEND` and CLI flags).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(BackendKind::Scalar),
+            "simd" => Some(BackendKind::Simd),
+            "auto" => Some(BackendKind::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// Resolves a [`BackendKind`] to a concrete handle. `Simd`/`Auto` fall
+/// back to the scalar backend when the `simd` feature is off or the CPU
+/// lacks AVX2+FMA — callers can always ask and always get a valid kernel.
+pub fn select(kind: BackendKind) -> BackendHandle {
+    match kind {
+        BackendKind::Scalar => scalar(),
+        BackendKind::Simd | BackendKind::Auto => simd_or_scalar(),
+    }
+}
+
+/// The SIMD backend when compiled in and runtime-supported, otherwise the
+/// scalar backend. The detection result (and the tuning-file load) is
+/// cached after the first call.
+pub fn simd_or_scalar() -> BackendHandle {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        static SIMD: OnceLock<Option<BackendHandle>> = OnceLock::new();
+        if let Some(h) =
+            SIMD.get_or_init(|| simd::SimdBackend::detect().map(|b| Arc::new(b) as BackendHandle))
+        {
+            return Arc::clone(h);
+        }
+    }
+    scalar()
+}
+
+/// `true` when [`simd_or_scalar`] resolves to a real SIMD backend.
+pub fn simd_available() -> bool {
+    simd_or_scalar().name() != "scalar"
+}
+
+/// The SIMD backend with an explicit block-size tuning — the autotuner's
+/// door for measuring candidates before persisting a winner. `None` when
+/// the CPU lacks AVX2+FMA.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub fn simd_with_tuning(t: tune::GemmTuning) -> Option<BackendHandle> {
+    simd::SimdBackend::new(t).map(|b| Arc::new(b) as BackendHandle)
+}
+
+/// Explicit compute context: the backend handle a graph/trainer/scheduler
+/// runs its kernels on, plus access to the per-thread scratch workspace.
+///
+/// Contexts are cheap to clone (one `Arc` bump) and are threaded
+/// explicitly — a `Graph` owns one, the serve scheduler hands one to each
+/// replica it builds — instead of kernels consulting process-global
+/// state. The default context is the scalar (bitwise-reference) backend.
+#[derive(Debug, Clone)]
+pub struct ComputeCtx {
+    backend: BackendHandle,
+}
+
+impl Default for ComputeCtx {
+    fn default() -> Self {
+        ComputeCtx::scalar()
+    }
+}
+
+impl ComputeCtx {
+    /// A context on the bitwise-reference scalar backend.
+    pub fn scalar() -> Self {
+        ComputeCtx { backend: scalar() }
+    }
+
+    /// A context on the fastest backend this build + CPU offers.
+    pub fn auto() -> Self {
+        ComputeCtx {
+            backend: select(BackendKind::Auto),
+        }
+    }
+
+    /// A context on an explicit backend handle.
+    pub fn with_backend(backend: BackendHandle) -> Self {
+        ComputeCtx { backend }
+    }
+
+    /// A context resolved from a [`BackendKind`].
+    pub fn for_kind(kind: BackendKind) -> Self {
+        ComputeCtx {
+            backend: select(kind),
+        }
+    }
+
+    /// A context from the `DEEPMORPH_BACKEND` environment variable
+    /// (`scalar` | `simd` | `auto`; unset or unknown = scalar).
+    pub fn from_env() -> Self {
+        let kind = std::env::var("DEEPMORPH_BACKEND")
+            .ok()
+            .and_then(|v| BackendKind::parse(&v))
+            .unwrap_or_default();
+        ComputeCtx::for_kind(kind)
+    }
+
+    /// The backend handle.
+    pub fn backend(&self) -> &BackendHandle {
+        &self.backend
+    }
+
+    /// The backend's stable name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Runs `f` with the calling thread's scratch [`Workspace`] — the
+    /// context's explicit door to the arena every kernel draws buffers
+    /// from (one arena per thread; see [`crate::workspace`]).
+    pub fn with_workspace<R>(&self, f: impl FnOnce(&mut Workspace) -> R) -> R {
+        workspace::with(f)
+    }
+
+    /// `A @ B` on this context's backend (shapes as
+    /// [`Tensor::matmul`](crate::Tensor::matmul)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul(&self, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+        self.product(a, b, MatLayout::RowMajor, MatLayout::RowMajor, "matmul")
+    }
+
+    /// `A @ Bᵀ` on this context's backend (shapes as
+    /// [`Tensor::matmul_nt`](crate::Tensor::matmul_nt)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_nt(&self, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+        self.product(
+            a,
+            b,
+            MatLayout::RowMajor,
+            MatLayout::Transposed,
+            "matmul_nt",
+        )
+    }
+
+    /// `Aᵀ @ B` on this context's backend (shapes as
+    /// [`Tensor::matmul_tn`](crate::Tensor::matmul_tn)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`].
+    pub fn matmul_tn(&self, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+        self.product(
+            a,
+            b,
+            MatLayout::Transposed,
+            MatLayout::RowMajor,
+            "matmul_tn",
+        )
+    }
+
+    fn product(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        lhs: MatLayout,
+        rhs: MatLayout,
+        op: &'static str,
+    ) -> Result<Tensor, TensorError> {
+        let spec = a.gemm_spec(b, lhs, rhs, op)?.parallel_worthwhile();
+        let mut out = workspace::tensor_zeroed(&[spec.m, spec.n]);
+        self.backend.gemm(&spec, a.data(), b.data(), out.data_mut());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_constructors_set_layouts_and_lengths() {
+        let s = GemmSpec::nn(2, 3, 4);
+        assert_eq!((s.lhs, s.rhs), (MatLayout::RowMajor, MatLayout::RowMajor));
+        assert_eq!((s.lhs_len(), s.rhs_len(), s.out_len()), (6, 12, 8));
+        assert!(s.skips_zero_lhs());
+
+        let s = GemmSpec::nt(2, 3, 4).parallel(true);
+        assert_eq!((s.lhs, s.rhs), (MatLayout::RowMajor, MatLayout::Transposed));
+        assert!(s.parallel);
+        assert!(!s.skips_zero_lhs());
+
+        let s = GemmSpec::tn(2, 3, 4);
+        assert_eq!((s.lhs, s.rhs), (MatLayout::Transposed, MatLayout::RowMajor));
+        assert!(s.skips_zero_lhs());
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs length")]
+    fn scalar_backend_checks_lengths() {
+        ScalarBackend.gemm(&GemmSpec::nn(2, 2, 2), &[0.0; 3], &[0.0; 4], &mut [0.0; 4]);
+    }
+
+    #[test]
+    fn scalar_backend_matches_tensor_matmul_bitwise() {
+        let a =
+            Tensor::from_vec((0..12).map(|v| v as f32 * 0.37 - 1.0).collect(), &[3, 4]).unwrap();
+        let b =
+            Tensor::from_vec((0..20).map(|v| (v as f32 * 0.11).sin()).collect(), &[4, 5]).unwrap();
+        let via_tensor = a.matmul(&b).unwrap();
+        let mut out = vec![0.0f32; 15];
+        scalar().gemm(&GemmSpec::nn(3, 4, 5), a.data(), b.data(), &mut out);
+        assert_eq!(via_tensor.data(), &out[..]);
+    }
+
+    #[test]
+    fn double_transposed_product_matches_materialized() {
+        // A stored as [k, m], B stored as [n, k]: out = Aᵀ·Bᵀ... spelled
+        // against the NT reference after materializing the lhs.
+        let (m, k, n) = (3usize, 5usize, 4usize);
+        let a_t: Vec<f32> = (0..k * m).map(|v| (v as f32 * 0.23).cos()).collect();
+        let b_t: Vec<f32> = (0..n * k).map(|v| v as f32 * 0.17 - 2.0).collect();
+        // Materialize A row-major and use the NT kernel as the oracle.
+        let mut a = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = a_t[p * m + i];
+            }
+        }
+        let mut expect = vec![0.0f32; m * n];
+        scalar().gemm(&GemmSpec::nt(m, k, n), &a, &b_t, &mut expect);
+        let mut got = vec![0.0f32; m * n];
+        scalar().gemm(
+            &GemmSpec::with_layouts(m, k, n, MatLayout::Transposed, MatLayout::Transposed),
+            &a_t,
+            &b_t,
+            &mut got,
+        );
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn elementwise_defaults() {
+        let mut x = vec![-1.0f32, 0.0, 2.5, -0.0];
+        ScalarBackend.relu_inplace(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.5, -0.0]);
+
+        let mut y = vec![1.0f32, 2.0, 3.0, 4.0];
+        ScalarBackend.bias_add_rows(&mut y, &[10.0, 20.0]);
+        assert_eq!(y, vec![11.0, 22.0, 13.0, 24.0]);
+        ScalarBackend.bias_add_rows(&mut y, &[]);
+        assert_eq!(y, vec![11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn kind_parsing_and_selection_fall_back_to_scalar() {
+        assert_eq!(BackendKind::parse("Scalar"), Some(BackendKind::Scalar));
+        assert_eq!(BackendKind::parse("SIMD"), Some(BackendKind::Simd));
+        assert_eq!(BackendKind::parse("auto"), Some(BackendKind::Auto));
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert_eq!(select(BackendKind::Scalar).name(), "scalar");
+        // Simd/Auto resolve to *something* valid on every build.
+        let name = select(BackendKind::Auto).name();
+        assert!(name == "scalar" || name.starts_with("simd"));
+    }
+
+    #[test]
+    fn ctx_matmul_dispatches_and_validates() {
+        let ctx = ComputeCtx::default();
+        assert_eq!(ctx.backend_name(), "scalar");
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::eye(2);
+        let c = ctx.matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), a.data());
+        let nt = ctx.matmul_nt(&a, &b).unwrap();
+        assert_eq!(nt.data(), a.matmul_nt(&b).unwrap().data());
+        let tn = ctx.matmul_tn(&a, &b).unwrap();
+        assert_eq!(tn.data(), a.matmul_tn(&b).unwrap().data());
+        assert!(ctx.matmul(&a, &Tensor::ones(&[3, 2])).is_err());
+        ctx.with_workspace(|ws| {
+            let _ = ws.stats();
+        });
+    }
+}

@@ -162,7 +162,7 @@ fn accumulate_panel(a_row: &[f32], panel: &[f32], out_seg: &mut [f32], w: usize,
 /// Packs `a` (`[k, m]` row-major) as `Aᵀ` (`[m, k]` row-major) into a
 /// workspace buffer. Source rows stream; the `m` destination rows being
 /// interleaved stay within a few open cache lines.
-fn pack_a_transposed(a: &[f32], m: usize, k: usize) -> Vec<f32> {
+pub(crate) fn pack_a_transposed(a: &[f32], m: usize, k: usize) -> Vec<f32> {
     let mut dst = workspace::take_raw(m * k);
     for p in 0..k {
         let src_row = &a[p * m..(p + 1) * m];

@@ -9,8 +9,13 @@
 //!   softmax/log-softmax.
 //! * [`conv`] — `im2col`/`col2im` and pooling kernels used by the
 //!   convolution layers in `deepmorph-nn`.
-//! * [`gemm`] — the single cache-blocked, B-panel-packed matrix-multiply
-//!   kernel behind the whole `matmul` family.
+//! * [`backend`] — the pluggable compute seam: a [`backend::Backend`]
+//!   trait every dense product dispatches through, with the cache-blocked
+//!   scalar kernel as the bitwise reference, a feature-gated AVX2/FMA
+//!   microkernel (`--features simd`), and the explicit
+//!   [`backend::ComputeCtx`] threaded through graphs and servers. The raw
+//!   kernel entry points are private; [`Tensor::matmul`] and friends are
+//!   the pinned scalar surface.
 //! * [`workspace`] — the thread-local scratch arena that keeps the
 //!   conv/matmul hot loop allocation-free after warm-up.
 //! * [`init`] — deterministic weight initialization (uniform, normal,
@@ -37,10 +42,11 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod chunks;
 pub mod conv;
 mod error;
-pub mod gemm;
+mod gemm;
 pub mod init;
 pub mod io;
 mod shape;
@@ -54,8 +60,10 @@ pub use tensor::Tensor;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::backend::{
+        Backend, BackendHandle, BackendKind, ComputeCtx, GemmSpec, MatLayout,
+    };
     pub use crate::conv::{self, Conv2dGeometry, Im2colMap, PoolGeometry};
-    pub use crate::gemm::{gemm_into, GemmOp};
     pub use crate::init::{self, Init};
     pub use crate::io::{self, CodecError};
     pub use crate::stats;

@@ -1,7 +1,7 @@
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
-use crate::gemm::{gemm_into, GemmOp};
+use crate::backend::{Backend, GemmSpec, MatLayout, ScalarBackend};
 use crate::shape::{Shape, MAX_RANK};
 use crate::{workspace, Result, TensorError};
 
@@ -732,18 +732,16 @@ impl Tensor {
     // Matrix multiplication
     // ---------------------------------------------------------------------
     //
-    // All four entry points below are thin wrappers over the single
-    // cache-blocked, B-panel-packed kernel in [`crate::gemm`]; the
-    // dispatching versions fan rows out over threads for large products,
-    // the `*_serial` versions pin single-threaded execution (benches and
-    // the determinism tests compare the two). Every variant produces
-    // bitwise-identical results because the kernel fixes the per-element
-    // accumulation order regardless of threading.
-
-    /// `true` when a product of this size is worth fanning out.
-    fn parallel_worthwhile(m: usize, k: usize, n: usize) -> bool {
-        cfg!(feature = "parallel") && m * k * n >= crate::chunks::PAR_GRAIN_FLOPS
-    }
+    // All entry points below run on the **scalar reference backend**
+    // ([`crate::backend::ScalarBackend`]) with a [`GemmSpec`] describing
+    // dims and operand layouts; the dispatching versions fan rows out over
+    // threads for large products, the `*_serial` versions pin
+    // single-threaded execution (benches and the determinism tests compare
+    // the two). Every variant produces bitwise-identical results because
+    // the reference kernel fixes the per-element accumulation order
+    // regardless of threading. Backend-selectable products live on
+    // [`crate::backend::ComputeCtx`]; these methods *are* the pinned
+    // reference the other backends are tested against.
 
     /// Matrix product `self @ other` for rank-2 tensors.
     ///
@@ -754,19 +752,13 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, false, false, "matmul")?;
-        let mut out = workspace::tensor_zeroed(&[m, n]);
-        gemm_into(
-            GemmOp::NN,
-            &self.data,
-            &other.data,
-            &mut out.data,
-            m,
-            k,
-            n,
-            Tensor::parallel_worthwhile(m, k, n),
-        );
-        Ok(out)
+        self.reference_product(
+            other,
+            MatLayout::RowMajor,
+            MatLayout::RowMajor,
+            "matmul",
+            true,
+        )
     }
 
     /// Single-threaded reference entry point for [`Tensor::matmul`]
@@ -777,19 +769,13 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_serial(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, false, false, "matmul")?;
-        let mut out = workspace::tensor_zeroed(&[m, n]);
-        gemm_into(
-            GemmOp::NN,
-            &self.data,
-            &other.data,
-            &mut out.data,
-            m,
-            k,
-            n,
+        self.reference_product(
+            other,
+            MatLayout::RowMajor,
+            MatLayout::RowMajor,
+            "matmul",
             false,
-        );
-        Ok(out)
+        )
     }
 
     /// `self @ other.T` without materializing the transpose.
@@ -803,19 +789,13 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, false, true, "matmul_nt")?;
-        let mut out = workspace::tensor_zeroed(&[m, n]);
-        gemm_into(
-            GemmOp::NT,
-            &self.data,
-            &other.data,
-            &mut out.data,
-            m,
-            k,
-            n,
-            Tensor::parallel_worthwhile(m, k, n),
-        );
-        Ok(out)
+        self.reference_product(
+            other,
+            MatLayout::RowMajor,
+            MatLayout::Transposed,
+            "matmul_nt",
+            true,
+        )
     }
 
     /// Single-threaded reference entry point for [`Tensor::matmul_nt`].
@@ -825,19 +805,13 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_nt_serial(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, false, true, "matmul_nt")?;
-        let mut out = workspace::tensor_zeroed(&[m, n]);
-        gemm_into(
-            GemmOp::NT,
-            &self.data,
-            &other.data,
-            &mut out.data,
-            m,
-            k,
-            n,
+        self.reference_product(
+            other,
+            MatLayout::RowMajor,
+            MatLayout::Transposed,
+            "matmul_nt",
             false,
-        );
-        Ok(out)
+        )
     }
 
     /// `self.T @ other` without materializing the transpose.
@@ -851,19 +825,13 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, true, false, "matmul_tn")?;
-        let mut out = workspace::tensor_zeroed(&[m, n]);
-        gemm_into(
-            GemmOp::TN,
-            &self.data,
-            &other.data,
-            &mut out.data,
-            m,
-            k,
-            n,
-            Tensor::parallel_worthwhile(m, k, n),
-        );
-        Ok(out)
+        self.reference_product(
+            other,
+            MatLayout::Transposed,
+            MatLayout::RowMajor,
+            "matmul_tn",
+            true,
+        )
     }
 
     /// Single-threaded reference entry point for [`Tensor::matmul_tn`].
@@ -873,41 +841,53 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] or
     /// [`TensorError::MatmulDimMismatch`].
     pub fn matmul_tn_serial(&self, other: &Tensor) -> Result<Tensor> {
-        let (m, k, n) = self.matmul_dims(other, true, false, "matmul_tn")?;
-        let mut out = workspace::tensor_zeroed(&[m, n]);
-        gemm_into(
-            GemmOp::TN,
-            &self.data,
-            &other.data,
-            &mut out.data,
-            m,
-            k,
-            n,
+        self.reference_product(
+            other,
+            MatLayout::Transposed,
+            MatLayout::RowMajor,
+            "matmul_tn",
             false,
-        );
+        )
+    }
+
+    /// Runs the product on the scalar reference backend, with the fan-out
+    /// hint sized by [`GemmSpec::parallel_worthwhile`] or pinned off.
+    fn reference_product(
+        &self,
+        other: &Tensor,
+        lhs: MatLayout,
+        rhs: MatLayout,
+        op: &'static str,
+        dispatch: bool,
+    ) -> Result<Tensor> {
+        let mut spec = self.gemm_spec(other, lhs, rhs, op)?;
+        if dispatch {
+            spec = spec.parallel_worthwhile();
+        }
+        let mut out = workspace::tensor_zeroed(&[spec.m, spec.n]);
+        ScalarBackend.gemm(&spec, &self.data, &other.data, &mut out.data);
         Ok(out)
     }
 
-    /// Validates operand ranks/shapes for the matmul family and returns
-    /// `(m, k, n)`. `ta`/`tb` mark which operand is used transposed.
-    fn matmul_dims(
+    /// Validates operand ranks/shapes for the matmul family against the
+    /// given operand layouts and returns the corresponding [`GemmSpec`]
+    /// (fan-out hint unset).
+    pub(crate) fn gemm_spec(
         &self,
         other: &Tensor,
-        ta: bool,
-        tb: bool,
+        lhs: MatLayout,
+        rhs: MatLayout,
         op: &'static str,
-    ) -> Result<(usize, usize, usize)> {
+    ) -> Result<GemmSpec> {
         self.expect_rank(2, op)?;
         other.expect_rank(2, op)?;
-        let (m, k) = if ta {
-            (self.shape()[1], self.shape()[0])
-        } else {
-            (self.shape()[0], self.shape()[1])
+        let (m, k) = match lhs {
+            MatLayout::Transposed => (self.shape()[1], self.shape()[0]),
+            MatLayout::RowMajor => (self.shape()[0], self.shape()[1]),
         };
-        let (k2, n) = if tb {
-            (other.shape()[1], other.shape()[0])
-        } else {
-            (other.shape()[0], other.shape()[1])
+        let (k2, n) = match rhs {
+            MatLayout::Transposed => (other.shape()[1], other.shape()[0]),
+            MatLayout::RowMajor => (other.shape()[0], other.shape()[1]),
         };
         if k != k2 {
             return Err(TensorError::MatmulDimMismatch {
@@ -915,7 +895,7 @@ impl Tensor {
                 rhs: [k2, n],
             });
         }
-        Ok((m, k, n))
+        Ok(GemmSpec::with_layouts(m, k, n, lhs, rhs))
     }
 }
 
