@@ -1,0 +1,30 @@
+//! CI chaos smoke: a small deterministic fault storm against a live
+//! server, asserting the zero-loss / zero-corruption bar.
+//!
+//! ```text
+//! cargo run --release -p deepmorph-bench --bin chaos_smoke
+//! ```
+//!
+//! The storm is seeded, so a failure reproduces exactly; the harness
+//! lives in [`deepmorph_bench::chaos`] and is shared with the chaos
+//! phase of `serve_bench`.
+
+use deepmorph_bench::chaos;
+
+fn main() {
+    let config = chaos::ChaosConfig::smoke();
+    let result = chaos::run(&config);
+    println!(
+        "chaos smoke: {} requests through {} injected faults ({} worker panics contained, \
+         {} wire requests incl. retries) in {:.0} ms — {} lost, {} corrupted",
+        result.requests,
+        result.faults_injected,
+        result.worker_panics,
+        result.server_requests,
+        result.wall.as_secs_f64() * 1e3,
+        result.lost,
+        result.corrupted
+    );
+    result.assert_zero_loss();
+    println!("chaos smoke OK");
+}

@@ -34,6 +34,13 @@
 //! replica mode; full mode records the p50 cut in `BENCH_serve.json`
 //! (and asserts it is positive when the SIMD backend is active — build
 //! with `--features simd` for the representative numbers).
+//!
+//! Last, a **chaos** phase (shared with the `chaos_smoke` CI binary)
+//! arms a deterministic fault storm — dropped/truncated/stalled/reset
+//! response frames, worker panics, slow batches — and drives retrying
+//! clients through it, asserting zero requests lost and zero responses
+//! bitwise-wrong; full mode records the storm counters in
+//! `BENCH_serve.json`.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -42,7 +49,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use deepmorph_bench::repair_fixture;
+use deepmorph_bench::{chaos, repair_fixture};
 use deepmorph_json::Json;
 use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
 use deepmorph_serve::prelude::*;
@@ -158,6 +165,7 @@ fn drive_connection(
                     rows: input_row(salt + i),
                     want_logits: false,
                     true_labels: Vec::new(),
+                    deadline_ms: 0,
                 }),
             )
         })
@@ -521,6 +529,14 @@ fn main() {
             quant.quant_run.throughput_rows_per_s > 0.0,
             "quantized serving produced no throughput"
         );
+        let chaos_config = chaos::ChaosConfig::smoke();
+        let storm = chaos::run(&chaos_config);
+        println!(
+            "chaos: {} requests through {} injected faults ({} panics contained) — \
+             {} lost, {} corrupted",
+            storm.requests, storm.faults_injected, storm.worker_panics, storm.lost, storm.corrupted
+        );
+        storm.assert_zero_loss();
         println!("serve smoke OK");
         return;
     }
@@ -593,6 +609,21 @@ fn main() {
         quant.quant_run.throughput_rows_per_s / quant.f32_run.throughput_rows_per_s,
     );
 
+    let chaos_config = chaos::ChaosConfig::full();
+    let storm = chaos::run(&chaos_config);
+    println!(
+        "chaos: {} requests through {} injected faults ({} worker panics contained, {} wire \
+         requests incl. retries) in {:.0} ms — {} lost, {} corrupted",
+        storm.requests,
+        storm.faults_injected,
+        storm.worker_panics,
+        storm.server_requests,
+        storm.wall.as_secs_f64() * 1e3,
+        storm.lost,
+        storm.corrupted
+    );
+    storm.assert_zero_loss();
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -663,6 +694,7 @@ fn main() {
                 ("p50_cut_fraction", Json::num(quant.p50_cut)),
             ]),
         ),
+        ("chaos", storm.to_json(&chaos_config)),
     ]);
     std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_serve.json");
     println!("wrote {out_path}");

@@ -1,0 +1,277 @@
+//! Chaos phase for the serving bench: a deterministic fault storm with a
+//! zero-loss, zero-corruption acceptance bar.
+//!
+//! The storm installs a seeded [`deepmorph_faults`] plan that drops,
+//! truncates, stalls, and resets response frames on the wire and panics
+//! or stalls worker batches mid-compute, then drives retrying clients
+//! through a fixed set of predict requests. Every response is compared
+//! **bitwise** against a locally computed fault-free reference. The
+//! contract — the one the fault-injection seams, panic containment,
+//! retry policy, and deadline plumbing exist to uphold — is that the
+//! storm costs latency, never answers: zero requests lost, zero
+//! responses wrong.
+//!
+//! The same harness backs the `chaos_smoke` CI binary and the chaos
+//! phase of `serve_bench`, which records the outcome in
+//! `BENCH_serve.json`.
+
+use std::time::{Duration, Instant};
+
+use deepmorph_faults::{Fault, FaultPlan};
+use deepmorph_json::Json;
+use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
+use deepmorph_serve::prelude::*;
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+
+/// The model name the chaos server registers.
+pub const MODEL: &str = "chaos-lenet";
+const ROW_ELEMS: usize = 256; // [1, 16, 16]
+
+/// Storm shape: how many clients, how much work, which seed.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Concurrent retrying clients.
+    pub clients: usize,
+    /// Distinct predict requests each client must land.
+    pub requests_per_client: usize,
+    /// Seed for the fault plan (and, offset, for the model weights).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// The small storm CI runs on every push.
+    pub fn smoke() -> Self {
+        ChaosConfig {
+            clients: 2,
+            requests_per_client: 8,
+            seed: 0xC4A0,
+        }
+    }
+
+    /// The storm the full bench records.
+    pub fn full() -> Self {
+        ChaosConfig {
+            clients: 4,
+            requests_per_client: 24,
+            seed: 0xC4A0,
+        }
+    }
+}
+
+/// Outcome of one storm, with the counters the acceptance bar reads.
+#[derive(Clone, Debug)]
+pub struct ChaosResult {
+    /// Logical requests issued (clients × requests_per_client).
+    pub requests: usize,
+    /// Requests that never produced a response (retry budget exhausted).
+    pub lost: usize,
+    /// Responses whose logits were not bitwise equal to the reference.
+    pub corrupted: usize,
+    /// Total faults injected across all seams during the storm.
+    pub faults_injected: u64,
+    /// Per-fault injection counts (`name → injected`), nonzero only.
+    pub injected_by_fault: Vec<(&'static str, u64)>,
+    /// Worker panics contained (and recovered from) by the server.
+    pub worker_panics: u64,
+    /// Wire-level requests the server saw, including retries.
+    pub server_requests: u64,
+    /// Storm wall time.
+    pub wall: Duration,
+}
+
+impl ChaosResult {
+    /// The acceptance bar: the storm cost latency, never answers.
+    pub fn assert_zero_loss(&self) {
+        assert_eq!(
+            self.lost, 0,
+            "chaos storm lost {} of {} requests",
+            self.lost, self.requests
+        );
+        assert_eq!(
+            self.corrupted, 0,
+            "chaos storm corrupted {} of {} responses",
+            self.corrupted, self.requests
+        );
+        assert!(
+            self.faults_injected > 0,
+            "the chaos storm injected no faults — the bar was not exercised"
+        );
+    }
+
+    /// The `chaos` object recorded in `BENCH_serve.json`.
+    pub fn to_json(&self, config: &ChaosConfig) -> Json {
+        Json::obj([
+            ("clients", Json::usize(config.clients)),
+            ("requests", Json::usize(self.requests)),
+            ("lost", Json::usize(self.lost)),
+            ("corrupted", Json::usize(self.corrupted)),
+            (
+                "faults_injected",
+                Json::usize(self.faults_injected as usize),
+            ),
+            (
+                "injected_by_fault",
+                Json::Obj(
+                    self.injected_by_fault
+                        .iter()
+                        .map(|(name, n)| ((*name).to_string(), Json::usize(*n as usize)))
+                        .collect(),
+                ),
+            ),
+            (
+                "worker_panics_contained",
+                Json::usize(self.worker_panics as usize),
+            ),
+            (
+                "server_requests_with_retries",
+                Json::usize(self.server_requests as usize),
+            ),
+            ("wall_ms", Json::num(self.wall.as_secs_f64() * 1e3)),
+        ])
+    }
+}
+
+/// Deterministic distinct input rows (salted per client).
+fn input_row(i: usize) -> Tensor {
+    let data = (0..ROW_ELEMS)
+        .map(|j| {
+            let h = (i.wrapping_mul(ROW_ELEMS).wrapping_add(j) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32).fract()
+        })
+        .collect();
+    Tensor::from_vec(data, &[1, 1, 16, 16]).unwrap()
+}
+
+/// Runs one storm. Installs a process-global fault plan for its duration
+/// (callers must not run concurrent fault-sensitive work) and clears it
+/// before returning, storm or shine.
+///
+/// A tiny LeNet serves here rather than the paper-scale AlexNet the
+/// throughput phases use: the storm measures the recovery machinery
+/// (retries, containment, reconnects), and every injected panic re-runs
+/// a forward — kernel weight would only stretch wall time without
+/// exercising anything extra.
+pub fn run(config: &ChaosConfig) -> ChaosResult {
+    let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+    let mut model =
+        build_model(&spec, &mut stream_rng(config.seed ^ 0x5EED, "chaos-bench")).unwrap();
+    let mut registry = ModelRegistry::new();
+    registry.register(MODEL, &mut model, None).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            batch: BatchConfig {
+                workers: 2,
+                ..BatchConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("chaos server");
+    let addr = server.local_addr();
+
+    // Fault-free reference logits, computed before the storm arms.
+    let expected: Vec<Vec<Tensor>> = (0..config.clients)
+        .map(|c| {
+            (0..config.requests_per_client)
+                .map(|i| {
+                    model
+                        .graph
+                        .forward_inference(&input_row(c * 1_000_000 + i))
+                        .expect("reference forward")
+                })
+                .collect()
+        })
+        .collect();
+
+    deepmorph_faults::install(
+        FaultPlan::new(config.seed)
+            .with(Fault::NetDropFrame, 0.12)
+            .with(Fault::NetPartialFrame, 0.08)
+            .with(Fault::NetStallFrame, 0.05)
+            .with(Fault::NetResetFrame, 0.05)
+            .with(Fault::ComputePanic, 0.06)
+            .with(Fault::ComputeSlowBatch, 0.05)
+            .with_stall(Duration::from_millis(30))
+            .with_slow(Duration::from_millis(10)),
+    );
+    let start = Instant::now();
+    let per_client: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = expected
+            .iter()
+            .enumerate()
+            .map(|(c, expected)| {
+                scope.spawn(move || {
+                    let mut client = Client::connect_with(
+                        addr,
+                        ClientConfig {
+                            response_timeout: Duration::from_millis(750),
+                            retry: RetryPolicy {
+                                max_attempts: 25,
+                                base_backoff: Duration::from_millis(2),
+                                max_backoff: Duration::from_millis(40),
+                                jitter_seed: c as u64,
+                            },
+                        },
+                    )
+                    .expect("chaos client connect");
+                    let mut lost = 0usize;
+                    let mut corrupted = 0usize;
+                    for (i, expect) in expected.iter().enumerate() {
+                        let input = input_row(c * 1_000_000 + i);
+                        match client.predict_full(MODEL, &input, true, &[]) {
+                            Err(_) => lost += 1,
+                            Ok(response) => {
+                                let got = response.logits.expect("asked for logits");
+                                let equal = expect.shape() == got.shape()
+                                    && expect
+                                        .data()
+                                        .iter()
+                                        .zip(got.data())
+                                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                                if !equal {
+                                    corrupted += 1;
+                                }
+                            }
+                        }
+                    }
+                    (lost, corrupted)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let report = deepmorph_faults::report();
+    deepmorph_faults::clear();
+
+    // With the storm over, the server must still be healthy.
+    let mut probe = Client::connect(addr).expect("post-storm connect");
+    let response = probe
+        .predict(MODEL, &input_row(0))
+        .expect("post-storm predict");
+    assert_eq!(response.predictions.len(), 1);
+    let stats = server.stats();
+    server.shutdown();
+
+    let injected_by_fault: Vec<(&'static str, u64)> = report
+        .iter()
+        .filter(|c| c.injected > 0)
+        .map(|c| (c.fault, c.injected))
+        .collect();
+    ChaosResult {
+        requests: config.clients * config.requests_per_client,
+        lost: per_client.iter().map(|(l, _)| l).sum(),
+        corrupted: per_client.iter().map(|(_, c)| c).sum(),
+        faults_injected: injected_by_fault.iter().map(|(_, n)| n).sum(),
+        injected_by_fault,
+        worker_panics: stats.worker_panics,
+        server_requests: stats.requests,
+        wall,
+    }
+}

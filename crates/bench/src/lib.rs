@@ -6,9 +6,13 @@
 //! * Binaries: `table1` (regenerates the table; `--scale`, `--seed`) and
 //!   `figure1` (runs one scenario and prints the stage-by-stage pipeline
 //!   trace matching the paper's Figure 1 schematic).
+//! * [`chaos`] — the serving fault-storm harness behind `chaos_smoke`
+//!   and the chaos phase of `serve_bench`: deterministic fault
+//!   injection with a zero-loss, zero-corruption acceptance bar.
 //! * Criterion benches in `benches/` measure substrate and pipeline
 //!   throughput plus the DESIGN.md ablations.
 
+pub mod chaos;
 pub mod repair_fixture;
 pub mod table1;
 

@@ -211,12 +211,26 @@ impl ArtifactStore {
 
     /// An on-disk store rooted at `dir` (created if missing).
     ///
+    /// Crash recovery: any `*.tmp` files left by writers that died before
+    /// their rename are deleted on open. Unlike the model registry (which
+    /// *quarantines* — models are primary data), artifacts are a cache: a
+    /// torn write costs exactly one recomputation, so the leftovers are
+    /// simply swept.
+    ///
     /// # Errors
     ///
     /// Returns the `std::io::Error` if the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "tmp") && path.is_file() {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
         Ok(ArtifactStore {
             backend: Backend::Disk(dir),
             counters: Counters::default(),
@@ -293,7 +307,10 @@ impl ArtifactStore {
 
     fn write_atomic(dir: &Path, key: &Fingerprint, bytes: &[u8]) -> std::io::Result<()> {
         // Unique temp name per writer so concurrent cells racing on one
-        // fingerprint each rename a complete file into place.
+        // fingerprint each rename a complete file into place. The write
+        // and rename route through the fault-injection layer (a no-op
+        // when no plan is armed), so chaos tests can tear this exact
+        // seam and assert the sweep in `open` recovers it.
         static SEQ: AtomicU64 = AtomicU64::new(0);
         let tmp = dir.join(format!(
             ".{}.{}.{}.tmp",
@@ -301,8 +318,8 @@ impl ArtifactStore {
             std::process::id(),
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, bytes)?;
-        let result = std::fs::rename(&tmp, Self::path_for(dir, key));
+        deepmorph_faults::write(&tmp, bytes)?;
+        let result = deepmorph_faults::rename(&tmp, &Self::path_for(dir, key));
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
@@ -328,6 +345,11 @@ mod tests {
         fp.push_u64(n);
         fp.finish()
     }
+
+    /// The fault plan is process-global; every test that installs one —
+    /// or writes through a disk backend (the faultable seam) — takes
+    /// this so a torn-rename storm cannot leak into a neighbor.
+    static FAULT_GUARD: Mutex<()> = Mutex::new(());
 
     #[test]
     fn fingerprints_are_order_and_content_sensitive() {
@@ -383,6 +405,7 @@ mod tests {
 
     #[test]
     fn disk_store_round_trips() {
+        let _guard = FAULT_GUARD.lock().unwrap_or_else(|p| p.into_inner());
         let dir = std::env::temp_dir().join(format!("deepmorph-store-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = ArtifactStore::open(&dir).unwrap();
@@ -393,6 +416,57 @@ mod tests {
         // A second handle over the same directory sees the artifact.
         let other = ArtifactStore::open(&dir).unwrap();
         assert_eq!(&other.get(&key(2)).unwrap()[..], b"on disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files_and_keeps_artifacts() {
+        let _guard = FAULT_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        let dir =
+            std::env::temp_dir().join(format!("deepmorph-store-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.put(&key(9), b"survivor");
+        }
+        // A writer that died between write and rename leaves a tmp file.
+        std::fs::write(dir.join(".deadbeef.1234.0.tmp"), b"torn").unwrap();
+
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert_eq!(
+            &store.get(&key(9)).expect("committed artifact survives")[..],
+            b"survivor"
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stale tmp files are swept on open");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_artifact_write_leaves_no_visible_artifact() {
+        let _guard = FAULT_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join(format!("deepmorph-store-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).unwrap();
+
+        // Rename fails 100% of the time: the put is swallowed (best
+        // effort) and no half-artifact becomes visible under the key.
+        deepmorph_faults::install(
+            deepmorph_faults::FaultPlan::new(7).with(deepmorph_faults::Fault::FsRenameFail, 1.0),
+        );
+        store.put(&key(10), b"never lands");
+        deepmorph_faults::clear();
+
+        assert!(store.get(&key(10)).is_none(), "torn write is invisible");
+        assert_eq!(store.stats().writes, 0, "failed writes are not counted");
+
+        // The same put succeeds once the fault storm passes.
+        store.put(&key(10), b"lands now");
+        assert_eq!(&store.get(&key(10)).unwrap()[..], b"lands now");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,457 @@
+//! Seeded, deterministic fault injection for the DeepMorph serving stack.
+//!
+//! Dependability claims are only as good as the faults they were tested
+//! against. This crate provides a process-global, *deterministic* fault plan
+//! that the serving stack consults at its three fault seams:
+//!
+//! - **filesystem** — torn or failed renames and failed writes in the model
+//!   registry's publish path and the artifact store ([`rename`], [`write()`]);
+//! - **transport** — dropped, truncated, stalled, or reset frames around the
+//!   length-prefixed wire protocol ([`net_action`]);
+//! - **compute** — a worker panic mid-batch or an artificially slow batch
+//!   ([`compute_action`]).
+//!
+//! Determinism is the point: a decision for the *n*-th visit to a fault site
+//! is a pure function of `(plan seed, fault kind, n)`, hashed with a
+//! splitmix64 finalizer and compared against the configured rate. Re-running
+//! a chaos suite with the same seed replays the same multiset of injected
+//! faults, so every chaos failure is reproducible. No randomness source, no
+//! clock, no dependencies.
+//!
+//! When no plan is installed (the default), every hook is a single relaxed
+//! atomic load returning "no fault" — release builds that never call
+//! [`install`] behave bitwise-identically to a build without this crate.
+//!
+//! ```
+//! use deepmorph_faults as faults;
+//!
+//! faults::install(faults::FaultPlan::new(42).with(faults::Fault::NetDropFrame, 0.25));
+//! let fired = (0..1000).filter(|_| faults::decide(faults::Fault::NetDropFrame)).count();
+//! assert!(fired > 150 && fired < 350, "rate is honored statistically: {fired}");
+//! faults::clear();
+//! assert!(!faults::decide(faults::Fault::NetDropFrame));
+//! ```
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
+use std::{fs, io};
+
+/// One injectable fault kind; each kind has an independent rate and visit
+/// counter in the installed [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// `rename(tmp, final)` fails with an injected I/O error, leaving the
+    /// temporary file behind (a crash between write and rename).
+    FsRenameFail,
+    /// The source file is truncated to half its length just before a
+    /// successful rename — a torn write that commits a partial container.
+    FsTornRename,
+    /// `write(path, bytes)` fails outright with an injected I/O error.
+    FsWriteFail,
+    /// A response frame is silently discarded instead of written.
+    NetDropFrame,
+    /// Only a prefix of the frame is written, then the connection is shut
+    /// down — the peer sees a truncated stream.
+    NetPartialFrame,
+    /// The frame is written only after an injected stall
+    /// ([`FaultPlan::with_stall`]).
+    NetStallFrame,
+    /// The connection is shut down before the frame is written — the peer
+    /// sees a reset/EOF.
+    NetResetFrame,
+    /// The serving worker panics mid-batch (contained by the scheduler).
+    ComputePanic,
+    /// The batch takes an injected extra delay ([`FaultPlan::with_slow`])
+    /// before compute — used to drive requests past their deadlines.
+    ComputeSlowBatch,
+}
+
+/// Every fault kind, in wire/report order.
+pub const ALL_FAULTS: [Fault; 9] = [
+    Fault::FsRenameFail,
+    Fault::FsTornRename,
+    Fault::FsWriteFail,
+    Fault::NetDropFrame,
+    Fault::NetPartialFrame,
+    Fault::NetStallFrame,
+    Fault::NetResetFrame,
+    Fault::ComputePanic,
+    Fault::ComputeSlowBatch,
+];
+
+impl Fault {
+    fn index(self) -> usize {
+        match self {
+            Fault::FsRenameFail => 0,
+            Fault::FsTornRename => 1,
+            Fault::FsWriteFail => 2,
+            Fault::NetDropFrame => 3,
+            Fault::NetPartialFrame => 4,
+            Fault::NetStallFrame => 5,
+            Fault::NetResetFrame => 6,
+            Fault::ComputePanic => 7,
+            Fault::ComputeSlowBatch => 8,
+        }
+    }
+
+    /// Stable dotted name used in plans, reports, and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::FsRenameFail => "fs.rename_fail",
+            Fault::FsTornRename => "fs.torn_rename",
+            Fault::FsWriteFail => "fs.write_fail",
+            Fault::NetDropFrame => "net.drop",
+            Fault::NetPartialFrame => "net.partial",
+            Fault::NetStallFrame => "net.stall",
+            Fault::NetResetFrame => "net.reset",
+            Fault::ComputePanic => "compute.panic",
+            Fault::ComputeSlowBatch => "compute.slow",
+        }
+    }
+}
+
+/// A reproducible fault plan: a seed plus an injection rate per fault kind.
+///
+/// Rates are probabilities in `[0, 1]` evaluated deterministically per visit;
+/// `0` (the default for every kind) never fires, `1` always fires.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [f64; ALL_FAULTS.len()],
+    stall: Duration,
+    slow: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and every rate at zero.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rates: [0.0; ALL_FAULTS.len()],
+            stall: Duration::from_millis(50),
+            slow: Duration::from_millis(20),
+        }
+    }
+
+    /// Sets the injection rate for one fault kind (clamped to `[0, 1]`).
+    pub fn with(mut self, fault: Fault, rate: f64) -> Self {
+        self.rates[fault.index()] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the delay injected by [`Fault::NetStallFrame`] (default 50 ms).
+    pub fn with_stall(mut self, stall: Duration) -> Self {
+        self.stall = stall;
+        self
+    }
+
+    /// Sets the delay injected by [`Fault::ComputeSlowBatch`] (default 20 ms).
+    pub fn with_slow(mut self, slow: Duration) -> Self {
+        self.slow = slow;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured rate for one fault kind.
+    pub fn rate(&self, fault: Fault) -> f64 {
+        self.rates[fault.index()]
+    }
+}
+
+/// Cumulative injection counts for one fault kind, reported by [`report`].
+#[derive(Clone, Debug)]
+pub struct FaultCount {
+    /// Stable dotted fault name ([`Fault::name`]).
+    pub fault: &'static str,
+    /// How many times the site was consulted.
+    pub visits: u64,
+    /// How many of those visits injected the fault.
+    pub injected: u64,
+}
+
+struct Armed {
+    plan: FaultPlan,
+    visits: [AtomicU64; ALL_FAULTS.len()],
+    injected: [AtomicU64; ALL_FAULTS.len()],
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static ARMED: RwLock<Option<Arc<Armed>>> = RwLock::new(None);
+
+fn armed() -> Option<Arc<Armed>> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    ARMED.read().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+/// Installs a fault plan process-wide, resetting all counters. Replaces any
+/// previously installed plan.
+pub fn install(plan: FaultPlan) {
+    let armed = Arc::new(Armed {
+        plan,
+        visits: Default::default(),
+        injected: Default::default(),
+    });
+    *ARMED.write().unwrap_or_else(PoisonError::into_inner) = Some(armed);
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Removes the installed plan; every subsequent hook reports "no fault".
+pub fn clear() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    *ARMED.write().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Whether a fault plan is currently installed.
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Per-fault visit/injection counts for the installed plan (empty when no
+/// plan is installed).
+pub fn report() -> Vec<FaultCount> {
+    let Some(armed) = armed() else {
+        return Vec::new();
+    };
+    ALL_FAULTS
+        .iter()
+        .map(|&f| FaultCount {
+            fault: f.name(),
+            visits: armed.visits[f.index()].load(Ordering::Relaxed),
+            injected: armed.injected[f.index()].load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// splitmix64 finalizer: a strong 64-bit mix, the standard seed-expander.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Should the `n`-th visit to `fault` fire under `plan`? Pure function —
+/// the whole crate's determinism rests here.
+fn fires(plan: &FaultPlan, fault: Fault, n: u64) -> bool {
+    let rate = plan.rates[fault.index()];
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let h = mix(plan.seed ^ mix((fault.index() as u64 + 1) << 32 ^ n));
+    // Top 53 bits → uniform f64 in [0, 1).
+    let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < rate
+}
+
+/// Consults the installed plan for one visit to a fault site. Counts the
+/// visit, and returns whether the fault should be injected. Always `false`
+/// when no plan is installed.
+pub fn decide(fault: Fault) -> bool {
+    let Some(armed) = armed() else {
+        return false;
+    };
+    let n = armed.visits[fault.index()].fetch_add(1, Ordering::Relaxed);
+    let fire = fires(&armed.plan, fault, n);
+    if fire {
+        armed.injected[fault.index()].fetch_add(1, Ordering::Relaxed);
+    }
+    fire
+}
+
+fn injected_err(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+/// `fs::write` with [`Fault::FsWriteFail`] injection.
+pub fn write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if decide(Fault::FsWriteFail) {
+        return Err(injected_err("fs write failed"));
+    }
+    fs::write(path, bytes)
+}
+
+/// `fs::rename` with [`Fault::FsRenameFail`] (rename fails, temp file left
+/// behind) and [`Fault::FsTornRename`] (source truncated to half its length
+/// before a successful rename — a torn commit) injection.
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    if decide(Fault::FsRenameFail) {
+        return Err(injected_err("fs rename failed"));
+    }
+    if decide(Fault::FsTornRename) {
+        if let Ok(meta) = fs::metadata(from) {
+            let torn = meta.len() / 2;
+            if let Ok(f) = fs::OpenOptions::new().write(true).open(from) {
+                let _ = f.set_len(torn);
+            }
+        }
+    }
+    fs::rename(from, to)
+}
+
+/// What a transport write should do to the frame it is about to send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetAction {
+    /// Write the frame normally.
+    Deliver,
+    /// Silently discard the frame (claim success).
+    Drop,
+    /// Write only a prefix of the frame, then shut the connection down.
+    Truncate,
+    /// Sleep for the given duration, then write the frame normally.
+    Stall(Duration),
+    /// Shut the connection down without writing.
+    Reset,
+}
+
+/// Consults the plan for one outgoing frame. At most one transport fault
+/// fires per frame; kinds are consulted in drop → partial → stall → reset
+/// order.
+pub fn net_action() -> NetAction {
+    if !is_active() {
+        return NetAction::Deliver;
+    }
+    if decide(Fault::NetDropFrame) {
+        return NetAction::Drop;
+    }
+    if decide(Fault::NetPartialFrame) {
+        return NetAction::Truncate;
+    }
+    if decide(Fault::NetStallFrame) {
+        let stall = armed().map(|a| a.plan.stall).unwrap_or_default();
+        return NetAction::Stall(stall);
+    }
+    if decide(Fault::NetResetFrame) {
+        return NetAction::Reset;
+    }
+    NetAction::Deliver
+}
+
+/// What a serving worker should do to the batch it is about to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComputeAction {
+    /// Run the batch normally.
+    Run,
+    /// Panic (the scheduler must contain it).
+    Panic,
+    /// Sleep for the given duration, then run the batch.
+    Slow(Duration),
+}
+
+/// Consults the plan for one batch about to enter compute.
+pub fn compute_action() -> ComputeAction {
+    if !is_active() {
+        return ComputeAction::Run;
+    }
+    if decide(Fault::ComputePanic) {
+        return ComputeAction::Panic;
+    }
+    if decide(Fault::ComputeSlowBatch) {
+        let slow = armed().map(|a| a.plan.slow).unwrap_or_default();
+        return ComputeAction::Slow(slow);
+    }
+    ComputeAction::Run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The plan is process-global; tests that install plans must not overlap.
+    static PLAN_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn no_plan_never_fires() {
+        let _g = PLAN_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        assert!(!is_active());
+        for f in ALL_FAULTS {
+            assert!(!decide(f));
+        }
+        assert_eq!(net_action(), NetAction::Deliver);
+        assert_eq!(compute_action(), ComputeAction::Run);
+        assert!(report().is_empty());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_seed_and_visit() {
+        let plan = FaultPlan::new(7).with(Fault::NetDropFrame, 0.3);
+        let a: Vec<bool> = (0..256)
+            .map(|n| fires(&plan, Fault::NetDropFrame, n))
+            .collect();
+        let b: Vec<bool> = (0..256)
+            .map(|n| fires(&plan, Fault::NetDropFrame, n))
+            .collect();
+        assert_eq!(a, b, "same seed, same visit → same decision");
+        let other = FaultPlan::new(8).with(Fault::NetDropFrame, 0.3);
+        let c: Vec<bool> = (0..256)
+            .map(|n| fires(&other, Fault::NetDropFrame, n))
+            .collect();
+        assert_ne!(a, c, "a different seed changes the decision sequence");
+        let fired = a.iter().filter(|&&x| x).count();
+        assert!(
+            (40..=120).contains(&fired),
+            "rate 0.3 over 256 visits: {fired}"
+        );
+    }
+
+    #[test]
+    fn extreme_rates_are_exact() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::ComputePanic, 1.0)
+            .with(Fault::ComputeSlowBatch, 0.0);
+        for n in 0..64 {
+            assert!(fires(&plan, Fault::ComputePanic, n));
+            assert!(!fires(&plan, Fault::ComputeSlowBatch, n));
+        }
+    }
+
+    #[test]
+    fn install_counts_and_clear_resets() {
+        let _g = PLAN_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        install(FaultPlan::new(42).with(Fault::FsWriteFail, 1.0));
+        assert!(is_active());
+        let dir = std::env::temp_dir().join(format!("deepmorph-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        assert!(write(&path, b"x").is_err(), "rate 1.0 write always fails");
+        assert!(!path.exists());
+        let counts = report();
+        let wf = counts.iter().find(|c| c.fault == "fs.write_fail").unwrap();
+        assert_eq!((wf.visits, wf.injected), (1, 1));
+        clear();
+        assert!(write(&path, b"x").is_ok(), "cleared plan stops injecting");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_rename_truncates_source() {
+        let _g = PLAN_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir =
+            std::env::temp_dir().join(format!("deepmorph-faults-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let from = dir.join("a.tmp");
+        let to = dir.join("a.bin");
+        std::fs::write(&from, vec![0xabu8; 100]).unwrap();
+        install(FaultPlan::new(3).with(Fault::FsTornRename, 1.0));
+        rename(&from, &to).unwrap();
+        clear();
+        assert_eq!(
+            std::fs::metadata(&to).unwrap().len(),
+            50,
+            "torn commit kept half"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

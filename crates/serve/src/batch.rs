@@ -26,16 +26,19 @@
 //! batched-vs-solo comparison quantifies.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use deepmorph_faults::ComputeAction;
 use deepmorph_models::ModelHandle;
 use deepmorph_tensor::{workspace, Tensor};
 
 use crate::error::{ServeError, ServeResult};
 use crate::registry::{ModelId, ModelRegistry};
+use crate::sync::{wait_recover, wait_timeout_recover, LockRecover};
 
 /// Knobs of the micro-batching scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +95,14 @@ pub struct ServeStats {
     pub repairs: AtomicU64,
     /// Hot-swaps performed.
     pub swaps: AtomicU64,
+    /// Requests shed because their deadline expired before compute.
+    pub expired: AtomicU64,
+    /// Worker panics contained by the scheduler.
+    pub worker_panics: AtomicU64,
+    /// Rollback calls that reverted a version.
+    pub rollbacks: AtomicU64,
+    /// Connections rejected at the configured connection cap.
+    pub conn_rejections: AtomicU64,
 }
 
 impl ServeStats {
@@ -108,6 +119,10 @@ impl ServeStats {
             probe_trainings: self.probe_trainings.load(Ordering::Relaxed),
             repairs: self.repairs.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            conn_rejections: self.conn_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,6 +162,11 @@ pub(crate) struct Job {
     pub true_labels: Vec<usize>,
     /// Misclassification sink for labeled traffic.
     pub cases: Option<Arc<Mutex<crate::cases::LiveCases>>>,
+    /// Absolute deadline; a job still queued past it is shed before
+    /// compute with a typed expired error. `None` = no deadline.
+    pub deadline: Option<Instant>,
+    /// The deadline budget the request carried (for the typed error).
+    pub deadline_ms: u64,
     /// Result destination.
     pub responder: Responder,
 }
@@ -244,7 +264,17 @@ impl Scheduler {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("deepmorph-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    // Panic containment, outer ring: `run_jobs` catches
+                    // panics around compute, but if one ever escapes the
+                    // loop itself (delivery, queue handling), the worker
+                    // respawns its loop with fresh replicas instead of
+                    // silently shrinking the pool.
+                    .spawn(move || loop {
+                        if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).is_ok() {
+                            return; // clean shutdown
+                        }
+                        shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    })
                     .expect("spawn serve worker")
             })
             .collect();
@@ -261,7 +291,7 @@ impl Scheduler {
 
     /// Enqueues a job (validated by the caller via [`validate_job`]).
     pub(crate) fn submit(&self, job: Job) -> ServeResult<()> {
-        let mut queue = self.shared.queue.lock().expect("serve queue");
+        let mut queue = self.shared.queue.lock_recover();
         // Checked under the queue lock — the lock workers drain under —
         // so a job can never be enqueued after the workers have exited.
         if self.shared.shutdown.load(Ordering::Acquire) {
@@ -308,6 +338,8 @@ impl Scheduler {
             want_logits,
             true_labels: Vec::new(),
             cases: None,
+            deadline: None,
+            deadline_ms: 0,
             responder: Responder::Channel(tx),
         })?;
         Ok(rx)
@@ -318,7 +350,7 @@ impl Scheduler {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.cv.notify_all();
-        let mut workers = self.workers.lock().expect("serve workers");
+        let mut workers = self.workers.lock_recover();
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
@@ -341,7 +373,7 @@ struct Replica {
 fn worker_loop(shared: &Shared) {
     let mut replicas: HashMap<ModelId, Replica> = HashMap::new();
     loop {
-        let mut queue = shared.queue.lock().expect("serve queue");
+        let mut queue = shared.queue.lock_recover();
         let first = loop {
             if let Some(job) = queue.pop_front() {
                 break job;
@@ -349,7 +381,7 @@ fn worker_loop(shared: &Shared) {
             if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            queue = shared.cv.wait(queue).expect("serve queue wait");
+            queue = wait_recover(&shared.cv, queue);
         };
 
         let max_batch = shared.cfg.max_batch.max(1);
@@ -369,16 +401,12 @@ fn worker_loop(shared: &Shared) {
                 && queue.is_empty()
                 && !shared.shutdown.load(Ordering::Acquire)
             {
-                let (guard, _timeout) = shared
-                    .cv
-                    .wait_timeout(queue, shared.cfg.max_wait)
-                    .expect("serve queue wait");
-                queue = guard;
+                queue = wait_timeout_recover(&shared.cv, queue, shared.cfg.max_wait);
                 drain(&mut queue, &mut jobs, &mut total, max_batch);
             }
         }
         drop(queue);
-        run_jobs(shared, &mut replicas, jobs, total);
+        run_jobs(shared, &mut replicas, jobs);
     }
 }
 
@@ -398,100 +426,114 @@ fn drain(queue: &mut VecDeque<Job>, jobs: &mut Vec<Job>, total: &mut usize, max_
 }
 
 /// Runs one coalesced batch and scatters the per-row outputs.
-fn run_jobs(
-    shared: &Shared,
-    replicas: &mut HashMap<ModelId, Replica>,
-    jobs: Vec<Job>,
-    total_rows: usize,
-) {
+fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec<Job>) {
     let stats = &shared.stats;
+
+    // Overload control: shed jobs whose deadline already passed *before*
+    // spending compute on them. Under overload the queue backs up, so the
+    // oldest (most likely already abandoned) requests are exactly the
+    // ones that expire — shedding them first frees the forward for
+    // requests whose clients are still waiting.
+    let jobs = {
+        let now = Instant::now();
+        let (live, dead): (Vec<Job>, Vec<Job>) = jobs
+            .into_iter()
+            .partition(|job| job.deadline.is_none_or(|d| d > now));
+        for job in dead {
+            stats.expired.fetch_add(1, Ordering::Relaxed);
+            let budget_ms = job.deadline_ms;
+            deliver(stats, job, Err(ServeError::Expired { budget_ms }));
+        }
+        if live.is_empty() {
+            return;
+        }
+        live
+    };
+    let total_rows: usize = jobs.iter().map(Job::row_count).sum();
+
     stats.batches.fetch_add(1, Ordering::Relaxed);
     stats.rows.fetch_add(total_rows as u64, Ordering::Relaxed);
     if jobs.len() > 1 {
         stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
     }
 
-    // Batch-boundary version check: one atomic load per batch. A replica
-    // built at a superseded epoch is replaced *before* the forward, so
-    // every request in this batch is answered by exactly one version —
-    // batches already running when a swap lands simply finish on the old
-    // replica (the swapped-out entry stays alive behind its Arc).
     let model_id = jobs[0].model;
-    let hint = shared.registry.epoch(model_id);
-    let entry = replicas.entry(model_id);
-    let stale = match &entry {
-        std::collections::hash_map::Entry::Occupied(e) => e.get().epoch != hint,
-        std::collections::hash_map::Entry::Vacant(_) => true,
-    };
-    let replica = if stale {
-        // `current_with_epoch` reads the (epoch, entry) pair under one
-        // lock, so the cached epoch always matches the instantiated
-        // version even if another swap raced the hint read above.
-        let (epoch, current) = shared.registry.current_with_epoch(model_id);
-        match current.instantiate_for_serving() {
-            Ok(model) => {
-                let slot = Replica { epoch, model };
-                match entry {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        *e.get_mut() = slot;
-                        e.into_mut()
-                    }
-                    std::collections::hash_map::Entry::Vacant(v) => v.insert(slot),
-                }
-            }
-            Err(e) => {
-                for job in jobs {
-                    deliver(stats, job, Err(e.clone()));
-                }
-                return;
-            }
-        }
-    } else {
-        match entry {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(_) => unreachable!("stale covers vacant"),
-        }
-    };
-    let replica_epoch = replica.epoch;
-    let replica = &mut replica.model;
 
-    // One forward for the whole batch. The single-request case borrows
-    // the job's tensor directly; a coalesced batch gathers rows into one
-    // contiguous input (row order = queue order).
-    let forward = |g: &mut deepmorph_nn::graph::Graph, x: &Tensor| g.forward_inference(x);
-    let logits = if jobs.len() == 1 {
-        forward(&mut replica.graph, &jobs[0].rows)
-    } else {
-        let row_len: usize = jobs[0].rows.shape()[1..].iter().product();
-        let mut gathered = Vec::with_capacity(total_rows * row_len);
-        for job in &jobs {
-            gathered.extend_from_slice(job.rows.data());
+    // Panic containment, inner ring: everything that touches model code
+    // (replica instantiation, the forward) runs under `catch_unwind`. A
+    // panicking model must not take the worker — or, via lock poisoning,
+    // the whole service — down with it. The fault layer's injected
+    // compute faults land here too, exercising exactly this path.
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> ServeResult<_> {
+        match deepmorph_faults::compute_action() {
+            ComputeAction::Run => {}
+            ComputeAction::Panic => panic!("injected fault: worker panic"),
+            ComputeAction::Slow(pause) => std::thread::sleep(pause),
         }
-        let shape = jobs[0].rows.shape();
-        match Tensor::from_vec(gathered, &[total_rows, shape[1], shape[2], shape[3]]) {
-            Ok(batch) => forward(&mut replica.graph, &batch),
-            Err(e) => Err(e.into()),
+
+        // Batch-boundary version check: one atomic load per batch. A
+        // replica built at a superseded epoch is replaced *before* the
+        // forward, so every request in this batch is answered by exactly
+        // one version — batches already running when a swap lands simply
+        // finish on the old replica (the swapped-out entry stays alive
+        // behind its Arc).
+        let hint = shared.registry.epoch(model_id);
+        let stale = replicas.get(&model_id).is_none_or(|r| r.epoch != hint);
+        if stale {
+            // `current_with_epoch` reads the (epoch, entry) pair under
+            // one lock, so the cached epoch always matches the
+            // instantiated version even if another swap raced the hint
+            // read above.
+            let (epoch, current) = shared.registry.current_with_epoch(model_id);
+            let model = current.instantiate_for_serving()?;
+            replicas.insert(model_id, Replica { epoch, model });
         }
-    };
-    let logits = match logits.and_then(|l| {
+        let replica = replicas.get_mut(&model_id).expect("replica just ensured");
+        let replica_epoch = replica.epoch;
+        let replica = &mut replica.model;
+
+        // One forward for the whole batch. The single-request case
+        // borrows the job's tensor directly; a coalesced batch gathers
+        // rows into one contiguous input (row order = queue order).
+        let forward = |g: &mut deepmorph_nn::graph::Graph, x: &Tensor| g.forward_inference(x);
+        let logits = if jobs.len() == 1 {
+            forward(&mut replica.graph, &jobs[0].rows)?
+        } else {
+            let row_len: usize = jobs[0].rows.shape()[1..].iter().product();
+            let mut gathered = Vec::with_capacity(total_rows * row_len);
+            for job in &jobs {
+                gathered.extend_from_slice(job.rows.data());
+            }
+            let shape = jobs[0].rows.shape();
+            let batch = Tensor::from_vec(gathered, &[total_rows, shape[1], shape[2], shape[3]])?;
+            forward(&mut replica.graph, &batch)?
+        };
         // [n, classes] is what every model in the zoo outputs; anything
         // else is a registry/model bug surfaced as a typed error.
-        l.expect_rank(2, "serve logits")?;
-        Ok(l)
-    }) {
-        Ok(logits) => logits,
-        Err(e) => {
-            let err = ServeError::from(e);
+        logits.expect_rank(2, "serve logits")?;
+        let predictions = logits.argmax_rows()?;
+        Ok((replica_epoch, logits, predictions))
+    }));
+
+    let (replica_epoch, logits, predictions) = match outcome {
+        Ok(Ok(tuple)) => tuple,
+        Ok(Err(e)) => {
             for job in jobs {
-                deliver(stats, job, Err(err.clone()));
+                deliver(stats, job, Err(e.clone()));
             }
             return;
         }
-    };
-    let predictions = match logits.argmax_rows() {
-        Ok(p) => p,
-        Err(e) => {
-            let err = ServeError::from(e);
+        Err(_panic) => {
+            // The replica is in an unknown state after an unwound
+            // forward; drop it so the next batch rebuilds from the
+            // registry's (consistent, Arc-held) entry.
+            replicas.remove(&model_id);
+            stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let err = ServeError::Model {
+                reason: "serving worker panicked mid-batch; the batch was dropped and the \
+                         worker recovered"
+                    .into(),
+            };
             for job in jobs {
                 deliver(stats, job, Err(err.clone()));
             }
@@ -517,7 +559,7 @@ fn run_jobs(
         // job (and its input rows) is consumed by delivery.
         if let (false, Some(cases)) = (job.true_labels.is_empty(), job.cases.as_ref()) {
             let row_len: usize = job.rows.shape()[1..].iter().product();
-            let mut sink = cases.lock().expect("live cases");
+            let mut sink = cases.lock_recover();
             for (i, (&truth, &pred)) in job.true_labels.iter().zip(&job_preds).enumerate() {
                 if truth != pred {
                     // Row length was validated at submit time, so the only

@@ -35,6 +35,12 @@ pub enum ErrorCode {
     /// A repair could not run (no actionable plan, repair already in
     /// progress, or the retrain failed).
     Repair,
+    /// The server is over a load limit (connection cap reached); back off
+    /// and retry.
+    Overloaded,
+    /// The request's deadline expired before compute; it was shed without
+    /// running.
+    Expired,
 }
 
 impl ErrorCode {
@@ -48,6 +54,8 @@ impl ErrorCode {
             ErrorCode::Internal => 5,
             ErrorCode::Diagnosis => 6,
             ErrorCode::Repair => 7,
+            ErrorCode::Overloaded => 8,
+            ErrorCode::Expired => 9,
         }
     }
 
@@ -61,6 +69,8 @@ impl ErrorCode {
             4 => ErrorCode::Busy,
             6 => ErrorCode::Diagnosis,
             7 => ErrorCode::Repair,
+            8 => ErrorCode::Overloaded,
+            9 => ErrorCode::Expired,
             _ => ErrorCode::Internal,
         }
     }
@@ -76,6 +86,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::Diagnosis => "diagnosis",
             ErrorCode::Repair => "repair",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Expired => "expired",
         };
         f.write_str(name)
     }
@@ -129,6 +141,18 @@ pub enum ServeError {
         /// Description of the failure.
         reason: String,
     },
+    /// The server is over a load limit (e.g. the connection cap); the
+    /// request was rejected before any work ran.
+    Overloaded {
+        /// Description of the limit that was hit.
+        reason: String,
+    },
+    /// The request's deadline expired before compute; the server shed it
+    /// without running the batch.
+    Expired {
+        /// The deadline budget the request carried, in milliseconds.
+        budget_ms: u64,
+    },
     /// The server answered with an error frame (client-side view).
     Remote {
         /// Wire error category.
@@ -150,6 +174,8 @@ impl ServeError {
             ServeError::Busy { .. } => ErrorCode::Busy,
             ServeError::Diagnosis { .. } => ErrorCode::Diagnosis,
             ServeError::Repair { .. } => ErrorCode::Repair,
+            ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::Expired { .. } => ErrorCode::Expired,
             ServeError::Remote { code, .. } => *code,
             ServeError::Io { .. } | ServeError::Model { .. } | ServeError::ShuttingDown => {
                 ErrorCode::Internal
@@ -172,6 +198,10 @@ impl fmt::Display for ServeError {
             ServeError::Model { reason } => write!(f, "model error: {reason}"),
             ServeError::Diagnosis { reason } => write!(f, "diagnosis error: {reason}"),
             ServeError::Repair { reason } => write!(f, "repair error: {reason}"),
+            ServeError::Overloaded { reason } => write!(f, "server overloaded: {reason}"),
+            ServeError::Expired { budget_ms } => {
+                write!(f, "deadline expired before compute (budget {budget_ms} ms)")
+            }
             ServeError::Remote { code, message } => {
                 write!(f, "server error [{code}]: {message}")
             }
@@ -252,6 +282,8 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::Diagnosis,
             ErrorCode::Repair,
+            ErrorCode::Overloaded,
+            ErrorCode::Expired,
         ] {
             assert_eq!(ErrorCode::from_tag(code.tag()), code);
         }
@@ -266,5 +298,13 @@ mod tests {
             ErrorCode::UnknownModel
         );
         assert_eq!(ServeError::ShuttingDown.code(), ErrorCode::Internal);
+        assert_eq!(
+            ServeError::Overloaded { reason: "x".into() }.code(),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(
+            ServeError::Expired { budget_ms: 5 }.code(),
+            ErrorCode::Expired
+        );
     }
 }

@@ -69,13 +69,14 @@ pub mod protocol;
 pub mod registry;
 pub mod repair;
 pub mod server;
+mod sync;
 
 pub mod client;
 
 pub use batch::{BatchConfig, JobOutput, Scheduler, ServeStats};
-pub use client::Client;
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use error::{ErrorCode, ServeError, ServeResult};
-pub use registry::{DiagnosisContext, ModelId, ModelRegistry};
+pub use registry::{DiagnosisContext, ModelId, ModelRegistry, VersionPin};
 pub use repair::{ArtifactBackend, PromoteResponse};
 pub use server::{Server, ServerConfig};
 
@@ -83,12 +84,13 @@ pub use server::{Server, ServerConfig};
 pub mod prelude {
     pub use crate::batch::{BatchConfig, JobOutput, Scheduler, ServeStats};
     pub use crate::cases::LiveCases;
-    pub use crate::client::Client;
+    pub use crate::client::{Client, ClientConfig, RetryPolicy};
     pub use crate::error::{ErrorCode, ServeError, ServeResult};
     pub use crate::protocol::{
-        DiagnoseResponse, ModelInfo, PredictResponse, RepairResponse, StatsSnapshot, VersionInfo,
+        DiagnoseResponse, ModelInfo, PredictResponse, RepairResponse, RollbackResponse,
+        StatsSnapshot, VersionInfo,
     };
-    pub use crate::registry::{DiagnosisContext, ModelId, ModelRegistry};
+    pub use crate::registry::{DiagnosisContext, ModelId, ModelRegistry, VersionPin};
     pub use crate::repair::{ArtifactBackend, PromoteResponse};
     pub use crate::server::{Server, ServerConfig};
     pub use deepmorph_nn::prelude::{BackendKind, ComputeCtx, Precision};

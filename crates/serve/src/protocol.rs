@@ -46,6 +46,7 @@ const KIND_DIAGNOSE: u8 = 3;
 const KIND_STATS: u8 = 4;
 const KIND_REPAIR: u8 = 5;
 const KIND_LIST_VERSIONS: u8 = 6;
+const KIND_ROLLBACK: u8 = 7;
 const RESPONSE_BIT: u8 = 0x80;
 const KIND_ERROR: u8 = 0x7F;
 
@@ -80,6 +81,13 @@ pub enum Request {
         /// Registered model name.
         model: String,
     },
+    /// Ungated revert to the previous version in the chain (the escape
+    /// hatch when a gated repair turns out bad in production). Answered
+    /// with [`Response::Rollback`].
+    Rollback {
+        /// Registered model name.
+        model: String,
+    },
 }
 
 /// Payload of [`Request::Predict`].
@@ -94,6 +102,11 @@ pub struct PredictRequest {
     /// Ground-truth labels (one per row) for live defect accumulation;
     /// empty for unlabeled traffic.
     pub true_labels: Vec<usize>,
+    /// Deadline budget in milliseconds, measured from the moment the
+    /// server reads the frame; `0` means no deadline. A request still
+    /// queued when its budget runs out is shed before compute with a
+    /// typed [`ErrorCode::Expired`] frame.
+    pub deadline_ms: u64,
 }
 
 /// A server→client message.
@@ -116,6 +129,8 @@ pub enum Response {
     Repair(RepairResponse),
     /// Answer to [`Request::ListVersions`].
     Versions(Vec<VersionInfo>),
+    /// Answer to [`Request::Rollback`].
+    Rollback(RollbackResponse),
     /// Typed failure; may answer any request.
     Error(ErrorFrame),
 }
@@ -182,6 +197,15 @@ pub struct StatsSnapshot {
     pub repairs: u64,
     /// Hot-swaps performed (repairs whose gate passed).
     pub swaps: u64,
+    /// Requests shed because their deadline expired before compute.
+    pub expired: u64,
+    /// Worker panics contained by the scheduler (each one drops a batch
+    /// but leaves the worker serving).
+    pub worker_panics: u64,
+    /// Rollback calls that reverted a version.
+    pub rollbacks: u64,
+    /// Connections rejected because the connection cap was reached.
+    pub conn_rejections: u64,
 }
 
 impl StatsSnapshot {
@@ -232,6 +256,19 @@ pub struct RepairResponse {
     pub swap_micros: u64,
 }
 
+/// Payload of [`Response::Rollback`]: the revert that was performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollbackResponse {
+    /// Version serving after the rollback (the previous version in the
+    /// chain, keeping its original number).
+    pub version: u32,
+    /// Fingerprint of the version serving after the rollback.
+    pub fingerprint: String,
+    /// Wall time of the atomic revert — pointer swap + traffic-buffer
+    /// reset — in microseconds.
+    pub swap_micros: u64,
+}
+
 /// Payload of [`Response::Error`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorFrame {
@@ -262,6 +299,7 @@ pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
         Request::Predict(p) => {
             w.put_str(&p.model);
             w.put_u8(u8::from(p.want_logits));
+            w.put_u64(p.deadline_ms);
             write_tensor(&mut w, &p.rows);
             w.put_usizes(&p.true_labels);
             KIND_PREDICT
@@ -278,6 +316,10 @@ pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
         Request::ListVersions { model } => {
             w.put_str(model);
             KIND_LIST_VERSIONS
+        }
+        Request::Rollback { model } => {
+            w.put_str(model);
+            KIND_ROLLBACK
         }
     };
     finish(kind, id, w)
@@ -330,6 +372,10 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
                 s.probe_trainings,
                 s.repairs,
                 s.swaps,
+                s.expired,
+                s.worker_panics,
+                s.rollbacks,
+                s.conn_rejections,
             ] {
                 w.put_u64(v);
             }
@@ -354,6 +400,12 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
                 w.put_u8(u8::from(v.active));
             }
             RESPONSE_BIT | KIND_LIST_VERSIONS
+        }
+        Response::Rollback(r) => {
+            w.put_u64(u64::from(r.version));
+            w.put_str(&r.fingerprint);
+            w.put_u64(r.swap_micros);
+            RESPONSE_BIT | KIND_ROLLBACK
         }
         Response::Error(e) => {
             w.put_u8(e.code.tag());
@@ -396,6 +448,7 @@ pub fn decode_request(frame: &[u8]) -> CodecResult<(u64, Request)> {
         KIND_PREDICT => {
             let model = r.get_str("predict model")?;
             let want_logits = r.get_u8("predict flags")? != 0;
+            let deadline_ms = r.get_u64("predict deadline")?;
             let rows = read_tensor(&mut r)?;
             let true_labels = r.get_usizes("predict labels")?;
             Request::Predict(PredictRequest {
@@ -403,6 +456,7 @@ pub fn decode_request(frame: &[u8]) -> CodecResult<(u64, Request)> {
                 rows,
                 want_logits,
                 true_labels,
+                deadline_ms,
             })
         }
         KIND_DIAGNOSE => Request::Diagnose {
@@ -414,6 +468,9 @@ pub fn decode_request(frame: &[u8]) -> CodecResult<(u64, Request)> {
         },
         KIND_LIST_VERSIONS => Request::ListVersions {
             model: r.get_str("list-versions model")?,
+        },
+        KIND_ROLLBACK => Request::Rollback {
+            model: r.get_str("rollback model")?,
         },
         other => {
             return Err(CodecError::Invalid {
@@ -486,6 +543,10 @@ pub fn decode_response(frame: &[u8]) -> CodecResult<(u64, Response)> {
             probe_trainings: r.get_u64("stats")?,
             repairs: r.get_u64("stats")?,
             swaps: r.get_u64("stats")?,
+            expired: r.get_u64("stats")?,
+            worker_panics: r.get_u64("stats")?,
+            rollbacks: r.get_u64("stats")?,
+            conn_rejections: r.get_u64("stats")?,
         }),
         k if k == RESPONSE_BIT | KIND_REPAIR => {
             let plan = r.get_str("repair plan")?;
@@ -524,6 +585,17 @@ pub fn decode_response(frame: &[u8]) -> CodecResult<(u64, Response)> {
             }
             Response::Versions(versions)
         }
+        k if k == RESPONSE_BIT | KIND_ROLLBACK => {
+            let version =
+                u32::try_from(r.get_u64("rollback version")?).map_err(|_| CodecError::Invalid {
+                    context: "rollback version exceeds u32".into(),
+                })?;
+            Response::Rollback(RollbackResponse {
+                version,
+                fingerprint: r.get_str("rollback fingerprint")?,
+                swap_micros: r.get_u64("rollback swap micros")?,
+            })
+        }
         KIND_ERROR => Response::Error(ErrorFrame {
             code: ErrorCode::from_tag(r.get_u8("error code")?),
             message: r.get_str("error message")?,
@@ -560,6 +632,7 @@ mod tests {
                 rows,
                 want_logits: true,
                 true_labels: vec![3, 7],
+                deadline_ms: 250,
             }),
             Request::Diagnose {
                 model: "lenet".into(),
@@ -569,6 +642,9 @@ mod tests {
                 model: "lenet".into(),
             },
             Request::ListVersions {
+                model: "lenet".into(),
+            },
+            Request::Rollback {
                 model: "lenet".into(),
             },
         ];
@@ -616,6 +692,10 @@ mod tests {
                 probe_trainings: 1,
                 repairs: 1,
                 swaps: 1,
+                expired: 4,
+                worker_panics: 1,
+                rollbacks: 2,
+                conn_rejections: 6,
             }),
             Response::Repair(RepairResponse {
                 plan: "collect more training data for classes [0, 1]".into(),
@@ -639,9 +719,18 @@ mod tests {
                     active: true,
                 },
             ]),
+            Response::Rollback(RollbackResponse {
+                version: 1,
+                fingerprint: "ab".repeat(16),
+                swap_micros: 88,
+            }),
             Response::Error(ErrorFrame {
                 code: ErrorCode::Busy,
                 message: "queue full".into(),
+            }),
+            Response::Error(ErrorFrame {
+                code: ErrorCode::Expired,
+                message: "deadline expired before compute".into(),
             }),
         ];
         for (i, response) in cases.iter().enumerate() {

@@ -31,9 +31,23 @@
 //! (and seed), what defect was injected into the training set, and the
 //! training hyper-parameters, so the server can regenerate the model's
 //! actual training data and retrain without shipping either.
+//!
+//! # Crash consistency and recovery
+//!
+//! Publishing persists sidecar-then-model through tmp+rename, so the model
+//! file's rename is the commit point. [`ModelRegistry::open`] is the other
+//! half of that contract: stale `.tmp` files, truncated/corrupt `*.dmmd`
+//! containers, and unparseable sidecars are *quarantined* (moved into a
+//! `quarantine/` subdirectory) instead of failing startup — a crashed or
+//! torn publish can cost at most the version it was publishing, never the
+//! chain. Chains can also be *rolled back* ([`ModelRegistry::rollback`])
+//! and bounded by a retention policy ([`ModelRegistry::set_retention`])
+//! whose GC refuses to delete versions pinned by in-flight diagnosis
+//! sessions ([`ModelRegistry::pin_version`]).
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use deepmorph::prelude::DefectSpec;
@@ -47,6 +61,7 @@ pub use deepmorph::artifact::content_fingerprint;
 
 use crate::error::{ServeError, ServeResult};
 use crate::protocol::{ModelInfo, VersionInfo};
+use crate::sync::{LockRecover, RwRecover};
 
 /// File extension of a registry model container.
 pub const MODEL_EXT: &str = "dmmd";
@@ -422,10 +437,15 @@ impl ModelEntry {
 }
 
 /// Metadata of one (possibly superseded) version in a chain.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 struct VersionMeta {
     version: u32,
     fingerprint: String,
+    /// The decoded entry of a *superseded* version, kept in memory so a
+    /// rollback can restore it without touching disk. `None` for the
+    /// active version, for versions GC'd from memory, and for superseded
+    /// versions discovered by `open` (those reload from their `@vN` file).
+    retained: Option<Arc<ModelEntry>>,
 }
 
 /// One name's version chain: the swappable current version plus the
@@ -445,11 +465,60 @@ struct ModelSlot {
 }
 
 /// A named collection of versioned models the server answers for.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ModelRegistry {
     slots: Vec<ModelSlot>,
     /// Directory published versions persist into (`None` = memory-only).
     dir: Option<PathBuf>,
+    /// How many superseded versions each chain keeps (`usize::MAX` =
+    /// unlimited, the default — GC never runs).
+    retention: AtomicUsize,
+    /// Version-pin refcounts keyed by fingerprint: GC skips any version
+    /// with a live [`VersionPin`] (diagnosis sessions hold one).
+    pins: Arc<Mutex<HashMap<String, usize>>>,
+    /// Files `open` moved into `quarantine/` instead of serving.
+    quarantined: Vec<PathBuf>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry {
+            slots: Vec::new(),
+            dir: None,
+            retention: AtomicUsize::new(usize::MAX),
+            pins: Arc::default(),
+            quarantined: Vec::new(),
+        }
+    }
+}
+
+/// A refcount keeping one version's files safe from retention GC for as
+/// long as the pin is alive. Held by memoized diagnosis sessions, whose
+/// footprints and repair plans are only meaningful against the exact
+/// version they were computed from.
+#[derive(Debug)]
+pub struct VersionPin {
+    pins: Arc<Mutex<HashMap<String, usize>>>,
+    fingerprint: String,
+}
+
+impl VersionPin {
+    /// Fingerprint of the pinned version.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+}
+
+impl Drop for VersionPin {
+    fn drop(&mut self) {
+        let mut pins = self.pins.lock_recover();
+        if let Some(count) = pins.get_mut(&self.fingerprint) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.fingerprint);
+            }
+        }
+    }
 }
 
 /// Splits a file stem into `(base name, version)`: `"m@v3"` → `("m", 3)`,
@@ -481,23 +550,43 @@ impl ModelRegistry {
     /// `<name>.meta.json`. Versions published later persist back into
     /// `dir`, so a restarted server resumes from the repaired chain.
     ///
-    /// Only the version that will serve is decode-validated (a corrupt
-    /// serving model is rejected at startup, not at first request);
-    /// superseded versions are read just far enough to fingerprint them
-    /// for the history, so restart cost does not grow with every repair
-    /// the chain has ever absorbed.
+    /// Only the version that will serve is decode-validated; superseded
+    /// versions are read just far enough to fingerprint them for the
+    /// history, so restart cost does not grow with every repair the chain
+    /// has ever absorbed.
+    ///
+    /// Open is *crash-consistent*: debris a crashed or torn publish can
+    /// leave behind is moved into a `quarantine/` subdirectory instead of
+    /// failing startup. Stale `.tmp` files are swept; a truncated or
+    /// corrupt serving container is quarantined and the chain falls back
+    /// to its next-highest decodable version (a name whose every version
+    /// is corrupt is skipped entirely); an unparseable sidecar is
+    /// quarantined and the version serves without diagnosis provenance.
+    /// [`ModelRegistry::quarantined`] reports what was moved.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Io`] for filesystem failures and
-    /// [`ServeError::Model`] for a serving container that fails to
-    /// decode.
+    /// Returns [`ServeError::Io`] for filesystem failures (the directory
+    /// or a superseded file being unreadable) and [`ServeError::Model`]
+    /// for an *ambiguous* chain (two files claiming the same version) —
+    /// that is an operator error, not crash debris.
     pub fn open(dir: impl AsRef<Path>) -> ServeResult<Self> {
         let dir = dir.as_ref();
-        let mut paths: Vec<_> = std::fs::read_dir(dir)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|x| x == MODEL_EXT))
-            .collect();
+        let mut registry = ModelRegistry {
+            dir: Some(dir.to_path_buf()),
+            ..ModelRegistry::new()
+        };
+        let mut paths = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|x| x == "tmp") {
+                // A crash between write and rename leaves the temp file;
+                // its rename never happened, so it was never committed.
+                registry.quarantine(&path);
+            } else if path.extension().is_some_and(|x| x == MODEL_EXT) && path.is_file() {
+                paths.push(path);
+            }
+        }
         paths.sort();
         // (base, version, path), grouped by base in first-seen order.
         let mut chains: Vec<(String, Vec<(u32, PathBuf)>)> = Vec::new();
@@ -511,8 +600,6 @@ impl ModelRegistry {
                 None => chains.push((base.to_string(), vec![(version, path.clone())])),
             }
         }
-        let mut registry = ModelRegistry::new();
-        registry.dir = Some(dir.to_path_buf());
         for (base, mut versions) in chains {
             versions.sort_by_key(|&(v, _)| v);
             if let Some(pair) = versions.windows(2).find(|w| w[0].0 == w[1].0) {
@@ -528,39 +615,93 @@ impl ModelRegistry {
                     ),
                 });
             }
+            // Walk from the highest version down until one decodes; a
+            // corrupt candidate (torn publish) is quarantined and the
+            // previous version takes over — exactly what a rollback would
+            // have produced.
+            let mut serving: Option<ModelEntry> = None;
+            while let Some((version, path)) = versions.pop() {
+                let Ok(bytes) = std::fs::read(&path) else {
+                    registry.quarantine(&path);
+                    continue;
+                };
+                let stem = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(&base)
+                    .to_string();
+                let diagnosis = registry.read_sidecar(dir, &stem, &base);
+                match Self::validate_bytes(base.clone(), version, bytes, diagnosis) {
+                    Ok(entry) => {
+                        serving = Some(entry);
+                        break;
+                    }
+                    Err(_) => registry.quarantine(&path),
+                }
+            }
+            let Some(entry) = serving else {
+                // Every version of this name was corrupt; the files are
+                // quarantined and the name is absent, not fatal.
+                continue;
+            };
+            // Whatever remains in `versions` is older than the serving
+            // version: superseded, fingerprint only.
             let mut history = Vec::with_capacity(versions.len());
-            let (last_version, last_path) = versions.last().expect("chain is non-empty").clone();
-            for (version, path) in &versions[..versions.len() - 1] {
-                // Superseded version: fingerprint only.
+            for (version, path) in &versions {
                 history.push(VersionMeta {
                     version: *version,
                     fingerprint: content_fingerprint(&std::fs::read(path)?),
+                    retained: None,
                 });
             }
-            let bytes = std::fs::read(&last_path)?;
-            let stem = last_path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or(&base)
-                .to_string();
-            let mut meta_path = dir.join(format!("{stem}{META_SUFFIX}"));
-            if !meta_path.exists() {
-                meta_path = dir.join(format!("{base}{META_SUFFIX}"));
-            }
-            let diagnosis = if meta_path.exists() {
-                Some(DiagnosisContext::from_json(&std::fs::read_to_string(
-                    meta_path,
-                )?)?)
-            } else {
-                None
-            };
-            let entry = Self::validate_bytes(base.clone(), last_version, bytes, diagnosis)
-                .map_err(|e| ServeError::Model {
-                    reason: format!("{}: {e}", last_path.display()),
-                })?;
             registry.push_slot_with_history(entry, history);
         }
         Ok(registry)
+    }
+
+    /// Reads and parses the sidecar for `stem` (falling back to the base
+    /// name's sidecar). A present-but-unparseable sidecar is quarantined
+    /// and the version serves without provenance.
+    fn read_sidecar(&mut self, dir: &Path, stem: &str, base: &str) -> Option<DiagnosisContext> {
+        let mut meta_path = dir.join(format!("{stem}{META_SUFFIX}"));
+        if !meta_path.exists() {
+            meta_path = dir.join(format!("{base}{META_SUFFIX}"));
+        }
+        let text = std::fs::read_to_string(&meta_path).ok()?;
+        match DiagnosisContext::from_json(&text) {
+            Ok(ctx) => Some(ctx),
+            Err(_) => {
+                self.quarantine(&meta_path);
+                None
+            }
+        }
+    }
+
+    /// Best-effort move of `path` into the registry's `quarantine/`
+    /// subdirectory (collision-proofed with a numeric suffix). Recorded in
+    /// [`ModelRegistry::quarantined`] even if the move itself fails — the
+    /// file is skipped either way.
+    fn quarantine(&mut self, path: &Path) {
+        if let Some(dir) = &self.dir {
+            let qdir = dir.join("quarantine");
+            let _ = std::fs::create_dir_all(&qdir);
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                let mut dest = qdir.join(name);
+                let mut n = 0u32;
+                while dest.exists() {
+                    dest = qdir.join(format!("{name}.{n}"));
+                    n += 1;
+                }
+                let _ = std::fs::rename(path, &dest);
+            }
+        }
+        self.quarantined.push(path.to_path_buf());
+    }
+
+    /// Files the last [`ModelRegistry::open`] quarantined instead of
+    /// serving (empty for in-process registries).
+    pub fn quarantined(&self) -> &[PathBuf] {
+        &self.quarantined
     }
 
     /// Registers a live model under `name` as version 1 (encodes it; takes
@@ -620,6 +761,7 @@ impl ModelRegistry {
         prior.push(VersionMeta {
             version: entry.version,
             fingerprint: entry.fingerprint.clone(),
+            retained: None,
         });
         self.slots.push(ModelSlot {
             name: entry.name.clone(),
@@ -642,7 +784,7 @@ impl ModelRegistry {
     /// Panics if `id` did not come from this registry's
     /// [`ModelRegistry::find`]/[`ModelRegistry::register`].
     pub fn current(&self, id: ModelId) -> Arc<ModelEntry> {
-        Arc::clone(&self.slots[id.0].current.read().expect("registry slot").1)
+        Arc::clone(&self.slots[id.0].current.read_recover().1)
     }
 
     /// The swap epoch of the slot at `id`: bumped once per published
@@ -655,7 +797,7 @@ impl ModelRegistry {
     /// The current version together with the epoch it was installed at —
     /// read under one lock, so the pair is always consistent.
     pub fn current_with_epoch(&self, id: ModelId) -> (u64, Arc<ModelEntry>) {
-        let guard = self.slots[id.0].current.read().expect("registry slot");
+        let guard = self.slots[id.0].current.read_recover();
         (guard.0, Arc::clone(&guard.1))
     }
 
@@ -690,10 +832,10 @@ impl ModelRegistry {
         // Serialize publishers for this slot: two concurrent publishes
         // must not both read the same old version, race the version
         // number, and overwrite each other's `@vN` file.
-        let mut history = slot.history.lock().expect("registry history");
-        let (old_version, old_spec) = {
-            let guard = slot.current.read().expect("registry slot");
-            (guard.1.version, guard.1.spec)
+        let mut history = slot.history.lock_recover();
+        let (old_version, old_spec, old_entry) = {
+            let guard = slot.current.read_recover();
+            (guard.1.version, guard.1.spec, Arc::clone(&guard.1))
         };
         let entry = Self::validate_bytes(
             slot.name.clone(),
@@ -725,20 +867,241 @@ impl ModelRegistry {
             let stem = format!("{}@v{}", slot.name, entry.version);
             if let Some(ctx) = &entry.diagnosis {
                 let tmp = dir.join(format!(".{stem}.meta.tmp"));
-                std::fs::write(&tmp, ctx.to_json())?;
-                if let Err(e) = std::fs::rename(&tmp, dir.join(format!("{stem}{META_SUFFIX}"))) {
+                deepmorph_faults::write(&tmp, ctx.to_json().as_bytes())?;
+                if let Err(e) =
+                    deepmorph_faults::rename(&tmp, &dir.join(format!("{stem}{META_SUFFIX}")))
+                {
                     let _ = std::fs::remove_file(&tmp);
                     return Err(e.into());
                 }
             }
             let tmp = dir.join(format!(".{stem}.tmp"));
-            std::fs::write(&tmp, &entry.bytes)?;
-            if let Err(e) = std::fs::rename(&tmp, dir.join(format!("{stem}.{MODEL_EXT}"))) {
+            deepmorph_faults::write(&tmp, &entry.bytes)?;
+            if let Err(e) = deepmorph_faults::rename(&tmp, &dir.join(format!("{stem}.{MODEL_EXT}")))
+            {
                 let _ = std::fs::remove_file(&tmp);
                 return Err(e.into());
             }
         }
-        Ok(slot.install_locked(entry, &mut history))
+        // The outgoing version is kept in memory on its history meta so an
+        // ungated rollback can restore it bitwise without touching disk.
+        if let Some(meta) = history.iter_mut().find(|m| m.version == old_version) {
+            meta.retained = Some(old_entry);
+        }
+        let installed = slot.install_locked(entry, &mut history);
+        self.gc_locked(slot, &mut history);
+        Ok(installed)
+    }
+
+    /// Reverts the model at `id` to the previous version in its chain —
+    /// the *ungated* escape hatch for a repair that passed the held-out
+    /// gate but turned out bad in production. The previous version is
+    /// restored bitwise (from the retained in-memory entry, or re-read and
+    /// fingerprint-checked from its `@vN` file), keeping its original
+    /// version number; the rolled-back version is removed from the history
+    /// and its files are quarantined, so a restart — and the next publish,
+    /// which reuses its number — agree with the in-memory state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] when there is no previous version
+    /// to roll back to (or it is no longer retained anywhere) and
+    /// [`ServeError::Model`] when the on-disk previous version no longer
+    /// matches its recorded fingerprint.
+    pub fn rollback(&self, id: ModelId) -> ServeResult<Arc<ModelEntry>> {
+        let slot = &self.slots[id.0];
+        // The history lock doubles as the publish lock: rollbacks
+        // serialize against publishes and mode swaps.
+        let mut history = slot.history.lock_recover();
+        let current_version = slot.current.read_recover().1.version;
+        let Some(prev_idx) = history.iter().rposition(|m| m.version < current_version) else {
+            return Err(ServeError::BadInput {
+                reason: format!(
+                    "model `{}` has no previous version to roll back to",
+                    slot.name
+                ),
+            });
+        };
+        let target = history[prev_idx].clone();
+        let entry = match target.retained {
+            Some(entry) => entry,
+            None => Arc::new(self.load_version(&slot.name, &target)?),
+        };
+        // Drop the rolled-back version: out of the history, files into
+        // quarantine (not deleted — an operator may want the post-mortem).
+        history.retain(|m| m.version != current_version);
+        if let Some(dir) = &self.dir {
+            let stem = format!("{}@v{}", slot.name, current_version);
+            for name in [
+                format!("{stem}.{MODEL_EXT}"),
+                format!("{stem}{META_SUFFIX}"),
+            ] {
+                let path = dir.join(name);
+                if path.exists() {
+                    Self::quarantine_in(dir, &path);
+                }
+            }
+        }
+        // The target is active again; its retained copy is redundant.
+        if let Some(meta) = history.iter_mut().find(|m| m.version == target.version) {
+            meta.retained = None;
+        }
+        slot.install_current(Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Re-reads a superseded version from disk for a rollback whose
+    /// in-memory entry was not retained, verifying the bytes still match
+    /// the fingerprint recorded when the version was live.
+    fn load_version(&self, name: &str, meta: &VersionMeta) -> ServeResult<ModelEntry> {
+        let Some(dir) = &self.dir else {
+            return Err(ServeError::BadInput {
+                reason: format!(
+                    "version {} of `{name}` is no longer retained in memory \
+                     and the registry has no backing directory",
+                    meta.version
+                ),
+            });
+        };
+        let mut path = dir.join(format!("{name}@v{}.{MODEL_EXT}", meta.version));
+        if !path.exists() && meta.version == 1 {
+            path = dir.join(format!("{name}.{MODEL_EXT}"));
+        }
+        let bytes = std::fs::read(&path)?;
+        if content_fingerprint(&bytes) != meta.fingerprint {
+            return Err(ServeError::Model {
+                reason: format!(
+                    "{}: bytes no longer match the fingerprint recorded for version {}",
+                    path.display(),
+                    meta.version
+                ),
+            });
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(name)
+            .to_string();
+        let mut meta_path = dir.join(format!("{stem}{META_SUFFIX}"));
+        if !meta_path.exists() {
+            meta_path = dir.join(format!("{name}{META_SUFFIX}"));
+        }
+        let diagnosis = std::fs::read_to_string(&meta_path)
+            .ok()
+            .and_then(|text| DiagnosisContext::from_json(&text).ok());
+        Self::validate_bytes(name.to_string(), meta.version, bytes, diagnosis)
+    }
+
+    /// Best-effort quarantine used outside `open` (rollback, GC paths)
+    /// where `&mut self` is unavailable.
+    fn quarantine_in(dir: &Path, path: &Path) {
+        let qdir = dir.join("quarantine");
+        let _ = std::fs::create_dir_all(&qdir);
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            let mut dest = qdir.join(name);
+            let mut n = 0u32;
+            while dest.exists() {
+                dest = qdir.join(format!("{name}.{n}"));
+                n += 1;
+            }
+            let _ = std::fs::rename(path, &dest);
+        }
+    }
+
+    /// Sets the retention policy: how many *superseded* versions each
+    /// chain keeps (`None` = unlimited, the default). Applies to every
+    /// slot; enforced by the GC pass that runs after each publish (and on
+    /// demand via [`ModelRegistry::gc`]). Versions pinned by a live
+    /// [`VersionPin`] are never collected, whatever the policy says.
+    pub fn set_retention(&self, retain: Option<usize>) {
+        self.retention
+            .store(retain.unwrap_or(usize::MAX), Ordering::Relaxed);
+    }
+
+    /// The current retention policy (`None` = unlimited).
+    pub fn retention(&self) -> Option<usize> {
+        match self.retention.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            n => Some(n),
+        }
+    }
+
+    /// Pins the version with `fingerprint`: retention GC will not delete
+    /// it while the returned guard is alive. Pins are refcounted, so
+    /// overlapping holders compose.
+    pub fn pin_version(&self, fingerprint: impl Into<String>) -> VersionPin {
+        let fingerprint = fingerprint.into();
+        *self
+            .pins
+            .lock_recover()
+            .entry(fingerprint.clone())
+            .or_insert(0) += 1;
+        VersionPin {
+            pins: Arc::clone(&self.pins),
+            fingerprint,
+        }
+    }
+
+    /// Runs one retention-GC pass over the model at `id`, returning the
+    /// versions that were deleted. A no-op under the default unlimited
+    /// policy. Publish runs this automatically; it is public so dropped
+    /// pins can be collected without waiting for the next publish.
+    pub fn gc(&self, id: ModelId) -> Vec<u32> {
+        let slot = &self.slots[id.0];
+        let mut history = slot.history.lock_recover();
+        self.gc_locked(slot, &mut history)
+    }
+
+    /// GC body; the caller holds the history (publish) lock. Considers the
+    /// superseded versions beyond the newest `retention`, oldest first,
+    /// and deletes the unpinned ones — meta, retained entry, and on-disk
+    /// files. Pinned versions simply survive until a later pass finds
+    /// them unpinned.
+    fn gc_locked(&self, slot: &ModelSlot, history: &mut Vec<VersionMeta>) -> Vec<u32> {
+        let retain = self.retention.load(Ordering::Relaxed);
+        if retain == usize::MAX {
+            return Vec::new();
+        }
+        let active = slot.current.read_recover().1.version;
+        let superseded: Vec<u32> = history
+            .iter()
+            .filter(|m| m.version != active)
+            .map(|m| m.version)
+            .collect();
+        if superseded.len() <= retain {
+            return Vec::new();
+        }
+        let excess = superseded.len() - retain;
+        let pins = self.pins.lock_recover();
+        let mut deleted = Vec::new();
+        for &version in superseded.iter().take(excess) {
+            let meta = history
+                .iter()
+                .find(|m| m.version == version)
+                .expect("superseded version is in history");
+            if pins.get(&meta.fingerprint).copied().unwrap_or(0) > 0 {
+                continue;
+            }
+            if let Some(dir) = &self.dir {
+                let stem = format!("{}@v{version}", slot.name);
+                let mut files = vec![
+                    format!("{stem}.{MODEL_EXT}"),
+                    format!("{stem}{META_SUFFIX}"),
+                ];
+                if version == 1 {
+                    // v1 may predate versioned publishing. Its base
+                    // sidecar stays: later versions without their own
+                    // sidecar fall back to it for provenance.
+                    files.push(format!("{}.{MODEL_EXT}", slot.name));
+                }
+                for name in files {
+                    let _ = std::fs::remove_file(dir.join(name));
+                }
+            }
+            deleted.push(version);
+        }
+        history.retain(|m| !deleted.contains(&m.version));
+        deleted
     }
 
     /// The version history of the model at `id`, oldest first, with the
@@ -747,8 +1110,8 @@ impl ModelRegistry {
         let slot = &self.slots[id.0];
         // History first, then current — the same order publish uses; a
         // publish cannot interleave between the two reads.
-        let history = slot.history.lock().expect("registry history");
-        let active = slot.current.read().expect("registry slot").1.version;
+        let history = slot.history.lock_recover();
+        let active = slot.current.read_recover().1.version;
         history
             .iter()
             .map(|m| VersionInfo {
@@ -813,19 +1176,14 @@ impl ModelRegistry {
         // The history lock doubles as the publish lock: mode swaps
         // serialize against publishes, so the entry read here is the one
         // replaced below.
-        let history = slot.history.lock().expect("registry history");
+        let history = slot.history.lock_recover();
         let entry = {
-            let guard = slot.current.read().expect("registry slot");
+            let guard = slot.current.read_recover();
             guard.1.with_serving_mode(precision, backend)
         };
         entry.instantiate_for_serving()?;
         let entry = Arc::new(entry);
-        let mut guard = slot.current.write().expect("registry slot");
-        guard.0 += 1;
-        guard.1 = Arc::clone(&entry);
-        let epoch = guard.0;
-        slot.epoch_hint.store(epoch, Ordering::Release);
-        drop(guard);
+        slot.install_current(Arc::clone(&entry));
         drop(history);
         Ok(entry)
     }
@@ -841,17 +1199,24 @@ impl ModelSlot {
         history.push(VersionMeta {
             version: entry.version,
             fingerprint: entry.fingerprint.clone(),
+            retained: None,
         });
         let entry = Arc::new(entry);
-        let mut guard = self.current.write().expect("registry slot");
+        self.install_current(Arc::clone(&entry));
+        entry
+    }
+
+    /// Swaps `entry` in as the current version and bumps the epoch,
+    /// without touching the history. The caller holds the history lock.
+    fn install_current(&self, entry: Arc<ModelEntry>) {
+        let mut guard = self.current.write_recover();
         guard.0 += 1;
-        guard.1 = Arc::clone(&entry);
+        guard.1 = entry;
         let epoch = guard.0;
         // Publish the hint only after the pair is installed: a worker that
         // sees the new epoch is guaranteed to read the new entry.
         self.epoch_hint.store(epoch, Ordering::Release);
         drop(guard);
-        entry
     }
 }
 
@@ -1066,5 +1431,142 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(a, content_fingerprint(b"abc"));
         assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn rollback_restores_previous_version_bitwise() {
+        let mut registry = ModelRegistry::new();
+        let id = registry.register("m", &mut tiny_model(20), None).unwrap();
+        let v1 = registry.current(id);
+        registry.publish(id, &mut tiny_model(21), None).unwrap();
+        assert_eq!(registry.current(id).version, 2);
+        let epoch_before = registry.epoch(id);
+
+        let restored = registry.rollback(id).unwrap();
+        assert_eq!(restored.version, 1);
+        assert_eq!(restored.fingerprint, v1.fingerprint);
+        assert_eq!(restored.bytes, v1.bytes, "restored bitwise");
+        assert_eq!(registry.current(id).version, 1);
+        assert!(
+            registry.epoch(id) > epoch_before,
+            "rollback must move the epoch so replicas refresh"
+        );
+
+        // The rolled-back version is gone from the chain; the next
+        // publish reuses its number without ambiguity.
+        let versions = registry.versions(id);
+        assert_eq!(versions.len(), 1);
+        assert!(versions[0].active && versions[0].version == 1);
+        let republished = registry.publish(id, &mut tiny_model(22), None).unwrap();
+        assert_eq!(republished.version, 2);
+    }
+
+    #[test]
+    fn rollback_without_previous_version_is_typed() {
+        let mut registry = ModelRegistry::new();
+        let id = registry.register("m", &mut tiny_model(23), None).unwrap();
+        assert!(matches!(
+            registry.rollback(id),
+            Err(ServeError::BadInput { .. })
+        ));
+        assert_eq!(registry.current(id).version, 1, "nothing changed");
+    }
+
+    #[test]
+    fn rollback_reloads_from_disk_and_quarantines_the_bad_version() {
+        let dir = std::env::temp_dir().join(format!(
+            "deepmorph-registry-rollback-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        deepmorph_models::save_model(dir.join("m.dmmd"), &mut tiny_model(24)).unwrap();
+        let registry = ModelRegistry::open(&dir).unwrap();
+        let id = registry.find("m").unwrap();
+        registry.publish(id, &mut tiny_model(25), None).unwrap();
+        drop(registry);
+
+        // A *reopened* registry has no retained in-memory entries: the
+        // rollback target must be re-read from disk and verified against
+        // the fingerprint recorded when it was live.
+        let reopened = ModelRegistry::open(&dir).unwrap();
+        let id = reopened.find("m").unwrap();
+        let v1_bytes = std::fs::read(dir.join("m.dmmd")).unwrap();
+        assert_eq!(reopened.current(id).version, 2);
+        let restored = reopened.rollback(id).unwrap();
+        assert_eq!(restored.version, 1);
+        assert_eq!(restored.fingerprint, content_fingerprint(&v1_bytes));
+        assert_eq!(restored.bytes, v1_bytes, "restored bitwise from disk");
+
+        // v2's file moved to quarantine, so a restart agrees with memory.
+        assert!(!dir.join("m@v2.dmmd").exists());
+        assert!(dir.join("quarantine").join("m@v2.dmmd").exists());
+        let after_restart = ModelRegistry::open(&dir).unwrap();
+        let rid = after_restart.find("m").unwrap();
+        assert_eq!(after_restart.current(rid).version, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_gc_deletes_oldest_superseded_but_never_pinned() {
+        let dir =
+            std::env::temp_dir().join(format!("deepmorph-registry-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        deepmorph_models::save_model(dir.join("m.dmmd"), &mut tiny_model(30)).unwrap();
+        let registry = ModelRegistry::open(&dir).unwrap();
+        let id = registry.find("m").unwrap();
+        registry.set_retention(Some(1));
+        assert_eq!(registry.retention(), Some(1));
+
+        let v2 = registry.publish(id, &mut tiny_model(31), None).unwrap();
+        // superseded = {v1} <= retain 1: nothing collected yet.
+        assert!(dir.join("m.dmmd").exists());
+
+        // Pin v2 (as a live diagnosis session would), then supersede it
+        // twice: GC wants to collect {v1, v2} but must skip the pin.
+        let pin = registry.pin_version(&v2.fingerprint);
+        registry.publish(id, &mut tiny_model(32), None).unwrap();
+        registry.publish(id, &mut tiny_model(33), None).unwrap();
+
+        assert!(!dir.join("m.dmmd").exists(), "v1 collected");
+        assert!(dir.join("m@v2.dmmd").exists(), "pinned v2 survives GC");
+        assert!(dir.join("m@v3.dmmd").exists(), "newest superseded kept");
+        assert!(dir.join("m@v4.dmmd").exists(), "active version kept");
+        let versions: Vec<u32> = registry.versions(id).iter().map(|v| v.version).collect();
+        assert_eq!(versions, vec![2, 3, 4]);
+
+        // Dropping the pin makes v2 collectable by the next pass.
+        drop(pin);
+        let deleted = registry.gc(id);
+        assert_eq!(deleted, vec![2]);
+        assert!(!dir.join("m@v2.dmmd").exists());
+        let versions: Vec<u32> = registry.versions(id).iter().map(|v| v.version).collect();
+        assert_eq!(versions, vec![3, 4]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_retention_keeps_every_version() {
+        let mut registry = ModelRegistry::new();
+        let id = registry.register("m", &mut tiny_model(40), None).unwrap();
+        for seed in 41..45 {
+            registry.publish(id, &mut tiny_model(seed), None).unwrap();
+        }
+        assert_eq!(registry.retention(), None);
+        assert_eq!(registry.versions(id).len(), 5, "unlimited by default");
+        assert!(registry.gc(id).is_empty());
+    }
+
+    #[test]
+    fn overlapping_pins_are_refcounted() {
+        let registry = ModelRegistry::new();
+        let a = registry.pin_version("fp");
+        let b = registry.pin_version("fp");
+        drop(a);
+        // One holder remains: still pinned.
+        assert_eq!(registry.pins.lock_recover().get("fp"), Some(&1));
+        drop(b);
+        assert!(registry.pins.lock_recover().get("fp").is_none());
     }
 }

@@ -51,9 +51,10 @@ use deepmorph_nn::prelude::{BackendKind, Precision};
 use deepmorph_nn::train::evaluate_accuracy;
 
 use crate::error::{ServeError, ServeResult};
-use crate::protocol::{DiagnoseResponse, RepairResponse};
-use crate::registry::{DiagnosisContext, ModelEntry, ModelId};
+use crate::protocol::{DiagnoseResponse, RepairResponse, RollbackResponse};
+use crate::registry::{DiagnosisContext, ModelEntry, ModelId, VersionPin};
 use crate::server::ServerShared;
+use crate::sync::LockRecover;
 
 /// Where the server's staged engine keeps repair artifacts.
 #[derive(Debug, Clone, Default)]
@@ -87,6 +88,10 @@ struct CachedSession {
     /// Content fingerprint of the model version the session instruments.
     fingerprint: String,
     session: DiagnosisSession,
+    /// Retention pin: as long as this session lives (including while on
+    /// loan to a repair), version GC must not delete the on-disk files of
+    /// the version it instruments.
+    _pin: VersionPin,
 }
 
 /// Per-slot repair machinery owned by the server.
@@ -171,6 +176,7 @@ fn ensure_session<'a>(
         *slot = Some(CachedSession {
             fingerprint: entry.fingerprint.clone(),
             session,
+            _pin: shared.registry.pin_version(&entry.fingerprint),
         });
     }
     Ok(slot.as_mut().expect("session just ensured"))
@@ -180,9 +186,7 @@ fn ensure_session<'a>(
 /// already rebuilt one (both are deterministic products of the same
 /// version, so either copy is equally valid).
 fn restore_session(shared: &ServerShared, id: ModelId, session: CachedSession) {
-    let mut slot = shared.repair.sessions[id.index()]
-        .lock()
-        .expect("serve session");
+    let mut slot = shared.repair.sessions[id.index()].lock_recover();
     if slot.is_none() {
         *slot = Some(session);
     }
@@ -210,16 +214,14 @@ pub(crate) fn diagnose_live(shared: &ServerShared, id: ModelId) -> ServeResult<D
     // buffer (a typed refusal). Never one version's session fed the
     // other version's mistakes.
     let (entry, faulty) = {
-        let cases = shared.cases[id.index()].lock().expect("live cases");
+        let cases = shared.cases[id.index()].lock_recover();
         let entry = shared.registry.current(id);
         let faulty = cases.to_faulty_cases()?;
         (entry, faulty)
     };
     let ctx = context_of(&entry)?;
     let scenario = scenario_for(&entry, &ctx, &shared.deepmorph)?;
-    let mut slot = shared.repair.sessions[id.index()]
-        .lock()
-        .expect("serve session");
+    let mut slot = shared.repair.sessions[id.index()].lock_recover();
     let cached = ensure_session(shared, &mut slot, &entry, &scenario)?;
     shared
         .stats
@@ -251,7 +253,7 @@ pub(crate) fn repair_live(shared: &ServerShared, id: ModelId) -> ServeResult<Rep
 
     // Same consistent snapshot as diagnose_live (see there).
     let (entry, faulty) = {
-        let cases = shared.cases[id.index()].lock().expect("live cases");
+        let cases = shared.cases[id.index()].lock_recover();
         let entry = shared.registry.current(id);
         let faulty = cases.to_faulty_cases()?;
         (entry, faulty)
@@ -267,9 +269,7 @@ pub(crate) fn repair_live(shared: &ServerShared, id: ModelId) -> ServeResult<Rep
     // mid-repair instead rebuilds its own (identical, deterministic)
     // session.
     let (report, plan, mut session) = {
-        let mut slot = shared.repair.sessions[id.index()]
-            .lock()
-            .expect("serve session");
+        let mut slot = shared.repair.sessions[id.index()].lock_recover();
         let cached = ensure_session(shared, &mut slot, &entry, &scenario)?;
         shared
             .stats
@@ -358,7 +358,7 @@ pub(crate) fn repair_live(shared: &ServerShared, id: ModelId) -> ServeResult<Rep
         // buffer (or a worker recording into it) sees either the old
         // version with the old traffic or the new version with an empty
         // buffer — never the new version paired with pre-repair mistakes.
-        let mut cases = shared.cases[id.index()].lock().expect("live cases");
+        let mut cases = shared.cases[id.index()].lock_recover();
         shared
             .registry
             .publish(id, &mut new_model, Some(ctx))
@@ -375,9 +375,7 @@ pub(crate) fn repair_live(shared: &ServerShared, id: ModelId) -> ServeResult<Rep
     };
     drop(session);
     {
-        let mut slot = shared.repair.sessions[id.index()]
-            .lock()
-            .expect("serve session");
+        let mut slot = shared.repair.sessions[id.index()].lock_recover();
         if slot
             .as_ref()
             .is_some_and(|s| s.fingerprint != new_entry.fingerprint)
@@ -399,6 +397,61 @@ pub(crate) fn repair_live(shared: &ServerShared, id: ModelId) -> ServeResult<Rep
         swapped: true,
         version: new_entry.version,
         fingerprint: new_entry.fingerprint.clone(),
+        swap_micros,
+    })
+}
+
+/// The rollback endpoint: reverts `model` to its previous published
+/// version — **ungated**. Rollback is the operator's escape hatch when a
+/// swapped-in version misbehaves in ways the held-out gate cannot see
+/// (the gate measures accuracy, not latency, memory, or crashes), so it
+/// must not depend on the machinery being rolled away from. The restored
+/// version serves bitwise-identically to when it last served (pinned by
+/// tests): it is reinstalled either from the retained in-memory entry or
+/// from its fingerprint-verified on-disk file.
+///
+/// Like a repair swap, the install and the traffic-buffer epoch advance
+/// happen under the cases lock, so no pre-rollback misclassification can
+/// seed the restored version's diagnosis.
+pub(crate) fn rollback_live(shared: &ServerShared, id: ModelId) -> ServeResult<RollbackResponse> {
+    // A rollback racing the publish step of an in-flight repair would be
+    // ambiguous (which version is "previous"?); take the same per-model
+    // lock and refuse rather than guess.
+    let Ok(_repairing) = shared.repair.locks[id.index()].try_lock() else {
+        return Err(ServeError::Repair {
+            reason: "cannot roll back while a repair of this model is running".into(),
+        });
+    };
+
+    let swap_started = Instant::now();
+    let restored = {
+        let mut cases = shared.cases[id.index()].lock_recover();
+        shared
+            .registry
+            .rollback(id)
+            .inspect(|_| cases.advance_epoch(shared.registry.epoch(id)))
+    }?;
+
+    // Drop the memoized session of the rolled-back version (it will never
+    // serve again under that fingerprint unless explicitly re-published).
+    {
+        let mut slot = shared.repair.sessions[id.index()].lock_recover();
+        if slot
+            .as_ref()
+            .is_some_and(|s| s.fingerprint != restored.fingerprint)
+        {
+            *slot = None;
+        }
+    }
+    let swap_micros = swap_started.elapsed().as_micros() as u64;
+    shared
+        .stats
+        .rollbacks
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+    Ok(RollbackResponse {
+        version: restored.version,
+        fingerprint: restored.fingerprint.clone(),
         swap_micros,
     })
 }

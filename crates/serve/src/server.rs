@@ -17,9 +17,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use deepmorph::pipeline::DeepMorphConfig;
+use deepmorph_faults::NetAction;
 
 use crate::batch::{validate_job, BatchConfig, Job, Responder, Scheduler, ServeStats};
 use crate::cases::LiveCases;
@@ -29,6 +30,7 @@ use crate::protocol::{
 };
 use crate::registry::ModelRegistry;
 use crate::repair::{self, ArtifactBackend, PromoteResponse, RepairState};
+use crate::sync::LockRecover;
 use deepmorph_nn::prelude::Precision;
 
 /// Server construction knobs.
@@ -46,6 +48,17 @@ pub struct ServerConfig {
     /// Where repair executions are cached (default: in-memory, so an
     /// identical repair of an unchanged model retrains nothing).
     pub artifacts: ArtifactBackend,
+    /// Cap on simultaneously live connections; a connection beyond it is
+    /// answered with one typed overloaded error frame and closed, so
+    /// clients can tell admission rejection from a network failure (and
+    /// their backoff policy treats it as retryable).
+    pub max_connections: usize,
+    /// Version retention for directory-backed registries: keep at most
+    /// this many *superseded* versions per model on disk, garbage-
+    /// collecting the oldest after each publish (versions pinned by an
+    /// in-flight diagnosis session are never collected). `None` (the
+    /// default) keeps everything, exactly as before this knob existed.
+    pub retain_versions: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +72,8 @@ impl Default for ServerConfig {
                 ..DeepMorphConfig::default()
             },
             artifacts: ArtifactBackend::default(),
+            max_connections: 1024,
+            retain_versions: None,
         }
     }
 }
@@ -73,6 +88,7 @@ pub(crate) struct ServerShared {
     pub(crate) cases: Vec<Arc<Mutex<LiveCases>>>,
     pub(crate) deepmorph: DeepMorphConfig,
     pub(crate) repair: RepairState,
+    max_connections: usize,
     shutdown: AtomicBool,
     connections: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -108,6 +124,7 @@ impl Server {
                 reason: "refusing to serve an empty model registry".into(),
             });
         }
+        registry.set_retention(config.retain_versions);
         let registry = Arc::new(registry);
         let stats = Arc::new(ServeStats::default());
         let scheduler = Arc::new(Scheduler::new(
@@ -138,6 +155,7 @@ impl Server {
             cases,
             deepmorph: config.deepmorph,
             repair,
+            max_connections: config.max_connections.max(1),
             shutdown: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
         });
@@ -211,7 +229,7 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        let mut connections = self.shared.connections.lock().expect("serve connections");
+        let mut connections = self.shared.connections.lock_recover();
         for handle in connections.drain(..) {
             let _ = handle.join();
         }
@@ -226,10 +244,6 @@ impl Drop for Server {
     }
 }
 
-/// Cap on simultaneously live connection threads; connections beyond it
-/// are dropped at accept (the client sees a closed socket and retries).
-const MAX_CONNECTIONS: usize = 1024;
-
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::Acquire) {
@@ -241,11 +255,28 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             std::thread::sleep(Duration::from_millis(10));
             continue;
         };
-        let mut connections = shared.connections.lock().expect("serve connections");
+        let mut connections = shared.connections.lock_recover();
         // Reap finished connections so a long-lived server doesn't
         // accumulate a handle per connection it ever served.
         connections.retain(|h| !h.is_finished());
-        if connections.len() >= MAX_CONNECTIONS {
+        if connections.len() >= shared.max_connections {
+            // Admission control: answer with one typed frame (best
+            // effort — the peer may already be gone) so clients can
+            // back off and retry instead of diagnosing a dead server.
+            shared.stats.conn_rejections.fetch_add(1, Ordering::Relaxed);
+            let error = ServeError::Overloaded {
+                reason: format!("connection limit ({}) reached", shared.max_connections),
+            };
+            let wire = encode_response(
+                0,
+                &Response::Error(ErrorFrame {
+                    code: error.code(),
+                    message: error.to_string(),
+                }),
+            );
+            let mut stream = stream;
+            let _ = stream.write_all(&wire);
+            let _ = stream.flush();
             drop(stream);
             continue;
         }
@@ -331,8 +362,31 @@ fn read_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> FrameRead {
 
 /// Writes one wire frame under the connection's write lock. Used by both
 /// connection threads and scheduler workers.
+///
+/// This is the server's transport fault seam: when a fault plan is armed
+/// (tests / chaos benches only — the consult is one relaxed atomic load
+/// when it is not), a response frame may be silently dropped, truncated
+/// mid-frame, stalled, or the connection reset, exactly the failures a
+/// real network inflicts between a correct server and a correct client.
 pub(crate) fn write_wire(writer: &Arc<Mutex<TcpStream>>, wire: &[u8]) -> std::io::Result<()> {
-    let mut stream = writer.lock().expect("serve writer");
+    let mut stream = writer.lock_recover();
+    match deepmorph_faults::net_action() {
+        NetAction::Deliver => {}
+        NetAction::Drop => return Ok(()), // frame vanishes in the "network"
+        NetAction::Truncate => {
+            // Half a frame, then a dead connection: the client's framing
+            // layer must detect the short read, not hang or mis-parse.
+            stream.write_all(&wire[..wire.len() / 2])?;
+            stream.flush()?;
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Err(std::io::Error::other("injected fault: truncated frame"));
+        }
+        NetAction::Stall(pause) => std::thread::sleep(pause),
+        NetAction::Reset => {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Err(std::io::Error::other("injected fault: connection reset"));
+        }
+    }
     stream.write_all(wire)?;
     stream.flush()
 }
@@ -415,6 +469,17 @@ fn handle_request(
                 Err(e) => return send_error(shared, writer, id, &e),
             }
         }
+        Request::Rollback { model } => {
+            let rolled = shared
+                .registry
+                .find(&model)
+                .ok_or(ServeError::UnknownModel { name: model })
+                .and_then(|mid| repair::rollback_live(shared, mid));
+            match rolled {
+                Ok(r) => Response::Rollback(r),
+                Err(e) => return send_error(shared, writer, id, &e),
+            }
+        }
         Request::ListVersions { model } => match shared.registry.find(&model) {
             Some(mid) => Response::Versions(shared.registry.versions(mid)),
             None => {
@@ -433,6 +498,11 @@ fn handle_request(
                 .ok_or(ServeError::UnknownModel { name: p.model })
                 .and_then(|model| {
                     validate_job(&shared.registry, model, &p.rows, &p.true_labels)?;
+                    // A request-supplied deadline budget starts counting
+                    // here, at admission; jobs still queued when it runs
+                    // out are shed before compute.
+                    let deadline = (p.deadline_ms > 0)
+                        .then(|| Instant::now() + Duration::from_millis(p.deadline_ms));
                     shared.scheduler.submit(Job {
                         model,
                         rows: p.rows,
@@ -440,6 +510,8 @@ fn handle_request(
                         cases: (!p.true_labels.is_empty())
                             .then(|| Arc::clone(&shared.cases[model.index()])),
                         true_labels: p.true_labels,
+                        deadline,
+                        deadline_ms: p.deadline_ms,
                         responder: Responder::Stream {
                             writer: Arc::clone(writer),
                             id,
