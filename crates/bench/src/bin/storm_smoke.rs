@@ -1,0 +1,47 @@
+//! CI connection-storm smoke: hundreds of idle sockets attached to a
+//! live server on a flat thread count while a bitwise-verified predict
+//! load runs through it.
+//!
+//! ```text
+//! cargo run --release -p deepmorph-bench --bin storm_smoke
+//! ```
+//!
+//! The harness lives in [`deepmorph_bench::storm`] and is shared with
+//! the storm phase of `serve_bench`; the full 10k-socket shape runs
+//! there. No fault plan is installed here, so the per-binary
+//! `FAULT_GUARD` serialization convention (for binaries that arm the
+//! process-global fault registry) does not apply.
+//!
+//! The smoke bar is the zero-loss machinery, not latency: CI runners
+//! are too noisy for a p50 assertion, which `serve_bench` full mode
+//! enforces instead.
+
+use deepmorph_bench::storm;
+
+fn main() {
+    // This binary doubles as the idle-herd child when re-exec'd.
+    if storm::maybe_idle_herd() {
+        return;
+    }
+    // `--full` runs the 10k-socket shape `serve_bench` uses, without
+    // the rest of that bench — handy when iterating on the event loop.
+    let config = if std::env::args().any(|a| a == "--full") {
+        storm::StormConfig::full()
+    } else {
+        storm::StormConfig::smoke()
+    };
+    let result = storm::run(&config);
+    println!(
+        "storm smoke: {} idle sockets on {} threads (was {}), active p50 {:.0} µs -> {:.0} µs \
+         (ratio {:.2}), {} rows verified bitwise, {} idle pings answered",
+        result.idle_connections,
+        result.threads_with_idle,
+        result.threads_before_idle,
+        result.baseline.p50_us,
+        result.storm.p50_us,
+        result.p50_ratio,
+        result.baseline.rows_verified + result.storm.rows_verified,
+        result.spot_checks_ok
+    );
+    println!("storm smoke OK");
+}

@@ -9,11 +9,16 @@
 //! * [`chaos`] — the serving fault-storm harness behind `chaos_smoke`
 //!   and the chaos phase of `serve_bench`: deterministic fault
 //!   injection with a zero-loss, zero-corruption acceptance bar.
+//! * [`storm`] — the connection-storm harness behind `storm_smoke` and
+//!   the storm phase of `serve_bench`: thousands of idle sockets on a
+//!   flat thread count while an active, bitwise-verified predict load
+//!   keeps its latency.
 //! * Criterion benches in `benches/` measure substrate and pipeline
 //!   throughput plus the DESIGN.md ablations.
 
 pub mod chaos;
 pub mod repair_fixture;
+pub mod storm;
 pub mod table1;
 
 pub use table1::{

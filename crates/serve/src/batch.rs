@@ -103,6 +103,20 @@ pub struct ServeStats {
     pub rollbacks: AtomicU64,
     /// Connections rejected at the configured connection cap.
     pub conn_rejections: AtomicU64,
+    /// Connections currently registered with the event loops (a gauge:
+    /// incremented at admission, decremented at close).
+    pub conns_active: AtomicU64,
+    /// Connections admitted past the cap check.
+    pub conns_accepted: AtomicU64,
+    /// Admitted connections since closed.
+    pub conns_closed: AtomicU64,
+    /// High-water mark of any connection's outbound buffer, in bytes
+    /// (maintained with `fetch_max`).
+    pub outbound_hwm_bytes: AtomicU64,
+    /// Event-loop `epoll_wait` returns.
+    pub loop_wakeups: AtomicU64,
+    /// Accept backoffs taken after fd exhaustion (`EMFILE`/`ENFILE`).
+    pub accept_backoffs: AtomicU64,
 }
 
 impl ServeStats {
@@ -123,6 +137,12 @@ impl ServeStats {
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             rollbacks: self.rollbacks.load(Ordering::Relaxed),
             conn_rejections: self.conn_rejections.load(Ordering::Relaxed),
+            active_connections: self.conns_active.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+            outbound_hwm_bytes: self.outbound_hwm_bytes.load(Ordering::Relaxed),
+            loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
+            accept_backoffs: self.accept_backoffs.load(Ordering::Relaxed),
         }
     }
 }
@@ -140,11 +160,12 @@ pub struct JobOutput {
 pub(crate) enum Responder {
     /// In-process caller ([`Scheduler::submit_rows`], tests, benches).
     Channel(SyncSender<ServeResult<JobOutput>>),
-    /// A connection: the worker encodes and writes the response frame
-    /// itself, so no cross-thread wakeup sits on the reply path.
+    /// A connection: the worker encodes the response frame, enqueues it
+    /// on the connection's outbound buffer, and wakes the owning event
+    /// loop, which flushes when the socket is writable.
     Stream {
-        /// Shared write half of the connection.
-        writer: Arc<Mutex<std::net::TcpStream>>,
+        /// Handle to the connection's outbound buffer + loop waker.
+        conn: crate::conn::ConnHandle,
         /// Request id to echo.
         id: u64,
     },
@@ -595,7 +616,7 @@ fn deliver(stats: &ServeStats, job: Job, result: ServeResult<JobOutput>) {
             // A disconnected receiver means the caller gave up; fine.
             let _ = tx.send(result);
         }
-        Responder::Stream { writer, id } => {
+        Responder::Stream { conn, id } => {
             let response = match result {
                 Ok(out) => crate::protocol::Response::Predict(crate::protocol::PredictResponse {
                     predictions: out.predictions,
@@ -610,10 +631,10 @@ fn deliver(stats: &ServeStats, job: Job, result: ServeResult<JobOutput>) {
                 }
             };
             let wire = crate::protocol::encode_response(id, &response);
-            // A failed write means the client hung up mid-flight; there
-            // is nothing to deliver to and no error *frame* was sent, so
-            // the errors counter (error frames) is not bumped here.
-            let _ = crate::server::write_wire(&writer, &wire);
+            // Enqueue-and-wake; if the connection already closed the
+            // bytes are discarded, which is the old "client hung up
+            // mid-flight" path.
+            conn.send(stats, &wire);
         }
     }
 }

@@ -162,6 +162,13 @@ impl Client {
         &self.config
     }
 
+    /// The underlying socket, for tuning (buffer sizes, platform socket
+    /// options) and tests. Reading or writing bytes through it desyncs
+    /// the client's framing; stick to option setters.
+    pub fn socket(&self) -> &TcpStream {
+        &self.stream
+    }
+
     /// Replaces a dead transport with a fresh connection to the same
     /// address. Request ids keep increasing across the reconnect, so a
     /// straggler response from the old connection can never be matched
@@ -195,15 +202,19 @@ impl Client {
             None => self.config.response_timeout,
         };
         self.set_read_timeout(timeout)?;
+        // One absolute deadline for the whole response: the per-syscall
+        // receive timeout alone would reset on every partial read, so a
+        // response trickling in against the nonblocking server could
+        // wait far past the configured timeout.
+        let response_deadline = Instant::now() + timeout.max(Duration::from_millis(1));
 
         let id = self.next_id;
         self.next_id += 1;
-        self.stream.write_all(&encode_request(id, request))?;
-        self.stream.flush()?;
+        write_full(&mut self.stream, &encode_request(id, request))?;
 
         let response = loop {
             let mut prefix = [0u8; 4];
-            self.stream.read_exact(&mut prefix)?;
+            read_full(&mut self.stream, &mut prefix, response_deadline)?;
             let len = u32::from_le_bytes(prefix) as usize;
             if len > MAX_FRAME_BYTES {
                 return Err(ServeError::Protocol {
@@ -211,7 +222,7 @@ impl Client {
                 });
             }
             let mut frame = vec![0u8; len];
-            self.stream.read_exact(&mut frame)?;
+            read_full(&mut self.stream, &mut frame, response_deadline)?;
             let (echoed, response) = decode_response(&frame)?;
             // A frame older than this request is a straggler answer to a
             // call we abandoned (its deadline lapsed locally); drop it
@@ -499,6 +510,60 @@ impl Client {
             _ => Self::unexpected("stats"),
         }
     }
+}
+
+/// Writes the whole buffer, looping over partial writes, `Interrupted`,
+/// and spurious `WouldBlock`: with deliberately tiny socket buffers (or
+/// a slow-draining nonblocking peer) even a blocking socket returns
+/// short writes, and `write_all` alone would surface a transient
+/// `WouldBlock` as a hard transport error.
+fn write_full(stream: &mut TcpStream, mut buf: &[u8]) -> ServeResult<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(ServeError::Io {
+                    message: "server closed while request was being written".into(),
+                })
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e)
+                if e.kind() == std::io::ErrorKind::Interrupted
+                    || e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    stream.flush()?;
+    Ok(())
+}
+
+/// Fills `buf`, tolerating short reads: the per-syscall receive timeout
+/// acts as a poll tick against one absolute `deadline`, so a response
+/// arriving in arbitrarily small chunks neither errors out mid-frame
+/// (desyncing the stream) nor extends the total wait beyond the
+/// caller's timeout.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> ServeResult<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ServeError::Io {
+                    message: format!("server closed mid-frame ({filled}/{} bytes)", buf.len()),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(e.into());
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

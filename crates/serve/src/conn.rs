@@ -1,0 +1,476 @@
+//! Per-connection state shared between the event loops and the
+//! scheduler workers.
+//!
+//! Three pieces live here:
+//!
+//! * [`FrameAssembler`] — the incremental decoder for the u32
+//!   length-prefixed wire format. The event loop feeds it whatever byte
+//!   chunks the socket yields; it emits complete frames and flags
+//!   unrecoverable framing (oversized length claims) without ever
+//!   panicking on hostile input. Public because the protocol proptests
+//!   drive it directly with adversarial splits.
+//! * `Outbound` — the bounded per-connection outbound byte buffer.
+//!   Scheduler workers and admin threads *enqueue* response frames here
+//!   instead of writing to the socket; the owning event loop flushes
+//!   when the socket is writable. The bound is the backpressure policy:
+//!   a peer that stops reading eventually overflows its buffer and is
+//!   disconnected rather than growing server memory without limit.
+//! * `ConnHandle` — what a worker holds: the outbound buffer plus the
+//!   owning loop's waker. `ConnHandle::send` is the server's transport
+//!   fault seam (the old `write_wire`): when a `deepmorph-faults` plan
+//!   is armed, a response may be dropped, truncated, stalled, or the
+//!   connection reset at this boundary, exactly as before the event
+//!   loop existed.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use deepmorph_faults::NetAction;
+
+use crate::batch::ServeStats;
+use crate::protocol::MAX_FRAME_BYTES;
+use crate::sync::LockRecover;
+
+/// Why a stream's framing was declared unrecoverable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramingError {
+    /// Human-readable reason, echoed in the typed error frame the
+    /// server sends before closing the connection.
+    pub reason: String,
+}
+
+enum AssemblerState {
+    /// Accumulating the 4-byte length prefix.
+    Prefix { buf: [u8; 4], filled: usize },
+    /// Accumulating a frame body of known length.
+    Body { buf: Vec<u8>, filled: usize },
+    /// Framing lost; every further byte is rejected.
+    Failed(String),
+}
+
+/// Incremental decoder for u32 length-prefixed frames.
+///
+/// Byte-boundary agnostic: a frame may arrive in any number of chunks
+/// split anywhere, including mid-prefix, and multiple frames may share
+/// one chunk. The assembler never allocates more than one frame body
+/// (bounded by `max_frame`) and never panics on garbage.
+pub struct FrameAssembler {
+    max_frame: usize,
+    state: AssemblerState,
+}
+
+impl FrameAssembler {
+    /// A fresh assembler rejecting frames larger than `max_frame` bytes.
+    pub fn new(max_frame: usize) -> FrameAssembler {
+        FrameAssembler {
+            max_frame,
+            state: AssemblerState::Prefix {
+                buf: [0; 4],
+                filled: 0,
+            },
+        }
+    }
+
+    /// An assembler with the protocol's frame cap
+    /// ([`MAX_FRAME_BYTES`]).
+    pub fn for_protocol() -> FrameAssembler {
+        FrameAssembler::new(MAX_FRAME_BYTES)
+    }
+
+    /// `true` while a frame is partially accumulated (a peer
+    /// disconnecting now is a mid-frame disconnect, not a clean EOF).
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            AssemblerState::Prefix { filled, .. } => *filled > 0,
+            AssemblerState::Body { .. } => true,
+            AssemblerState::Failed(_) => false,
+        }
+    }
+
+    /// Consumes one chunk of stream bytes, appending every frame body
+    /// that completed to `frames` (prefixes stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FramingError`] when the stream claims a frame larger
+    /// than the cap — resynchronization is impossible at that point, so
+    /// the error is sticky and the connection must be closed after the
+    /// typed error frame.
+    pub fn feed(
+        &mut self,
+        mut chunk: &[u8],
+        frames: &mut Vec<Vec<u8>>,
+    ) -> Result<(), FramingError> {
+        while !chunk.is_empty() {
+            match &mut self.state {
+                AssemblerState::Failed(reason) => {
+                    return Err(FramingError {
+                        reason: reason.clone(),
+                    });
+                }
+                AssemblerState::Prefix { buf, filled } => {
+                    let take = chunk.len().min(4 - *filled);
+                    buf[*filled..*filled + take].copy_from_slice(&chunk[..take]);
+                    *filled += take;
+                    chunk = &chunk[take..];
+                    if *filled == 4 {
+                        let len = u32::from_le_bytes(*buf) as usize;
+                        if len > self.max_frame {
+                            let reason =
+                                format!("frame claims {len} bytes (limit {})", self.max_frame);
+                            self.state = AssemblerState::Failed(reason.clone());
+                            return Err(FramingError { reason });
+                        }
+                        if len == 0 {
+                            // A zero-length frame completes immediately;
+                            // the decode layer rejects it as truncated.
+                            frames.push(Vec::new());
+                            self.state = AssemblerState::Prefix {
+                                buf: [0; 4],
+                                filled: 0,
+                            };
+                        } else {
+                            self.state = AssemblerState::Body {
+                                buf: vec![0; len],
+                                filled: 0,
+                            };
+                        }
+                    }
+                }
+                AssemblerState::Body { buf, filled } => {
+                    let take = chunk.len().min(buf.len() - *filled);
+                    buf[*filled..*filled + take].copy_from_slice(&chunk[..take]);
+                    *filled += take;
+                    chunk = &chunk[take..];
+                    if *filled == buf.len() {
+                        let body = std::mem::take(buf);
+                        frames.push(body);
+                        self.state = AssemblerState::Prefix {
+                            buf: [0; 4],
+                            filled: 0,
+                        };
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a flush attempt left behind.
+pub(crate) enum FlushState {
+    /// Buffer drained; connection stays in its steady state.
+    Idle,
+    /// Buffer drained and the connection was marked to close once empty
+    /// (injected reset/truncate, or protocol error close).
+    CloseNow,
+    /// Bytes remain (socket would block); watch for writability.
+    Pending {
+        /// Bytes still buffered, for the backpressure check.
+        buffered: usize,
+    },
+    /// The buffer was closed or overflowed; drop the connection.
+    Dead,
+}
+
+struct OutState {
+    buf: VecDeque<u8>,
+    closed: bool,
+    close_after_flush: bool,
+}
+
+/// Bounded outbound byte buffer of one connection.
+///
+/// Shared between the owning event loop (which flushes) and any number
+/// of scheduler workers / admin threads (which enqueue). The short
+/// critical sections — memcpy in, write syscall out — are why a plain
+/// mutex is fine here.
+pub(crate) struct Outbound {
+    cap: usize,
+    state: Mutex<OutState>,
+}
+
+impl Outbound {
+    pub(crate) fn new(cap: usize) -> Outbound {
+        Outbound {
+            cap: cap.max(1),
+            state: Mutex::new(OutState {
+                buf: VecDeque::new(),
+                closed: false,
+                close_after_flush: false,
+            }),
+        }
+    }
+
+    /// Enqueues response bytes. Returns `false` when the connection is
+    /// gone (bytes discarded) or the enqueue overflowed the bound —
+    /// overflow means the peer has stopped reading faster than we
+    /// produce, so the buffer is dropped wholesale and the connection
+    /// marked dead for the loop to reap.
+    pub(crate) fn push(&self, stats: &ServeStats, bytes: &[u8]) -> bool {
+        let mut state = self.state.lock_recover();
+        if state.closed {
+            return false;
+        }
+        if state.buf.len() + bytes.len() > self.cap {
+            state.closed = true;
+            state.buf = VecDeque::new();
+            return false;
+        }
+        state.buf.extend(bytes);
+        stats
+            .outbound_hwm_bytes
+            .fetch_max(state.buf.len() as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// Marks the connection to be shut down once the buffer drains
+    /// (typed-error close and the injected truncate/reset faults).
+    pub(crate) fn mark_close_after_flush(&self) {
+        self.state.lock_recover().close_after_flush = true;
+    }
+
+    /// Marks the connection dead immediately; subsequent pushes are
+    /// discarded. Called by the loop when it drops the connection.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock_recover();
+        state.closed = true;
+        state.buf = VecDeque::new();
+    }
+
+    /// Bytes currently buffered (the live flush path reports this via
+    /// [`FlushState::Pending`]; only tests need to ask directly).
+    #[cfg(test)]
+    pub(crate) fn pending(&self) -> usize {
+        self.state.lock_recover().buf.len()
+    }
+
+    /// Writes as much buffered data as the socket takes right now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real socket errors (connection reset etc.); the
+    /// caller closes the connection. `WouldBlock` is not an error — it
+    /// ends the flush with [`FlushState::Pending`].
+    pub(crate) fn flush_into(&self, stream: &TcpStream) -> std::io::Result<FlushState> {
+        let mut state = self.state.lock_recover();
+        if state.closed {
+            return Ok(FlushState::Dead);
+        }
+        while !state.buf.is_empty() {
+            let (front, _) = state.buf.as_slices();
+            debug_assert!(!front.is_empty());
+            match (&mut (&*stream)).write(front) {
+                Ok(0) => {
+                    state.closed = true;
+                    return Ok(FlushState::Dead);
+                }
+                Ok(n) => {
+                    state.buf.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(FlushState::Pending {
+                        buffered: state.buf.len(),
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    state.closed = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(if state.close_after_flush {
+            FlushState::CloseNow
+        } else {
+            FlushState::Idle
+        })
+    }
+}
+
+/// How producer threads wake a (possibly sleeping) event loop and tell
+/// it which connections have pending outbound bytes.
+pub(crate) struct LoopNotify {
+    /// Pulls the loop's `epoll_wait` out of the kernel.
+    pub(crate) waker: deepmorph_net::Waker,
+    /// Tokens with freshly enqueued outbound data.
+    dirty: Mutex<Vec<u64>>,
+}
+
+impl LoopNotify {
+    pub(crate) fn new() -> std::io::Result<LoopNotify> {
+        Ok(LoopNotify {
+            waker: deepmorph_net::Waker::new()?,
+            dirty: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Flags `token` as having pending outbound bytes and wakes the
+    /// loop.
+    pub(crate) fn notify(&self, token: u64) {
+        self.dirty.lock_recover().push(token);
+        self.waker.wake();
+    }
+
+    /// Drains the dirty set into `into` (deduplication is the caller's
+    /// concern; flushing an already-flushed token is a no-op).
+    pub(crate) fn take_dirty(&self, into: &mut Vec<u64>) {
+        into.append(&mut self.dirty.lock_recover());
+    }
+}
+
+/// A worker's handle to one connection: enqueue bytes, wake the loop.
+///
+/// Cloned into every [`crate::batch::Responder::Stream`]. Stale handles
+/// (connection closed, token reused) degrade safely: pushes to a closed
+/// [`Outbound`] are discarded, and a spurious dirty notification makes
+/// the loop flush a connection that has nothing pending.
+#[derive(Clone)]
+pub(crate) struct ConnHandle {
+    pub(crate) outbound: Arc<Outbound>,
+    pub(crate) notify: Arc<LoopNotify>,
+    pub(crate) token: u64,
+}
+
+impl ConnHandle {
+    /// Enqueues one wire frame for delivery, applying the armed
+    /// transport fault (if any) at this seam — the event-loop era
+    /// equivalent of the old `write_wire`:
+    ///
+    /// * `Drop` — the frame vanishes in the "network".
+    /// * `Truncate` — half the frame is delivered, then the connection
+    ///   closes (after any previously queued frames flush, which on the
+    ///   old direct-write path had already reached the socket).
+    /// * `Stall` — the producer thread sleeps before enqueueing, the
+    ///   same latency the old path injected before its write.
+    /// * `Reset` — nothing more is delivered and the connection closes
+    ///   after pending bytes flush.
+    pub(crate) fn send(&self, stats: &ServeStats, wire: &[u8]) {
+        match deepmorph_faults::net_action() {
+            NetAction::Deliver => {
+                self.outbound.push(stats, wire);
+            }
+            NetAction::Drop => return,
+            NetAction::Truncate => {
+                self.outbound.push(stats, &wire[..wire.len() / 2]);
+                self.outbound.mark_close_after_flush();
+            }
+            NetAction::Stall(pause) => {
+                std::thread::sleep(pause);
+                self.outbound.push(stats, wire);
+            }
+            NetAction::Reset => {
+                self.outbound.mark_close_after_flush();
+            }
+        }
+        self.notify.notify(self.token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(body);
+        wire
+    }
+
+    #[test]
+    fn assembler_reassembles_across_arbitrary_splits() {
+        let bodies: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![], vec![9; 300], vec![42]];
+        let mut wire = Vec::new();
+        for body in &bodies {
+            wire.extend_from_slice(&frame(body));
+        }
+        // Split after every single byte: the most adversarial chunking.
+        let mut assembler = FrameAssembler::for_protocol();
+        let mut frames = Vec::new();
+        for byte in &wire {
+            assembler
+                .feed(std::slice::from_ref(byte), &mut frames)
+                .unwrap();
+        }
+        assert_eq!(frames, bodies);
+        assert!(!assembler.mid_frame());
+    }
+
+    #[test]
+    fn assembler_emits_multiple_frames_from_one_chunk() {
+        let mut wire = frame(b"abc");
+        wire.extend_from_slice(&frame(b"defg"));
+        wire.extend_from_slice(&frame(b""));
+        let mut assembler = FrameAssembler::for_protocol();
+        let mut frames = Vec::new();
+        assembler.feed(&wire, &mut frames).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"abc");
+        assert_eq!(frames[1], b"defg");
+        assert!(frames[2].is_empty());
+    }
+
+    #[test]
+    fn oversized_claim_is_a_sticky_framing_error() {
+        let mut assembler = FrameAssembler::new(64);
+        let mut frames = Vec::new();
+        let wire = frame(&[0u8; 65]);
+        let err = assembler.feed(&wire, &mut frames).unwrap_err();
+        assert!(
+            err.reason.contains("65"),
+            "reason names the claim: {}",
+            err.reason
+        );
+        assert!(frames.is_empty());
+        // Sticky: even innocent bytes afterwards keep failing.
+        assert!(assembler.feed(&frame(b"x"), &mut frames).is_err());
+    }
+
+    #[test]
+    fn outbound_overflow_kills_the_buffer_instead_of_growing() {
+        let stats = ServeStats::default();
+        let outbound = Outbound::new(10);
+        assert!(outbound.push(&stats, &[0; 6]));
+        assert!(!outbound.push(&stats, &[0; 6]), "11 bytes > cap of 10");
+        assert_eq!(outbound.pending(), 0, "overflow drops the whole buffer");
+        assert!(
+            !outbound.push(&stats, &[0; 1]),
+            "buffer is dead after overflow"
+        );
+        assert_eq!(stats.outbound_hwm_bytes.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn outbound_flushes_through_a_socket_pair() {
+        use std::io::Read;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let stats = ServeStats::default();
+        let outbound = Outbound::new(1 << 20);
+        assert!(outbound.push(&stats, b"hello "));
+        assert!(outbound.push(&stats, b"world"));
+        match outbound.flush_into(&server_side).unwrap() {
+            FlushState::Idle => {}
+            _ => panic!("small write drains in one flush"),
+        }
+        let mut got = [0u8; 11];
+        let mut client = client;
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello world");
+
+        outbound.mark_close_after_flush();
+        match outbound.flush_into(&server_side).unwrap() {
+            FlushState::CloseNow => {}
+            _ => panic!("close-after-flush reported once drained"),
+        }
+    }
+}

@@ -29,7 +29,13 @@
 //!   scatter. Batched responses are **bitwise identical** to solo
 //!   responses (eval-mode rows are computed independently — pinned by
 //!   tests at the GEMM, graph, scheduler, and protocol levels).
-//! * [`server`] / [`client`] — the TCP endpoints.
+//! * [`server`] / [`client`] — the TCP endpoints. The server is
+//!   readiness-driven: a fixed pool of epoll event-loop threads
+//!   (`deepmorph-net`, raw syscall bindings — no async runtime) holds
+//!   every connection, assembles frames incrementally ([`conn`]), and
+//!   flushes worker-enqueued responses from bounded per-connection
+//!   outbound buffers, so one process carries tens of thousands of
+//!   mostly idle sockets on a constant thread count.
 //! * [`cases`] — per-model accumulation of labeled misclassified
 //!   traffic, the input to the diagnose endpoint; version-scoped, so a
 //!   hot-swap can never leak pre-repair mistakes into the next
@@ -64,7 +70,9 @@
 
 pub mod batch;
 pub mod cases;
+pub mod conn;
 mod error;
+mod event_loop;
 pub mod protocol;
 pub mod registry;
 pub mod repair;
@@ -75,6 +83,7 @@ pub mod client;
 
 pub use batch::{BatchConfig, JobOutput, Scheduler, ServeStats};
 pub use client::{Client, ClientConfig, RetryPolicy};
+pub use conn::{FrameAssembler, FramingError};
 pub use error::{ErrorCode, ServeError, ServeResult};
 pub use registry::{DiagnosisContext, ModelId, ModelRegistry, VersionPin};
 pub use repair::{ArtifactBackend, PromoteResponse};

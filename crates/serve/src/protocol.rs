@@ -206,6 +206,21 @@ pub struct StatsSnapshot {
     pub rollbacks: u64,
     /// Connections rejected because the connection cap was reached.
     pub conn_rejections: u64,
+    /// Connections currently registered with the event loops (a gauge,
+    /// not a monotonic counter).
+    pub active_connections: u64,
+    /// Connections admitted past the cap check since start.
+    pub conns_accepted: u64,
+    /// Admitted connections that have since closed.
+    pub conns_closed: u64,
+    /// Largest per-connection outbound buffer observed, in bytes — how
+    /// close a slow reader has come to the backpressure limit.
+    pub outbound_hwm_bytes: u64,
+    /// Event-loop `epoll_wait` returns. Mostly a liveness signal: a
+    /// serving loop under traffic must keep waking.
+    pub loop_wakeups: u64,
+    /// Accept backoffs taken after `EMFILE`/`ENFILE` (fd exhaustion).
+    pub accept_backoffs: u64,
 }
 
 impl StatsSnapshot {
@@ -376,6 +391,12 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
                 s.worker_panics,
                 s.rollbacks,
                 s.conn_rejections,
+                s.active_connections,
+                s.conns_accepted,
+                s.conns_closed,
+                s.outbound_hwm_bytes,
+                s.loop_wakeups,
+                s.accept_backoffs,
             ] {
                 w.put_u64(v);
             }
@@ -547,6 +568,12 @@ pub fn decode_response(frame: &[u8]) -> CodecResult<(u64, Response)> {
             worker_panics: r.get_u64("stats")?,
             rollbacks: r.get_u64("stats")?,
             conn_rejections: r.get_u64("stats")?,
+            active_connections: r.get_u64("stats")?,
+            conns_accepted: r.get_u64("stats")?,
+            conns_closed: r.get_u64("stats")?,
+            outbound_hwm_bytes: r.get_u64("stats")?,
+            loop_wakeups: r.get_u64("stats")?,
+            accept_backoffs: r.get_u64("stats")?,
         }),
         k if k == RESPONSE_BIT | KIND_REPAIR => {
             let plan = r.get_str("repair plan")?;
@@ -696,6 +723,12 @@ mod tests {
                 worker_panics: 1,
                 rollbacks: 2,
                 conn_rejections: 6,
+                active_connections: 17,
+                conns_accepted: 23,
+                conns_closed: 6,
+                outbound_hwm_bytes: 4096,
+                loop_wakeups: 99,
+                accept_backoffs: 1,
             }),
             Response::Repair(RepairResponse {
                 plan: "collect more training data for classes [0, 1]".into(),

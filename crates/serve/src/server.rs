@@ -1,37 +1,41 @@
-//! The threaded TCP inference server.
+//! The TCP inference server.
 //!
-//! One accept-loop thread spawns a thread per connection; connection
-//! threads read frames, validate them, and either answer directly (ping,
-//! listing, stats, diagnosis) or enqueue the request with the
-//! [`Scheduler`] — whose worker then writes the predict response straight
-//! to the connection, so the reply path of the hottest request type pays
-//! no cross-thread wakeup.
+//! A fixed pool of readiness-driven event-loop threads
+//! (`crate::event_loop`) holds every connection; predicts are handed
+//! to the [`Scheduler`]'s workers, whose responses are enqueued back on
+//! the owning loop's per-connection outbound buffer. The thread count
+//! is a function of configuration, never of connection count.
 //!
 //! Failure policy: **the server never dies on client input.** A frame
 //! that fails to decode is answered with a typed error frame; a stream
 //! whose framing is lost (corrupt length prefix, mid-frame disconnect)
 //! gets a best-effort error frame and the connection — only the
-//! connection — is closed.
+//! connection — is closed. Running out of fds pauses *accepting*, not
+//! serving.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, Once};
 
 use deepmorph::pipeline::DeepMorphConfig;
-use deepmorph_faults::NetAction;
 
-use crate::batch::{validate_job, BatchConfig, Job, Responder, Scheduler, ServeStats};
+use crate::batch::{BatchConfig, Scheduler, ServeStats};
 use crate::cases::LiveCases;
 use crate::error::{ServeError, ServeResult};
-use crate::protocol::{
-    decode_request, encode_response, ErrorFrame, Request, Response, MAX_FRAME_BYTES,
-};
+use crate::event_loop::{start_loop, LoopState};
+use crate::protocol::MAX_FRAME_BYTES;
 use crate::registry::ModelRegistry;
 use crate::repair::{self, ArtifactBackend, PromoteResponse, RepairState};
 use crate::sync::LockRecover;
 use deepmorph_nn::prelude::Precision;
+
+/// Listen backlog requested on the bound socket. `TcpListener::bind`
+/// hardcodes 128, which a connection storm overflows into SYN
+/// retransmit stalls; the kernel clamps this to `net.core.somaxconn`.
+const LISTEN_BACKLOG: u32 = 4096;
+
+/// `RLIMIT_NOFILE` target requested at first server start.
+const NOFILE_TARGET: u64 = 1 << 20;
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +63,15 @@ pub struct ServerConfig {
     /// in-flight diagnosis session are never collected). `None` (the
     /// default) keeps everything, exactly as before this knob existed.
     pub retain_versions: Option<usize>,
+    /// Event-loop I/O threads. Each owns one epoll instance and a
+    /// round-robin share of the connections; loops never compute, so a
+    /// small fixed pool carries tens of thousands of sockets.
+    pub io_threads: usize,
+    /// Hard cap on one connection's buffered outbound bytes. A peer
+    /// that stops reading past it is disconnected (reads pause much
+    /// earlier, at the soft watermark). Clamped to at least one
+    /// maximum-size frame so a legitimate response can always buffer.
+    pub max_outbound_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +87,8 @@ impl Default for ServerConfig {
             artifacts: ArtifactBackend::default(),
             max_connections: 1024,
             retain_versions: None,
+            io_threads: 2,
+            max_outbound_bytes: 32 << 20,
         }
     }
 }
@@ -81,23 +96,31 @@ impl Default for ServerConfig {
 pub(crate) struct ServerShared {
     pub(crate) registry: Arc<ModelRegistry>,
     pub(crate) stats: Arc<ServeStats>,
-    scheduler: Arc<Scheduler>,
+    pub(crate) scheduler: Arc<Scheduler>,
     /// Per-model misclassification buffers, parallel to the registry
     /// slots (versions of one name share a buffer; a hot-swap advances
     /// its epoch and clears it).
     pub(crate) cases: Vec<Arc<Mutex<LiveCases>>>,
     pub(crate) deepmorph: DeepMorphConfig,
     pub(crate) repair: RepairState,
-    max_connections: usize,
-    shutdown: AtomicBool,
-    connections: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pub(crate) max_connections: usize,
+    /// Per-connection outbound buffer cap (see
+    /// [`ServerConfig::max_outbound_bytes`]).
+    pub(crate) max_outbound: usize,
+    pub(crate) shutdown: AtomicBool,
+    /// The event loops' cross-thread faces (wakers, dirty sets, accept
+    /// inboxes), indexed by loop.
+    pub(crate) loops: Vec<Arc<LoopState>>,
+    /// Live admin threads (diagnose/repair/rollback executors), reaped
+    /// opportunistically and joined at shutdown.
+    pub(crate) admin: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// A running inference server. Dropping it shuts it down.
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    io_threads: Vec<std::thread::JoinHandle<()>>,
     stopped: bool,
 }
 
@@ -106,24 +129,36 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("local_addr", &self.local_addr)
             .field("models", &self.shared.registry.len())
+            .field("io_threads", &self.io_threads.len())
             .finish()
     }
 }
 
 impl Server {
-    /// Binds, spawns the scheduler workers and the accept loop, and
-    /// returns immediately.
+    /// Binds, spawns the scheduler workers and the I/O event loops, and
+    /// returns immediately. The first start in a process also raises
+    /// `RLIMIT_NOFILE` as far as the kernel allows and logs the
+    /// effective cap.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Io`] if the address cannot be bound and
-    /// [`ServeError::BadInput`] for an empty registry.
+    /// Returns [`ServeError::Io`] if the address cannot be bound or the
+    /// event loops cannot be set up, and [`ServeError::BadInput`] for an
+    /// empty registry.
     pub fn start(registry: ModelRegistry, config: ServerConfig) -> ServeResult<Server> {
         if registry.is_empty() {
             return Err(ServeError::BadInput {
                 reason: "refusing to serve an empty model registry".into(),
             });
         }
+        // Once per process: a connection storm needs fds, and the
+        // default soft limit (often 1024) dies at a fraction of what
+        // the event loops can hold.
+        static NOFILE: Once = Once::new();
+        NOFILE.call_once(|| match deepmorph_net::raise_nofile_limit(NOFILE_TARGET) {
+            Ok(cap) => eprintln!("deepmorph-serve: RLIMIT_NOFILE effective soft limit = {cap}"),
+            Err(e) => eprintln!("deepmorph-serve: could not raise RLIMIT_NOFILE: {e}"),
+        });
         registry.set_retention(config.retain_versions);
         let registry = Arc::new(registry);
         let stats = Arc::new(ServeStats::default());
@@ -147,7 +182,11 @@ impl Server {
             .collect();
         let repair = RepairState::new(registry.len(), &config.artifacts);
         let listener = TcpListener::bind(&config.addr)?;
+        let _ = deepmorph_net::boost_listen_backlog(&listener, LISTEN_BACKLOG);
         let local_addr = listener.local_addr()?;
+        let loops = (0..config.io_threads.max(1))
+            .map(|_| LoopState::new().map(Arc::new))
+            .collect::<std::io::Result<Vec<_>>>()?;
         let shared = Arc::new(ServerShared {
             registry,
             stats,
@@ -156,20 +195,30 @@ impl Server {
             deepmorph: config.deepmorph,
             repair,
             max_connections: config.max_connections.max(1),
+            max_outbound: config.max_outbound_bytes.max(MAX_FRAME_BYTES + 4),
             shutdown: AtomicBool::new(false),
-            connections: Mutex::new(Vec::new()),
+            loops,
+            admin: Mutex::new(Vec::new()),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("deepmorph-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))
-            .map_err(|e| ServeError::Io {
-                message: format!("cannot spawn accept thread: {e}"),
+        let mut io_threads = Vec::with_capacity(shared.loops.len());
+        let mut listener = Some(listener);
+        for index in 0..shared.loops.len() {
+            let handle = start_loop(&shared, index, listener.take()).map_err(|e| {
+                // Unblock and unwind whatever already started.
+                shared.shutdown.store(true, Ordering::Release);
+                for state in &shared.loops {
+                    state.notify.waker.wake();
+                }
+                ServeError::Io {
+                    message: format!("cannot start event loop {index}: {e}"),
+                }
             })?;
+            io_threads.push(handle);
+        }
         Ok(Server {
             local_addr,
             shared,
-            accept: Some(accept),
+            io_threads,
             stopped: false,
         })
     }
@@ -224,16 +273,17 @@ impl Server {
         }
         self.stopped = true;
         self.shared.shutdown.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept.take() {
+        for state in &self.shared.loops {
+            state.notify.waker.wake();
+        }
+        for handle in self.io_threads.drain(..) {
             let _ = handle.join();
         }
-        let mut connections = self.shared.connections.lock_recover();
-        for handle in connections.drain(..) {
+        let mut admin = self.shared.admin.lock_recover();
+        for handle in admin.drain(..) {
             let _ = handle.join();
         }
-        drop(connections);
+        drop(admin);
         self.shared.scheduler.shutdown();
     }
 }
@@ -242,288 +292,4 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
     }
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(stream) = stream else {
-            // Accept errors (fd exhaustion, transient network failures)
-            // tend to repeat immediately; don't busy-spin on them.
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        };
-        let mut connections = shared.connections.lock_recover();
-        // Reap finished connections so a long-lived server doesn't
-        // accumulate a handle per connection it ever served.
-        connections.retain(|h| !h.is_finished());
-        if connections.len() >= shared.max_connections {
-            // Admission control: answer with one typed frame (best
-            // effort — the peer may already be gone) so clients can
-            // back off and retry instead of diagnosing a dead server.
-            shared.stats.conn_rejections.fetch_add(1, Ordering::Relaxed);
-            let error = ServeError::Overloaded {
-                reason: format!("connection limit ({}) reached", shared.max_connections),
-            };
-            let wire = encode_response(
-                0,
-                &Response::Error(ErrorFrame {
-                    code: error.code(),
-                    message: error.to_string(),
-                }),
-            );
-            let mut stream = stream;
-            let _ = stream.write_all(&wire);
-            let _ = stream.flush();
-            drop(stream);
-            continue;
-        }
-        let conn_shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("deepmorph-serve-conn".into())
-            .spawn(move || handle_connection(&conn_shared, stream));
-        if let Ok(handle) = handle {
-            connections.push(handle);
-        }
-    }
-}
-
-/// Outcome of pulling one frame off a connection.
-enum FrameRead {
-    /// A complete container (the `u32` prefix stripped).
-    Frame(Vec<u8>),
-    /// Peer closed cleanly between frames.
-    Eof,
-    /// Server shutdown was requested.
-    Shutdown,
-    /// Framing is unrecoverable (oversized claim, mid-frame disconnect).
-    Corrupt(String),
-}
-
-/// Fills `buf` from the stream, tolerating read timeouts (used to poll
-/// the shutdown flag). `Ok(false)` = clean EOF before the first byte.
-fn read_full(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shutdown: &AtomicBool,
-) -> Result<bool, FrameRead> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if shutdown.load(Ordering::Acquire) {
-            return Err(FrameRead::Shutdown);
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    Ok(false)
-                } else {
-                    Err(FrameRead::Corrupt(format!(
-                        "peer closed mid-frame ({filled}/{} bytes)",
-                        buf.len()
-                    )))
-                };
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) => return Err(FrameRead::Corrupt(format!("read error: {e}"))),
-        }
-    }
-    Ok(true)
-}
-
-fn read_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> FrameRead {
-    let mut prefix = [0u8; 4];
-    match read_full(stream, &mut prefix, shutdown) {
-        Ok(true) => {}
-        Ok(false) => return FrameRead::Eof,
-        Err(outcome) => return outcome,
-    }
-    let len = u32::from_le_bytes(prefix) as usize;
-    if len > MAX_FRAME_BYTES {
-        return FrameRead::Corrupt(format!(
-            "frame claims {len} bytes (limit {MAX_FRAME_BYTES})"
-        ));
-    }
-    let mut frame = vec![0u8; len];
-    match read_full(stream, &mut frame, shutdown) {
-        Ok(true) => FrameRead::Frame(frame),
-        // EOF exactly between prefix and body is still mid-frame.
-        Ok(false) => FrameRead::Corrupt("peer closed after length prefix".into()),
-        Err(outcome) => outcome,
-    }
-}
-
-/// Writes one wire frame under the connection's write lock. Used by both
-/// connection threads and scheduler workers.
-///
-/// This is the server's transport fault seam: when a fault plan is armed
-/// (tests / chaos benches only — the consult is one relaxed atomic load
-/// when it is not), a response frame may be silently dropped, truncated
-/// mid-frame, stalled, or the connection reset, exactly the failures a
-/// real network inflicts between a correct server and a correct client.
-pub(crate) fn write_wire(writer: &Arc<Mutex<TcpStream>>, wire: &[u8]) -> std::io::Result<()> {
-    let mut stream = writer.lock_recover();
-    match deepmorph_faults::net_action() {
-        NetAction::Deliver => {}
-        NetAction::Drop => return Ok(()), // frame vanishes in the "network"
-        NetAction::Truncate => {
-            // Half a frame, then a dead connection: the client's framing
-            // layer must detect the short read, not hang or mis-parse.
-            stream.write_all(&wire[..wire.len() / 2])?;
-            stream.flush()?;
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            return Err(std::io::Error::other("injected fault: truncated frame"));
-        }
-        NetAction::Stall(pause) => std::thread::sleep(pause),
-        NetAction::Reset => {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            return Err(std::io::Error::other("injected fault: connection reset"));
-        }
-    }
-    stream.write_all(wire)?;
-    stream.flush()
-}
-
-fn send_error(shared: &ServerShared, writer: &Arc<Mutex<TcpStream>>, id: u64, error: &ServeError) {
-    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-    let wire = encode_response(
-        id,
-        &Response::Error(ErrorFrame {
-            code: error.code(),
-            message: error.to_string(),
-        }),
-    );
-    let _ = write_wire(writer, &wire);
-}
-
-fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
-    // Nagle would add milliseconds to every small frame exchange.
-    let _ = stream.set_nodelay(true);
-    // A finite read timeout lets the loop poll the shutdown flag.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let writer = Arc::new(Mutex::new(write_half));
-    let mut reader = stream;
-
-    loop {
-        match read_frame(&mut reader, &shared.shutdown) {
-            FrameRead::Eof | FrameRead::Shutdown => return,
-            FrameRead::Corrupt(reason) => {
-                // Framing is lost: answer once (the peer may still be
-                // reading) and drop the connection.
-                send_error(shared, &writer, 0, &ServeError::Protocol { reason });
-                return;
-            }
-            FrameRead::Frame(frame) => match decode_request(&frame) {
-                // The length prefix was honored, so the stream is still
-                // in sync: report the bad frame and keep serving.
-                Err(e) => send_error(shared, &writer, 0, &ServeError::Codec(e)),
-                Ok((id, request)) => handle_request(shared, &writer, id, request),
-            },
-        }
-    }
-}
-
-fn handle_request(
-    shared: &Arc<ServerShared>,
-    writer: &Arc<Mutex<TcpStream>>,
-    id: u64,
-    request: Request,
-) {
-    let response = match request {
-        Request::Ping => Response::Pong {
-            models: shared.registry.len() as u64,
-        },
-        Request::ListModels => Response::Models(shared.registry.infos()),
-        Request::Stats => Response::Stats(shared.stats.snapshot()),
-        Request::Diagnose { model } => {
-            let diagnosed = shared
-                .registry
-                .find(&model)
-                .ok_or(ServeError::UnknownModel { name: model })
-                .and_then(|mid| repair::diagnose_live(shared, mid));
-            match diagnosed {
-                Ok(d) => Response::Diagnose(d),
-                Err(e) => return send_error(shared, writer, id, &e),
-            }
-        }
-        Request::Repair { model } => {
-            // Runs on the connection thread: the caller blocks for the
-            // retrain, predict traffic does not.
-            let repaired = shared
-                .registry
-                .find(&model)
-                .ok_or(ServeError::UnknownModel { name: model })
-                .and_then(|mid| repair::repair_live(shared, mid));
-            match repaired {
-                Ok(r) => Response::Repair(r),
-                Err(e) => return send_error(shared, writer, id, &e),
-            }
-        }
-        Request::Rollback { model } => {
-            let rolled = shared
-                .registry
-                .find(&model)
-                .ok_or(ServeError::UnknownModel { name: model })
-                .and_then(|mid| repair::rollback_live(shared, mid));
-            match rolled {
-                Ok(r) => Response::Rollback(r),
-                Err(e) => return send_error(shared, writer, id, &e),
-            }
-        }
-        Request::ListVersions { model } => match shared.registry.find(&model) {
-            Some(mid) => Response::Versions(shared.registry.versions(mid)),
-            None => {
-                return send_error(
-                    shared,
-                    writer,
-                    id,
-                    &ServeError::UnknownModel { name: model },
-                )
-            }
-        },
-        Request::Predict(p) => {
-            let submitted = shared
-                .registry
-                .find(&p.model)
-                .ok_or(ServeError::UnknownModel { name: p.model })
-                .and_then(|model| {
-                    validate_job(&shared.registry, model, &p.rows, &p.true_labels)?;
-                    // A request-supplied deadline budget starts counting
-                    // here, at admission; jobs still queued when it runs
-                    // out are shed before compute.
-                    let deadline = (p.deadline_ms > 0)
-                        .then(|| Instant::now() + Duration::from_millis(p.deadline_ms));
-                    shared.scheduler.submit(Job {
-                        model,
-                        rows: p.rows,
-                        want_logits: p.want_logits,
-                        cases: (!p.true_labels.is_empty())
-                            .then(|| Arc::clone(&shared.cases[model.index()])),
-                        true_labels: p.true_labels,
-                        deadline,
-                        deadline_ms: p.deadline_ms,
-                        responder: Responder::Stream {
-                            writer: Arc::clone(writer),
-                            id,
-                        },
-                    })
-                });
-            match submitted {
-                // The worker owns the reply now.
-                Ok(()) => return,
-                Err(e) => return send_error(shared, writer, id, &e),
-            }
-        }
-    };
-    let _ = write_wire(writer, &encode_response(id, &response));
 }
