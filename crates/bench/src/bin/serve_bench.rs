@@ -35,6 +35,14 @@
 //! (and asserts it is positive when the SIMD backend is active — build
 //! with `--features simd` for the representative numbers).
 //!
+//! A **telemetry-overhead** phase measures the batched server with the
+//! process-global `deepmorph-telemetry` registry disarmed vs fully
+//! armed (request histogram, stage spans, per-version counters, slow
+//! traces); full mode asserts the armed p50 stays within 5% of the
+//! disarmed p50 at concurrency 32 and records both in
+//! `BENCH_serve.json`. Latency percentiles throughout the bench come
+//! from the same crate's log₂ histograms rather than sorted vectors.
+//!
 //! A **chaos** phase (shared with the `chaos_smoke` CI binary) arms a
 //! deterministic fault storm — dropped/truncated/stalled/reset
 //! response frames, worker panics, slow batches — and drives retrying
@@ -60,6 +68,7 @@ use deepmorph_json::Json;
 use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
 use deepmorph_serve::prelude::*;
 use deepmorph_serve::protocol::{self, PredictRequest, Request, Response};
+use deepmorph_telemetry::LogHistogram;
 use deepmorph_tensor::init::stream_rng;
 use deepmorph_tensor::Tensor;
 
@@ -138,27 +147,22 @@ struct LoadResult {
     avg_batch_rows: f64,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 /// A pipelined load-generator connection: keeps `window` single-row
 /// predict requests in flight (responses matched by echoed id), the way
 /// a real high-throughput client drives an inference service. Pipelining
 /// holds the target concurrency with `concurrency / window` sockets, so
 /// the measurement exercises the server, not the load generator's own
-/// thread-scheduling overhead.
+/// thread-scheduling overhead. Latencies land in the shared log₂
+/// histogram (`deepmorph-telemetry`) — one relaxed atomic add per
+/// response, no per-thread Vec to sort or merge afterwards.
 fn drive_connection(
     addr: std::net::SocketAddr,
     model: &str,
     window: usize,
     requests: usize,
     salt: usize,
-) -> Vec<f64> {
+    latencies: &LogHistogram,
+) {
     // Encode every request up front: the load generator shares cores
     // with the server in this bench, so per-request hashing/encoding
     // inside the timed loop would perturb what is being measured.
@@ -178,7 +182,6 @@ fn drive_connection(
         .collect();
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
-    let mut latencies = Vec::with_capacity(requests);
     let mut in_flight: HashMap<u64, Instant> = HashMap::new();
     let mut sent = 0usize;
     let mut done = 0usize;
@@ -194,14 +197,13 @@ fn drive_connection(
         stream.read_exact(&mut frame).expect("read frame");
         let (id, response) = protocol::decode_response(&frame).expect("decode");
         let started = in_flight.remove(&id).expect("known id");
-        latencies.push(started.elapsed().as_secs_f64() * 1e6);
+        latencies.record(started.elapsed().as_micros() as u64);
         match response {
             Response::Predict(p) => assert_eq!(p.predictions.len(), 1),
             other => panic!("unexpected response {other:?}"),
         }
         done += 1;
     }
-    latencies
 }
 
 /// Requests pipelined per connection. 4 in-flight per socket keeps the
@@ -221,33 +223,43 @@ fn run_load(
     let window = WINDOW.min(concurrency);
     let connections = concurrency / window;
     let requests_each = total_requests / connections;
+    // Every loader thread records into one shared histogram; quantiles
+    // come straight from the bucket counts (≤ ~3% relative error, the
+    // sub-bucket width) — no sort, no cross-thread latency Vec merge.
+    let latencies = LogHistogram::new();
     let start = Instant::now();
-    let latencies: Vec<f64> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
+                let latencies = &latencies;
                 scope.spawn(move || {
-                    drive_connection(addr, model, window, requests_each, c * requests_each)
+                    drive_connection(
+                        addr,
+                        model,
+                        window,
+                        requests_each,
+                        c * requests_each,
+                        latencies,
+                    )
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect()
+        for handle in handles {
+            handle.join().expect("client thread");
+        }
     });
     let wall = start.elapsed().as_secs_f64();
     let total_rows = (connections * requests_each) as f64;
-    let mut sorted = latencies;
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let snapshot = latencies.snapshot();
     let after = stats_after();
     let batches = after.batches.saturating_sub(stats_before.batches);
     let rows = after.rows.saturating_sub(stats_before.rows);
     LoadResult {
         workers: 0,
         throughput_rows_per_s: total_rows / wall,
-        p50_us: percentile(&sorted, 0.50),
-        p95_us: percentile(&sorted, 0.95),
-        p99_us: percentile(&sorted, 0.99),
+        p50_us: snapshot.quantile(0.50) as f64,
+        p95_us: snapshot.quantile(0.95) as f64,
+        p99_us: snapshot.quantile(0.99) as f64,
         avg_batch_rows: if batches == 0 {
             0.0
         } else {
@@ -471,6 +483,51 @@ fn quantized_serving(concurrency: usize, total_requests: usize) -> QuantResult {
     }
 }
 
+struct TelemetryOverhead {
+    p50_off_us: f64,
+    p50_on_us: f64,
+    /// `p50_on / p50_off` for the best attempt.
+    ratio: f64,
+    attempts: usize,
+}
+
+/// The telemetry-overhead phase: the batched server measured twice at
+/// the same concurrency — once with the process-global telemetry
+/// registry disarmed (recording gated off behind one relaxed load) and
+/// once fully armed (stage spans, request histogram, per-version
+/// counters, slow-trace ring all live). The armed p50 must stay within
+/// 5% of the disarmed p50. Medians on a shared host swing, so off/on
+/// runs are interleaved back-to-back and the best of up to `attempts`
+/// pairs is kept.
+fn telemetry_overhead(
+    concurrency: usize,
+    total_requests: usize,
+    attempts: usize,
+) -> TelemetryOverhead {
+    let mut best: Option<TelemetryOverhead> = None;
+    for attempt in 1..=attempts {
+        deepmorph_telemetry::clear();
+        let off = measure(32, 1, concurrency, total_requests);
+        deepmorph_telemetry::install(TelemetryConfig::default());
+        let on = measure(32, 1, concurrency, total_requests);
+        deepmorph_telemetry::clear();
+        let candidate = TelemetryOverhead {
+            p50_off_us: off.p50_us,
+            p50_on_us: on.p50_us,
+            ratio: on.p50_us / off.p50_us.max(1.0),
+            attempts: attempt,
+        };
+        let better = best.as_ref().is_none_or(|b| candidate.ratio < b.ratio);
+        if better {
+            best = Some(candidate);
+        }
+        if best.as_ref().map(|b| b.ratio) <= Some(1.05) {
+            break;
+        }
+    }
+    best.expect("at least one telemetry-overhead attempt")
+}
+
 fn result_json(r: &LoadResult) -> Json {
     Json::obj([
         ("workers", Json::usize(r.workers)),
@@ -539,6 +596,14 @@ fn main() {
         assert!(
             quant.quant_run.throughput_rows_per_s > 0.0,
             "quantized serving produced no throughput"
+        );
+        // Smoke exercises the armed path end to end but does not assert
+        // the 5% bar — CI machines are too noisy for a latency-ratio
+        // gate at this request count (the full run asserts it at c=32).
+        let overhead = telemetry_overhead(4, 40, 1);
+        println!(
+            "telemetry overhead smoke: p50 {:.0} µs off -> {:.0} µs armed (ratio {:.3})",
+            overhead.p50_off_us, overhead.p50_on_us, overhead.ratio
         );
         let chaos_config = chaos::ChaosConfig::smoke();
         let storm = chaos::run(&chaos_config);
@@ -620,18 +685,31 @@ fn main() {
         quant.quant_run.throughput_rows_per_s / quant.f32_run.throughput_rows_per_s,
     );
 
+    // Telemetry must be free when disarmed *and* cheap when armed: the
+    // armed p50 at the acceptance concurrency has to stay within 5% of
+    // the disarmed p50 (asserted below, best of 4 interleaved pairs).
+    let overhead = telemetry_overhead(32, 1280, 4);
+    println!(
+        "telemetry overhead: p50 {:.0} µs off -> {:.0} µs armed (ratio {:.3}, {} attempt(s))",
+        overhead.p50_off_us, overhead.p50_on_us, overhead.ratio, overhead.attempts
+    );
+
     let chaos_config = chaos::ChaosConfig::full();
     let storm = chaos::run(&chaos_config);
     println!(
         "chaos: {} requests through {} injected faults ({} worker panics contained, {} wire \
-         requests incl. retries) in {:.0} ms — {} lost, {} corrupted",
+         requests incl. retries) in {:.0} ms — {} lost, {} corrupted, p50/p95/p99 \
+         {:.0}/{:.0}/{:.0} µs",
         storm.requests,
         storm.faults_injected,
         storm.worker_panics,
         storm.server_requests,
         storm.wall.as_secs_f64() * 1e3,
         storm.lost,
-        storm.corrupted
+        storm.corrupted,
+        storm.p50_us,
+        storm.p95_us,
+        storm.p99_us
     );
     storm.assert_zero_loss();
 
@@ -735,6 +813,16 @@ fn main() {
                 ("p50_cut_fraction", Json::num(quant.p50_cut)),
             ]),
         ),
+        (
+            "telemetry",
+            Json::obj([
+                ("concurrency", Json::usize(32)),
+                ("p50_off_us", Json::num(overhead.p50_off_us)),
+                ("p50_on_us", Json::num(overhead.p50_on_us)),
+                ("p50_ratio", Json::num(overhead.ratio)),
+                ("attempts", Json::usize(overhead.attempts)),
+            ]),
+        ),
         ("chaos", storm.to_json(&chaos_config)),
         ("storm", conn_storm.to_json(&storm_config)),
     ]);
@@ -754,6 +842,15 @@ fn main() {
         conn_storm.p50_ratio,
         conn_storm.storm.p50_us,
         conn_storm.baseline.p50_us
+    );
+    assert!(
+        overhead.ratio <= 1.05,
+        "telemetry-armed p50 is {:.3}x the disarmed p50 ({:.0} µs vs {:.0} µs) after {} \
+         attempt(s), expected <= 1.05x — recording must stay one relaxed atomic add",
+        overhead.ratio,
+        overhead.p50_on_us,
+        overhead.p50_off_us,
+        overhead.attempts
     );
     // The i8 replica only has hardware to win on when the SIMD backend
     // is compiled in and the CPU supports it; on a scalar build the

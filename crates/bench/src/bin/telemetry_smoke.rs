@@ -1,0 +1,154 @@
+//! CI telemetry smoke: arms the process-global `deepmorph-telemetry`
+//! registry against a live server, drives labeled and unlabeled predict
+//! traffic through it, and asserts the observability surface end to
+//! end — the `Telemetry` wire frame round-trips, per-version live
+//! stats move under load (including the misclassification rate), the
+//! Prometheus-style exposition parses, and the disarmed path reports
+//! itself disarmed.
+//!
+//! ```text
+//! cargo run --release -p deepmorph-bench --bin telemetry_smoke
+//! ```
+//!
+//! Runs on both the default and `--no-default-features` build paths in
+//! CI (the telemetry crate itself has no features to disagree about).
+
+use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
+use deepmorph_serve::prelude::*;
+use deepmorph_serve::protocol::{self, Response};
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+
+const MODEL: &str = "telemetry-lenet";
+const ROW_ELEMS: usize = 256; // [1, 16, 16]
+
+fn input_row(i: usize) -> Tensor {
+    let data = (0..ROW_ELEMS)
+        .map(|j| {
+            let h = (i.wrapping_mul(ROW_ELEMS).wrapping_add(j) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32).fract()
+        })
+        .collect();
+    Tensor::from_vec(data, &[1, 1, 16, 16]).unwrap()
+}
+
+/// Every non-comment exposition line must be `name{labels} value` with
+/// a parseable finite value. Returns the number of sample lines.
+fn assert_exposition_parses(text: &str) -> usize {
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("exposition line without a value: {line:?}"));
+        assert!(
+            !name.is_empty(),
+            "exposition line with an empty metric name: {line:?}"
+        );
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable exposition value in {line:?}"));
+        assert!(value.is_finite(), "non-finite exposition value: {line:?}");
+        samples += 1;
+    }
+    samples
+}
+
+fn main() {
+    let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+    let mut model = build_model(&spec, &mut stream_rng(0x7E1E, "telemetry-smoke")).unwrap();
+    let mut registry = ModelRegistry::new();
+    registry.register(MODEL, &mut model, None).unwrap();
+    let server = Server::start(registry, ServerConfig::default()).expect("server");
+    let mut client = Client::connect(server.local_addr()).expect("client");
+
+    deepmorph_telemetry::install(TelemetryConfig::default());
+
+    // Unlabeled traffic, then labeled traffic with one deliberately
+    // wrong label and one right one, so every per-version counter —
+    // requests, labeled cases, misclassifications — has to move.
+    let total = 16usize;
+    let mut predicted = 0usize;
+    for i in 0..total {
+        let out = client.predict(MODEL, &input_row(i)).expect("predict");
+        assert_eq!(out.predictions.len(), 1);
+        if i == 0 {
+            predicted = out.predictions[0];
+        }
+    }
+    let wrong = (predicted + 1) % 10;
+    client
+        .predict_full(MODEL, &input_row(0), false, &[wrong])
+        .expect("mislabeled predict");
+    client
+        .predict_full(MODEL, &input_row(0), false, &[predicted])
+        .expect("correctly labeled predict");
+
+    // The armed report, fetched over the wire: this exercises the
+    // KIND_TELEMETRY request frame, the versioned payload encode on the
+    // server, and the decode in the client.
+    let report = client.telemetry().expect("telemetry frame");
+    assert!(report.armed, "registry is installed — report must say so");
+    assert!(
+        report.stats.requests >= (total + 2) as u64,
+        "server stats did not count the load"
+    );
+    let recorded = report.snapshot.request_us.count();
+    assert!(
+        recorded >= (total + 2) as u64,
+        "request histogram recorded {recorded} responses, expected >= {}",
+        total + 2
+    );
+    let version = report
+        .snapshot
+        .versions
+        .iter()
+        .find(|v| v.requests > 0)
+        .expect("per-version stats moved under load");
+    assert!(
+        version.labeled >= 2,
+        "labeled traffic did not reach the per-version stats"
+    );
+    assert!(
+        version.misclassified >= 1,
+        "the deliberately wrong label did not count as a misclassification"
+    );
+    assert!(
+        version.misclassification_rate() > 0.0,
+        "live misclassification rate must be nonzero after a wrong label"
+    );
+
+    let exposition = report.to_prometheus();
+    let samples = assert_exposition_parses(&exposition);
+    assert!(
+        samples > 20,
+        "exposition suspiciously small: {samples} sample lines"
+    );
+    print!("{exposition}");
+
+    // Round-trip equality at the codec level, independent of the wire.
+    let wire = protocol::encode_response(7, &Response::Telemetry(report.clone()));
+    let (id, decoded) = protocol::decode_response(&wire[4..]).expect("decode telemetry frame");
+    assert_eq!(id, 7);
+    assert_eq!(
+        decoded,
+        Response::Telemetry(report),
+        "telemetry frame must round-trip bitwise through the codec"
+    );
+
+    // Disarm: the frame still answers, but reports itself disarmed.
+    deepmorph_telemetry::clear();
+    let disarmed = client.telemetry().expect("disarmed telemetry frame");
+    assert!(!disarmed.armed, "cleared registry must report disarmed");
+    assert_eq!(
+        disarmed.snapshot.request_us.count(),
+        0,
+        "disarmed report must carry an empty snapshot"
+    );
+
+    server.shutdown();
+    println!("telemetry smoke OK: {samples} exposition samples, {recorded} latencies recorded");
+}

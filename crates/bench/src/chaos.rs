@@ -21,6 +21,7 @@ use deepmorph_faults::{Fault, FaultPlan};
 use deepmorph_json::Json;
 use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
 use deepmorph_serve::prelude::*;
+use deepmorph_telemetry::LogHistogram;
 use deepmorph_tensor::init::stream_rng;
 use deepmorph_tensor::Tensor;
 
@@ -78,6 +79,11 @@ pub struct ChaosResult {
     pub server_requests: u64,
     /// Storm wall time.
     pub wall: Duration,
+    /// End-to-end latency percentiles of the *landed* requests, retries
+    /// included — the price the storm extracts instead of answers.
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
 }
 
 impl ChaosResult {
@@ -128,6 +134,9 @@ impl ChaosResult {
                 Json::usize(self.server_requests as usize),
             ),
             ("wall_ms", Json::num(self.wall.as_secs_f64() * 1e3)),
+            ("p50_us", Json::num(self.p50_us)),
+            ("p95_us", Json::num(self.p95_us)),
+            ("p99_us", Json::num(self.p99_us)),
         ])
     }
 }
@@ -197,12 +206,16 @@ pub fn run(config: &ChaosConfig) -> ChaosResult {
             .with_stall(Duration::from_millis(30))
             .with_slow(Duration::from_millis(10)),
     );
+    // Latency of every landed request (retries folded in): one shared
+    // `deepmorph-telemetry` histogram, recorded with a relaxed add.
+    let latencies = LogHistogram::new();
     let start = Instant::now();
     let per_client: Vec<(usize, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = expected
             .iter()
             .enumerate()
             .map(|(c, expected)| {
+                let latencies = &latencies;
                 scope.spawn(move || {
                     let mut client = Client::connect_with(
                         addr,
@@ -221,9 +234,11 @@ pub fn run(config: &ChaosConfig) -> ChaosResult {
                     let mut corrupted = 0usize;
                     for (i, expect) in expected.iter().enumerate() {
                         let input = input_row(c * 1_000_000 + i);
+                        let issued = Instant::now();
                         match client.predict_full(MODEL, &input, true, &[]) {
                             Err(_) => lost += 1,
                             Ok(response) => {
+                                latencies.record(issued.elapsed().as_micros() as u64);
                                 let got = response.logits.expect("asked for logits");
                                 let equal = expect.shape() == got.shape()
                                     && expect
@@ -264,6 +279,7 @@ pub fn run(config: &ChaosConfig) -> ChaosResult {
         .filter(|c| c.injected > 0)
         .map(|c| (c.fault, c.injected))
         .collect();
+    let latency_snapshot = latencies.snapshot();
     ChaosResult {
         requests: config.clients * config.requests_per_client,
         lost: per_client.iter().map(|(l, _)| l).sum(),
@@ -273,5 +289,8 @@ pub fn run(config: &ChaosConfig) -> ChaosResult {
         worker_panics: stats.worker_panics,
         server_requests: stats.requests,
         wall,
+        p50_us: latency_snapshot.quantile(0.50) as f64,
+        p95_us: latency_snapshot.quantile(0.95) as f64,
+        p99_us: latency_snapshot.quantile(0.99) as f64,
     }
 }

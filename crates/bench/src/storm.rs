@@ -52,6 +52,7 @@ use deepmorph_json::Json;
 use deepmorph_models::{build_model, ModelFamily, ModelScale, ModelSpec};
 use deepmorph_serve::prelude::*;
 use deepmorph_serve::protocol::{self, PredictRequest, Request, Response};
+use deepmorph_telemetry::LogHistogram;
 use deepmorph_tensor::init::stream_rng;
 use deepmorph_tensor::Tensor;
 
@@ -114,6 +115,7 @@ pub struct PhaseResult {
     pub throughput_rows_per_s: f64,
     pub p50_us: f64,
     pub p95_us: f64,
+    pub p99_us: f64,
     /// Responses whose logits were compared bitwise (all of them).
     pub rows_verified: usize,
 }
@@ -157,6 +159,7 @@ impl StormResult {
                     ),
                     ("p50_us", Json::num(self.baseline.p50_us)),
                     ("p95_us", Json::num(self.baseline.p95_us)),
+                    ("p99_us", Json::num(self.baseline.p99_us)),
                 ]),
             ),
             (
@@ -168,6 +171,7 @@ impl StormResult {
                     ),
                     ("p50_us", Json::num(self.storm.p50_us)),
                     ("p95_us", Json::num(self.storm.p95_us)),
+                    ("p99_us", Json::num(self.storm.p99_us)),
                 ]),
             ),
             ("p50_ratio", Json::num(self.p50_ratio)),
@@ -209,14 +213,6 @@ fn input_row(i: usize) -> Tensor {
     Tensor::from_vec(data, &[1, 1, 16, 16]).unwrap()
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 /// Kernel-reported thread count of this process (`Threads:` in
 /// `/proc/self/status`) — counts what exists, not what we spawned.
 fn process_threads() -> usize {
@@ -237,7 +233,8 @@ fn drive_verified(
     requests: usize,
     start_row: usize,
     expected: &[Vec<u32>],
-) -> Vec<f64> {
+    latencies: &LogHistogram,
+) {
     let wires: Vec<Vec<u8>> = (0..requests)
         .map(|i| {
             protocol::encode_request(
@@ -254,7 +251,6 @@ fn drive_verified(
         .collect();
     let mut stream = TcpStream::connect(addr).expect("active connect");
     stream.set_nodelay(true).expect("nodelay");
-    let mut latencies = Vec::with_capacity(requests);
     let mut in_flight: HashMap<u64, Instant> = HashMap::new();
     let mut sent = 0usize;
     let mut done = 0usize;
@@ -270,7 +266,7 @@ fn drive_verified(
         stream.read_exact(&mut frame).expect("read frame");
         let (id, response) = protocol::decode_response(&frame).expect("decode");
         let started = in_flight.remove(&id).expect("known id");
-        latencies.push(started.elapsed().as_secs_f64() * 1e6);
+        latencies.record(started.elapsed().as_micros() as u64);
         let row = (start_row + (id as usize - 1)) % expected.len();
         match response {
             Response::Predict(p) => {
@@ -290,7 +286,6 @@ fn drive_verified(
         }
         done += 1;
     }
-    latencies
 }
 
 /// Runs one verified active-load phase at `concurrency`.
@@ -303,28 +298,38 @@ fn run_phase(
     let window = WINDOW.min(concurrency);
     let connections = concurrency / window;
     let requests_each = total_requests / connections;
+    // Shared log₂ histogram (`deepmorph-telemetry`): one relaxed atomic
+    // add per response, quantiles straight from the bucket counts.
+    let latencies = LogHistogram::new();
     let start = Instant::now();
-    let latencies: Vec<f64> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
+                let latencies = &latencies;
                 scope.spawn(move || {
-                    drive_verified(addr, window, requests_each, c * requests_each, expected)
+                    drive_verified(
+                        addr,
+                        window,
+                        requests_each,
+                        c * requests_each,
+                        expected,
+                        latencies,
+                    )
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("active load thread"))
-            .collect()
+        for handle in handles {
+            handle.join().expect("active load thread");
+        }
     });
     let wall = start.elapsed().as_secs_f64();
     let rows = connections * requests_each;
-    let mut sorted = latencies;
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let snapshot = latencies.snapshot();
     PhaseResult {
         throughput_rows_per_s: rows as f64 / wall,
-        p50_us: percentile(&sorted, 0.50),
-        p95_us: percentile(&sorted, 0.95),
+        p50_us: snapshot.quantile(0.50) as f64,
+        p95_us: snapshot.quantile(0.95) as f64,
+        p99_us: snapshot.quantile(0.99) as f64,
         rows_verified: rows,
     }
 }

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 
 use deepmorph_faults::ComputeAction;
 use deepmorph_models::ModelHandle;
+use deepmorph_telemetry::{Stage, Trace};
 use deepmorph_tensor::{workspace, Tensor};
 
 use crate::error::{ServeError, ServeResult};
@@ -171,6 +172,38 @@ pub(crate) enum Responder {
     },
 }
 
+/// Per-request telemetry context, carried by a [`Job`] only while a
+/// [`deepmorph_telemetry`] registry is armed (`None` costs nothing: no
+/// clock reads, no recording). The event loop stamps `submitted` and
+/// `assembly_us` at admission; the worker fills the scheduler-side spans
+/// before delivery builds the request trace.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobTelemetry {
+    /// When the job was admitted into the queue.
+    pub submitted: Instant,
+    /// Frame-assembly span measured by the event loop, µs.
+    pub assembly_us: u64,
+    /// Queue wait (submit → worker pickup), µs.
+    pub queue_us: u64,
+    /// Batch coalesce span (drain + straggler wait), µs.
+    pub coalesce_us: u64,
+    /// Forward span of the batch this job rode in, µs.
+    pub compute_us: u64,
+}
+
+impl JobTelemetry {
+    /// A context stamped *now*, or `None` when telemetry is not armed.
+    pub fn start(assembly_us: u64) -> Option<JobTelemetry> {
+        deepmorph_telemetry::is_active().then(|| JobTelemetry {
+            submitted: Instant::now(),
+            assembly_us,
+            queue_us: 0,
+            coalesce_us: 0,
+            compute_us: 0,
+        })
+    }
+}
+
 /// One queued predict request.
 pub(crate) struct Job {
     /// Registry handle of the target model.
@@ -188,6 +221,8 @@ pub(crate) struct Job {
     pub deadline: Option<Instant>,
     /// The deadline budget the request carried (for the typed error).
     pub deadline_ms: u64,
+    /// Stage-span context (`None` unless telemetry is armed).
+    pub telemetry: Option<JobTelemetry>,
     /// Result destination.
     pub responder: Responder,
 }
@@ -361,6 +396,7 @@ impl Scheduler {
             cases: None,
             deadline: None,
             deadline_ms: 0,
+            telemetry: JobTelemetry::start(0),
             responder: Responder::Channel(tx),
         })?;
         Ok(rx)
@@ -388,6 +424,9 @@ impl Drop for Scheduler {
 /// epoch it was instantiated at.
 struct Replica {
     epoch: u64,
+    /// Content fingerprint of the instantiated version — the key its
+    /// live traffic is charged to in the telemetry registry.
+    fingerprint: String,
     model: ModelHandle,
 }
 
@@ -404,6 +443,9 @@ fn worker_loop(shared: &Shared) {
             }
             queue = wait_recover(&shared.cv, queue);
         };
+        // Coalesce span: first pop → dispatch, covering the drain and
+        // the optional straggler wait. Clock reads only while armed.
+        let coalesce_started = deepmorph_telemetry::is_active().then(Instant::now);
 
         let max_batch = shared.cfg.max_batch.max(1);
         let mut total = first.row_count();
@@ -427,7 +469,8 @@ fn worker_loop(shared: &Shared) {
             }
         }
         drop(queue);
-        run_jobs(shared, &mut replicas, jobs);
+        let coalesce_us = coalesce_started.map(|at| at.elapsed().as_micros() as u64);
+        run_jobs(shared, &mut replicas, jobs, coalesce_us);
     }
 }
 
@@ -447,19 +490,37 @@ fn drain(queue: &mut VecDeque<Job>, jobs: &mut Vec<Job>, total: &mut usize, max_
 }
 
 /// Runs one coalesced batch and scatters the per-row outputs.
-fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec<Job>) {
+fn run_jobs(
+    shared: &Shared,
+    replicas: &mut HashMap<ModelId, Replica>,
+    jobs: Vec<Job>,
+    coalesce_us: Option<u64>,
+) {
     let stats = &shared.stats;
+    // One registry handle for the whole batch; every per-version counter
+    // below is a relaxed add on a cached Arc.
+    let telemetry = deepmorph_telemetry::armed();
+    let model_id = jobs[0].model;
 
     // Overload control: shed jobs whose deadline already passed *before*
     // spending compute on them. Under overload the queue backs up, so the
     // oldest (most likely already abandoned) requests are exactly the
     // ones that expire — shedding them first frees the forward for
     // requests whose clients are still waiting.
-    let jobs = {
+    let mut jobs = {
         let now = Instant::now();
         let (live, dead): (Vec<Job>, Vec<Job>) = jobs
             .into_iter()
             .partition(|job| job.deadline.is_none_or(|d| d > now));
+        if !dead.is_empty() {
+            if let Some(t) = &telemetry {
+                // Shed jobs never reach a replica; charge them to the
+                // version currently serving.
+                t.version(&shared.registry.current(model_id).fingerprint)
+                    .expired
+                    .add(dead.len() as u64);
+            }
+        }
         for job in dead {
             stats.expired.fetch_add(1, Ordering::Relaxed);
             let budget_ms = job.deadline_ms;
@@ -478,13 +539,30 @@ fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec
         stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
     }
 
-    let model_id = jobs[0].model;
+    // Queue wait ends here, where the batch starts; the coalesce span is
+    // batch-scoped and stamped onto every rider.
+    if let Some(t) = &telemetry {
+        let batch_start = Instant::now();
+        let coalesce_us = coalesce_us.unwrap_or(0);
+        t.record_stage(Stage::Coalesce, coalesce_us);
+        for job in &mut jobs {
+            if let Some(jt) = job.telemetry.as_mut() {
+                jt.queue_us = batch_start
+                    .saturating_duration_since(jt.submitted)
+                    .as_micros() as u64;
+                jt.coalesce_us = coalesce_us;
+                t.record_stage(Stage::QueueWait, jt.queue_us);
+            }
+        }
+    }
+    let jobs = jobs;
 
     // Panic containment, inner ring: everything that touches model code
     // (replica instantiation, the forward) runs under `catch_unwind`. A
     // panicking model must not take the worker — or, via lock poisoning,
     // the whole service — down with it. The fault layer's injected
     // compute faults land here too, exercising exactly this path.
+    let compute_started = telemetry.as_ref().map(|_| Instant::now());
     let outcome = catch_unwind(AssertUnwindSafe(|| -> ServeResult<_> {
         match deepmorph_faults::compute_action() {
             ComputeAction::Run => {}
@@ -507,7 +585,14 @@ fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec
             // read above.
             let (epoch, current) = shared.registry.current_with_epoch(model_id);
             let model = current.instantiate_for_serving()?;
-            replicas.insert(model_id, Replica { epoch, model });
+            replicas.insert(
+                model_id,
+                Replica {
+                    epoch,
+                    fingerprint: current.fingerprint.clone(),
+                    model,
+                },
+            );
         }
         let replica = replicas.get_mut(&model_id).expect("replica just ensured");
         let replica_epoch = replica.epoch;
@@ -536,9 +621,30 @@ fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec
         Ok((replica_epoch, logits, predictions))
     }));
 
+    let compute_us = compute_started.map_or(0, |at| at.elapsed().as_micros() as u64);
+    if let Some(t) = &telemetry {
+        t.record_stage(Stage::Compute, compute_us);
+    }
+    // Failed batches are charged to the version currently serving (on
+    // the panic/instantiation paths no replica fingerprint survives).
+    let charge_errors = |jobs: &mut Vec<Job>| {
+        for job in jobs.iter_mut() {
+            if let Some(jt) = job.telemetry.as_mut() {
+                jt.compute_us = compute_us;
+            }
+        }
+        if let Some(t) = &telemetry {
+            let v = t.version(&shared.registry.current(model_id).fingerprint);
+            v.requests.add(jobs.len() as u64);
+            v.errors.add(jobs.len() as u64);
+        }
+    };
+
     let (replica_epoch, logits, predictions) = match outcome {
         Ok(Ok(tuple)) => tuple,
         Ok(Err(e)) => {
+            let mut jobs = jobs;
+            charge_errors(&mut jobs);
             for job in jobs {
                 deliver(stats, job, Err(e.clone()));
             }
@@ -555,6 +661,8 @@ fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec
                          worker recovered"
                     .into(),
             };
+            let mut jobs = jobs;
+            charge_errors(&mut jobs);
             for job in jobs {
                 deliver(stats, job, Err(err.clone()));
             }
@@ -562,10 +670,25 @@ fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec
         }
     };
 
+    // Per-version live-traffic accounting for the batch that actually
+    // ran, keyed by the fingerprint of the replica that answered it.
+    let version_stats = telemetry.as_ref().map(|t| {
+        let fingerprint = &replicas
+            .get(&model_id)
+            .expect("replica ensured by the batch above")
+            .fingerprint;
+        let v = t.version(fingerprint);
+        v.requests.add(jobs.len() as u64);
+        v
+    });
+
     let classes = logits.shape()[1];
     let mut offset = 0;
-    for job in jobs {
+    for mut job in jobs {
         let n = job.row_count();
+        if let Some(jt) = job.telemetry.as_mut() {
+            jt.compute_us = compute_us;
+        }
         let job_preds = predictions[offset..offset + n].to_vec();
         let job_logits = job.want_logits.then(|| {
             Tensor::from_vec(
@@ -575,6 +698,20 @@ fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec
             .expect("slice of verified logits")
         });
         offset += n;
+
+        // Live accuracy per version: `LiveCases::record` below only sees
+        // the misses (and may drop stale ones), so the labeled-traffic
+        // denominator is counted here, where every row passes.
+        if let (Some(v), false) = (version_stats.as_ref(), job.true_labels.is_empty()) {
+            let wrong = job
+                .true_labels
+                .iter()
+                .zip(&job_preds)
+                .filter(|(truth, pred)| truth != pred)
+                .count();
+            v.labeled.add(n as u64);
+            v.misclassified.add(wrong as u64);
+        }
 
         // Accumulate labeled misses for the diagnose endpoint before the
         // job (and its input rows) is consumed by delivery.
@@ -609,8 +746,19 @@ fn run_jobs(shared: &Shared, replicas: &mut HashMap<ModelId, Replica>, jobs: Vec
 }
 
 /// Sends a result to its caller: channel send, or an encoded frame
-/// written straight to the connection.
-fn deliver(stats: &ServeStats, job: Job, result: ServeResult<JobOutput>) {
+/// written straight to the connection. When telemetry is armed this is
+/// also where the request's end-to-end latency lands in the histogram
+/// and its per-stage trace is offered to the slowest-N ring.
+fn deliver(stats: &ServeStats, mut job: Job, result: ServeResult<JobOutput>) {
+    let span = job
+        .telemetry
+        .take()
+        .and_then(|jt| deepmorph_telemetry::armed().map(|t| (t, jt)));
+    let trace_id = match &job.responder {
+        Responder::Stream { id, .. } => *id,
+        Responder::Channel(_) => 0,
+    };
+    let enqueue_started = span.as_ref().map(|_| Instant::now());
     match job.responder {
         Responder::Channel(tx) => {
             // A disconnected receiver means the caller gave up; fine.
@@ -636,5 +784,24 @@ fn deliver(stats: &ServeStats, job: Job, result: ServeResult<JobOutput>) {
             // mid-flight" path.
             conn.send(stats, &wire);
         }
+    }
+    if let (Some((t, jt)), Some(enqueued)) = (span, enqueue_started) {
+        let total_us = jt.submitted.elapsed().as_micros() as u64;
+        t.record_request(total_us);
+        t.offer_trace(Trace {
+            id: trace_id,
+            total_us,
+            // The trace's flush slot is the *enqueue* span (encode +
+            // outbound push + loop wake) — the socket flush itself runs
+            // on the event loop and lands in the `Flush` histogram.
+            stages: [
+                0, // accept is connection-scoped, not per-request
+                jt.assembly_us,
+                jt.queue_us,
+                jt.coalesce_us,
+                jt.compute_us,
+                enqueued.elapsed().as_micros() as u64,
+            ],
+        });
     }
 }

@@ -20,8 +20,8 @@ use deepmorph_tensor::Tensor;
 use crate::error::{ErrorCode, ServeError, ServeResult};
 use crate::protocol::{
     decode_response, encode_request, DiagnoseResponse, ModelInfo, PredictRequest, PredictResponse,
-    RepairResponse, Request, Response, RollbackResponse, StatsSnapshot, VersionInfo,
-    MAX_FRAME_BYTES,
+    RepairResponse, Request, Response, RollbackResponse, StatsSnapshot, TelemetryReport,
+    VersionInfo, MAX_FRAME_BYTES,
 };
 
 /// How long a client waits for one response before giving up, unless
@@ -508,6 +508,22 @@ impl Client {
         match self.call_with(Request::Stats, true, None)? {
             Response::Stats(s) => Ok(s),
             _ => Self::unexpected("stats"),
+        }
+    }
+
+    /// Fetches the full observability report: the serving counters plus
+    /// latency histograms, per-stage spans, the slowest request traces,
+    /// and per-version live-traffic stats. The payload is versioned and
+    /// length-prefixed, so this client keeps working against servers
+    /// that append fields.
+    ///
+    /// # Errors
+    ///
+    /// IO, protocol, and server errors, all typed.
+    pub fn telemetry(&mut self) -> ServeResult<TelemetryReport> {
+        match self.call_with(Request::Telemetry, true, None)? {
+            Response::Telemetry(t) => Ok(t),
+            _ => Self::unexpected("telemetry"),
         }
     }
 }

@@ -43,11 +43,14 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use deepmorph_net::{Event, Events, Interest, Poller};
+use deepmorph_telemetry::Stage;
 
-use crate::batch::{validate_job, Job, Responder, ServeStats};
+use crate::batch::{validate_job, Job, JobTelemetry, Responder, ServeStats};
 use crate::conn::{ConnHandle, FlushState, FrameAssembler, LoopNotify, Outbound};
 use crate::error::{ServeError, ServeResult};
-use crate::protocol::{decode_request, encode_response, ErrorFrame, Request, Response};
+use crate::protocol::{
+    decode_request, encode_response, ErrorFrame, Request, Response, TelemetryReport,
+};
 use crate::repair;
 use crate::server::ServerShared;
 use crate::sync::LockRecover;
@@ -142,6 +145,10 @@ struct Conn {
     interest: Interest,
     /// Reads paused under outbound backpressure.
     paused: bool,
+    /// When the frame currently being assembled saw its first bytes.
+    /// Only stamped while telemetry is armed; feeds the `Assembly`
+    /// stage span.
+    frame_started: Option<Instant>,
 }
 
 struct IoLoop {
@@ -209,10 +216,12 @@ impl IoLoop {
     // ----- accept path (loop 0) -------------------------------------
 
     fn accept_ready(&mut self) {
+        let telemetry = deepmorph_telemetry::armed();
         loop {
             let Some(listener) = &self.listener else {
                 return;
             };
+            let accept_started = telemetry.as_ref().map(|_| Instant::now());
             match listener.accept() {
                 Ok((stream, _)) => {
                     let stats = &self.shared.stats;
@@ -234,6 +243,9 @@ impl IoLoop {
                         self.register(stream);
                     } else {
                         self.shared.loops[target].hand_off(stream);
+                    }
+                    if let (Some(t), Some(at)) = (&telemetry, accept_started) {
+                        t.record_stage(Stage::Accept, at.elapsed().as_micros() as u64);
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
@@ -302,6 +314,7 @@ impl IoLoop {
             outbound: Arc::new(Outbound::new(self.shared.max_outbound)),
             interest: Interest::READ,
             paused: false,
+            frame_started: None,
         });
         if !prepared || self.poller.add(fd, token as u64, Interest::READ).is_err() {
             // Undo the admission accounting; the stream drops here.
@@ -347,6 +360,8 @@ impl IoLoop {
         }
         let mut complete: Vec<Vec<u8>> = Vec::new();
         let mut after = After::Keep;
+        let telemetry = deepmorph_telemetry::armed();
+        let mut assembly_us = 0u64;
         {
             let Some(Some(conn)) = self.conns.get_mut(token) else {
                 return;
@@ -370,6 +385,9 @@ impl IoLoop {
                     }
                     Ok(n) => {
                         bursts += 1;
+                        if telemetry.is_some() && conn.frame_started.is_none() {
+                            conn.frame_started = Some(Instant::now());
+                        }
                         if let Err(e) = conn.assembler.feed(&self.scratch[..n], &mut complete) {
                             after = After::Lost(e.reason);
                             break;
@@ -383,12 +401,28 @@ impl IoLoop {
                     }
                 }
             }
+            // Assembly span: first byte of the oldest pending frame to
+            // the end of the read pass that completed it. One value per
+            // pass, shared by every frame the pass completed.
+            if let Some(t) = &telemetry {
+                if !complete.is_empty() {
+                    if let Some(started) = conn.frame_started {
+                        assembly_us = started.elapsed().as_micros() as u64;
+                        for _ in &complete {
+                            t.record_stage(Stage::Assembly, assembly_us);
+                        }
+                    }
+                    // A partial next frame is already buffering; restart
+                    // its clock at the pass boundary.
+                    conn.frame_started = conn.assembler.mid_frame().then(Instant::now);
+                }
+            }
         }
         for frame in complete {
             if self.conns.get(token).is_none_or(Option::is_none) {
                 return;
             }
-            self.dispatch(token, frame);
+            self.dispatch(token, frame, assembly_us);
         }
         match after {
             After::Keep => {}
@@ -412,7 +446,7 @@ impl IoLoop {
         }
     }
 
-    fn dispatch(&mut self, token: usize, frame: Vec<u8>) {
+    fn dispatch(&mut self, token: usize, frame: Vec<u8>, assembly_us: u64) {
         let Some(handle) = self.handle_for(token) else {
             return;
         };
@@ -420,7 +454,7 @@ impl IoLoop {
             // The length prefix was honored, so the stream is still in
             // sync: report the bad frame and keep serving.
             Err(e) => send_error(&self.shared.stats, &handle, 0, &ServeError::Codec(e)),
-            Ok((id, request)) => handle_request(&self.shared, &handle, id, request),
+            Ok((id, request)) => handle_request(&self.shared, &handle, id, request, assembly_us),
         }
     }
 
@@ -435,12 +469,16 @@ impl IoLoop {
     // ----- write path -----------------------------------------------
 
     fn flush(&mut self, token: usize) {
+        let flush_started = deepmorph_telemetry::armed().map(|t| (t, Instant::now()));
         let outcome = {
             let Some(Some(conn)) = self.conns.get_mut(token) else {
                 return;
             };
             conn.outbound.flush_into(&conn.stream)
         };
+        if let Some((t, at)) = flush_started {
+            t.record_stage(Stage::Flush, at.elapsed().as_micros() as u64);
+        }
         match outcome {
             Ok(FlushState::Idle) => self.set_interest(token, Interest::READ),
             Ok(FlushState::Pending { buffered }) => {
@@ -553,13 +591,30 @@ fn send_error(stats: &ServeStats, handle: &ConnHandle, id: u64, error: &ServeErr
 /// predicts go to the scheduler; slow administrative work (diagnose /
 /// repair / rollback may retrain for minutes) runs on a tracked admin
 /// thread so the loop keeps serving its other connections.
-fn handle_request(shared: &Arc<ServerShared>, handle: &ConnHandle, id: u64, request: Request) {
+fn handle_request(
+    shared: &Arc<ServerShared>,
+    handle: &ConnHandle,
+    id: u64,
+    request: Request,
+    assembly_us: u64,
+) {
     let response = match request {
         Request::Ping => Response::Pong {
             models: shared.registry.len() as u64,
         },
         Request::ListModels => Response::Models(shared.registry.infos()),
         Request::Stats => Response::Stats(shared.stats.snapshot()),
+        Request::Telemetry => {
+            let (armed, snapshot) = match deepmorph_telemetry::armed() {
+                Some(t) => (true, t.snapshot()),
+                None => (false, Default::default()),
+            };
+            Response::Telemetry(TelemetryReport {
+                stats: shared.stats.snapshot(),
+                armed,
+                snapshot,
+            })
+        }
         Request::ListVersions { model } => match shared.registry.find(&model) {
             Some(mid) => Response::Versions(shared.registry.versions(mid)),
             None => {
@@ -630,6 +685,7 @@ fn handle_request(shared: &Arc<ServerShared>, handle: &ConnHandle, id: u64, requ
                         true_labels: p.true_labels,
                         deadline,
                         deadline_ms: p.deadline_ms,
+                        telemetry: JobTelemetry::start(assembly_us),
                         responder: Responder::Stream {
                             conn: handle.clone(),
                             id,

@@ -97,10 +97,14 @@ pub mod prelude {
     pub use crate::error::{ErrorCode, ServeError, ServeResult};
     pub use crate::protocol::{
         DiagnoseResponse, ModelInfo, PredictResponse, RepairResponse, RollbackResponse,
-        StatsSnapshot, VersionInfo,
+        StatsSnapshot, TelemetryReport, VersionInfo,
     };
     pub use crate::registry::{DiagnosisContext, ModelId, ModelRegistry, VersionPin};
     pub use crate::repair::{ArtifactBackend, PromoteResponse};
     pub use crate::server::{Server, ServerConfig};
     pub use deepmorph_nn::prelude::{BackendKind, ComputeCtx, Precision};
+    pub use deepmorph_telemetry::{
+        HistogramSnapshot, Stage, Telemetry, TelemetryConfig, TelemetrySnapshot, Trace,
+        VersionTraffic,
+    };
 }

@@ -24,6 +24,10 @@
 //! Request kinds occupy `0x00..=0x7E`; a response reuses the request's
 //! kind with the high bit set, and `0x7F` is the error frame.
 
+use deepmorph_telemetry::{
+    HistogramSnapshot, KernelTiming, TelemetrySnapshot, Trace, VersionTraffic, NUM_BUCKETS,
+    STAGE_COUNT,
+};
 use deepmorph_tensor::io::{
     open_container, read_tensor, seal_container, write_tensor, ByteReader, ByteWriter, CodecError,
     CodecResult,
@@ -47,8 +51,16 @@ const KIND_STATS: u8 = 4;
 const KIND_REPAIR: u8 = 5;
 const KIND_LIST_VERSIONS: u8 = 6;
 const KIND_ROLLBACK: u8 = 7;
+const KIND_TELEMETRY: u8 = 8;
 const RESPONSE_BIT: u8 = 0x80;
 const KIND_ERROR: u8 = 0x7F;
+
+/// Version tag of the telemetry response payload. The payload is
+/// length-prefixed and append-only: a decoder reads the fields it knows
+/// and skips the rest, so old clients tolerate counters and sections
+/// appended by newer servers (unlike the fixed-layout `Stats` frame,
+/// which stays bitwise-intact for existing clients).
+pub const TELEMETRY_PAYLOAD_VERSION: u16 = 1;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +100,10 @@ pub enum Request {
         /// Registered model name.
         model: String,
     },
+    /// Full observability dump — counters plus latency histograms,
+    /// per-stage spans, slowest traces, and per-version live-traffic
+    /// stats; answered with [`Response::Telemetry`].
+    Telemetry,
 }
 
 /// Payload of [`Request::Predict`].
@@ -131,8 +147,66 @@ pub enum Response {
     Versions(Vec<VersionInfo>),
     /// Answer to [`Request::Rollback`].
     Rollback(RollbackResponse),
+    /// Answer to [`Request::Telemetry`].
+    Telemetry(TelemetryReport),
     /// Typed failure; may answer any request.
     Error(ErrorFrame),
+}
+
+/// Payload of [`Response::Telemetry`]: the flat counters plus everything
+/// the armed [`deepmorph_telemetry`] registry aggregated. When telemetry
+/// is not armed, `armed` is `false` and `snapshot` is empty — the
+/// counters still report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// The lifetime serving counters (same values as [`Response::Stats`],
+    /// but carried in the versioned payload so appended counters don't
+    /// break old clients).
+    pub stats: StatsSnapshot,
+    /// Whether a telemetry registry was armed when the snapshot was
+    /// taken.
+    pub armed: bool,
+    /// Histograms, stage spans, slow traces, per-version traffic, and
+    /// kernel timings.
+    pub snapshot: TelemetrySnapshot,
+}
+
+impl TelemetryReport {
+    /// Renders the report as Prometheus text exposition: the lifetime
+    /// counters as `deepmorph_<name>` gauges/counters followed by the
+    /// snapshot's histogram and per-version series.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let s = &self.stats;
+        for (name, value) in [
+            ("requests_total", s.requests),
+            ("rows_total", s.rows),
+            ("batches_total", s.batches),
+            ("coalesced_batches_total", s.coalesced_batches),
+            ("errors_total", s.errors),
+            ("busy_rejections_total", s.busy_rejections),
+            ("diagnoses_total", s.diagnoses),
+            ("probe_trainings_total", s.probe_trainings),
+            ("repairs_total", s.repairs),
+            ("swaps_total", s.swaps),
+            ("expired_total", s.expired),
+            ("worker_panics_total", s.worker_panics),
+            ("rollbacks_total", s.rollbacks),
+            ("conn_rejections_total", s.conn_rejections),
+            ("active_connections", s.active_connections),
+            ("conns_accepted_total", s.conns_accepted),
+            ("conns_closed_total", s.conns_closed),
+            ("outbound_hwm_bytes", s.outbound_hwm_bytes),
+            ("loop_wakeups_total", s.loop_wakeups),
+            ("accept_backoffs_total", s.accept_backoffs),
+        ] {
+            let _ = writeln!(out, "deepmorph_{name} {value}");
+        }
+        let _ = writeln!(out, "deepmorph_telemetry_armed {}", u64::from(self.armed));
+        out.push_str(&self.snapshot.to_prometheus());
+        out
+    }
 }
 
 /// One registry entry as reported by [`Response::Models`].
@@ -336,8 +410,209 @@ pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
             w.put_str(model);
             KIND_ROLLBACK
         }
+        Request::Telemetry => KIND_TELEMETRY,
     };
     finish(kind, id, w)
+}
+
+/// Serving-counter values in their canonical wire order (the order the
+/// `Stats` frame has always used; the telemetry payload prefixes it with
+/// a count so the list can grow).
+fn stats_values(s: &StatsSnapshot) -> [u64; 20] {
+    [
+        s.requests,
+        s.rows,
+        s.batches,
+        s.coalesced_batches,
+        s.errors,
+        s.busy_rejections,
+        s.diagnoses,
+        s.probe_trainings,
+        s.repairs,
+        s.swaps,
+        s.expired,
+        s.worker_panics,
+        s.rollbacks,
+        s.conn_rejections,
+        s.active_connections,
+        s.conns_accepted,
+        s.conns_closed,
+        s.outbound_hwm_bytes,
+        s.loop_wakeups,
+        s.accept_backoffs,
+    ]
+}
+
+fn stats_from_values(values: &[u64; 20]) -> StatsSnapshot {
+    StatsSnapshot {
+        requests: values[0],
+        rows: values[1],
+        batches: values[2],
+        coalesced_batches: values[3],
+        errors: values[4],
+        busy_rejections: values[5],
+        diagnoses: values[6],
+        probe_trainings: values[7],
+        repairs: values[8],
+        swaps: values[9],
+        expired: values[10],
+        worker_panics: values[11],
+        rollbacks: values[12],
+        conn_rejections: values[13],
+        active_connections: values[14],
+        conns_accepted: values[15],
+        conns_closed: values[16],
+        outbound_hwm_bytes: values[17],
+        loop_wakeups: values[18],
+        accept_backoffs: values[19],
+    }
+}
+
+/// Sparse histogram encoding: total bucket count, then `(index, count)`
+/// pairs for the nonzero buckets only — a mostly-empty 1024-bucket
+/// histogram costs a few dozen bytes, not 8 KiB.
+fn write_histogram(w: &mut ByteWriter, hist: &HistogramSnapshot) {
+    w.put_u64(hist.buckets.len() as u64);
+    let nonzero = hist.buckets.iter().filter(|&&n| n > 0).count();
+    w.put_u64(nonzero as u64);
+    for (index, &count) in hist.buckets.iter().enumerate() {
+        if count > 0 {
+            w.put_u64(index as u64);
+            w.put_u64(count);
+        }
+    }
+}
+
+fn read_histogram(r: &mut ByteReader<'_>) -> CodecResult<HistogramSnapshot> {
+    // The sender's bucket count is informational: a peer with a larger
+    // layout folds out-of-range indices into our top (saturation) bucket.
+    let _sender_buckets = r.get_u64("histogram buckets")?;
+    let nonzero = r.get_len("histogram nonzero")?;
+    let mut snapshot = HistogramSnapshot::default();
+    for _ in 0..nonzero {
+        let index = r.get_len("histogram index")?.min(NUM_BUCKETS - 1);
+        let count = r.get_u64("histogram count")?;
+        snapshot.buckets[index] += count;
+    }
+    Ok(snapshot)
+}
+
+fn write_telemetry_payload(w: &mut ByteWriter, t: &TelemetryReport) {
+    let counters = stats_values(&t.stats);
+    w.put_u64(counters.len() as u64);
+    for v in counters {
+        w.put_u64(v);
+    }
+    w.put_u8(u8::from(t.armed));
+    write_histogram(w, &t.snapshot.request_us);
+    w.put_u64(t.snapshot.stages.len() as u64);
+    for stage in &t.snapshot.stages {
+        write_histogram(w, stage);
+    }
+    w.put_u64(t.snapshot.versions.len() as u64);
+    for v in &t.snapshot.versions {
+        w.put_str(&v.fingerprint);
+        for value in [v.requests, v.errors, v.expired, v.labeled, v.misclassified] {
+            w.put_u64(value);
+        }
+    }
+    w.put_u64(t.snapshot.slowest.len() as u64);
+    for trace in &t.snapshot.slowest {
+        w.put_u64(trace.id);
+        w.put_u64(trace.total_us);
+        for &micros in &trace.stages {
+            w.put_u64(micros);
+        }
+    }
+    w.put_u64(t.snapshot.kernels.len() as u64);
+    for kernel in &t.snapshot.kernels {
+        w.put_u64(kernel.m);
+        w.put_u64(kernel.k);
+        w.put_u64(kernel.n);
+        write_histogram(w, &kernel.nanos);
+    }
+}
+
+fn read_telemetry_payload(r: &mut ByteReader<'_>) -> CodecResult<TelemetryReport> {
+    // Counters: count-prefixed so a newer server can append fields
+    // without breaking this decoder — unknown trailing counters are
+    // consumed and dropped.
+    let counter_count = r.get_len("telemetry counter count")?;
+    let mut counters = [0u64; 20];
+    for slot in 0..counter_count {
+        let value = r.get_u64("telemetry counter")?;
+        if slot < counters.len() {
+            counters[slot] = value;
+        }
+    }
+    let armed = r.get_u8("telemetry armed")? != 0;
+    let request_us = read_histogram(r)?;
+    let stage_count = r.get_len("telemetry stage count")?;
+    let mut stages = Vec::with_capacity(stage_count.min(64));
+    for _ in 0..stage_count {
+        stages.push(read_histogram(r)?);
+    }
+    // `TelemetrySnapshot` consumers index stages by `Stage`; pad a short
+    // (older) sender out to the full set.
+    while stages.len() < STAGE_COUNT {
+        stages.push(HistogramSnapshot::default());
+    }
+    let version_count = r.get_len("telemetry version count")?;
+    let mut versions = Vec::with_capacity(version_count.min(64));
+    for _ in 0..version_count {
+        let fingerprint = r.get_str("telemetry version fingerprint")?;
+        let mut values = [0u64; 5];
+        for value in &mut values {
+            *value = r.get_u64("telemetry version counter")?;
+        }
+        versions.push(VersionTraffic {
+            fingerprint,
+            requests: values[0],
+            errors: values[1],
+            expired: values[2],
+            labeled: values[3],
+            misclassified: values[4],
+        });
+    }
+    let trace_count = r.get_len("telemetry trace count")?;
+    let mut slowest = Vec::with_capacity(trace_count.min(64));
+    for _ in 0..trace_count {
+        let mut trace = Trace {
+            id: r.get_u64("telemetry trace id")?,
+            total_us: r.get_u64("telemetry trace total")?,
+            stages: [0; STAGE_COUNT],
+        };
+        // Traces carry one span per stage the *sender* knew about;
+        // spans past our fixed set are consumed and dropped.
+        for slot in 0..stage_count {
+            let micros = r.get_u64("telemetry trace stage")?;
+            if slot < STAGE_COUNT {
+                trace.stages[slot] = micros;
+            }
+        }
+        slowest.push(trace);
+    }
+    let kernel_count = r.get_len("telemetry kernel count")?;
+    let mut kernels = Vec::with_capacity(kernel_count.min(64));
+    for _ in 0..kernel_count {
+        kernels.push(KernelTiming {
+            m: r.get_u64("telemetry kernel m")?,
+            k: r.get_u64("telemetry kernel k")?,
+            n: r.get_u64("telemetry kernel n")?,
+            nanos: read_histogram(r)?,
+        });
+    }
+    Ok(TelemetryReport {
+        stats: stats_from_values(&counters),
+        armed,
+        snapshot: TelemetrySnapshot {
+            request_us,
+            stages,
+            slowest,
+            versions,
+            kernels,
+        },
+    })
 }
 
 /// Encodes a response as wire bytes (length prefix included).
@@ -428,6 +703,17 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
             w.put_u64(r.swap_micros);
             RESPONSE_BIT | KIND_ROLLBACK
         }
+        Response::Telemetry(t) => {
+            // Versioned and length-prefixed: the outer decoder consumes
+            // the payload as one opaque blob, so fields appended inside
+            // it never trip the trailing-bytes check of old clients.
+            let mut payload = ByteWriter::new();
+            write_telemetry_payload(&mut payload, t);
+            w.put_u16(TELEMETRY_PAYLOAD_VERSION);
+            w.put_u64(payload.as_slice().len() as u64);
+            w.put_bytes(payload.as_slice());
+            RESPONSE_BIT | KIND_TELEMETRY
+        }
         Response::Error(e) => {
             w.put_u8(e.code.tag());
             w.put_str(&e.message);
@@ -493,6 +779,7 @@ pub fn decode_request(frame: &[u8]) -> CodecResult<(u64, Request)> {
         KIND_ROLLBACK => Request::Rollback {
             model: r.get_str("rollback model")?,
         },
+        KIND_TELEMETRY => Request::Telemetry,
         other => {
             return Err(CodecError::Invalid {
                 context: format!("unknown request kind {other:#04x}"),
@@ -623,6 +910,20 @@ pub fn decode_response(frame: &[u8]) -> CodecResult<(u64, Response)> {
                 swap_micros: r.get_u64("rollback swap micros")?,
             })
         }
+        k if k == RESPONSE_BIT | KIND_TELEMETRY => {
+            let version = r.get_u16("telemetry payload version")?;
+            if version == 0 {
+                return Err(CodecError::Invalid {
+                    context: "telemetry payload version 0".into(),
+                });
+            }
+            let len = r.get_len("telemetry payload length")?;
+            let bytes = r.get_bytes(len, "telemetry payload")?;
+            let mut inner = ByteReader::new(bytes);
+            // Trailing bytes inside the payload are deliberately
+            // tolerated: that's where future fields land.
+            Response::Telemetry(read_telemetry_payload(&mut inner)?)
+        }
         KIND_ERROR => Response::Error(ErrorFrame {
             code: ErrorCode::from_tag(r.get_u8("error code")?),
             message: r.get_str("error message")?,
@@ -674,6 +975,7 @@ mod tests {
             Request::Rollback {
                 model: "lenet".into(),
             },
+            Request::Telemetry,
         ];
         for (i, request) in cases.iter().enumerate() {
             let wire = encode_request(i as u64 + 10, request);
@@ -820,5 +1122,158 @@ mod tests {
     #[test]
     fn avg_batch_rows_is_safe_on_zero() {
         assert_eq!(StatsSnapshot::default().avg_batch_rows(), 0.0);
+    }
+
+    fn populated_report() -> TelemetryReport {
+        let telemetry =
+            deepmorph_telemetry::Telemetry::new(deepmorph_telemetry::TelemetryConfig::default());
+        telemetry.record_request(120);
+        telemetry.record_request(90_000);
+        telemetry.record_stage(deepmorph_telemetry::Stage::QueueWait, 40);
+        telemetry.record_stage(deepmorph_telemetry::Stage::Compute, 85_000);
+        telemetry.offer_trace(Trace {
+            id: 7,
+            total_us: 90_000,
+            stages: [1, 2, 40, 3, 85_000, 9],
+        });
+        let v = telemetry.version(&"ef".repeat(16));
+        v.requests.add(11);
+        v.errors.add(1);
+        v.expired.add(2);
+        v.labeled.add(8);
+        v.misclassified.add(3);
+        TelemetryReport {
+            stats: StatsSnapshot {
+                requests: 13,
+                errors: 1,
+                expired: 2,
+                ..StatsSnapshot::default()
+            },
+            armed: true,
+            snapshot: telemetry.snapshot(),
+        }
+    }
+
+    #[test]
+    fn telemetry_round_trips() {
+        for (i, report) in [TelemetryReport::default(), populated_report()]
+            .into_iter()
+            .enumerate()
+        {
+            let wire = encode_response(40 + i as u64, &Response::Telemetry(report.clone()));
+            let (id, back) = decode_response(strip_prefix(&wire)).unwrap();
+            assert_eq!(id, 40 + i as u64);
+            assert_eq!(back, Response::Telemetry(report));
+        }
+    }
+
+    #[test]
+    fn telemetry_reports_misclassification_rate_per_version() {
+        let report = populated_report();
+        let wire = encode_response(1, &Response::Telemetry(report));
+        let (_, back) = decode_response(strip_prefix(&wire)).unwrap();
+        let Response::Telemetry(t) = back else {
+            panic!("not a telemetry response");
+        };
+        assert_eq!(t.snapshot.versions.len(), 1);
+        assert_eq!(t.snapshot.versions[0].fingerprint, "ef".repeat(16));
+        assert_eq!(t.snapshot.versions[0].misclassification_rate(), 0.375);
+        assert!(t.to_prometheus().contains(
+            "deepmorph_version_misclassification_rate{fingerprint=\"efefefefefefefefefefefefefefefef\"} 0.375"
+        ));
+    }
+
+    /// A *future* server appends counters and whole sections to the
+    /// telemetry payload; this decoder must keep working, reading the
+    /// fields it knows and skipping the rest.
+    #[test]
+    fn telemetry_payload_is_forward_compatible() {
+        let mut payload = ByteWriter::new();
+        // 22 counters — two more than this decoder knows about.
+        payload.put_u64(22);
+        for value in 1..=22u64 {
+            payload.put_u64(value * 100);
+        }
+        payload.put_u8(1); // armed
+        write_histogram(&mut payload, &HistogramSnapshot::default());
+        // 8 stages — two more than this decoder's Stage enum.
+        payload.put_u64(8);
+        for _ in 0..8 {
+            write_histogram(&mut payload, &HistogramSnapshot::default());
+        }
+        payload.put_u64(0); // versions
+                            // One trace with 8 stage spans (matching the sender's stages).
+        payload.put_u64(1);
+        payload.put_u64(42); // id
+        payload.put_u64(999); // total_us
+        for span in 0..8u64 {
+            payload.put_u64(span);
+        }
+        payload.put_u64(0); // kernels
+                            // A section this decoder has never heard of.
+        payload.put_str("future section");
+        payload.put_u64(0xDEAD_BEEF);
+
+        let mut body = ByteWriter::new();
+        body.put_u8(RESPONSE_BIT | KIND_TELEMETRY);
+        body.put_u64(77);
+        body.put_u16(2); // a future payload version
+        body.put_u64(payload.as_slice().len() as u64);
+        body.put_bytes(payload.as_slice());
+        let container = seal_container(FRAME_MAGIC, body.as_slice());
+
+        let (id, back) = decode_response(&container).expect("forward-compatible decode");
+        assert_eq!(id, 77);
+        let Response::Telemetry(t) = back else {
+            panic!("not a telemetry response");
+        };
+        assert!(t.armed);
+        assert_eq!(t.stats.requests, 100);
+        assert_eq!(t.stats.accept_backoffs, 2000); // 20th counter
+        assert_eq!(t.snapshot.stages.len(), 8);
+        assert_eq!(t.snapshot.slowest.len(), 1);
+        assert_eq!(t.snapshot.slowest[0].id, 42);
+        assert_eq!(t.snapshot.slowest[0].stages, [0, 1, 2, 3, 4, 5]);
+    }
+
+    /// The flip side of forward compat: the legacy fixed-layout Stats
+    /// frame must stay bitwise-identical so existing clients never skew.
+    #[test]
+    fn stats_frame_layout_is_pinned() {
+        let snapshot = StatsSnapshot {
+            requests: 1,
+            rows: 2,
+            batches: 3,
+            coalesced_batches: 4,
+            errors: 5,
+            busy_rejections: 6,
+            diagnoses: 7,
+            probe_trainings: 8,
+            repairs: 9,
+            swaps: 10,
+            expired: 11,
+            worker_panics: 12,
+            rollbacks: 13,
+            conn_rejections: 14,
+            active_connections: 15,
+            conns_accepted: 16,
+            conns_closed: 17,
+            outbound_hwm_bytes: 18,
+            loop_wakeups: 19,
+            accept_backoffs: 20,
+        };
+        let wire = encode_response(5, &Response::Stats(snapshot));
+        let frame = strip_prefix(&wire);
+        let body = open_container(FRAME_MAGIC, frame).unwrap();
+        // kind + id + exactly 20 bare u64s — no prefix, no version tag.
+        assert_eq!(body.len(), 1 + 8 + 20 * 8);
+        assert_eq!(body[0], RESPONSE_BIT | KIND_STATS);
+        for (i, chunk) in body[9..].chunks_exact(8).enumerate() {
+            assert_eq!(
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+                i as u64 + 1,
+                "counter {i} moved"
+            );
+        }
     }
 }

@@ -1,0 +1,147 @@
+//! Integration tests for the telemetry surface of the serving layer.
+//!
+//! Pinned here:
+//!
+//! * **telemetry is invisible**: logits served with the process-global
+//!   registry armed are bitwise identical to logits served disarmed —
+//!   observation must never perturb the answer;
+//! * **per-version live stats are real**: labeled traffic with wrong
+//!   labels shows up as a nonzero misclassification rate in the
+//!   `Telemetry` frame fetched over the wire, keyed by the serving
+//!   version's content fingerprint.
+//!
+//! Telemetry arming is process-global, so the tests in this binary
+//! serialize their armed windows behind one mutex (separate test
+//! binaries are separate processes and need no coordination).
+
+use std::sync::{Mutex, PoisonError};
+
+use deepmorph_models::{build_model, ModelFamily, ModelHandle, ModelScale, ModelSpec};
+use deepmorph_serve::prelude::*;
+use deepmorph_tensor::init::stream_rng;
+use deepmorph_tensor::Tensor;
+
+/// Guards the process-global telemetry registry across `#[test]`s.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn lenet(seed: u64) -> ModelHandle {
+    let spec = ModelSpec::new(ModelFamily::LeNet, ModelScale::Tiny, [1, 16, 16], 10);
+    build_model(&spec, &mut stream_rng(seed, "telemetry-test")).unwrap()
+}
+
+fn registry_with(name: &str, seed: u64) -> ModelRegistry {
+    let mut registry = ModelRegistry::new();
+    registry.register(name, &mut lenet(seed), None).unwrap();
+    registry
+}
+
+fn input_row(i: usize) -> Tensor {
+    let data = (0..256)
+        .map(|j| {
+            let h = ((i * 256 + j) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32).fract()
+        })
+        .collect();
+    Tensor::from_vec(data, &[1, 1, 16, 16]).unwrap()
+}
+
+/// Serves `n` rows against a fresh server and returns the logits.
+fn serve_logits(n: usize) -> Vec<Tensor> {
+    let server = Server::start(registry_with("m", 11), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let logits = (0..n)
+        .map(|i| {
+            client
+                .predict_full("m", &input_row(i), true, &[])
+                .unwrap()
+                .logits
+                .unwrap()
+        })
+        .collect();
+    server.shutdown();
+    logits
+}
+
+/// The acceptance-criteria digest test: the same rows served with
+/// telemetry fully armed and with it off must produce bitwise-identical
+/// logits. Observation is measurement-only — stage spans, histograms,
+/// per-version counters, and the trace ring never touch the data path.
+#[test]
+fn armed_responses_are_bitwise_identical_to_disarmed() {
+    let _guard = TELEMETRY_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    deepmorph_telemetry::clear();
+    let off = serve_logits(12);
+
+    deepmorph_telemetry::install(TelemetryConfig::default());
+    let on = serve_logits(12);
+    let snapshot = deepmorph_telemetry::armed().expect("armed").snapshot();
+    deepmorph_telemetry::clear();
+
+    // The armed pass must actually have observed the traffic, or the
+    // digest below would vacuously compare two unobserved runs.
+    assert!(
+        snapshot.request_us.count() >= 12,
+        "armed pass recorded {} requests, expected >= 12",
+        snapshot.request_us.count()
+    );
+
+    assert_eq!(off.len(), on.len());
+    for (i, (a, b)) in off.iter().zip(&on).enumerate() {
+        assert_eq!(a.shape(), b.shape());
+        for (k, (va, vb)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "row {i} logit {k}: arming telemetry changed the response bits"
+            );
+        }
+    }
+}
+
+/// Labeled traffic with deliberately wrong labels must surface as a
+/// per-version misclassification rate in the wire `Telemetry` frame.
+#[test]
+fn telemetry_frame_reports_live_misclassification_rate() {
+    let _guard = TELEMETRY_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let server = Server::start(registry_with("m", 23), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    deepmorph_telemetry::install(TelemetryConfig::default());
+    // Learn the model's prediction for a row, then feed it back once
+    // with the right label and three times with a wrong one: the rate
+    // must land at exactly 3/4 for the serving version.
+    let predicted = client.predict("m", &input_row(7)).unwrap().predictions[0];
+    let wrong = (predicted + 1) % 10;
+    client
+        .predict_full("m", &input_row(7), false, &[predicted])
+        .unwrap();
+    for _ in 0..3 {
+        client
+            .predict_full("m", &input_row(7), false, &[wrong])
+            .unwrap();
+    }
+
+    let report = client.telemetry().unwrap();
+    deepmorph_telemetry::clear();
+    server.shutdown();
+
+    assert!(report.armed);
+    let version = report
+        .snapshot
+        .versions
+        .iter()
+        .find(|v| v.labeled > 0)
+        .expect("a version saw labeled traffic");
+    assert!(
+        !version.fingerprint.is_empty(),
+        "stats keyed by fingerprint"
+    );
+    assert_eq!(version.labeled, 4);
+    assert_eq!(version.misclassified, 3);
+    assert!((version.misclassification_rate() - 0.75).abs() < 1e-9);
+    assert!(version.requests >= 5, "all answered requests counted");
+}

@@ -251,6 +251,9 @@ impl Backend for ScalarBackend {
 
     fn gemm(&self, spec: &GemmSpec, a: &[f32], b: &[f32], out: &mut [f32]) {
         spec.check(a, b, out);
+        // Per-shape kernel timing; `None` (one relaxed load) unless
+        // telemetry is armed and `DEEPMORPH_KERNEL_TIMING=1`.
+        let _timer = deepmorph_telemetry::kernel_timer(spec.m, spec.k, spec.n);
         use crate::gemm::{gemm_into, GemmOp};
         match (spec.lhs, spec.rhs) {
             (MatLayout::RowMajor, MatLayout::RowMajor) => {

@@ -94,8 +94,12 @@ impl Backend for SimdBackend {
             return;
         }
         if m * k * n < SIMD_MIN_FLOPS {
+            // Delegation is timed by the scalar kernel's own hook.
             return ScalarBackend.gemm(spec, a, b, out);
         }
+        // Per-shape kernel timing; `None` (one relaxed load) unless
+        // telemetry is armed and `DEEPMORPH_KERNEL_TIMING=1`.
+        let _timer = deepmorph_telemetry::kernel_timer(m, k, n);
         let GemmTuning { mc, kc, nc } = self.tuning;
 
         // Pack the whole rhs once: per kc-block, NR-wide micro-panels,

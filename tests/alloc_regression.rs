@@ -16,6 +16,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use deepmorph_nn::prelude::*;
+use deepmorph_telemetry::{Stage, TelemetryConfig, Trace, STAGE_COUNT};
 use deepmorph_tensor::init::stream_rng;
 use deepmorph_tensor::{workspace, Tensor};
 
@@ -120,14 +121,52 @@ fn warm_conv_step_and_matmul_do_not_allocate() {
     // The serial reference entry point shares the same arena.
     let c = a.matmul_serial(&b).unwrap();
     workspace::recycle_tensor(c);
+    let after_serial = allocations();
     assert_eq!(
-        allocations() - after_matmul,
+        after_serial - after_matmul,
         0,
         "warm serial matmul allocated"
     );
 
+    // Telemetry hot path: with the registry armed, recording request
+    // latencies, stage spans, cached per-version counters, and trace
+    // offers must stay allocation-free — these run inside the serving
+    // data path. First-touch costs (the `version()` stats slot, the
+    // trace ring filling to capacity) are paid before the window.
+    let telemetry = deepmorph_telemetry::install(TelemetryConfig { slow_traces: 4 });
+    let version = telemetry.version("alloc-regression-v1");
+    for id in 0..4 {
+        telemetry.offer_trace(Trace {
+            id,
+            total_us: 0,
+            stages: [1; STAGE_COUNT],
+        });
+    }
+    let before_telemetry = allocations();
+    for i in 0..1024u64 {
+        telemetry.record_request(i);
+        telemetry.record_stage(Stage::Compute, i);
+        telemetry.record_stage(Stage::QueueWait, i);
+        version.requests.add(1);
+        version.labeled.add(1);
+        // The ring is at capacity, so winning offers replace the
+        // fastest incumbent in place and losing offers are dropped —
+        // both paths must be allocation-free.
+        telemetry.offer_trace(Trace {
+            id: i,
+            total_us: i,
+            stages: [i; STAGE_COUNT],
+        });
+    }
+    assert_eq!(
+        allocations() - before_telemetry,
+        0,
+        "armed telemetry recording allocated"
+    );
+    deepmorph_telemetry::clear();
+
     // Sanity: the counter itself works.
     let v: Vec<u8> = Vec::with_capacity(1024);
-    assert!(allocations() > after_matmul, "allocation counter is dead");
+    assert!(allocations() > after_serial, "allocation counter is dead");
     drop(v);
 }
