@@ -1,0 +1,115 @@
+//! The suppression allowlist (`analyze.allow`).
+//!
+//! One entry per line — `<checker> <path> <key>` — so every suppression
+//! is a reviewable one-line diff. `#` starts a comment. The `key` is
+//! checker-specific (e.g. `fn:new:Vec::new` for the allocation lint).
+//! Entries that never match anything are themselves reported as stale,
+//! so the file can only shrink once a violation is fixed.
+
+use std::cell::RefCell;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub checker: String,
+    pub path: String,
+    pub key: String,
+    pub line: u32,
+}
+
+/// The parsed allowlist, with per-entry usage tracking.
+pub struct Allowlist {
+    entries: Vec<Entry>,
+    used: RefCell<Vec<bool>>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (the default when the file doesn't exist).
+    pub fn empty() -> Allowlist {
+        Allowlist {
+            entries: Vec::new(),
+            used: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Parses allowlist text; malformed lines are hard errors.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(checker), Some(path), Some(key), None) => entries.push(Entry {
+                    checker: checker.to_string(),
+                    path: path.to_string(),
+                    key: key.to_string(),
+                    line: idx as u32 + 1,
+                }),
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: expected `<checker> <path> <key>`, got {raw:?}",
+                        idx + 1
+                    ))
+                }
+            }
+        }
+        let used = RefCell::new(vec![false; entries.len()]);
+        Ok(Allowlist { entries, used })
+    }
+
+    /// True when `(checker, path, key)` is suppressed; marks the
+    /// matching entry as used.
+    pub fn allows(&self, checker: &str, path: &str, key: &str) -> bool {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.checker == checker && e.path == path && e.key == key {
+                self.used.borrow_mut()[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding — stale suppressions.
+    pub fn stale(&self) -> Vec<Entry> {
+        let used = self.used.borrow();
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !used[i])
+            .map(|(_, e)| e.clone())
+            .collect()
+    }
+
+    /// Entry count (for the report summary).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_tracks_usage() {
+        let a = Allowlist::parse(
+            "# init-time allocation\nalloc crates/x.rs fn:new:Vec::new\nalloc crates/y.rs global:format!\n",
+        )
+        .unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.allows("alloc", "crates/x.rs", "fn:new:Vec::new"));
+        assert!(!a.allows("alloc", "crates/x.rs", "fn:other:Vec::new"));
+        assert!(!a.allows("unsafe", "crates/x.rs", "fn:new:Vec::new"));
+        let stale = a.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "crates/y.rs");
+    }
+
+    #[test]
+    fn malformed_line_errors() {
+        assert!(Allowlist::parse("alloc missing-key\n").is_err());
+    }
+}

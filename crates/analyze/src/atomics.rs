@@ -1,0 +1,259 @@
+//! Checker 2: the atomic-ordering lint.
+//!
+//! Scoped to the configured arming seams (`telemetry`, `faults`,
+//! `parallel`). Two rules, both silenced by an adjacent `// ORDERING:`
+//! justification:
+//!
+//! 1. `Ordering::SeqCst` is flagged — SeqCst is the "didn't think about
+//!    it" default, and the arming paths are hot; each surviving use must
+//!    say which store/load fence it actually needs.
+//! 2. A `Relaxed` *store* to an atomic that elsewhere in the same file
+//!    is *loaded* with `Acquire` is flagged at the store: an Acquire
+//!    load only synchronizes against a Release (or stronger) store, so
+//!    the pairing is a silent no-op.
+//!
+//! Test code is exempt: tests routinely use SeqCst for simplicity.
+
+use crate::allowlist::Allowlist;
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+const STORE_METHODS: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// One atomic access: receiver field name, orderings named in the call
+/// arguments, and the source line.
+struct Access {
+    receiver: String,
+    orderings: Vec<String>,
+    line: u32,
+}
+
+/// True when `file` falls under any configured atomics path prefix.
+pub fn in_scope(file: &SourceFile, paths: &[String]) -> bool {
+    paths
+        .iter()
+        .any(|p| file.rel_path == *p || file.rel_path.starts_with(&format!("{p}/")))
+}
+
+/// Runs the lint over one in-scope file.
+pub fn check(file: &SourceFile, allow: &Allowlist, findings: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    let mut stores: Vec<Access> = Vec::new();
+    let mut loads: Vec<Access> = Vec::new();
+
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+
+        // Rule 1: any SeqCst mention outside tests needs ORDERING:.
+        if name == "SeqCst" && !file.is_test_line(t.line) {
+            if !file.has_adjacent_marker(t.line, "ORDERING:") {
+                let key = format!("seqcst:{}", file.enclosing_fn(t.line).unwrap_or("top"));
+                if !allow.allows("atomics", &file.rel_path, &key) {
+                    findings.push(Finding {
+                        checker: "atomics",
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        key,
+                        message: "Ordering::SeqCst without an `// ORDERING:` justification \
+                                  (downgrade, or document the store/load fence it provides)"
+                            .to_string(),
+                    });
+                }
+            }
+            continue;
+        }
+
+        // Collect `.method(…, Ordering::X, …)` accesses for rule 2.
+        let is_store = STORE_METHODS.contains(&name.as_str());
+        let is_load = name == "load";
+        if !is_store && !is_load {
+            continue;
+        }
+        if !matches!(
+            tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
+            Some(Tok::Punct('.'))
+        ) {
+            continue;
+        }
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let Some(receiver) = receiver_name(tokens, i - 1) else {
+            continue;
+        };
+        let Some(orderings) = call_orderings(tokens, i + 1) else {
+            continue;
+        };
+        let access = Access {
+            receiver,
+            orderings,
+            line: t.line,
+        };
+        if is_store {
+            stores.push(access);
+        } else {
+            loads.push(access);
+        }
+    }
+
+    // Rule 2: Relaxed store paired (per file, by field name) with an
+    // Acquire load. Justified at either end with ORDERING:.
+    for st in &stores {
+        if !st.orderings.iter().any(|o| o == "Relaxed") {
+            continue;
+        }
+        let Some(ld) = loads
+            .iter()
+            .find(|l| l.receiver == st.receiver && l.orderings.iter().any(|o| o == "Acquire"))
+        else {
+            continue;
+        };
+        if file.has_adjacent_marker(st.line, "ORDERING:")
+            || file.has_adjacent_marker(ld.line, "ORDERING:")
+        {
+            continue;
+        }
+        let key = format!("pair:{}", st.receiver);
+        if allow.allows("atomics", &file.rel_path, &key) {
+            continue;
+        }
+        findings.push(Finding {
+            checker: "atomics",
+            path: file.rel_path.clone(),
+            line: st.line,
+            key,
+            message: format!(
+                "Relaxed store to `{}` paired with an Acquire load (line {}): \
+                 the Acquire synchronizes only against Release-or-stronger stores",
+                st.receiver, ld.line
+            ),
+        });
+    }
+}
+
+/// The field name the method is called on: the identifier immediately
+/// before the `.` at `dot` (e.g. `self.entered.store` → `entered`).
+fn receiver_name(tokens: &[crate::lexer::Token], dot: usize) -> Option<String> {
+    match &tokens.get(dot.checked_sub(1)?)?.tok {
+        Tok::Ident(name) => Some(name.clone()),
+        // Tuple-struct field access like `self.0.store(...)`.
+        Tok::Num(n) => Some(n.clone()),
+        // `foo().store(...)`, `arr[i].store(...)`: no stable field name
+        // to pair on — skip rather than alias unrelated call-chains.
+        _ => None,
+    }
+}
+
+/// Orderings named inside the call's parenthesized argument list
+/// starting at `open` (which must be `(`). `None` when not a call.
+fn call_orderings(tokens: &[crate::lexer::Token], open: usize) -> Option<Vec<String>> {
+    if !matches!(tokens.get(open).map(|t| &t.tok), Some(Tok::Punct('('))) {
+        return None;
+    }
+    let mut depth = 0u32;
+    let mut orderings = Vec::new();
+    for t in &tokens[open..] {
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(name)
+                if matches!(
+                    name.as_str(),
+                    "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+                ) =>
+            {
+                orderings.push(name.clone());
+            }
+            _ => {}
+        }
+    }
+    Some(orderings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source("crates/telemetry/src/lib.rs".into(), src);
+        let mut findings = Vec::new();
+        check(&file, &Allowlist::empty(), &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unjustified_seqcst_is_a_finding() {
+        let findings = run("fn arm() {\n    ACTIVE.store(true, Ordering::SeqCst);\n}\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].key, "seqcst:arm");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn ordering_comment_justifies_seqcst() {
+        let findings = run(
+            "fn arm() {\n    // ORDERING: store-load fence against the worker's entered check.\n    ACTIVE.store(true, Ordering::SeqCst);\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn relaxed_store_acquire_load_pair_is_flagged() {
+        let findings = run(
+            "fn arm() {\n    ACTIVE.store(true, Ordering::Relaxed);\n}\nfn armed() -> bool {\n    ACTIVE.load(Ordering::Acquire)\n}\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].key, "pair:ACTIVE");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("line 5"));
+    }
+
+    #[test]
+    fn release_store_acquire_load_is_clean() {
+        let findings = run(
+            "fn arm() {\n    ACTIVE.store(true, Ordering::Release);\n}\nfn armed() -> bool {\n    ACTIVE.load(Ordering::Acquire)\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn distinct_fields_do_not_pair() {
+        let findings = run(
+            "fn f() {\n    a.store(1, Ordering::Relaxed);\n    b.load(Ordering::Acquire);\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn seqcst_in_tests_is_exempt() {
+        let findings = run(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { X.store(1, Ordering::SeqCst); }\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn scope_matches_file_and_dir_prefixes() {
+        let f = SourceFile::from_source("crates/telemetry/src/lib.rs".into(), "");
+        assert!(in_scope(&f, &["crates/telemetry".into()]));
+        assert!(in_scope(&f, &["crates/telemetry/src/lib.rs".into()]));
+        assert!(!in_scope(&f, &["crates/tele".into()]));
+    }
+}

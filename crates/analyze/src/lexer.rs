@@ -1,0 +1,440 @@
+//! A small purpose-built Rust lexer.
+//!
+//! The analyzers only need a faithful *token stream with line numbers* and
+//! the comments alongside it — not a syntax tree — so this is a
+//! single-pass scanner, not a parser. It gets the parts that would
+//! otherwise cause false findings exactly right:
+//!
+//! * string/char/byte/raw-string literals (so `"Ordering::SeqCst"` inside
+//!   a test fixture string is never mistaken for a real use),
+//! * line vs block comments, nested block comments, doc comments,
+//! * lifetimes vs char literals (`'a` the lifetime, `'a'` the char),
+//! * numeric literals including `0x` forms and type suffixes.
+//!
+//! Anything it cannot classify is emitted as a one-character
+//! [`Tok::Punct`], which is all the pattern matchers downstream need.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unsafe`, `fn`, `Ordering`, …).
+    Ident(String),
+    /// A lifetime (`'a`), without the leading quote.
+    Lifetime(String),
+    /// A string/char/byte literal; the payload is the literal's inner
+    /// text (escape sequences left as written, quotes stripped).
+    Literal(String),
+    /// A numeric literal, verbatim (`16`, `0x7F`, `1_000`, `2.5f32`).
+    Num(String),
+    /// A single punctuation character (`{`, `:`, `#`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One comment (line or block), with the lines it spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based first line.
+    pub start_line: u32,
+    /// 1-based last line (equal to `start_line` for line comments).
+    pub end_line: u32,
+}
+
+/// The output of [`lex`]: code tokens and comments, both line-annotated.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comments that cover `line` (a block comment spans many).
+    pub fn comments_on_line(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.start_line <= line && line <= c.end_line)
+    }
+}
+
+/// Lexes `src` into tokens and comments. Never fails: malformed input
+/// (e.g. an unterminated string) degenerates into best-effort tokens,
+/// which at worst yields a finding pointing at the offending file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(line),
+                b'\'' => self.quote(line),
+                b'r' | b'b' if self.raw_or_byte_literal(line) => {}
+                _ if is_ident_start(b) => self.ident(line),
+                _ if b.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(b as char), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let text = raw.trim_start_matches('/').trim_start_matches('!').trim();
+        self.out.comments.push(Comment {
+            text: text.to_string(),
+            start_line: line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let text = raw
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        self.out.comments.push(Comment {
+            text: text.to_string(),
+            start_line,
+            end_line: self.line,
+        });
+    }
+
+    /// Consumes a `"…"` string, handling `\"` and `\\` escapes.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        let mut end = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump();
+                self.bump();
+                end = self.pos;
+                continue;
+            }
+            if b == b'"' {
+                break;
+            }
+            self.bump();
+            end = self.pos;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..end]).unwrap_or("");
+        self.push(Tok::Literal(text.to_string()), line);
+        self.bump(); // closing quote
+    }
+
+    /// A `'`: either a lifetime (`'a`) or a char literal (`'a'`, `'\n'`).
+    fn quote(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume until the closing quote.
+                self.bump();
+                self.bump();
+                while let Some(b) = self.peek(0) {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Literal(String::new()), line);
+            }
+            Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                let name = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .unwrap_or("")
+                    .to_string();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump(); // char literal like 'a'
+                    self.push(Tok::Literal(name), line);
+                } else {
+                    self.push(Tok::Lifetime(name), line);
+                }
+            }
+            Some(_) => {
+                // A punctuation char literal like '{' or ' '.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(Tok::Literal(String::new()), line);
+            }
+            None => {}
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns
+    /// `false` when the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let mut ahead = 1; // past the leading r/b
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'\'') {
+            // Byte char literal b'x'.
+            self.bump(); // b
+            self.quote(line);
+            return true;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some(b'#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        if self.peek(ahead) != Some(b'"') {
+            return false;
+        }
+        if hashes > 0 && ahead - hashes == 1 && self.peek(0) == Some(b'b') {
+            // `b#"` is not a literal prefix.
+            return false;
+        }
+        for _ in 0..=ahead {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        let start = self.pos;
+        let mut end = self.pos;
+        'scan: while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                // A raw string closes on `"` followed by `hashes` hashes.
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some(b'#') {
+                        self.bump();
+                        end = self.pos;
+                        continue 'scan;
+                    }
+                }
+                break;
+            }
+            if hashes == 0 && b == b'\\' && ahead == 1 && self.bytes[self.pos - 1] != b'r' {
+                // Plain byte string: honor escapes.
+                self.bump();
+            }
+            self.bump();
+            end = self.pos;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..end]).unwrap_or("");
+        self.push(Tok::Literal(text.to_string()), line);
+        self.bump(); // closing quote
+        for _ in 0..hashes {
+            self.bump();
+        }
+        true
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let name = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        self.push(Tok::Ident(name.to_string()), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| is_ident_continue(b) || b == b'.')
+        {
+            if self.peek(0) == Some(b'.') {
+                // Include the dot only for a fractional part; `0..n` and
+                // `1.max(2)` keep their dots as punctuation.
+                if !self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                    break;
+                }
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        self.push(Tok::Num(text.to_string()), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_tokens() {
+        let src = r##"
+            // unsafe in a comment
+            let a = "unsafe { Ordering::SeqCst }";
+            let b = r#"format!("x")"#;
+            /* Vec::new() in a /* nested */ block */
+            let c = 'u'; // not an ident
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "ids: {ids:?}");
+        assert!(!ids.contains(&"SeqCst".to_string()));
+        assert!(!ids.contains(&"Vec".to_string()));
+        assert!(!ids.contains(&"u".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].text, "unsafe in a comment");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.tok, Tok::Literal(s) if s == "a"))
+            .collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_literals() {
+        let src = "let a = \"x\ny\";\nunsafe {}\n";
+        let lexed = lex(src);
+        let pos = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unsafe".into()))
+            .unwrap();
+        assert_eq!(pos.line, 3);
+    }
+
+    #[test]
+    fn numbers_keep_hex_and_suffixes_but_not_ranges() {
+        let lexed = lex("0x7F + 16 << 20; 0..n; 2.5f32");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0x7F", "16", "20", "0", "2.5f32"]);
+    }
+
+    #[test]
+    fn byte_and_raw_strings_capture_content() {
+        let lexed = lex(r##"const M: [u8; 4] = *b"DMSV"; let r = r#"a"b"#;"##);
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Literal(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["DMSV", "a\"b"]);
+    }
+}

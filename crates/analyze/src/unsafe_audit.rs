@@ -1,0 +1,191 @@
+//! Checker 1: the unsafe audit.
+//!
+//! Every `unsafe` block, `unsafe fn`, `unsafe impl`, and `unsafe trait`
+//! in production code must carry an adjacent `// SAFETY:` justification
+//! (an `unsafe fn` may use the idiomatic `# Safety` doc section
+//! instead). The checker also builds the machine-readable inventory of
+//! every unsafe site — documented or not, test or production — that the
+//! `--json` report embeds.
+//!
+//! `unsafe` in function-pointer *types* (`unsafe extern "C" fn(...)`)
+//! is not an unsafe site and is skipped.
+
+use crate::allowlist::Allowlist;
+use crate::lexer::Tok;
+use crate::report::{Finding, UnsafeSite};
+use crate::source::SourceFile;
+
+/// Runs the audit over one file, appending findings and inventory rows.
+pub fn check(
+    file: &SourceFile,
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+    inventory: &mut Vec<UnsafeSite>,
+) {
+    let tokens = &file.lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if !matches!(&t.tok, Tok::Ident(kw) if kw == "unsafe") {
+            continue;
+        }
+        let Some((kind, name)) = classify(tokens, i) else {
+            continue; // fn-pointer type, not a site
+        };
+        let line = t.line;
+        let documented = match kind {
+            "fn" => file.has_safety_docs(line),
+            _ => file.has_adjacent_marker(line, "SAFETY:"),
+        };
+        let context = file.enclosing_fn(line).map(str::to_string);
+        inventory.push(UnsafeSite {
+            path: file.rel_path.clone(),
+            line,
+            kind,
+            context: context.clone(),
+            documented,
+        });
+        if documented || file.is_test_line(line) {
+            continue;
+        }
+        let key = match kind {
+            "block" => format!("block:{}", context.as_deref().unwrap_or("top")),
+            _ => format!("{kind}:{name}"),
+        };
+        if allow.allows("unsafe", &file.rel_path, &key) {
+            continue;
+        }
+        let what = match kind {
+            "block" => "unsafe block".to_string(),
+            _ => format!("unsafe {kind} `{name}`"),
+        };
+        let want = if kind == "fn" {
+            "`// SAFETY:` comment or a `# Safety` doc section"
+        } else {
+            "`// SAFETY:` comment"
+        };
+        findings.push(Finding {
+            checker: "unsafe",
+            path: file.rel_path.clone(),
+            line,
+            key,
+            message: format!("{what} without an adjacent {want}"),
+        });
+    }
+}
+
+/// Classifies the `unsafe` at token index `i`. Returns `(kind, name)`
+/// or `None` when it introduces a fn-pointer type rather than a site.
+fn classify(tokens: &[crate::lexer::Token], i: usize) -> Option<(&'static str, String)> {
+    let tok_at = |j: usize| tokens.get(j).map(|t| &t.tok);
+    let mut j = i + 1;
+    // `unsafe extern "C" fn …` — step over the extern ABI.
+    if matches!(tok_at(j), Some(Tok::Ident(kw)) if kw == "extern") {
+        j += 1;
+        if matches!(tok_at(j), Some(Tok::Literal(_))) {
+            j += 1;
+        }
+    }
+    match tok_at(j)? {
+        Tok::Ident(kw) if kw == "fn" => match tok_at(j + 1) {
+            Some(Tok::Ident(name)) => Some(("fn", name.clone())),
+            _ => None, // `unsafe fn(...)` type position
+        },
+        Tok::Ident(kw) if kw == "impl" => {
+            // `unsafe impl [<…>] Trait for Type` — name it Trait:Type
+            // (or just Trait for a trait-less inherent impl).
+            let mut names = Vec::new();
+            let mut k = j + 1;
+            let mut angle = 0u32;
+            while let Some(t) = tok_at(k) {
+                match t {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') => angle = angle.saturating_sub(1),
+                    Tok::Punct('{') | Tok::Punct(';') => break,
+                    Tok::Ident(n) if angle == 0 && n != "for" => names.push(n.clone()),
+                    _ => {}
+                }
+                k += 1;
+            }
+            Some(("impl", names.join(":")))
+        }
+        Tok::Ident(kw) if kw == "trait" => match tok_at(j + 1) {
+            Some(Tok::Ident(name)) => Some(("trait", name.clone())),
+            _ => Some(("trait", String::new())),
+        },
+        _ => Some(("block", String::new())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Finding>, Vec<UnsafeSite>) {
+        let file = SourceFile::from_source("crates/x/src/lib.rs".into(), src);
+        let allow = Allowlist::empty();
+        let mut findings = Vec::new();
+        let mut inventory = Vec::new();
+        check(&file, &allow, &mut findings, &mut inventory);
+        (findings, inventory)
+    }
+
+    #[test]
+    fn undocumented_block_is_a_finding() {
+        let (findings, inv) = run("fn f() {\n    unsafe { g() };\n}\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[0].key, "block:f");
+        assert!(!inv[0].documented);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_audit() {
+        let (findings, inv) =
+            run("fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() };\n}\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(inv[0].documented);
+        assert_eq!(inv[0].context.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc_section() {
+        let src = "/// Frees `p`.\n///\n/// # Safety\n/// `p` must come from `alloc`.\npub unsafe fn free(p: *mut u8) {}\n";
+        let (findings, inv) = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(inv[0].kind, "fn");
+    }
+
+    #[test]
+    fn undocumented_impl_is_a_finding_with_named_key() {
+        let (findings, _) = run("unsafe impl Send for Batch {}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].key, "impl:Send:Batch");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_sites() {
+        let (findings, inv) =
+            run("type Hook = unsafe extern \"C\" fn(i32) -> i32;\ntype H2 = unsafe fn();\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(inv.is_empty(), "{inv:?}");
+    }
+
+    #[test]
+    fn test_code_is_inventoried_but_not_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { unsafe { g() }; }\n}\n";
+        let (findings, inv) = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(inv.len(), 1);
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_key() {
+        let file =
+            SourceFile::from_source("crates/x/src/lib.rs".into(), "fn f() { unsafe { g() } }\n");
+        let allow = Allowlist::parse("unsafe crates/x/src/lib.rs block:f\n").unwrap();
+        let mut findings = Vec::new();
+        let mut inventory = Vec::new();
+        check(&file, &allow, &mut findings, &mut inventory);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(allow.stale().is_empty());
+    }
+}

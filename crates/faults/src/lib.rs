@@ -200,12 +200,18 @@ pub fn install(plan: FaultPlan) {
         injected: Default::default(),
     });
     *ARMED.write().unwrap_or_else(PoisonError::into_inner) = Some(armed);
-    ACTIVE.store(true, Ordering::SeqCst);
+    // ORDERING: Release orders the flag after the plan publish above.
+    // The flag is only a hint: readers that see it re-check under
+    // `ARMED.read()`, whose lock acquisition provides the real
+    // synchronization, so their Relaxed fast-path load stays sound.
+    ACTIVE.store(true, Ordering::Release);
 }
 
 /// Removes the installed plan; every subsequent hook reports "no fault".
 pub fn clear() {
-    ACTIVE.store(false, Ordering::SeqCst);
+    // ORDERING: Release; see install(). A racing hook that still sees
+    // the stale `true` just takes the slow path and finds `None`.
+    ACTIVE.store(false, Ordering::Release);
     *ARMED.write().unwrap_or_else(PoisonError::into_inner) = None;
 }
 

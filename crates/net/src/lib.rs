@@ -200,8 +200,11 @@ pub struct Poller {
 impl Poller {
     /// Creates a new epoll instance (close-on-exec).
     pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; cvt screens the result.
         let fd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
         Ok(Poller {
+            // SAFETY: cvt guarantees `fd` is a live descriptor we just
+            // created and exclusively own; OwnedFd takes over closing it.
             epfd: unsafe { OwnedFd::from_raw_fd(fd) },
         })
     }
@@ -211,6 +214,8 @@ impl Poller {
             events: interest.mask(),
             data: token,
         };
+        // SAFETY: `event` is a live, properly initialized EpollEvent for
+        // the duration of the call; the epfd is owned and open.
         cvt(unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut event) })?;
         Ok(())
     }
@@ -229,6 +234,8 @@ impl Poller {
     /// the caller decides whether the error matters.
     pub fn delete(&self, fd: RawFd) -> io::Result<()> {
         let mut event = sys::EpollEvent { events: 0, data: 0 };
+        // SAFETY: same contract as ctl(); pre-2.6.9 kernels require a
+        // non-null event pointer for DEL, which `event` provides.
         cvt(unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, &mut event) })?;
         Ok(())
     }
@@ -250,6 +257,8 @@ impl Poller {
             }
             None => -1,
         };
+        // SAFETY: the pointer/len pair describes `events.buf`, which
+        // outlives the call; the kernel writes at most `len` entries.
         let n = unsafe {
             sys::epoll_wait(
                 self.epfd.as_raw_fd(),
@@ -285,8 +294,11 @@ pub struct Waker {
 impl Waker {
     /// Creates a new waker.
     pub fn new() -> io::Result<Waker> {
+        // SAFETY: eventfd takes no pointers; cvt screens the result.
         let fd = cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
         Ok(Waker {
+            // SAFETY: cvt guarantees a live descriptor we exclusively
+            // own; OwnedFd takes over closing it.
             fd: unsafe { OwnedFd::from_raw_fd(fd) },
         })
     }
@@ -300,6 +312,8 @@ impl Waker {
     /// already saturated a wakeup is pending anyway, so `EAGAIN` is ignored.
     pub fn wake(&self) {
         let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from `one`, which lives on this
+        // stack frame for the whole call.
         unsafe {
             sys::write(
                 self.fd.as_raw_fd(),
@@ -312,6 +326,8 @@ impl Waker {
     /// Clears pending wakeups so the poller stops reporting the fd readable.
     pub fn drain(&self) {
         let mut count: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into `count`, which lives on this
+        // stack frame for the whole call.
         unsafe {
             sys::read(
                 self.fd.as_raw_fd(),
@@ -331,6 +347,7 @@ impl Waker {
 /// the existing hard limit. Never lowers either limit.
 pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
     let mut lim = sys::Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid Rlimit the kernel fills in.
     cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) })?;
 
     if lim.max < target {
@@ -338,6 +355,7 @@ pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
             cur: target,
             max: target,
         };
+        // SAFETY: `want` is a valid Rlimit for the duration of the call.
         if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &want) } == 0 {
             return Ok(target);
         }
@@ -348,9 +366,11 @@ pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
             cur: lim.max,
             max: lim.max,
         };
+        // SAFETY: `want` is a valid Rlimit for the duration of the call.
         cvt(unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &want) })?;
     }
     let mut after = sys::Rlimit { cur: 0, max: 0 };
+    // SAFETY: `after` is a valid Rlimit the kernel fills in.
     cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut after) })?;
     Ok(after.cur)
 }
@@ -361,6 +381,8 @@ pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
 /// overflows that queue and stalls on SYN retransmits. Calling `listen`
 /// again on the same socket just updates the backlog.
 pub fn boost_listen_backlog(listener: &TcpListener, backlog: u32) -> io::Result<()> {
+    // SAFETY: listen takes no pointers; the fd is kept alive by the
+    // borrowed listener.
     cvt(unsafe { sys::listen(listener.as_raw_fd(), backlog.min(i32::MAX as u32) as i32) })?;
     Ok(())
 }
@@ -374,6 +396,8 @@ pub fn boost_listen_backlog(listener: &TcpListener, backlog: u32) -> io::Result<
 pub fn set_socket_buffers(stream: &TcpStream, send_bytes: u32, recv_bytes: u32) -> io::Result<()> {
     for (opt, value) in [(sys::SO_SNDBUF, send_bytes), (sys::SO_RCVBUF, recv_bytes)] {
         let value = value as i32;
+        // SAFETY: passes 4 bytes of the stack-local `value`; the fd is
+        // kept alive by the borrowed stream.
         cvt(unsafe {
             sys::setsockopt(
                 stream.as_raw_fd(),

@@ -81,6 +81,8 @@ struct Batch {
 // submitter keeps it alive until `done == total`), and all counter fields
 // are atomics.
 unsafe impl Send for Batch {}
+// SAFETY: shared access touches only the atomic counters and the closure
+// behind `run`, which is `Sync` by the field's own bound.
 unsafe impl Sync for Batch {}
 
 impl Batch {
@@ -146,7 +148,13 @@ fn worker_loop(shared: Arc<Shared>) {
                 std::hint::spin_loop();
                 continue;
             }
-            shared.sleepers.fetch_add(1, Ordering::SeqCst);
+            // ORDERING: Relaxed suffices — the publisher reads `sleepers`
+            // while holding `park_lock`, and any increment that matters
+            // (one whose worker will actually wait) happens-before this
+            // worker's own lock acquisition, hence before the publisher's.
+            // A worker that increments but loses the race observes the
+            // fresh generation under the lock and never waits.
+            shared.sleepers.fetch_add(1, Ordering::Relaxed);
             let mut guard = shared.park.lock().expect("park lock");
             // `park` always mirrors the latest published generation (the
             // publisher updates it under this lock on every batch), so
@@ -157,20 +165,32 @@ fn worker_loop(shared: Arc<Shared>) {
             }
             seen = *guard;
             drop(guard);
-            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            // ORDERING: Relaxed — see the fetch_add above; the counter
+            // only gates a condvar notify, never data visibility.
+            shared.sleepers.fetch_sub(1, Ordering::Relaxed);
             break;
         }
+        // ORDERING: SeqCst store-load fence (Dekker). This increment and
+        // the `batch` load below mirror the submitter's null-store →
+        // `entered`-load retire sequence; all four must be SeqCst so that
+        // either the submitter sees `entered > 0` and waits, or this
+        // worker sees null. Release/Acquire cannot order a store before a
+        // later load, so nothing weaker closes the race.
         shared.entered.fetch_add(1, Ordering::SeqCst);
-        // SeqCst pairs with the submitter's null-store → entered-load
-        // sequence: if the submitter saw entered == 0, this load is
-        // ordered after its null-store and must see null.
+        // ORDERING: SeqCst — the load half of the Dekker pattern above:
+        // if the submitter saw entered == 0, this load is ordered after
+        // its null-store and must see null.
         let ptr = shared.batch.load(Ordering::SeqCst);
         if !ptr.is_null() {
             // SAFETY: `entered` was incremented before the load, so the
             // submitter cannot retire the batch until this worker leaves.
             unsafe { (*ptr).participate() };
         }
-        shared.entered.fetch_sub(1, Ordering::SeqCst);
+        // ORDERING: Release — pairs with the submitter's SeqCst spin on
+        // `entered == 0`, ordering this worker's last touch of the batch
+        // before the submitter retires it. The departure is not part of
+        // the Dekker race, so the full fence is unnecessary here.
+        shared.entered.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -228,7 +248,7 @@ impl Pool {
         let Ok(_active) = self.active.try_lock() else {
             return inline(run);
         };
-        // SAFETY (lifetime erasure): the `Batch` lives on this stack frame
+        // SAFETY: lifetime erasure — the `Batch` lives on this stack frame
         // and holds a raw pointer to `run`, which only lives for this
         // call. Workers reach it exclusively through the `batch` pointer
         // slot, bracketed by the `entered` counter; this function nulls
@@ -251,9 +271,13 @@ impl Pool {
             done: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
         };
+        // ORDERING: Release publishes the fully initialized `Batch` to
+        // any worker whose SeqCst load observes the pointer. Publishing
+        // is not the racy half of the retire protocol, so SeqCst buys
+        // nothing here.
         self.shared
             .batch
-            .store(&batch as *const Batch as *mut Batch, Ordering::SeqCst);
+            .store(&batch as *const Batch as *mut Batch, Ordering::Release);
         let generation = self.shared.generation.fetch_add(1, Ordering::Release) + 1;
         // Mirror the generation under the park lock on *every* publish —
         // workers park against this value, so it must never lag the atomic
@@ -262,7 +286,10 @@ impl Pool {
         {
             let mut guard = self.shared.park.lock().expect("park lock");
             *guard = generation;
-            if self.shared.sleepers.load(Ordering::SeqCst) > 0 {
+            // ORDERING: Relaxed — `park_lock` (held here and spanning
+            // every parking worker's increment-then-wait) provides the
+            // happens-before; see the worker-side ORDERING note.
+            if self.shared.sleepers.load(Ordering::Relaxed) > 0 {
                 self.shared.park_cv.notify_all();
             }
         }
@@ -276,9 +303,19 @@ impl Pool {
         }
         // Retire the batch: unpublish, then wait for any worker still in
         // its read-participate window before the stack frame goes away.
+        //
+        // ORDERING: SeqCst store-load fence (Dekker) — this null-store
+        // and the `entered` spin-load below mirror the worker's SeqCst
+        // increment-then-load; with anything weaker, this thread's load
+        // could be satisfied before its own null-store becomes visible,
+        // letting a worker slip in (entered 0→1, loads the stale pointer)
+        // while this frame is being torn down.
         self.shared
             .batch
             .store(std::ptr::null_mut(), Ordering::SeqCst);
+        // ORDERING: SeqCst — the load half of the Dekker fence above; it
+        // also carries the acquire edge pairing with the worker's Release
+        // departure decrement, so the batch's memory can safely die.
         while self.shared.entered.load(Ordering::SeqCst) > 0 {
             std::hint::spin_loop();
         }
@@ -348,7 +385,12 @@ fn block_count(n_items: usize) -> usize {
 /// index ranges, which `split_ranges` guarantees.
 struct SendPtr<T>(*mut T);
 
+// SAFETY: the wrapper is only constructed over slices whose blocks are
+// handed to workers as disjoint index ranges, so sending the base
+// pointer across threads cannot create aliased &mut access.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared references to the wrapper only yield the raw pointer;
+// dereferencing stays confined to each block's disjoint range.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Runs `a` and `b` concurrently, returning both results.

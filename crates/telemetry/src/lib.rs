@@ -684,13 +684,19 @@ static ARMED: RwLock<Option<Arc<Telemetry>>> = RwLock::new(None);
 pub fn install(config: TelemetryConfig) -> Arc<Telemetry> {
     let telemetry = Arc::new(Telemetry::new(config));
     *ARMED.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&telemetry));
-    ACTIVE.store(true, Ordering::SeqCst);
+    // ORDERING: Release orders the flag after the registry publish above.
+    // The flag is only a hint: readers that see it re-check under
+    // `ARMED.read()`, whose lock acquisition provides the real
+    // synchronization, so their Relaxed fast-path load stays sound.
+    ACTIVE.store(true, Ordering::Release);
     telemetry
 }
 
 /// Disarms telemetry: every hook goes back to a single relaxed load.
 pub fn clear() {
-    ACTIVE.store(false, Ordering::SeqCst);
+    // ORDERING: Release; see install(). A racing hook that still sees
+    // the stale `true` just takes the slow path and finds `None`.
+    ACTIVE.store(false, Ordering::Release);
     *ARMED.write().unwrap_or_else(PoisonError::into_inner) = None;
 }
 

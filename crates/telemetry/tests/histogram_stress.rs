@@ -1,0 +1,107 @@
+//! Contended-recording stress test for [`LogHistogram`].
+//!
+//! N recorder threads hammer one histogram while a snapshotter thread
+//! takes quantile snapshots the whole time. The invariants asserted are
+//! exactly the ones concurrent relaxed recording guarantees:
+//!
+//! * a snapshot's total never exceeds the number of records started;
+//! * totals and every individual bucket are monotonic across successive
+//!   snapshots (read-read coherence on each bucket atomic — a regression
+//!   would mean a lost or double-counted sample);
+//! * quantiles drawn mid-flight never exceed the largest recordable
+//!   value's bucket bound;
+//! * after all recorders join, the final snapshot is exact.
+
+use deepmorph_telemetry::{bucket_bounds, bucket_index, LogHistogram};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const RECORDERS: usize = 4;
+const PER_THREAD: u64 = 50_000;
+/// Values cycle in `[0, VALUE_RANGE)` so the expected quantile/max
+/// bounds are known exactly.
+const VALUE_RANGE: u64 = 5_000;
+
+#[test]
+fn contended_recording_keeps_snapshots_consistent() {
+    let hist = Arc::new(LogHistogram::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let total = RECORDERS as u64 * PER_THREAD;
+    let max_bound = bucket_bounds(bucket_index(VALUE_RANGE - 1)).1;
+
+    let snapshotter = {
+        let hist = Arc::clone(&hist);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut prev = hist.snapshot();
+            let mut iterations = 0u64;
+            while !done.load(Ordering::Acquire) || iterations == 0 {
+                let snap = hist.snapshot();
+                let count = snap.count();
+                assert!(
+                    count <= total,
+                    "snapshot total {count} exceeds records started {total}"
+                );
+                assert!(
+                    count >= prev.count(),
+                    "snapshot total regressed: {} -> {count}",
+                    prev.count()
+                );
+                for (i, (&now, &before)) in snap.buckets.iter().zip(&prev.buckets).enumerate() {
+                    assert!(
+                        now >= before,
+                        "bucket {i} regressed between snapshots: {before} -> {now}"
+                    );
+                }
+                if count > 0 {
+                    for q in [0.5, 0.99, 1.0] {
+                        let v = snap.quantile(q);
+                        assert!(
+                            v <= max_bound,
+                            "quantile({q}) = {v} above max recordable bound {max_bound}"
+                        );
+                    }
+                    assert!(snap.max() <= max_bound);
+                }
+                prev = snap;
+                iterations += 1;
+            }
+            iterations
+        })
+    };
+
+    let recorders: Vec<_> = (0..RECORDERS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    hist.record((t as u64 * 7 + i * 13) % VALUE_RANGE);
+                }
+            })
+        })
+        .collect();
+
+    for r in recorders {
+        r.join().expect("recorder panicked");
+    }
+    done.store(true, Ordering::Release);
+    let iterations = snapshotter.join().expect("snapshotter panicked");
+    assert!(iterations > 0);
+
+    // The joins synchronize with every recorder's last write: the final
+    // snapshot must be exact, not approximate.
+    let final_snap = hist.snapshot();
+    assert_eq!(final_snap.count(), total);
+    assert_eq!(final_snap.max(), max_bound);
+    assert_eq!(final_snap.quantile(1.0), max_bound);
+
+    // Every recorded value landed in its own bucket: recompute the
+    // expected bucket tallies serially and compare exactly.
+    let mut expected = vec![0u64; final_snap.buckets.len()];
+    for t in 0..RECORDERS as u64 {
+        for i in 0..PER_THREAD {
+            expected[bucket_index((t * 7 + i * 13) % VALUE_RANGE)] += 1;
+        }
+    }
+    assert_eq!(final_snap.buckets, expected);
+}
